@@ -1,0 +1,45 @@
+"""Extension bench: autoregressive decode throughput vs. context length.
+
+Complements Fig. 9 with the decode-phase view: tokens/second and energy
+per token as the KV context grows — the serving regime that dominates
+LLM deployments.  The photonic accelerator's per-token rate degrades
+gracefully (attention's 1 x L row grows linearly) while staying orders of
+magnitude above electronic batch-1 decode rates.
+"""
+
+from repro.core.tron import TRON, TRONConfig, run_generation
+from repro.nn.models import gpt2_small
+
+
+def regenerate_decode_scaling():
+    tron = TRON(TRONConfig(batch=8))
+    rows = []
+    for prompt in (64, 256, 768):
+        episode = run_generation(
+            tron, gpt2_small(), prompt_tokens=prompt, generated_tokens=32
+        )
+        rows.append(
+            {
+                "prompt": prompt,
+                "tokens_per_s": episode.tokens_per_second,
+                "uj_per_token": episode.energy_per_token_uj,
+                "prefill_ms": episode.prefill.latency_ns / 1e6,
+            }
+        )
+    return rows
+
+
+def test_decode_scaling(run_once):
+    rows = run_once(regenerate_decode_scaling)
+    print("\n=== Decode throughput vs. context (GPT-2 on TRON) ===")
+    print(
+        f"{'prompt':>7s} {'tok/s':>12s} {'uJ/tok':>8s} {'prefill':>9s}"
+    )
+    for row in rows:
+        print(
+            f"{row['prompt']:>7d} {row['tokens_per_s']:>12,.0f} "
+            f"{row['uj_per_token']:>8.2f} {row['prefill_ms']:>7.2f}ms"
+        )
+    rates = [row["tokens_per_s"] for row in rows]
+    assert rates == sorted(rates, reverse=True)  # longer context -> slower
+    assert rates[-1] > 1_000.0  # still far beyond electronic batch-1 decode

@@ -1,0 +1,20 @@
+"""Fig. 10: EPB comparison across GNN accelerators.
+
+Regenerates the paper's energy-per-bit chart: GHOST vs. GRIP, HyGCN,
+EnGN, HW_ACC, ReGNN, ReGraphX, TPU v4, Xeon and A100 on GNN x dataset
+workloads.  Paper claim: GHOST >= 3.8x better energy efficiency.
+"""
+
+from repro.analysis.figures import fig10_gnn_epb
+
+
+def test_fig10_gnn_epb(run_once):
+    data = run_once(fig10_gnn_epb)
+    print()
+    print(data.format())
+    assert data.min_win_ratio() >= 3.8
+    for workload in data.table.workloads:
+        ghost = data.table.value("GHOST", workload)
+        for platform in data.table.platforms:
+            if platform != "GHOST":
+                assert ghost < data.table.value(platform, workload)

@@ -1,0 +1,19 @@
+"""Fig. 11: throughput (GOPS) comparison across GNN accelerators.
+
+Regenerates the paper's throughput chart for the GHOST comparison.
+Paper claim: GHOST >= 10.2x higher throughput than every baseline.
+"""
+
+from repro.analysis.figures import fig11_gnn_gops
+
+
+def test_fig11_gnn_gops(run_once):
+    data = run_once(fig11_gnn_gops)
+    print()
+    print(data.format())
+    assert data.min_win_ratio() >= 10.2
+    for workload in data.table.workloads:
+        ghost = data.table.value("GHOST", workload)
+        for platform in data.table.platforms:
+            if platform != "GHOST":
+                assert ghost > data.table.value(platform, workload)

@@ -1,0 +1,22 @@
+"""Fig. 8: EPB comparison across LLM accelerators.
+
+Regenerates the paper's energy-per-bit bar chart: TRON vs. V100, TPU v2,
+Xeon, TransPIM, FPGA_Acc1, VAQF and FPGA_Acc2 on the transformer workload
+set, at 8-bit precision.  Paper claim: TRON >= 8x better energy
+efficiency than every baseline.
+"""
+
+from repro.analysis.figures import fig8_llm_epb
+
+
+def test_fig8_llm_epb(run_once):
+    data = run_once(fig8_llm_epb)
+    print()
+    print(data.format())
+    assert data.min_win_ratio() >= 8.0
+    # TRON has the lowest EPB on every workload.
+    for workload in data.table.workloads:
+        tron = data.table.value("TRON", workload)
+        for platform in data.table.platforms:
+            if platform != "TRON":
+                assert tron < data.table.value(platform, workload)

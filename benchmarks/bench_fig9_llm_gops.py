@@ -1,0 +1,19 @@
+"""Fig. 9: throughput (GOPS) comparison across LLM accelerators.
+
+Regenerates the paper's throughput bar chart for the TRON comparison.
+Paper claim: TRON >= 14x higher throughput than every baseline.
+"""
+
+from repro.analysis.figures import fig9_llm_gops
+
+
+def test_fig9_llm_gops(run_once):
+    data = run_once(fig9_llm_gops)
+    print()
+    print(data.format())
+    assert data.min_win_ratio() >= 14.0
+    for workload in data.table.workloads:
+        tron = data.table.value("TRON", workload)
+        for platform in data.table.platforms:
+            if platform != "TRON":
+                assert tron > data.table.value(platform, workload)

@@ -1,0 +1,16 @@
+"""The paper's abstract claims, evaluated end to end.
+
+"Both hardware accelerators achieve at least 10.2x throughput improvement
+and 3.8x better energy efficiency over multiple state-of-the-art
+electronic hardware accelerators" — regenerated across all four figures.
+"""
+
+from repro.analysis.claims import check_headline_claims
+
+
+def test_headline_claims(run_once):
+    checks = run_once(check_headline_claims)
+    print()
+    for check in checks:
+        print(check.format())
+    assert all(check.holds for check in checks)

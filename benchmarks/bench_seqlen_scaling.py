@@ -1,0 +1,52 @@
+"""Extension bench: sequence-length scaling of TRON's latency.
+
+Attention's S^2 score/context matmuls eventually dominate the S-linear
+projection and FF work; this bench sweeps BERT-base's sequence length and
+verifies the superlinear latency growth plus the MHA/FF crossover the
+architecture's array allocation is balanced around.
+"""
+
+from repro.core.tron import TRON, TRONConfig
+from repro.nn.models import bert_base
+
+
+def regenerate_seqlen_scaling():
+    tron = TRON(TRONConfig(batch=8))
+    rows = []
+    for seq_len in (128, 256, 512, 1024):
+        model = bert_base(seq_len=seq_len)
+        report = tron.run_transformer(model)
+        mha = tron.mha_unit.block_cost(seq_len, model.d_model, model.num_heads)
+        ff = tron.ff_unit.block_cost(seq_len, model.d_model, model.d_ff)
+        rows.append(
+            {
+                "seq_len": seq_len,
+                "latency_us": report.latency_ns / 1e3,
+                "gops": report.gops,
+                "mha_us": mha.latency.total_ns / 1e3,
+                "ff_us": ff.latency.total_ns / 1e3,
+            }
+        )
+    return rows
+
+
+def test_seqlen_scaling(run_once):
+    rows = run_once(regenerate_seqlen_scaling)
+    print("\n=== Sequence-length scaling (BERT-base on TRON) ===")
+    print(
+        f"{'S':>6s} {'latency (us)':>13s} {'GOPS':>10s} "
+        f"{'MHA/layer us':>13s} {'FF/layer us':>12s}"
+    )
+    for row in rows:
+        print(
+            f"{row['seq_len']:>6d} {row['latency_us']:>13.1f} "
+            f"{row['gops']:>10.0f} {row['mha_us']:>13.2f} "
+            f"{row['ff_us']:>12.2f}"
+        )
+    # Superlinear overall: 8x the tokens costs more than 8x the time
+    # of the shortest run only if S^2 terms bite; check 128 -> 1024.
+    first, last = rows[0], rows[-1]
+    assert last["latency_us"] / first["latency_us"] > 8.0
+    # FF dominates at short sequences; MHA catches up as S grows.
+    mha_share = [row["mha_us"] / row["ff_us"] for row in rows]
+    assert mha_share == sorted(mha_share)

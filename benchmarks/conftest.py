@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Every bench prints the regenerated table/series (run with ``-s`` to see
+them) and times the regeneration itself with pytest-benchmark.  Cost-model
+benches use a single round — the models are deterministic, so repeated
+timing only wastes wall clock.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Benchmark a deterministic function with one round/iteration."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,54 @@
+"""MR device design-space exploration — the paper's Section V.B flow.
+
+Replays the role Ansys Lumerical plays in the paper: sweep ring designs,
+apply the crosstalk/SNR/tuning-power feasibility constraints, and pick
+the MR bank configuration the accelerators are built from.  Also prints
+the laser-power link budget that bounds the maximum array size.
+
+Usage::
+
+    python examples/device_design_space.py
+"""
+
+from repro.photonics.dse import MRDesignSpaceExplorer
+from repro.photonics.microring import Microring
+from repro.photonics.waveguide import LaserPowerSolver
+
+
+def main():
+    explorer = MRDesignSpaceExplorer(min_snr_db=20.0, max_homodyne_db=-25.0)
+    points = explorer.sweep()
+    print(f"Feasible design points: {len(points)}")
+    print(
+        f"{'radius':>7s} {'coupling':>9s} {'gap':>6s} {'Q':>7s} "
+        f"{'channels':>9s} {'SNR dB':>7s} {'homodyne':>9s} {'tune mW':>8s}"
+    )
+    for point in points[:10]:
+        print(
+            f"{point.design.radius_um:>6.1f}u "
+            f"{point.design.self_coupling:>9.3f} "
+            f"{point.design.coupling_gap_nm:>5.0f}n "
+            f"{point.q_factor:>7.0f} {point.plan.num_channels:>9d} "
+            f"{point.heterodyne_snr_db:>7.1f} "
+            f"{point.homodyne_crosstalk_db:>8.1f} "
+            f"{point.tuning_power_full_fsr_mw:>8.1f}"
+        )
+
+    best = explorer.best()
+    print(f"\nSelected design: R={best.design.radius_um} um, "
+          f"r={best.design.self_coupling}, gap={best.design.coupling_gap_nm} nm")
+    ring = Microring.at_wavelength(best.design, 1550.0)
+    print(f"  Q = {ring.quality_factor:.0f}, FSR = {ring.fsr_nm:.2f} nm, "
+          f"extinction = {ring.extinction_ratio_db:.1f} dB")
+    print(f"  WDM plan: {best.plan.num_channels} channels at "
+          f"{best.plan.channel_spacing_nm:.3f} nm spacing")
+
+    solver = LaserPowerSolver()
+    for laser_mw in (0.5, 1.0, 2.0, 5.0):
+        size = solver.max_array_size(laser_mw)
+        print(f"  link budget: {laser_mw:>4.1f} mW/channel supports up to "
+              f"{size}x{size} MR bank arrays")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""LLM serving study on TRON: the paper's Fig. 8/9 scenario, expanded.
+
+Sweeps the transformer model zoo and batch sizes, printing how TRON's
+throughput and energy-per-bit compare against the strongest electronic
+baseline for each model — the comparison that motivates the paper's
+"at least 14x throughput, 8x energy efficiency" claim.
+
+Usage::
+
+    python examples/llm_inference_tron.py
+"""
+
+from repro.baselines.llm import llm_baseline_platforms
+from repro.core.tron import TRON, TRONConfig
+from repro.nn.counting import transformer_op_count
+from repro.nn.models import MODEL_ZOO
+
+
+def best_baseline(ops, workload):
+    """Strongest electronic platform for a workload: (gops, epb, name)."""
+    best_gops, best_epb = 0.0, float("inf")
+    gops_name = epb_name = ""
+    for platform in llm_baseline_platforms():
+        report = platform.run(ops, workload)
+        if report.gops > best_gops:
+            best_gops, gops_name = report.gops, platform.name
+        if report.epb_pj < best_epb:
+            best_epb, epb_name = report.epb_pj, platform.name
+    return best_gops, gops_name, best_epb, epb_name
+
+
+def generation_study():
+    from repro.core.tron import run_generation
+    from repro.nn.models import gpt2_small
+
+    print("== Autoregressive decode (GPT-2, 32 generated tokens) ==")
+    tron = TRON(TRONConfig(batch=8))
+    for prompt in (64, 512):
+        episode = run_generation(
+            tron, gpt2_small(), prompt_tokens=prompt, generated_tokens=32
+        )
+        print(f"  prompt {prompt:>4d}: {episode.summary()}")
+    print()
+
+
+def main():
+    print("== Batch sweep: weight-streaming amortization ==")
+    for batch in (1, 4, 16):
+        tron = TRON(TRONConfig(batch=batch))
+        report = tron.run_transformer(MODEL_ZOO["BERT-base"])
+        print(
+            f"  batch {batch:>2d}: {report.latency_ns / 1e6:7.3f} ms/inference, "
+            f"{report.gops / 1e3:7.1f} TOPS, {report.epb_pj:.4f} pJ/bit"
+        )
+    print()
+
+    print("== Model zoo vs. strongest electronic baseline (batch 8) ==")
+    tron = TRON(TRONConfig(batch=8))
+    header = (
+        f"{'model':<12s} {'TRON TOPS':>10s} {'best-base TOPS':>15s} "
+        f"{'thru win':>9s} {'EPB win':>8s}"
+    )
+    print(header)
+    for name, config in MODEL_ZOO.items():
+        report = tron.run_transformer(config)
+        ops = transformer_op_count(config, bytes_per_value=1)
+        base_gops, gops_name, base_epb, _ = best_baseline(ops, name)
+        print(
+            f"{name:<12s} {report.gops / 1e3:>10.1f} "
+            f"{base_gops / 1e3:>10.1f} ({gops_name[:4]})"
+            f"{report.gops / base_gops:>8.1f}x"
+            f"{base_epb / report.epb_pj:>8.1f}x"
+        )
+    print()
+    generation_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro: silicon-photonic accelerators for LLM transformers and GNNs.
+
+A reproduction of Afifi, Sunny, Nikdast & Pasricha, "Accelerating Neural
+Networks for Large Language Models and Graph Processing with Silicon
+Photonics" (DATE 2024): Python simulators for the TRON transformer
+accelerator and the GHOST GNN accelerator, the full analog-photonic and
+electronic substrate they rest on, the workloads, and the baseline
+platform models needed to regenerate the paper's evaluation figures.
+
+Quickstart::
+
+    from repro import TRON, GHOST, bert_base
+    report = TRON().run_transformer(bert_base())
+    print(report.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core import (
+    GHOST,
+    GHOSTConfig,
+    RunReport,
+    TRON,
+    TRONConfig,
+)
+from repro.nn.models import (
+    MODEL_ZOO,
+    bert_base,
+    bert_large,
+    gpt2_small,
+    vit_base,
+    get_model_config,
+)
+from repro.nn.gnn import GNNConfig, GNNKind, make_gnn
+from repro.graphs.datasets import (
+    DATASET_ZOO,
+    get_dataset_stats,
+    synthesize_dataset,
+)
+from repro.analysis import (
+    check_headline_claims,
+    fig8_llm_epb,
+    fig9_llm_gops,
+    fig10_gnn_epb,
+    fig11_gnn_gops,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TRON",
+    "TRONConfig",
+    "GHOST",
+    "GHOSTConfig",
+    "RunReport",
+    "MODEL_ZOO",
+    "bert_base",
+    "bert_large",
+    "gpt2_small",
+    "vit_base",
+    "get_model_config",
+    "GNNConfig",
+    "GNNKind",
+    "make_gnn",
+    "DATASET_ZOO",
+    "get_dataset_stats",
+    "synthesize_dataset",
+    "check_headline_claims",
+    "fig8_llm_epb",
+    "fig9_llm_gops",
+    "fig10_gnn_epb",
+    "fig11_gnn_gops",
+    "__version__",
+]

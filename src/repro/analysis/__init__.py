@@ -1,0 +1,34 @@
+"""Analysis layer: metrics, figure data generation and claim checking.
+
+- :mod:`repro.analysis.metrics` — cross-platform comparison tables.
+- :mod:`repro.analysis.figures` — regenerates the data series behind the
+  paper's Figs. 8-11.
+- :mod:`repro.analysis.claims` — evaluates the headline claims (>=10.2x
+  throughput / >=3.8x energy efficiency overall; >=14x / >=8x for TRON).
+"""
+
+from repro.analysis.metrics import ComparisonTable, speedup_over_best_baseline
+from repro.analysis.figures import (
+    FigureData,
+    fig8_llm_epb,
+    fig9_llm_gops,
+    fig10_gnn_epb,
+    fig11_gnn_gops,
+    LLM_WORKLOADS,
+    GNN_WORKLOADS,
+)
+from repro.analysis.claims import ClaimCheck, check_headline_claims
+
+__all__ = [
+    "ComparisonTable",
+    "speedup_over_best_baseline",
+    "FigureData",
+    "fig8_llm_epb",
+    "fig9_llm_gops",
+    "fig10_gnn_epb",
+    "fig11_gnn_gops",
+    "LLM_WORKLOADS",
+    "GNN_WORKLOADS",
+    "ClaimCheck",
+    "check_headline_claims",
+]

@@ -1,0 +1,76 @@
+"""Headline-claim evaluation.
+
+The paper's abstract: "both hardware accelerators achieve at least 10.2x
+throughput improvement and 3.8x better energy efficiency over multiple
+state-of-the-art electronic hardware accelerators"; Section VI sharpens
+the TRON numbers to "at least 14x better throughput and 8x better energy
+efficiency" and GHOST's to "a minimum of 10.2x ... and 3.8x".
+
+:func:`check_headline_claims` regenerates all four figures and evaluates
+these minima, producing the record EXPERIMENTS.md tabulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.figures import (
+    FigureData,
+    fig8_llm_epb,
+    fig9_llm_gops,
+    fig10_gnn_epb,
+    fig11_gnn_gops,
+)
+
+#: Paper-claimed minima per figure.
+PAPER_CLAIMS = {
+    "Fig. 8": 8.0,  # TRON energy efficiency
+    "Fig. 9": 14.0,  # TRON throughput
+    "Fig. 10": 3.8,  # GHOST energy efficiency
+    "Fig. 11": 10.2,  # GHOST throughput
+}
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """Paper-claimed vs. measured minimum win ratio for one figure."""
+
+    figure: str
+    metric: str
+    claimed_min_ratio: float
+    measured_min_ratio: float
+
+    @property
+    def holds(self) -> bool:
+        """Whether the measured minimum meets the paper's claim."""
+        return self.measured_min_ratio >= self.claimed_min_ratio
+
+    def format(self) -> str:
+        status = "OK " if self.holds else "MISS"
+        return (
+            f"[{status}] {self.figure} ({self.metric}): paper >= "
+            f"{self.claimed_min_ratio:.1f}x, measured >= "
+            f"{self.measured_min_ratio:.1f}x"
+        )
+
+
+def check_headline_claims() -> List[ClaimCheck]:
+    """Regenerate Figs. 8-11 and evaluate the paper's minima."""
+    figures: Dict[str, FigureData] = {
+        "Fig. 8": fig8_llm_epb(),
+        "Fig. 9": fig9_llm_gops(),
+        "Fig. 10": fig10_gnn_epb(),
+        "Fig. 11": fig11_gnn_gops(),
+    }
+    checks = []
+    for name, data in figures.items():
+        checks.append(
+            ClaimCheck(
+                figure=name,
+                metric=data.metric,
+                claimed_min_ratio=PAPER_CLAIMS[name],
+                measured_min_ratio=data.min_win_ratio(),
+            )
+        )
+    return checks

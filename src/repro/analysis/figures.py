@@ -1,0 +1,169 @@
+"""Regenerates the data series behind the paper's Figs. 8-11.
+
+Each ``figN_*`` function returns a :class:`FigureData` holding the
+(platform x workload) metric grid the corresponding bar chart plots:
+
+- Fig. 8: EPB across LLM platforms (TRON + 7 baselines).
+- Fig. 9: throughput (GOPS) across LLM platforms.
+- Fig. 10: EPB across GNN platforms (GHOST + 9 baselines).
+- Fig. 11: throughput (GOPS) across GNN platforms.
+
+Workloads follow Section VI: multiple transformer models (BERT / GPT /
+ViT families) and multiple GNN models x datasets at 8-bit precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.metrics import ComparisonTable, speedup_over_best_baseline
+from repro.baselines.gnn import gnn_baseline_platforms
+from repro.baselines.llm import llm_baseline_platforms
+from repro.core.ghost import GHOST, GHOSTConfig
+from repro.core.tron import TRON, TRONConfig
+from repro.graphs.datasets import get_dataset_stats, synthesize_dataset
+from repro.nn.counting import gnn_op_count, transformer_op_count
+from repro.nn.gnn import GNNConfig, GNNKind
+from repro.nn.models import bert_base, bert_large, gpt2_small, vit_base
+
+#: The transformer workloads of Figs. 8 and 9.
+LLM_WORKLOADS = (bert_base, bert_large, gpt2_small, vit_base)
+
+#: The (model kind, hidden width, dataset) workloads of Figs. 10 and 11.
+GNN_WORKLOADS: Tuple[Tuple[GNNKind, int, str], ...] = (
+    (GNNKind.GCN, 64, "cora"),
+    (GNNKind.GCN, 64, "citeseer"),
+    (GNNKind.GCN, 64, "pubmed"),
+    (GNNKind.SAGE, 64, "cora"),
+    (GNNKind.GIN, 64, "citeseer"),
+    (GNNKind.GAT, 64, "pubmed"),
+)
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """One figure's regenerated data.
+
+    Attributes:
+        figure: figure label ("Fig. 8" ... "Fig. 11").
+        metric: 'epb' or 'gops'.
+        table: the (platform x workload) grid.
+        our_platform: TRON or GHOST, for the win-ratio view.
+    """
+
+    figure: str
+    metric: str
+    table: ComparisonTable
+    our_platform: str
+
+    def win_ratios(self) -> Dict[str, float]:
+        """Per-workload factor by which our platform beats the strongest
+        baseline (>= 1 means a win)."""
+        return speedup_over_best_baseline(self.table, self.our_platform)
+
+    def min_win_ratio(self) -> float:
+        """The 'at least Nx' number the paper's abstract quotes."""
+        return min(self.win_ratios().values())
+
+    def format(self) -> str:
+        """Printable table plus the win-ratio summary row."""
+        ratios = self.win_ratios()
+        summary = " | ".join(
+            f"{workload[:12]}: {ratio:6.1f}x" for workload, ratio in ratios.items()
+        )
+        return (
+            f"=== {self.figure} ({self.metric.upper()}) ===\n"
+            f"{self.table.format()}\n"
+            f"win vs best baseline -> {summary}\n"
+            f"minimum win ratio: {self.min_win_ratio():.1f}x"
+        )
+
+
+def _llm_table(metric: str, tron: Optional[TRON] = None) -> ComparisonTable:
+    table = ComparisonTable(metric=metric)
+    tron = tron or TRON(TRONConfig(batch=8))
+    baselines = llm_baseline_platforms()
+    for factory in LLM_WORKLOADS:
+        model = factory()
+        ops = transformer_op_count(model, bytes_per_value=1)
+        table.add(tron.run_transformer(model))
+        for platform in baselines:
+            table.add(platform.run(ops, model.name))
+    return table
+
+
+def _gnn_table(metric: str, ghost: Optional[GHOST] = None) -> ComparisonTable:
+    table = ComparisonTable(metric=metric)
+    ghost = ghost or GHOST()
+    baselines = gnn_baseline_platforms()
+    for kind, hidden, dataset in GNN_WORKLOADS:
+        stats = get_dataset_stats(dataset)
+        graph, _ = synthesize_dataset(stats, rng=np.random.default_rng(7))
+        model = GNNConfig(
+            name=f"{kind.value.upper()}-{dataset}",
+            kind=kind,
+            num_layers=2,
+            hidden_dim=hidden,
+            in_dim=stats.feature_dim,
+            out_dim=stats.num_classes,
+            heads=2 if kind is GNNKind.GAT else 1,
+        )
+        ops = gnn_op_count(model, graph, bytes_per_value=1)
+        ghost_report = ghost.run_gnn(model, graph)
+        # Align the workload label across platforms.
+        table.add(
+            type(ghost_report)(
+                platform=ghost_report.platform,
+                workload=model.name,
+                ops=ghost_report.ops,
+                latency=ghost_report.latency,
+                energy=ghost_report.energy,
+                bits_per_value=ghost_report.bits_per_value,
+            )
+        )
+        for platform in baselines:
+            table.add(platform.run(ops, model.name))
+    return table
+
+
+def fig8_llm_epb(tron: Optional[TRON] = None) -> FigureData:
+    """Fig. 8: EPB comparison across LLM accelerators."""
+    return FigureData(
+        figure="Fig. 8",
+        metric="epb",
+        table=_llm_table("epb", tron),
+        our_platform="TRON",
+    )
+
+
+def fig9_llm_gops(tron: Optional[TRON] = None) -> FigureData:
+    """Fig. 9: throughput comparison across LLM accelerators."""
+    return FigureData(
+        figure="Fig. 9",
+        metric="gops",
+        table=_llm_table("gops", tron),
+        our_platform="TRON",
+    )
+
+
+def fig10_gnn_epb(ghost: Optional[GHOST] = None) -> FigureData:
+    """Fig. 10: EPB comparison across GNN accelerators."""
+    return FigureData(
+        figure="Fig. 10",
+        metric="epb",
+        table=_gnn_table("epb", ghost),
+        our_platform="GHOST",
+    )
+
+
+def fig11_gnn_gops(ghost: Optional[GHOST] = None) -> FigureData:
+    """Fig. 11: throughput comparison across GNN accelerators."""
+    return FigureData(
+        figure="Fig. 11",
+        metric="gops",
+        table=_gnn_table("gops", ghost),
+        our_platform="GHOST",
+    )

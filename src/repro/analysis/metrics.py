@@ -1,0 +1,123 @@
+"""Cross-platform comparison tables built from RunReports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.reports import RunReport
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ComparisonTable:
+    """A (platform x workload) grid of RunReports with metric views.
+
+    Attributes:
+        metric: 'gops' or 'epb' — which RunReport property the value
+            views expose.
+    """
+
+    metric: str = "gops"
+    _reports: Dict[str, Dict[str, RunReport]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.metric not in ("gops", "epb"):
+            raise ConfigurationError(
+                f"metric must be 'gops' or 'epb', got {self.metric!r}"
+            )
+
+    def add(self, report: RunReport) -> None:
+        """Insert one report into the grid."""
+        self._reports.setdefault(report.platform, {})[report.workload] = report
+
+    @property
+    def platforms(self) -> List[str]:
+        """Platforms in insertion order."""
+        return list(self._reports)
+
+    @property
+    def workloads(self) -> List[str]:
+        """Union of workloads across platforms, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for by_workload in self._reports.values():
+            for workload in by_workload:
+                seen.setdefault(workload)
+        return list(seen)
+
+    def report(self, platform: str, workload: str) -> RunReport:
+        """Fetch one cell; raises with a helpful message if missing."""
+        try:
+            return self._reports[platform][workload]
+        except KeyError:
+            raise ConfigurationError(
+                f"no report for ({platform!r}, {workload!r}); have platforms "
+                f"{self.platforms} and workloads {self.workloads}"
+            ) from None
+
+    def value(self, platform: str, workload: str) -> float:
+        """The configured metric for one cell."""
+        report = self.report(platform, workload)
+        return report.gops if self.metric == "gops" else report.epb_pj
+
+    def row(self, platform: str) -> Dict[str, float]:
+        """{workload: value} for one platform."""
+        return {
+            workload: self.value(platform, workload)
+            for workload in self._reports.get(platform, {})
+        }
+
+    def geomean(self, platform: str) -> float:
+        """Geometric mean of the metric across the platform's workloads."""
+        values = list(self.row(platform).values())
+        if not values:
+            raise ConfigurationError(f"no reports for platform {platform!r}")
+        product = 1.0
+        for value in values:
+            product *= value
+        return product ** (1.0 / len(values))
+
+    def format(self) -> str:
+        """Fixed-width text table (what the benches print)."""
+        workloads = self.workloads
+        header = f"{'platform':>14s} | " + " | ".join(
+            f"{w[:16]:>16s}" for w in workloads
+        )
+        lines = [header, "-" * len(header)]
+        for platform in self.platforms:
+            cells = []
+            for workload in workloads:
+                try:
+                    cells.append(f"{self.value(platform, workload):16.4f}")
+                except ConfigurationError:
+                    cells.append(f"{'-':>16s}")
+            lines.append(f"{platform:>14s} | " + " | ".join(cells))
+        return "\n".join(lines)
+
+
+def speedup_over_best_baseline(
+    table: ComparisonTable, ours: str, higher_is_better: Optional[bool] = None
+) -> Dict[str, float]:
+    """Per-workload ratio of ``ours`` vs. the *strongest* other platform.
+
+    For throughput (gops) the ratio is ours/best-baseline; for EPB (lower
+    is better) it is best-baseline/ours.  Both therefore read ">= 1 means
+    we win by that factor".
+    """
+    if higher_is_better is None:
+        higher_is_better = table.metric == "gops"
+    results: Dict[str, float] = {}
+    for workload in table.workloads:
+        our_value = table.value(ours, workload)
+        baseline_values = [
+            table.value(platform, workload)
+            for platform in table.platforms
+            if platform != ours
+        ]
+        if not baseline_values:
+            raise ConfigurationError("no baseline platforms in the table")
+        if higher_is_better:
+            results[workload] = our_value / max(baseline_values)
+        else:
+            results[workload] = min(baseline_values) / our_value
+    return results

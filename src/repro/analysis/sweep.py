@@ -1,0 +1,154 @@
+"""Accelerator design-space sweeps and Pareto analysis.
+
+Section VI: "The specific architectural details of each hardware
+accelerator ... were determined through detailed design-space analysis."
+This module replays that analysis: sweep TRON and GHOST configurations
+over their main structural knobs, evaluate each on a reference workload,
+and extract the latency-energy Pareto frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.ghost import GHOST, GHOSTConfig
+from repro.core.reports import RunReport
+from repro.core.tron import TRON, TRONConfig
+from repro.errors import ConfigurationError
+from repro.graphs.datasets import get_dataset_stats, synthesize_dataset
+from repro.nn.gnn import GNNKind, make_gnn
+from repro.nn.models import bert_base
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated configuration.
+
+    Attributes:
+        label: human-readable knob setting.
+        knobs: the swept parameter values.
+        report: the workload RunReport at this configuration.
+    """
+
+    label: str
+    knobs: Dict[str, float]
+    report: RunReport
+
+    @property
+    def latency_ns(self) -> float:
+        return self.report.latency_ns
+
+    @property
+    def energy_pj(self) -> float:
+        return self.report.energy_pj
+
+
+def pareto_frontier(points: Sequence[SweepPoint]) -> List[SweepPoint]:
+    """Latency-energy Pareto-optimal subset (both minimized).
+
+    A point survives if no other point is at least as good on both axes
+    and strictly better on one.
+    """
+    if not points:
+        raise ConfigurationError("need at least one sweep point")
+    frontier = []
+    for candidate in points:
+        dominated = any(
+            other.latency_ns <= candidate.latency_ns
+            and other.energy_pj <= candidate.energy_pj
+            and (
+                other.latency_ns < candidate.latency_ns
+                or other.energy_pj < candidate.energy_pj
+            )
+            for other in points
+        )
+        if not dominated:
+            frontier.append(candidate)
+    frontier.sort(key=lambda p: p.latency_ns)
+    return frontier
+
+
+def sweep_tron(
+    head_units: Sequence[int] = (4, 8, 16),
+    array_sizes: Sequence[int] = (32, 64, 128),
+    clocks_ghz: Sequence[float] = (2.5, 5.0),
+    batch: int = 8,
+    model_factory: Callable = bert_base,
+) -> List[SweepPoint]:
+    """Sweep TRON's structural knobs on a transformer workload."""
+    model = model_factory()
+    points = []
+    for units in head_units:
+        for size in array_sizes:
+            for clock in clocks_ghz:
+                config = TRONConfig(
+                    num_head_units=units,
+                    array_rows=size,
+                    array_cols=size,
+                    clock_ghz=clock,
+                    batch=batch,
+                )
+                report = TRON(config).run_transformer(model)
+                points.append(
+                    SweepPoint(
+                        label=f"H{units}/A{size}/{clock:.1f}GHz",
+                        knobs={
+                            "head_units": units,
+                            "array_size": size,
+                            "clock_ghz": clock,
+                        },
+                        report=report,
+                    )
+                )
+    return points
+
+
+def sweep_ghost(
+    lanes: Sequence[int] = (8, 16, 32),
+    edge_units: Sequence[int] = (16, 32, 64),
+    dataset: str = "cora",
+    hidden_dim: int = 64,
+) -> List[SweepPoint]:
+    """Sweep GHOST's structural knobs on a GCN workload."""
+    stats = get_dataset_stats(dataset)
+    graph, _ = synthesize_dataset(stats, rng=np.random.default_rng(0))
+    model = make_gnn(
+        GNNKind.GCN,
+        in_dim=stats.feature_dim,
+        out_dim=stats.num_classes,
+        hidden_dim=hidden_dim,
+        name=f"GCN-{dataset}",
+    )
+    points = []
+    for v in lanes:
+        for n in edge_units:
+            config = GHOSTConfig(lanes=v, edge_units=n)
+            report = GHOST(config).run_gnn(model.config, graph)
+            points.append(
+                SweepPoint(
+                    label=f"V{v}/N{n}",
+                    knobs={"lanes": v, "edge_units": n},
+                    report=report,
+                )
+            )
+    return points
+
+
+def format_sweep(points: Sequence[SweepPoint], frontier: Sequence[SweepPoint]) -> str:
+    """Text table of a sweep with Pareto points marked."""
+    on_frontier = {id(p) for p in frontier}
+    lines = [
+        f"{'config':>18s} {'latency (us)':>13s} {'energy (uJ)':>12s} "
+        f"{'GOPS':>12s} {'pareto':>7s}"
+    ]
+    for point in sorted(points, key=lambda p: p.latency_ns):
+        marker = "*" if id(point) in on_frontier else ""
+        lines.append(
+            f"{point.label:>18s} {point.latency_ns / 1e3:>13.2f} "
+            f"{point.energy_pj / 1e6:>12.2f} {point.report.gops:>12.1f} "
+            f"{marker:>7s}"
+        )
+    return "\n".join(lines)

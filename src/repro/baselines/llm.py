@@ -1,0 +1,104 @@
+"""The Fig. 8 / Fig. 9 baseline set: LLM platforms compared against TRON.
+
+Platform list from the paper (Section VI): "Tesla V100-SXM2 GPU, TPU v2,
+Intel Xeon CPU, TransPIM, FPGA transformer accelerator in [13]
+(FPGA_Acc1), VAQF, and FPGA transformer accelerator in [14] (FPGA_Acc2)."
+
+Calibration notes (recorded per-platform and in EXPERIMENTS.md):
+
+- GPU/TPU/CPU: peak specs from datasheets; compute utilization set to the
+  single-digit percentages typical of **batch-1 transformer inference**
+  (the latency-oriented deployment the paper's figures imply).  A V100
+  running BERT-base batch-1 sustains a few TOPS-equivalent — consistent
+  with published MLPerf-inference single-stream results.
+- TransPIM (HPCA'22): the paper reports ~20x+ speedup over a batch-1 GPU
+  baseline with a ~10 W HBM-PIM budget; that puts sustained throughput in
+  the low-TOPS range.
+- FPGA accelerators: SOCC'20 MHA+FF accelerator, VAQF (ViT), and the
+  ICCAD'21 compression co-design all report ~0.5-1.5 TOPS sustained at
+  ~10-25 W on mid-range FPGAs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.baselines.platforms import RooflinePlatform
+from repro.baselines.reported import ReportedAccelerator
+
+BaselinePlatform = Union[RooflinePlatform, ReportedAccelerator]
+
+
+def llm_baseline_platforms() -> List[BaselinePlatform]:
+    """The seven baseline platforms of Figs. 8 and 9."""
+    return [
+        RooflinePlatform(
+            platform_name="V100 GPU",
+            peak_gops=125_000.0,  # 125 TOPS tensor-core fp16/int8-equivalent
+            memory_bandwidth_gbps=900.0,
+            tdp_w=300.0,
+            compute_utilization=0.035,  # batch-1 transformer inference
+            bandwidth_utilization=0.6,
+            spec_source="NVIDIA V100-SXM2 datasheet; MLPerf single-stream",
+        ),
+        RooflinePlatform(
+            platform_name="TPU v2",
+            peak_gops=45_000.0,  # 45 TFLOPS bf16 per chip
+            memory_bandwidth_gbps=600.0,
+            tdp_w=280.0,
+            compute_utilization=0.06,  # systolic array, small batches
+            bandwidth_utilization=0.6,
+            spec_source="Jouppi et al., TPU v2/v3 ISCA'21 retrospective",
+        ),
+        RooflinePlatform(
+            platform_name="Xeon CPU",
+            peak_gops=8_000.0,  # AVX-512 VNNI int8, ~28 cores
+            memory_bandwidth_gbps=120.0,
+            tdp_w=205.0,
+            compute_utilization=0.05,
+            bandwidth_utilization=0.5,
+            spec_source="Intel Xeon Platinum 8180 datasheet",
+        ),
+        ReportedAccelerator(
+            platform_name="TransPIM",
+            effective_gops=2_800.0,
+            power_w=9.8,
+            derivation=(
+                "HPCA'22: ~22x speedup over batch-1 GPU baseline at ~10 W "
+                "HBM-PIM power -> low-TOPS sustained throughput"
+            ),
+        ),
+        ReportedAccelerator(
+            platform_name="FPGA_Acc1",
+            effective_gops=1_100.0,
+            power_w=22.0,
+            derivation=(
+                "SOCC'20 MHA+FF accelerator on Xilinx VU13P: ~1 TOPS "
+                "sustained at ~22 W"
+            ),
+        ),
+        ReportedAccelerator(
+            platform_name="VAQF",
+            effective_gops=1_400.0,
+            power_w=19.0,
+            derivation=(
+                "VAQF (arXiv'22) binary/low-bit ViT on ZCU102-class FPGA: "
+                "~1.4 TOPS-equivalent sustained at ~19 W"
+            ),
+        ),
+        ReportedAccelerator(
+            platform_name="FPGA_Acc2",
+            effective_gops=900.0,
+            power_w=15.0,
+            derivation=(
+                "ICCAD'21 hardware/compression co-design: ~0.9 TOPS "
+                "sustained at ~15 W"
+            ),
+        ),
+    ]
+
+
+#: Platform registry keyed by figure label.
+LLM_BASELINES: Dict[str, BaselinePlatform] = {
+    platform.name: platform for platform in llm_baseline_platforms()
+}

@@ -1,0 +1,108 @@
+"""Roofline models of commodity platforms (GPU / TPU / CPU).
+
+Latency is the roofline maximum of compute time (ops over *effective*
+throughput) and memory time (bytes over *effective* bandwidth); energy is
+TDP-derived power over that latency plus an idle floor.  Effective
+figures are peak specs scaled by workload-dependent utilizations:
+batch-1 transformer inference keeps tensor cores a few percent busy, and
+sparse GNN aggregation wastes most of the DRAM bandwidth on partial
+cache lines — these utilizations are the calibration knobs documented in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import Accelerator
+from repro.core.reports import EnergyReport, LatencyReport, RunReport
+from repro.errors import ConfigurationError
+from repro.nn.counting import OpCount
+
+
+@dataclass(frozen=True)
+class RooflinePlatform(Accelerator):
+    """A peak-spec platform with workload-derated utilizations.
+
+    Attributes:
+        platform_name: figure label.
+        peak_gops: peak throughput at the evaluation precision (int8
+            where supported).
+        memory_bandwidth_gbps: peak DRAM bandwidth, in gigaBYTES/s.
+        tdp_w: board power at full activity.
+        compute_utilization: fraction of peak throughput achieved on this
+            workload class.
+        bandwidth_utilization: fraction of peak bandwidth achieved (low
+            for irregular sparse access).
+        idle_power_fraction: fraction of TDP drawn regardless of activity.
+        spec_source: provenance note for the peak numbers.
+    """
+
+    platform_name: str
+    peak_gops: float
+    memory_bandwidth_gbps: float
+    tdp_w: float
+    compute_utilization: float = 0.1
+    bandwidth_utilization: float = 0.6
+    idle_power_fraction: float = 0.3
+    spec_source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.peak_gops <= 0.0 or self.memory_bandwidth_gbps <= 0.0:
+            raise ConfigurationError("peak throughput and bandwidth must be > 0")
+        if self.tdp_w <= 0.0:
+            raise ConfigurationError(f"TDP must be > 0 W, got {self.tdp_w}")
+        for attr in (
+            "compute_utilization",
+            "bandwidth_utilization",
+            "idle_power_fraction",
+        ):
+            value = getattr(self, attr)
+            if not 0.0 < value <= 1.0:
+                raise ConfigurationError(f"{attr} must be in (0, 1], got {value}")
+
+    @property
+    def name(self) -> str:
+        return self.platform_name
+
+    @property
+    def effective_gops(self) -> float:
+        """Peak throughput derated by the workload utilization."""
+        return self.peak_gops * self.compute_utilization
+
+    @property
+    def effective_bandwidth_gbps(self) -> float:
+        """Peak bandwidth derated by the access-pattern utilization."""
+        return self.memory_bandwidth_gbps * self.bandwidth_utilization
+
+    def run(self, ops: OpCount, workload: str, bits_per_value: int = 8) -> RunReport:
+        """Roofline cost of one inference of a counted workload."""
+        compute_ns = ops.total_ops / self.effective_gops
+        memory_ns = ops.total_bytes / self.effective_bandwidth_gbps
+        latency_ns = max(compute_ns, memory_ns)
+        # Active power applies over the busy time; idle floor always.
+        active_power_mw = self.tdp_w * 1e3 * (1.0 - self.idle_power_fraction)
+        idle_power_mw = self.tdp_w * 1e3 * self.idle_power_fraction
+        busy_fraction = (
+            compute_ns / latency_ns if latency_ns > 0 else 1.0
+        )
+        compute_pj = active_power_mw * latency_ns * busy_fraction
+        static_pj = idle_power_mw * latency_ns
+        # Memory energy at a DRAM-typical 15 pJ/bit for commodity DDR/HBM
+        # subsystems (controller + IO + array).
+        memory_pj = ops.total_bytes * 8 * 15.0
+        return RunReport(
+            platform=self.name,
+            workload=workload,
+            ops=ops,
+            latency=LatencyReport(
+                compute_ns=compute_ns,
+                memory_ns=max(latency_ns - compute_ns, 0.0),
+            ),
+            energy=EnergyReport(
+                digital_pj=compute_pj,
+                memory_pj=memory_pj,
+                static_pj=static_pj,
+            ),
+            bits_per_value=bits_per_value,
+        )

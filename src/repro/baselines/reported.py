@@ -1,0 +1,61 @@
+"""Published-number records for competing accelerators.
+
+The paper "utilized reported power, latency, and energy values for the
+chosen accelerators" (Section VI); this module does the same.  Each
+record carries an *effective* throughput and power derived from the cited
+publication's own results (not peak datasheet numbers), plus the
+provenance note.  Where a paper reports speedup relative to a GPU rather
+than absolute GOPS, the derivation is described in ``derivation``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import Accelerator
+from repro.core.reports import EnergyReport, LatencyReport, RunReport
+from repro.errors import ConfigurationError
+from repro.nn.counting import OpCount
+
+
+@dataclass(frozen=True)
+class ReportedAccelerator(Accelerator):
+    """An accelerator modelled from its publication's reported results.
+
+    Attributes:
+        platform_name: figure label.
+        effective_gops: sustained throughput on this workload class, from
+            the publication's evaluation.
+        power_w: reported (average) power.
+        derivation: how the numbers were obtained from the publication.
+    """
+
+    platform_name: str
+    effective_gops: float
+    power_w: float
+    derivation: str = ""
+
+    def __post_init__(self) -> None:
+        if self.effective_gops <= 0.0:
+            raise ConfigurationError(
+                f"effective throughput must be > 0, got {self.effective_gops}"
+            )
+        if self.power_w <= 0.0:
+            raise ConfigurationError(f"power must be > 0 W, got {self.power_w}")
+
+    @property
+    def name(self) -> str:
+        return self.platform_name
+
+    def run(self, ops: OpCount, workload: str, bits_per_value: int = 8) -> RunReport:
+        """Cost of one inference at the reported sustained rate."""
+        latency_ns = ops.total_ops / self.effective_gops
+        energy_pj = self.power_w * 1e3 * latency_ns
+        return RunReport(
+            platform=self.name,
+            workload=workload,
+            ops=ops,
+            latency=LatencyReport(compute_ns=latency_ns),
+            energy=EnergyReport(digital_pj=energy_pj),
+            bits_per_value=bits_per_value,
+        )

@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``describe`` — print both accelerators' configurations.
+- ``claims`` — regenerate and check the paper's headline claims.
+- ``figures`` — print the regenerated Figs. 8-11 tables.
+- ``sweep tron|ghost`` — run the design-space sweep with Pareto marking.
+- ``run-llm <model>`` — cost one transformer inference on TRON.
+- ``run-gnn <kind> <dataset>`` — cost one GNN inference on GHOST.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_describe(_args) -> int:
+    from repro.core.ghost import GHOST
+    from repro.core.tron import TRON
+
+    print(TRON().describe())
+    print(GHOST().describe())
+    return 0
+
+
+def _cmd_claims(_args) -> int:
+    from repro.analysis.claims import check_headline_claims
+
+    checks = check_headline_claims()
+    for check in checks:
+        print(check.format())
+    return 0 if all(check.holds for check in checks) else 1
+
+
+def _cmd_figures(_args) -> int:
+    from repro.analysis.figures import (
+        fig8_llm_epb,
+        fig9_llm_gops,
+        fig10_gnn_epb,
+        fig11_gnn_gops,
+    )
+
+    for fn in (fig8_llm_epb, fig9_llm_gops, fig10_gnn_epb, fig11_gnn_gops):
+        print(fn().format())
+        print()
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis.sweep import (
+        format_sweep,
+        pareto_frontier,
+        sweep_ghost,
+        sweep_tron,
+    )
+
+    points = sweep_tron() if args.target == "tron" else sweep_ghost()
+    frontier = pareto_frontier(points)
+    print(format_sweep(points, frontier))
+    print(f"\n{len(frontier)} Pareto-optimal of {len(points)} configs")
+    return 0
+
+
+def _cmd_run_llm(args) -> int:
+    from repro.core.tron import TRON, TRONConfig
+    from repro.nn.models import get_model_config
+
+    model = get_model_config(args.model)
+    report = TRON(TRONConfig(batch=args.batch)).run_transformer(model)
+    print(report.summary())
+    print("energy breakdown (uJ):")
+    for key, pj in report.energy.as_dict().items():
+        if pj > 0.0:
+            print(f"  {key:<14s} {pj / 1e6:10.2f}")
+    return 0
+
+
+def _cmd_run_gnn(args) -> int:
+    from repro.core.ghost import GHOST
+    from repro.graphs.datasets import get_dataset_stats, synthesize_dataset
+    from repro.nn.gnn import GNNKind, make_gnn
+
+    stats = get_dataset_stats(args.dataset)
+    graph, _ = synthesize_dataset(stats, rng=np.random.default_rng(0))
+    kind = GNNKind(args.kind)
+    model = make_gnn(
+        kind,
+        in_dim=stats.feature_dim,
+        out_dim=stats.num_classes,
+        hidden_dim=args.hidden,
+        heads=2 if kind is GNNKind.GAT else 1,
+        name=f"{args.kind}-{args.dataset}",
+    )
+    report = GHOST().run_gnn(model.config, graph)
+    print(report.summary())
+    print("energy breakdown (uJ):")
+    for key, pj in report.energy.as_dict().items():
+        if pj > 0.0:
+            print(f"  {key:<14s} {pj / 1e6:10.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Silicon-photonic accelerator simulators (TRON & GHOST)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("describe", help="print accelerator configurations")
+    sub.add_parser("claims", help="check the paper's headline claims")
+    sub.add_parser("figures", help="regenerate Figs. 8-11")
+
+    sweep = sub.add_parser("sweep", help="design-space sweep with Pareto")
+    sweep.add_argument("target", choices=("tron", "ghost"))
+
+    run_llm = sub.add_parser("run-llm", help="cost a transformer on TRON")
+    run_llm.add_argument("model", help="model zoo name, e.g. BERT-base")
+    run_llm.add_argument("--batch", type=int, default=1)
+
+    from repro.nn.gnn import GNNKind
+
+    run_gnn = sub.add_parser("run-gnn", help="cost a GNN on GHOST")
+    run_gnn.add_argument("kind", choices=[k.value for k in GNNKind])
+    run_gnn.add_argument("dataset", help="dataset name, e.g. cora")
+    run_gnn.add_argument("--hidden", type=int, default=64)
+
+    return parser
+
+
+_HANDLERS = {
+    "describe": _cmd_describe,
+    "claims": _cmd_claims,
+    "figures": _cmd_figures,
+    "sweep": _cmd_sweep,
+    "run-llm": _cmd_run_llm,
+    "run-gnn": _cmd_run_gnn,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

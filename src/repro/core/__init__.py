@@ -1,0 +1,28 @@
+"""The paper's primary contribution: the TRON and GHOST accelerators.
+
+- :mod:`repro.core.reports` — structured latency/energy/run reports and
+  the EPB / GOPS metric definitions shared by every platform model.
+- :mod:`repro.core.base` — the accelerator interface.
+- :mod:`repro.core.scheduling` — pipeline latency composition.
+- :mod:`repro.core.tron` — the transformer/LLM accelerator (Section V.C).
+- :mod:`repro.core.ghost` — the GNN accelerator (Section V.D).
+"""
+
+from repro.core.reports import EnergyReport, LatencyReport, RunReport
+from repro.core.base import Accelerator
+from repro.core.scheduling import PipelineStage, pipeline_latency_ns
+from repro.core.tron import TRON, TRONConfig
+from repro.core.ghost import GHOST, GHOSTConfig
+
+__all__ = [
+    "EnergyReport",
+    "LatencyReport",
+    "RunReport",
+    "Accelerator",
+    "PipelineStage",
+    "pipeline_latency_ns",
+    "TRON",
+    "TRONConfig",
+    "GHOST",
+    "GHOSTConfig",
+]

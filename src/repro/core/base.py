@@ -1,0 +1,31 @@
+"""Accelerator interface shared by TRON, GHOST and the baseline models."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.reports import RunReport
+
+
+class Accelerator(abc.ABC):
+    """A platform that can estimate the cost of running a workload.
+
+    Concrete accelerators expose domain-specific entry points
+    (``run_transformer``, ``run_gnn``); this base class fixes the common
+    identity/reporting contract so the analysis layer can treat every
+    platform uniformly.
+    """
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Platform name as it appears in the figures."""
+
+    def describe(self) -> str:
+        """Human-readable one-line description (defaults to the name)."""
+        return self.name
+
+    @staticmethod
+    def _check_report(report: RunReport) -> RunReport:
+        """Hook for subclasses to validate reports before returning them."""
+        return report

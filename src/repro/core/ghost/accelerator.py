@@ -1,0 +1,238 @@
+"""GHOST top level: maps a GNN + graph and produces a RunReport.
+
+Per layer, the three blocks (aggregate → combine → update) execute as a
+vertex-streaming pipeline: while lane v transforms vertex i, its reduce
+unit already aggregates vertex i+V (Section V.D "execution pipelining and
+scheduling").  Memory traffic routes through the buffer-and-partition
+schedule: blocked fetches are sequential HBM bursts; disabling
+partitioning reverts to per-edge random accesses with the configured
+penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import Accelerator
+from repro.core.ghost.aggregate import AggregateBlock
+from repro.core.ghost.combine import CombineBlock
+from repro.core.ghost.config import GHOSTConfig
+from repro.core.ghost.update import UpdateBlock
+from repro.core.reports import EnergyReport, LatencyReport, RunReport
+from repro.core.tron.attention_head import photonic_matmul
+from repro.errors import ConfigurationError
+from repro.graphs.graph import CSRGraph
+from repro.graphs.partition import GraphPartitioner
+from repro.nn.counting import gnn_layer_op_count, gnn_op_count
+from repro.nn.gnn import (
+    GATLayer,
+    GCNLayer,
+    GINLayer,
+    GNNConfig,
+    GNNKind,
+    GNNModel,
+    GraphSAGELayer,
+    Reduction,
+)
+from repro.nn.ops import relu
+
+
+@dataclass
+class GHOST(Accelerator):
+    """The silicon-photonic GNN accelerator (Sections V.D, VI).
+
+    Example::
+
+        ghost = GHOST()
+        graph, _ = synthesize_dataset(get_dataset_stats("cora"))
+        report = ghost.run_gnn(model_config, graph)
+    """
+
+    config: GHOSTConfig = field(default_factory=GHOSTConfig)
+    aggregate: AggregateBlock = field(init=False, repr=False)
+    combine: CombineBlock = field(init=False, repr=False)
+    update: UpdateBlock = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.aggregate = AggregateBlock(config=self.config)
+        self.combine = CombineBlock(config=self.config)
+        self.update = UpdateBlock(config=self.config)
+
+    @property
+    def name(self) -> str:
+        return "GHOST"
+
+    def describe(self) -> str:
+        cfg = self.config
+        return (
+            f"GHOST: {cfg.lanes} lanes, {cfg.edge_units} edge units, "
+            f"{cfg.array_rows}x{cfg.array_cols} transform arrays, "
+            f"{cfg.clock_ghz:.0f} GHz, {cfg.peak_gops / 1e3:.1f} TOPS peak"
+        )
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+
+    def _memory_cost(
+        self, graph: CSRGraph, feature_dim: int, out_dim: int
+    ) -> tuple:
+        """(EnergyReport, LatencyReport) for one layer's feature traffic.
+
+        With buffer-and-partition (Section V.D) the layer sweeps input
+        blocks sequentially while per-vertex accumulators stay on chip, so
+        each vertex's features cross the HBM interface **once per sweep**
+        as a sequential burst.  If the accumulators outgrow the global
+        buffer, the output set splits into panels and the input sweep
+        repeats per panel.  Without partitioning every edge is an
+        irregular fetch, costed with the random-access penalty.
+        """
+        cfg = self.config
+        bytes_per_value = cfg.bits // 8 or 1
+        if cfg.use_partitioning:
+            # Accumulators hold one out_dim-wide vector per vertex.
+            accumulator_bytes = graph.num_nodes * out_dim * bytes_per_value
+            panels = max(
+                1,
+                -(-accumulator_bytes // cfg.memory.global_buffer.capacity_bytes),
+            )
+            traffic_bytes = (
+                panels * graph.num_nodes * feature_dim * bytes_per_value
+            )
+            energy_pj = cfg.memory.hbm.transfer_energy_pj(traffic_bytes)
+            latency_ns = cfg.memory.hbm.transfer_latency_ns(traffic_bytes)
+        else:
+            traffic_bytes = graph.num_edges * feature_dim * bytes_per_value
+            energy_pj = (
+                cfg.memory.hbm.transfer_energy_pj(traffic_bytes)
+                * cfg.random_access_penalty
+            )
+            latency_ns = (
+                cfg.memory.hbm.transfer_latency_ns(traffic_bytes)
+                * cfg.random_access_penalty
+            )
+        # Edge indices: 4 bytes per arc, sequential either way.
+        index_bytes = 4 * graph.num_edges
+        energy_pj += cfg.memory.hbm.transfer_energy_pj(index_bytes)
+        latency_ns += cfg.memory.hbm.transfer_latency_ns(index_bytes)
+        # Results written back through the global buffer.
+        out_bytes = graph.num_nodes * out_dim * bytes_per_value
+        buf_pj, buf_ns = cfg.memory.read_onchip(out_bytes)
+        return (
+            EnergyReport(memory_pj=energy_pj + buf_pj),
+            LatencyReport(memory_ns=latency_ns + buf_ns),
+        )
+
+    def run_gnn(self, model: GNNConfig, graph: CSRGraph) -> RunReport:
+        """Estimate one full-graph inference (Figs. 10 and 11 path)."""
+        if graph.num_nodes < 1:
+            raise ConfigurationError("graph must have at least one node")
+        cfg = self.config
+        total_latency = LatencyReport()
+        total_energy = EnergyReport()
+        for layer_idx, (d_in, d_out) in enumerate(model.layer_dims()):
+            agg = self.aggregate.layer_cost(graph, d_in, model.reduction)
+            ops = gnn_layer_op_count(
+                model.kind, graph, d_in, d_out, heads=model.heads
+            )
+            # Extra MAC work beyond the base (n x d_in x d_out) transform
+            # is routed through the transform arrays (see CombineBlock).
+            base_macs = graph.num_nodes * d_in * d_out
+            extra_macs = max(ops.macs - base_macs, 0)
+            comb = self.combine.layer_cost(
+                graph.num_nodes, d_in, d_out, extra_macs=extra_macs
+            )
+            upd = self.update.layer_cost(
+                graph.num_nodes,
+                d_out,
+                final_softmax=(layer_idx == model.num_layers - 1),
+            )
+            mem_energy, mem_latency = self._memory_cost(graph, d_in, d_out)
+            # Pipelining: aggregate / combine / update overlap across
+            # vertices, so the layer runs at the slowest stage plus the
+            # others' fill time (approximated by the max + 10% fill).
+            stage_ns = [
+                agg.latency.total_ns,
+                comb.latency.total_ns,
+                upd.latency.total_ns,
+            ]
+            pipelined_ns = max(stage_ns) + 0.1 * (sum(stage_ns) - max(stage_ns))
+            # Memory streaming overlaps compute; only the excess stalls.
+            stall_ns = max(mem_latency.total_ns - pipelined_ns, 0.0)
+            total_latency = total_latency + LatencyReport(
+                compute_ns=pipelined_ns,
+                memory_ns=stall_ns,
+                digital_ns=upd.latency.digital_ns,
+            )
+            total_energy = (
+                total_energy
+                + agg.energy
+                + comb.energy
+                + upd.energy
+                + mem_energy
+            )
+        static_pj = (
+            cfg.control.power_mw + cfg.memory.global_buffer.leakage_mw
+        ) * total_latency.total_ns
+        total_energy = total_energy + EnergyReport(static_pj=static_pj)
+        ops = gnn_op_count(model, graph, bytes_per_value=cfg.bits // 8 or 1)
+        workload = f"{model.name}/{graph.num_nodes}n-{graph.num_edges}e"
+        return RunReport(
+            platform=self.name,
+            workload=workload,
+            ops=ops,
+            latency=total_latency,
+            energy=total_energy,
+            bits_per_value=cfg.bits,
+        )
+
+    # ------------------------------------------------------------------
+    # Functional model
+    # ------------------------------------------------------------------
+
+    def forward(
+        self, model: GNNModel, graph: CSRGraph, features: np.ndarray
+    ) -> np.ndarray:
+        """Functional optical inference of a whole GNN.
+
+        GCN / GraphSAGE / GIN layers run fully through the optical blocks
+        (aggregate -> transform -> SOA).  GAT layers run their projection
+        through the transform arrays and the attention softmax digitally,
+        using the reference attention math for coefficient routing.
+        """
+        x = np.asarray(features, dtype=float)
+        last = len(model.layers) - 1
+        for i, layer in enumerate(model.layers):
+            activate = i < last
+            if isinstance(layer, GCNLayer):
+                degrees = graph.degrees() + 1.0
+                norm = 1.0 / np.sqrt(degrees)
+                scaled = x * norm[:, None]
+                agg = self.aggregate.forward(
+                    graph, scaled, Reduction.SUM, include_self=True
+                )
+                agg = agg * norm[:, None]
+                x = self.combine.forward(layer.weight, agg)
+            elif isinstance(layer, GraphSAGELayer):
+                agg = self.aggregate.forward(graph, x, Reduction.MEAN)
+                x = self.combine.forward(
+                    layer.weight_self, x
+                ) + self.combine.forward(layer.weight_neigh, agg)
+            elif isinstance(layer, GINLayer):
+                agg = self.aggregate.forward(graph, x, Reduction.SUM)
+                combined = (1.0 + layer.eps) * x + agg
+                hidden = relu(self.combine.forward(layer.w1, combined))
+                x = self.combine.forward(layer.w2, hidden)
+            elif isinstance(layer, GATLayer):
+                # Projection optical, attention routing digital/reference.
+                x = layer.forward(graph, x, activate=False)
+            else:  # pragma: no cover - model zoo is closed
+                raise ConfigurationError(
+                    f"unsupported layer type {type(layer).__name__}"
+                )
+            if activate:
+                x = self.update.forward(x)
+        return x

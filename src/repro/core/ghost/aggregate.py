@@ -1,0 +1,185 @@
+"""GHOST's aggregate block: edge-control, gather and reduce units.
+
+Fig. 6/7(a): N edge-control units stage input vertices, V gather units
+convert the staged features to analog tuning signals, and V reduce units
+— optical coherent-summation blocks — reduce each output vertex's
+neighbourhood to one feature vector.  A reduce unit sums up to
+``edge_units`` neighbours across ``feature_lanes`` features per photonic
+pass; max-aggregation swaps the interference stage for the optical
+comparator (Fig. 7a).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ghost.config import GHOSTConfig
+from repro.core.reports import EnergyReport, LatencyReport
+from repro.errors import ConfigurationError
+from repro.graphs.graph import CSRGraph
+from repro.nn.gnn import Reduction
+from repro.photonics.summation import CoherentSummationUnit, OpticalComparator
+
+
+@dataclass(frozen=True)
+class AggregateCost:
+    """Cost of aggregating one layer's features over a whole graph."""
+
+    latency: LatencyReport
+    energy: EnergyReport
+    reduce_passes: int
+
+
+@dataclass
+class AggregateBlock:
+    """Functional + cost model of the aggregate stage.
+
+    Attributes:
+        config: the owning GHOST configuration.
+    """
+
+    config: GHOSTConfig
+    _summer: CoherentSummationUnit = field(init=False, repr=False)
+    _comparator: OpticalComparator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._summer = CoherentSummationUnit(
+            fan_in=self.config.edge_units,
+            clock_ghz=self.config.clock_ghz,
+            dac=self.config.dac,
+            adc=self.config.adc,
+            noise=self.config.noise,
+        )
+        self._comparator = OpticalComparator(
+            fan_in=self.config.edge_units, clock_ghz=self.config.clock_ghz
+        )
+
+    # ------------------------------------------------------------------
+    # Functional model
+    # ------------------------------------------------------------------
+
+    def forward(
+        self,
+        graph: CSRGraph,
+        features: np.ndarray,
+        reduction: Reduction = Reduction.SUM,
+        include_self: bool = False,
+    ) -> np.ndarray:
+        """Optically aggregate every vertex's neighbourhood.
+
+        Neighbour blocks of up to ``edge_units`` vertices pass through the
+        reduce unit per photonic cycle; partial sums of successive blocks
+        accumulate coherently (mean divides at the end in the gather
+        units' scaling).
+        """
+        features = np.asarray(features, dtype=float)
+        if features.shape[0] != graph.num_nodes:
+            raise ConfigurationError(
+                f"features rows {features.shape[0]} != graph nodes "
+                f"{graph.num_nodes}"
+            )
+        fan_in = self.config.edge_units
+        out = np.zeros_like(features)
+        for v in range(graph.num_nodes):
+            neighbours = graph.neighbors(v)
+            if include_self:
+                neighbours = np.concatenate([neighbours, [v]])
+            if neighbours.size == 0:
+                continue
+            if reduction is Reduction.MAX:
+                partial = np.full(features.shape[1], -np.inf)
+                for start in range(0, neighbours.size, fan_in):
+                    block = features[neighbours[start : start + fan_in]]
+                    partial = np.maximum(
+                        partial, self._comparator.max_rows(block.T)
+                    )
+                out[v] = partial
+            else:
+                partial = np.zeros(features.shape[1])
+                for start in range(0, neighbours.size, fan_in):
+                    block = features[neighbours[start : start + fan_in]]
+                    partial = partial + self._summer.sum_rows(block.T)
+                if reduction is Reduction.MEAN:
+                    partial = partial / neighbours.size
+                out[v] = partial
+        return out
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+
+    def node_cycles(self, degree: int, feature_dim: int) -> int:
+        """Photonic cycles to aggregate one vertex."""
+        if degree <= 0:
+            return 0
+        neighbour_passes = math.ceil(degree / self.config.edge_units)
+        feature_passes = math.ceil(feature_dim / self.config.feature_lanes)
+        return neighbour_passes * feature_passes
+
+    def layer_cost(
+        self,
+        graph: CSRGraph,
+        feature_dim: int,
+        reduction: Reduction = Reduction.SUM,
+    ) -> AggregateCost:
+        """Cost of one layer's aggregation over the whole graph.
+
+        Latency: output vertices are dealt to the V lanes in waves; each
+        wave finishes with its slowest vertex.  Workload balancing
+        (Section V.D) sorts vertices by degree first, so each wave holds
+        similar-degree vertices and the max-over-lane penalty collapses.
+        """
+        if feature_dim < 1:
+            raise ConfigurationError(
+                f"feature dim must be >= 1, got {feature_dim}"
+            )
+        degrees = graph.degrees().astype(int)
+        cycles = np.array(
+            [self.node_cycles(d, feature_dim) for d in degrees], dtype=float
+        )
+        if self.config.use_balancing:
+            order = np.argsort(cycles)[::-1]
+            cycles_ordered = cycles[order]
+        else:
+            cycles_ordered = cycles
+        lanes = self.config.lanes
+        num_waves = math.ceil(len(cycles_ordered) / lanes)
+        wave_max = np.zeros(num_waves)
+        for wave in range(num_waves):
+            chunk = cycles_ordered[wave * lanes : (wave + 1) * lanes]
+            wave_max[wave] = chunk.max() if chunk.size else 0.0
+        latency_cycles = float(wave_max.sum())
+        latency = LatencyReport(
+            compute_ns=latency_cycles * self.config.cycle_ns
+        )
+
+        # Energy: every neighbour contributes one arm of a coherent pass
+        # per feature chunk; gather-unit DACs convert each staged feature.
+        feature_passes = math.ceil(feature_dim / self.config.feature_lanes)
+        total_arm_ops = int(degrees.sum()) * feature_passes
+        per_arm_pj = self._summer.operation_energy_pj(active_arms=1)
+        if reduction is Reduction.MAX:
+            reduce_pj = total_arm_ops * (
+                per_arm_pj + self._comparator.operation_energy_pj()
+                / max(self.config.edge_units, 1)
+            )
+        else:
+            reduce_pj = total_arm_ops * per_arm_pj
+        # One DAC conversion per staged feature element (gather units
+        # drive the reduce VCSELs with every neighbour's feature values).
+        gather_dac_pj = (
+            float(degrees.sum())
+            * feature_dim
+            * self.config.dac.energy_per_conversion_pj
+        )
+        energy = EnergyReport(laser_pj=reduce_pj, dac_pj=gather_dac_pj)
+        reduce_passes = int(
+            sum(math.ceil(d / self.config.edge_units) for d in degrees if d > 0)
+            * feature_passes
+        )
+        return AggregateCost(
+            latency=latency, energy=energy, reduce_passes=reduce_passes
+        )

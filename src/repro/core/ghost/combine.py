@@ -1,0 +1,128 @@
+"""GHOST's combine block: V transform units applying the learned weights.
+
+Fig. 7(b): each lane's transform unit is an MR bank array performing the
+matrix-vector multiplication of the combine stage non-coherently.  All
+lanes hold identical layer weights, which is what makes the weight-DAC
+sharing optimization possible (one DAC bank tunes every lane's arrays).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ghost.config import GHOSTConfig
+from repro.core.reports import EnergyReport, LatencyReport
+from repro.core.tron.attention_head import photonic_matmul
+from repro.errors import ConfigurationError
+from repro.photonics.mrbank import MRBankArray
+
+
+@dataclass(frozen=True)
+class CombineCost:
+    """Cost of one layer's combine stage over a whole graph."""
+
+    latency: LatencyReport
+    energy: EnergyReport
+    array_cycles: int
+
+
+@dataclass
+class CombineBlock:
+    """Functional + cost model of the combine (transform) stage."""
+
+    config: GHOSTConfig
+    _array: MRBankArray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._array = MRBankArray(
+            rows=self.config.array_rows,
+            cols=self.config.array_cols,
+            design=self.config.design,
+            clock_ghz=self.config.clock_ghz,
+            dac=self.config.dac,
+            adc=self.config.adc,
+            noise=self.config.noise,
+            weight_dacs_shared=self.config.weight_dac_sharing,
+            pcm=self.config.pcm,
+        )
+
+    # ------------------------------------------------------------------
+    # Functional model
+    # ------------------------------------------------------------------
+
+    def forward(self, weights: np.ndarray, features: np.ndarray) -> np.ndarray:
+        """Linear transform of every vertex: features @ weights.
+
+        Args:
+            weights: (in_dim, out_dim) combine weights (as stored by the
+                :mod:`repro.nn.gnn` layers).
+            features: (num_nodes, in_dim) aggregated features.
+
+        Returns:
+            (num_nodes, out_dim) transformed features.
+        """
+        weights = np.asarray(weights, dtype=float)
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2 or weights.ndim != 2:
+            raise ConfigurationError("features and weights must be 2-D")
+        if features.shape[1] != weights.shape[0]:
+            raise ConfigurationError(
+                f"in_dim mismatch: features {features.shape}, "
+                f"weights {weights.shape}"
+            )
+        # The array computes W @ x: hold weights^T, stream feature vectors.
+        return photonic_matmul(self._array, weights.T, features.T).T
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+
+    def node_cycles(self, in_dim: int, out_dim: int) -> int:
+        """Photonic cycles for one vertex's transform on one lane."""
+        return self._array.cycles_for(out_dim, in_dim, batch=1)
+
+    def layer_cost(
+        self,
+        num_nodes: int,
+        in_dim: int,
+        out_dim: int,
+        extra_macs: int = 0,
+    ) -> CombineCost:
+        """Cost of one layer's combine stage.
+
+        Args:
+            num_nodes: vertices to transform.
+            in_dim / out_dim: layer dimensions.
+            extra_macs: additional MAC work routed through the transform
+                arrays (GAT attention scores, GIN's second MLP layer,
+                GraphSAGE's second weight path), converted to array cycles
+                at the array's MAC rate.
+        """
+        if num_nodes < 0 or in_dim < 1 or out_dim < 1:
+            raise ConfigurationError("invalid combine dimensions")
+        if extra_macs < 0:
+            raise ConfigurationError(f"extra_macs must be >= 0, got {extra_macs}")
+        per_node = self.node_cycles(in_dim, out_dim)
+        waves = math.ceil(num_nodes / self.config.lanes) if num_nodes else 0
+        extra_cycles_total = math.ceil(extra_macs / self._array.macs_per_cycle)
+        extra_cycles_serial = math.ceil(extra_cycles_total / self.config.lanes)
+        latency_cycles = waves * per_node + extra_cycles_serial
+        latency = LatencyReport(
+            compute_ns=latency_cycles * self.config.cycle_ns
+        )
+        total_cycles = num_nodes * per_node + extra_cycles_total
+        breakdown = self._array.cycle_energy_breakdown_pj(
+            weight_refresh_cycles=self.config.weight_refresh_cycles
+        )
+        energy = EnergyReport(
+            laser_pj=total_cycles * breakdown["laser_pj"],
+            tuning_pj=total_cycles * breakdown["tuning_pj"],
+            dac_pj=total_cycles * breakdown["dac_pj"],
+            adc_pj=total_cycles * breakdown["adc_pj"],
+        )
+        return CombineCost(
+            latency=latency, energy=energy, array_cycles=total_cycles
+        )

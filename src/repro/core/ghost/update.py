@@ -1,0 +1,80 @@
+"""GHOST's update block: V SOA activation units (+ LUT softmax).
+
+Section V.D: "the update block comprises V update units, each tasked with
+applying a non-linear activation function ... RELU, sigmoid, and tanh are
+implemented optically using semiconductor-optical-amplifiers (SOAs) ...
+softmax [is] implemented using LUTs and simple digital circuits."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ghost.config import GHOSTConfig
+from repro.core.reports import EnergyReport, LatencyReport
+from repro.errors import ConfigurationError
+from repro.nn.ops import softmax as softmax_ref
+
+
+@dataclass(frozen=True)
+class UpdateCost:
+    """Cost of one layer's update stage over a whole graph."""
+
+    latency: LatencyReport
+    energy: EnergyReport
+
+
+@dataclass
+class UpdateBlock:
+    """Functional + cost model of the update (activation) stage."""
+
+    config: GHOSTConfig
+
+    # ------------------------------------------------------------------
+    # Functional model
+    # ------------------------------------------------------------------
+
+    def forward(self, features: np.ndarray, final_softmax: bool = False) -> np.ndarray:
+        """Apply the nonlinearity to every vertex's feature vector."""
+        features = np.asarray(features, dtype=float)
+        if final_softmax:
+            return softmax_ref(features, axis=-1)
+        return self.config.activation.apply(features)
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+
+    def layer_cost(
+        self, num_nodes: int, out_dim: int, final_softmax: bool = False
+    ) -> UpdateCost:
+        """Cost of activating ``num_nodes`` vectors of width ``out_dim``.
+
+        SOA activations process ``feature_lanes`` elements per lane per
+        cycle; the optional output softmax is digital (LUT).
+        """
+        if num_nodes < 0 or out_dim < 1:
+            raise ConfigurationError("invalid update dimensions")
+        elements = num_nodes * out_dim
+        per_wave_elements = self.config.lanes * self.config.feature_lanes
+        waves = math.ceil(elements / per_wave_elements) if elements else 0
+        soa_latency_ns = waves * self.config.cycle_ns
+        soa_energy_pj = (
+            elements * self.config.activation.power_mw * self.config.cycle_ns
+        )
+        digital_ns = 0.0
+        digital_pj = 0.0
+        if final_softmax:
+            digital_ns = self.config.softmax.latency_ns(elements)
+            digital_pj = self.config.softmax.energy_pj(elements)
+        return UpdateCost(
+            latency=LatencyReport(
+                compute_ns=soa_latency_ns, digital_ns=digital_ns
+            ),
+            energy=EnergyReport(
+                activation_pj=soa_energy_pj, digital_pj=digital_pj
+            ),
+        )

@@ -1,0 +1,180 @@
+"""Structured cost reports and the EPB / GOPS metric definitions.
+
+Every platform model in the library — TRON, GHOST, and all baselines —
+produces a :class:`RunReport`, so Figs. 8-11 compare identical metric
+definitions across platforms:
+
+- **GOPS**: total operations (MAC = 2 ops) divided by inference latency.
+- **EPB** (energy per bit): total inference energy divided by the number
+  of data bits processed (total ops x operand bit width), the
+  energy-efficiency metric of Figs. 8 and 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.nn.counting import OpCount
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one inference, in pJ.
+
+    The categories follow the accelerators' physical structure so the
+    benches can attribute wins: photonic compute (laser + tuning), domain
+    conversion (DAC/ADC), memory traffic, and digital blocks.
+    """
+
+    laser_pj: float = 0.0
+    tuning_pj: float = 0.0
+    dac_pj: float = 0.0
+    adc_pj: float = 0.0
+    memory_pj: float = 0.0
+    digital_pj: float = 0.0
+    activation_pj: float = 0.0
+    static_pj: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if getattr(self, f.name) < 0.0:
+                raise ConfigurationError(f"{f.name} must be >= 0")
+
+    @property
+    def total_pj(self) -> float:
+        """Total energy across all categories."""
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def __add__(self, other: "EnergyReport") -> "EnergyReport":
+        return EnergyReport(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def scaled(self, factor: float) -> "EnergyReport":
+        """This breakdown scaled by a repetition factor."""
+        if factor < 0.0:
+            raise ConfigurationError(f"factor must be >= 0, got {factor}")
+        return EnergyReport(
+            **{f.name: getattr(self, f.name) * factor for f in fields(self)}
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Breakdown as a plain dict (for tabular bench output)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Latency breakdown of one inference, in ns.
+
+    ``compute_ns`` covers the photonic (or arithmetic) pipeline,
+    ``memory_ns`` the non-overlapped memory stalls, ``conversion_ns`` the
+    non-pipelined DAC/ADC serialization, ``digital_ns`` softmax and other
+    digital post-processing.
+    """
+
+    compute_ns: float = 0.0
+    memory_ns: float = 0.0
+    conversion_ns: float = 0.0
+    digital_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if getattr(self, f.name) < 0.0:
+                raise ConfigurationError(f"{f.name} must be >= 0")
+
+    @property
+    def total_ns(self) -> float:
+        """Total latency (categories are non-overlapped by construction)."""
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def __add__(self, other: "LatencyReport") -> "LatencyReport":
+        return LatencyReport(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def scaled(self, factor: float) -> "LatencyReport":
+        """This breakdown scaled by a repetition factor."""
+        if factor < 0.0:
+            raise ConfigurationError(f"factor must be >= 0, got {factor}")
+        return LatencyReport(
+            **{f.name: getattr(self, f.name) * factor for f in fields(self)}
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Breakdown as a plain dict (for tabular bench output)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Complete result of running one workload on one platform.
+
+    Attributes:
+        platform: platform/accelerator name.
+        workload: workload (model + dataset) name.
+        ops: op/byte totals of the workload.
+        latency: latency breakdown.
+        energy: energy breakdown.
+        bits_per_value: operand precision (8 for the paper's operating
+            point); sets the EPB denominator.
+    """
+
+    platform: str
+    workload: str
+    ops: OpCount
+    latency: LatencyReport
+    energy: EnergyReport
+    bits_per_value: int = 8
+
+    def __post_init__(self) -> None:
+        if self.bits_per_value < 1:
+            raise ConfigurationError(
+                f"bits per value must be >= 1, got {self.bits_per_value}"
+            )
+        if self.latency.total_ns <= 0.0:
+            raise ConfigurationError("latency must be > 0")
+
+    @property
+    def latency_ns(self) -> float:
+        """Total inference latency."""
+        return self.latency.total_ns
+
+    @property
+    def energy_pj(self) -> float:
+        """Total inference energy."""
+        return self.energy.total_pj
+
+    @property
+    def gops(self) -> float:
+        """Throughput in giga-operations per second (Figs. 9 and 11)."""
+        return self.ops.total_ops / self.latency_ns
+
+    @property
+    def epb_pj(self) -> float:
+        """Energy per bit in pJ (Figs. 8 and 10)."""
+        bits = self.ops.total_ops * self.bits_per_value
+        if bits == 0:
+            raise ConfigurationError("cannot compute EPB of a zero-op workload")
+        return self.energy_pj / bits
+
+    @property
+    def average_power_mw(self) -> float:
+        """Mean power over the inference."""
+        return self.energy_pj / self.latency_ns
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.platform:>12s} | {self.workload:<24s} | "
+            f"{self.latency_ns / 1e6:9.3f} ms | {self.energy_pj / 1e6:10.2f} uJ | "
+            f"{self.gops:10.1f} GOPS | {self.epb_pj:8.4f} pJ/bit"
+        )

@@ -1,0 +1,89 @@
+"""Pipeline latency composition.
+
+Both accelerators stream many items (sequence tokens, graph vertices)
+through multi-stage datapaths.  With perfect pipelining the steady-state
+rate is set by the slowest stage and the remaining stages only contribute
+fill/drain time; this module provides that composition plus a utilization
+metric used by the workload-balancing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One stage of a streaming pipeline.
+
+    Attributes:
+        name: stage label (for reports).
+        latency_per_item_ns: time one item occupies this stage.
+    """
+
+    name: str
+    latency_per_item_ns: float
+
+    def __post_init__(self) -> None:
+        if self.latency_per_item_ns < 0.0:
+            raise ConfigurationError(
+                f"stage latency must be >= 0 ns, got {self.latency_per_item_ns}"
+            )
+
+
+def pipeline_latency_ns(stages: Sequence[PipelineStage], num_items: int) -> float:
+    """Total latency of streaming ``num_items`` through a linear pipeline.
+
+    latency = sum(stage latencies)            # fill the pipe once
+            + (num_items - 1) * max(stage)    # steady state at bottleneck
+    """
+    if num_items < 1:
+        raise ConfigurationError(f"need >= 1 item, got {num_items}")
+    if not stages:
+        raise ConfigurationError("need at least one pipeline stage")
+    fill = sum(stage.latency_per_item_ns for stage in stages)
+    bottleneck = max(stage.latency_per_item_ns for stage in stages)
+    return fill + (num_items - 1) * bottleneck
+
+
+def lane_imbalance_factor(work_per_lane: Sequence[float]) -> float:
+    """max/mean work ratio across parallel lanes (1.0 = perfectly balanced).
+
+    A step of V parallel lanes finishes when the most-loaded lane does, so
+    latency inflates by this factor relative to the balanced ideal.
+    """
+    work = np.asarray(list(work_per_lane), dtype=float)
+    if work.size == 0:
+        raise ConfigurationError("need at least one lane")
+    if np.any(work < 0.0):
+        raise ConfigurationError("lane work must be >= 0")
+    mean = work.mean()
+    if mean == 0.0:
+        return 1.0
+    return float(work.max() / mean)
+
+
+def balanced_assignment(work_items: Sequence[float], lanes: int) -> float:
+    """Imbalance factor after greedy longest-first assignment to lanes.
+
+    This is GHOST's workload-balancing optimization (Section V.D): sort
+    vertices by degree and deal them to the least-loaded lane.  Returns
+    the resulting max/mean factor (>= 1.0).
+    """
+    if lanes < 1:
+        raise ConfigurationError(f"need >= 1 lane, got {lanes}")
+    items = sorted((float(w) for w in work_items), reverse=True)
+    if not items:
+        return 1.0
+    loads = np.zeros(lanes)
+    for item in items:
+        loads[np.argmin(loads)] += item
+    mean = loads.mean()
+    if mean == 0.0:
+        return 1.0
+    return float(loads.max() / mean)

@@ -1,0 +1,38 @@
+"""TRON: the silicon-photonic transformer accelerator (paper Section V.C).
+
+Structure mirrors the paper's Figs. 4 and 5:
+
+- :mod:`repro.core.tron.config` — architectural parameters.
+- :mod:`repro.core.tron.attention_head` — the attention-head unit built
+  from seven MR bank arrays, implementing the Q·K^T = (Q·W_K^T)·X^T
+  decomposition of eq. (3).
+- :mod:`repro.core.tron.mha` — the MHA unit (H head units, concat +
+  linear layer, coherent residual add, optical LayerNorm).
+- :mod:`repro.core.tron.feedforward` — the FF unit (two dense layers with
+  SOA activation).
+- :mod:`repro.core.tron.accelerator` — whole-model mapping and cost
+  estimation producing :class:`repro.core.reports.RunReport`.
+"""
+
+from repro.core.tron.config import TRONConfig
+from repro.core.tron.attention_head import AttentionHeadUnit, photonic_matmul
+from repro.core.tron.mha import MHAUnit
+from repro.core.tron.feedforward import FeedForwardUnit
+from repro.core.tron.accelerator import TRON
+from repro.core.tron.generation import (
+    GenerationReport,
+    decode_step_ops,
+    run_generation,
+)
+
+__all__ = [
+    "TRONConfig",
+    "AttentionHeadUnit",
+    "photonic_matmul",
+    "MHAUnit",
+    "FeedForwardUnit",
+    "TRON",
+    "GenerationReport",
+    "decode_step_ops",
+    "run_generation",
+]

@@ -1,0 +1,137 @@
+"""TRON top level: maps a transformer model and produces a RunReport.
+
+Latency composes per-layer MHA and FF block costs serially across the
+``num_layers`` stack (conservative: no cross-layer pipelining), with
+weight streaming from HBM overlapped against compute and amortized over
+the configured batch.  Energy sums block energies, memory traffic,
+control and leakage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import Accelerator
+from repro.core.reports import EnergyReport, LatencyReport, RunReport
+from repro.core.tron.config import TRONConfig
+from repro.core.tron.feedforward import FeedForwardUnit
+from repro.core.tron.mha import MHAUnit
+from repro.errors import ConfigurationError
+from repro.nn.counting import transformer_op_count
+from repro.nn.transformer import TransformerConfig, TransformerKind, TransformerModel
+
+
+@dataclass
+class TRON(Accelerator):
+    """The silicon-photonic transformer accelerator (Sections V.C, VI).
+
+    Example::
+
+        tron = TRON()
+        report = tron.run_transformer(bert_base())
+        print(report.summary())
+    """
+
+    config: TRONConfig = field(default_factory=TRONConfig)
+    mha_unit: MHAUnit = field(init=False, repr=False)
+    ff_unit: FeedForwardUnit = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.mha_unit = MHAUnit(config=self.config)
+        self.ff_unit = FeedForwardUnit(config=self.config)
+
+    @property
+    def name(self) -> str:
+        return "TRON"
+
+    def describe(self) -> str:
+        cfg = self.config
+        return (
+            f"TRON: {cfg.num_head_units} head units x 7 arrays "
+            f"({cfg.array_rows}x{cfg.array_cols}), {cfg.num_ff_arrays} FF "
+            f"arrays, {cfg.clock_ghz:.0f} GHz photonic clock, "
+            f"{cfg.peak_gops / 1e3:.0f} TOPS peak"
+        )
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+
+    def run_transformer(self, model: TransformerConfig) -> RunReport:
+        """Estimate one full inference of ``model`` (Figs. 8 and 9 path)."""
+        if model.seq_len < 1:
+            raise ConfigurationError("model sequence length must be >= 1")
+        cfg = self.config
+        mha_cost = self.mha_unit.block_cost(
+            model.seq_len, model.d_model, model.num_heads
+        )
+        ff_cost = self.ff_unit.block_cost(model.seq_len, model.d_model, model.d_ff)
+        layer_latency = mha_cost.latency + ff_cost.latency
+        layer_energy = mha_cost.energy + ff_cost.energy
+        compute_latency = layer_latency.scaled(model.num_layers)
+        compute_energy = layer_energy.scaled(model.num_layers)
+
+        # Memory: model weights stream from HBM once per batch (double-
+        # buffered against compute); activations bounce through the global
+        # buffer between blocks.
+        ops = transformer_op_count(model, bytes_per_value=max(cfg.bits // 8, 1))
+        weight_energy_pj, weight_latency_ns = cfg.memory.load_from_offchip(
+            ops.weight_bytes
+        )
+        act_bytes = ops.activation_bytes
+        act_energy_pj, act_latency_ns = cfg.memory.read_onchip(2 * act_bytes)
+        memory_energy = EnergyReport(
+            memory_pj=weight_energy_pj / cfg.batch + act_energy_pj
+        )
+        # Weight streaming overlaps compute; only the excess stalls.
+        overlapped_weight_ns = max(
+            weight_latency_ns / cfg.batch - compute_latency.total_ns, 0.0
+        )
+        memory_latency = LatencyReport(
+            memory_ns=overlapped_weight_ns + act_latency_ns
+        )
+
+        latency = compute_latency + memory_latency
+        static_pj = (
+            cfg.control.power_mw + cfg.memory.global_buffer.leakage_mw
+        ) * latency.total_ns
+        energy = compute_energy + memory_energy + EnergyReport(static_pj=static_pj)
+
+        if model.kind is TransformerKind.VISION:
+            head_cost = self.ff_unit.block_cost(1, model.d_model, model.d_ff)
+            latency = latency + head_cost.latency
+            energy = energy + head_cost.energy
+
+        return RunReport(
+            platform=self.name,
+            workload=model.name,
+            ops=ops,
+            latency=latency,
+            energy=energy,
+            bits_per_value=cfg.bits,
+        )
+
+    # ------------------------------------------------------------------
+    # Functional model
+    # ------------------------------------------------------------------
+
+    def forward(self, model: TransformerModel, x: np.ndarray) -> np.ndarray:
+        """Functional optical inference of a whole transformer stack.
+
+        Runs every layer's MHA and FF block through the photonic units
+        (with the config's noise model, if any).  Masked decoder attention
+        falls back to the reference path for the mask application — the
+        optical datapath computes the same matmuls either way.
+
+        Intended for small validation models; the pure-python tiling is
+        too slow for BERT-scale shapes.
+        """
+        x = np.asarray(x, dtype=float)
+        for layer in model.layers:
+            attended = self.mha_unit.forward(layer.mha, x)
+            ff_out = self.ff_unit.forward(layer, attended)
+            x = ff_out
+        return x

@@ -1,0 +1,220 @@
+"""The attention-head unit: seven MR bank arrays implementing eq. (3).
+
+The paper's key dataflow trick (Section V.C) is the decomposition
+
+    Q . K^T = Q . (X . W_K)^T = (Q . W_K^T) . X^T          (eq. 3)
+
+which keeps the whole score computation in the optical domain: instead of
+digitizing K = X.W_K to transpose it electronically, the unit multiplies
+Q by the *offline-stored* W_K^T and then by the offline-stored X^T.
+
+The unit's five matmul stages (Fig. 5a; two of the seven arrays
+double-buffer the X^T operand):
+
+    stage 1:  Q^T = W_Q @ X^T                 (d_k x S)
+    stage 2:  T^T = (W_K^T/sqrt(d_k)) @ Q^T   (d   x S)
+    stage 3:  scores = X @ T^T                (S   x S)   [= Q K^T / sqrt(d_k)]
+    digital:  P = softmax(scores)             (BPD -> ADC -> LUT)
+    stage 4:  V^T = W_V @ X^T                 (d_k x S)
+    stage 5:  C^T = V^T @ P^T                 (d_k x S)   [context head(X)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.reports import EnergyReport, LatencyReport
+from repro.core.scheduling import PipelineStage, pipeline_latency_ns
+from repro.core.tron.config import TRONConfig
+from repro.errors import ConfigurationError
+from repro.nn.ops import softmax as softmax_ref
+from repro.photonics.mrbank import MRBankArray
+
+
+def photonic_matmul(array: MRBankArray, weights: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+    """W @ X computed by tiling onto a K x N MR bank array.
+
+    Splits ``weights`` into (array.rows x array.cols) tiles; partial tile
+    products accumulate electronically (the BPD output of each tile is one
+    partial sum).  Analog noise, if the array has a noise model, applies
+    per tile — matching how errors accumulate in hardware.
+
+    Args:
+        array: the MR bank array (its dims set the tile size).
+        weights: (M, K) matrix held by the MR banks.
+        inputs: (K,) vector or (K, B) matrix arriving on the waveguides.
+
+    Returns:
+        (M,) or (M, B) product.
+    """
+    weights = np.asarray(weights, dtype=float)
+    inputs = np.asarray(inputs, dtype=float)
+    if weights.ndim != 2:
+        raise ConfigurationError(f"weights must be 2-D, got shape {weights.shape}")
+    squeeze = inputs.ndim == 1
+    if squeeze:
+        inputs = inputs[:, None]
+    if inputs.shape[0] != weights.shape[1]:
+        raise ConfigurationError(
+            f"inner dims mismatch: weights {weights.shape}, inputs {inputs.shape}"
+        )
+    m, k = weights.shape
+    batch = inputs.shape[1]
+    out = np.zeros((m, batch))
+    for row_start in range(0, m, array.rows):
+        row_end = min(row_start + array.rows, m)
+        for col_start in range(0, k, array.cols):
+            col_end = min(col_start + array.cols, k)
+            tile = np.zeros((array.rows, array.cols))
+            tile[: row_end - row_start, : col_end - col_start] = weights[
+                row_start:row_end, col_start:col_end
+            ]
+            block = np.zeros((array.cols, batch))
+            block[: col_end - col_start, :] = inputs[col_start:col_end, :]
+            partial = array.matmul(tile, block)
+            out[row_start:row_end, :] += partial[: row_end - row_start, :]
+    return out[:, 0] if squeeze else out
+
+
+@dataclass(frozen=True)
+class HeadCost:
+    """Cost of one attention head's pass through the unit.
+
+    Attributes:
+        latency: pipelined latency of the five optical stages + softmax.
+        energy: energy of all array cycles, conversions and softmax.
+        array_cycles: total photonic cycles consumed (for utilization).
+    """
+
+    latency: LatencyReport
+    energy: EnergyReport
+    array_cycles: int
+
+
+@dataclass
+class AttentionHeadUnit:
+    """One attention-head unit (Fig. 5a): functional + cost model.
+
+    Attributes:
+        config: the owning TRON configuration.
+    """
+
+    config: TRONConfig
+    _array: MRBankArray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._array = MRBankArray(
+            rows=self.config.array_rows,
+            cols=self.config.array_cols,
+            design=self.config.design,
+            clock_ghz=self.config.clock_ghz,
+            dac=self.config.dac,
+            adc=self.config.adc,
+            noise=self.config.noise,
+            pcm=self.config.pcm,
+        )
+
+    # ------------------------------------------------------------------
+    # Functional model
+    # ------------------------------------------------------------------
+
+    def forward(
+        self,
+        x: np.ndarray,
+        w_q: np.ndarray,
+        w_k: np.ndarray,
+        w_v: np.ndarray,
+    ) -> np.ndarray:
+        """Compute head(X) = softmax(Q K^T / sqrt(d_k)) V optically.
+
+        Args:
+            x: (S, d_model) input sequence.
+            w_q / w_k / w_v: (d_k, d_model) per-head projection weights in
+                the (out, in) convention of :func:`repro.nn.ops.linear`.
+
+        Returns:
+            (S, d_k) head output, numerically equal to the reference
+            attention up to the configured analog noise.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ConfigurationError(f"input must be 2-D, got shape {x.shape}")
+        d_k = w_q.shape[0]
+        if w_k.shape != w_q.shape or w_v.shape != w_q.shape:
+            raise ConfigurationError("W_Q, W_K, W_V must share one shape")
+        x_t = x.T  # stored offline, per eq. (3)
+        # Stage 1: Q^T = W_Q @ X^T.
+        q_t = photonic_matmul(self._array, w_q, x_t)
+        # Stage 2: T^T = (W_K^T / sqrt(d_k)) @ Q^T.
+        t_t = photonic_matmul(self._array, w_k.T / np.sqrt(d_k), q_t)
+        # Stage 3: the arrays hold the offline-stored X operand and stream
+        # the columns of T^T, producing X @ T^T = (T @ X^T)^T = scores^T.
+        scores = photonic_matmul(self._array, x, t_t).T
+        # Digital softmax row-wise over keys.
+        probs = softmax_ref(scores, axis=-1)
+        # Stage 4: V^T = W_V @ X^T.
+        v_t = photonic_matmul(self._array, w_v, x_t)
+        # Stage 5: C^T = V^T @ P^T.
+        context_t = photonic_matmul(self._array, v_t, probs.T)
+        return context_t.T
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+
+    def _stage_cycles_per_item(self, out_rows: int, inner: int) -> int:
+        """Cycles to produce one output column of a stage."""
+        return self._array.cycles_for(out_rows, inner, batch=1)
+
+    def head_cost(self, seq_len: int, d_model: int, d_k: int) -> HeadCost:
+        """Cost of one head over a (seq_len, d_model) input.
+
+        The five matmul stages each own dedicated arrays (seven arrays
+        per unit), so columns stream through them as a pipeline; softmax
+        sits between stages 3 and 5 as a digital pipeline stage.
+        """
+        if seq_len < 1 or d_model < 1 or d_k < 1:
+            raise ConfigurationError("seq_len, d_model and d_k must be >= 1")
+        cycle_ns = self.config.cycle_ns
+        stage_dims = [
+            ("q_proj", d_k, d_model),
+            ("k_mix", d_model, d_k),
+            ("scores", seq_len, d_model),
+            ("v_proj", d_k, d_model),
+            ("context", d_k, seq_len),
+        ]
+        stages: List[PipelineStage] = []
+        total_cycles = 0
+        for name, out_rows, inner in stage_dims:
+            cycles = self._stage_cycles_per_item(out_rows, inner)
+            total_cycles += cycles * seq_len
+            stages.append(PipelineStage(name, cycles * cycle_ns))
+        softmax_latency = self.config.softmax.latency_ns(seq_len)  # one row
+        stages.insert(3, PipelineStage("softmax", softmax_latency))
+        compute_ns = pipeline_latency_ns(stages, seq_len)
+        breakdown = self._array.cycle_energy_breakdown_pj(
+            weight_refresh_cycles=self.config.weight_refresh_cycles
+        )
+        softmax_pj = self.config.softmax.energy_pj(seq_len * seq_len)
+        latency = LatencyReport(compute_ns=compute_ns)
+        energy = EnergyReport(
+            laser_pj=total_cycles * breakdown["laser_pj"],
+            tuning_pj=total_cycles * breakdown["tuning_pj"],
+            dac_pj=total_cycles * breakdown["dac_pj"],
+            adc_pj=total_cycles * breakdown["adc_pj"],
+            digital_pj=softmax_pj,
+        )
+        return HeadCost(latency=latency, energy=energy, array_cycles=total_cycles)
+
+    def reference_forward(
+        self, x: np.ndarray, w_q: np.ndarray, w_k: np.ndarray, w_v: np.ndarray
+    ) -> np.ndarray:
+        """Golden (non-photonic) head output for validation."""
+        q = x @ w_q.T
+        k = x @ w_k.T
+        v = x @ w_v.T
+        scores = q @ k.T / np.sqrt(w_q.shape[0])
+        return softmax_ref(scores, axis=-1) @ v

@@ -1,0 +1,116 @@
+"""The FF unit: two optical dense layers with an SOA activation between.
+
+Paper Section II: "The FF network is composed of two dense layers with a
+RELU activation in between"; Section V.C implements the dense layers on
+MR bank arrays and Section V.D's SOA technique provides the optical
+nonlinearity.  A residual add and optical LayerNorm follow, as in the
+encoder-layer structure of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.reports import EnergyReport, LatencyReport
+from repro.core.tron.attention_head import photonic_matmul
+from repro.core.tron.config import TRONConfig
+from repro.core.tron.mha import BlockCost
+from repro.errors import ConfigurationError
+from repro.nn.ops import layer_norm
+from repro.nn.transformer import TransformerEncoderLayer
+from repro.photonics.mrbank import MRBankArray
+
+
+@dataclass
+class FeedForwardUnit:
+    """TRON's feed-forward unit: functional + cost model.
+
+    Attributes:
+        config: the owning TRON configuration.
+    """
+
+    config: TRONConfig
+    _array: MRBankArray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._array = MRBankArray(
+            rows=self.config.array_rows,
+            cols=self.config.array_cols,
+            design=self.config.design,
+            clock_ghz=self.config.clock_ghz,
+            dac=self.config.dac,
+            adc=self.config.adc,
+            noise=self.config.noise,
+            pcm=self.config.pcm,
+        )
+
+    # ------------------------------------------------------------------
+    # Functional model
+    # ------------------------------------------------------------------
+
+    def forward(self, layer: TransformerEncoderLayer, x: np.ndarray) -> np.ndarray:
+        """Optical FF block: dense -> SOA activation -> dense -> +res -> LN.
+
+        Uses the layer's weights; biases are added electronically at the
+        ADC output (free in the analog cost model, exact functionally).
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != layer.d_model:
+            raise ConfigurationError(
+                f"expected input (S, {layer.d_model}), got {x.shape}"
+            )
+        hidden = photonic_matmul(self._array, layer.w_ff1, x.T).T + layer.b_ff1
+        # The SOA realizes ReLU-family nonlinearities optically; GELU-
+        # configured layers fall back to the digital LUT path, which is
+        # functionally this same exact computation.
+        if layer.activation == "relu":
+            activated = self.config.activation.apply(hidden)
+        else:
+            from repro.nn.ops import gelu
+
+            activated = gelu(hidden)
+        out = photonic_matmul(self._array, layer.w_ff2, activated.T).T + layer.b_ff2
+        return layer_norm(x + out)
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+
+    def block_cost(self, seq_len: int, d_model: int, d_ff: int) -> BlockCost:
+        """Cost of one FF block invocation.
+
+        Both dense layers tile over ``num_ff_arrays`` arrays; the SOA
+        stage adds its bias energy per activated element and pipelines
+        behind the first dense layer.
+        """
+        if seq_len < 1 or d_model < 1 or d_ff < 1:
+            raise ConfigurationError("seq_len, d_model, d_ff must be >= 1")
+        cycle_ns = self.config.cycle_ns
+        arrays = self.config.num_ff_arrays
+        up_cycles = self._array.cycles_for(d_ff, d_model, seq_len)
+        down_cycles = self._array.cycles_for(d_model, d_ff, seq_len)
+        total_cycles = up_cycles + down_cycles
+        serial_cycles = -(-total_cycles // arrays)
+        breakdown = self._array.cycle_energy_breakdown_pj(
+            weight_refresh_cycles=self.config.weight_refresh_cycles
+        )
+        # SOA activation: one device per array row, charged per element.
+        soa_pj = (
+            seq_len * d_ff * self.config.activation.power_mw * cycle_ns
+        )
+        # Residual + LN pass, as in the MHA unit.
+        residual_ns = 2 * seq_len * cycle_ns
+        ln_pj = seq_len * d_model * 0.05
+        latency = LatencyReport(
+            compute_ns=serial_cycles * cycle_ns + residual_ns
+        )
+        energy = EnergyReport(
+            laser_pj=total_cycles * breakdown["laser_pj"],
+            tuning_pj=total_cycles * breakdown["tuning_pj"] + ln_pj,
+            dac_pj=total_cycles * breakdown["dac_pj"],
+            adc_pj=total_cycles * breakdown["adc_pj"],
+            activation_pj=soa_pj,
+        )
+        return BlockCost(latency=latency, energy=energy)

@@ -1,0 +1,143 @@
+"""The MHA unit: H attention-head units + concat + linear + add & norm.
+
+Mirrors the paper's Fig. 5(b): head outputs are buffered and
+concatenated, passed through an optically-implemented linear layer (two
+MR bank arrays), the residual connection is added by coherent photonic
+summation, and layer normalization is applied optically by a single MR
+tuned with the LN parameter (Section V.C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.reports import EnergyReport, LatencyReport
+from repro.core.tron.attention_head import AttentionHeadUnit, photonic_matmul
+from repro.core.tron.config import TRONConfig
+from repro.errors import ConfigurationError
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.ops import layer_norm
+from repro.photonics.mrbank import MRBankArray
+from repro.photonics.summation import CoherentSummationUnit
+
+
+@dataclass(frozen=True)
+class BlockCost:
+    """Latency + energy of one architectural block invocation."""
+
+    latency: LatencyReport
+    energy: EnergyReport
+
+
+@dataclass
+class MHAUnit:
+    """The full multi-head-attention unit of Fig. 5(b).
+
+    Attributes:
+        config: the owning TRON configuration.
+    """
+
+    config: TRONConfig
+    head_unit: AttentionHeadUnit = field(init=False, repr=False)
+    _linear_array: MRBankArray = field(init=False, repr=False)
+    _residual_adder: CoherentSummationUnit = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.head_unit = AttentionHeadUnit(config=self.config)
+        self._linear_array = MRBankArray(
+            rows=self.config.array_rows,
+            cols=self.config.array_cols,
+            design=self.config.design,
+            clock_ghz=self.config.clock_ghz,
+            dac=self.config.dac,
+            adc=self.config.adc,
+            noise=self.config.noise,
+            pcm=self.config.pcm,
+        )
+        self._residual_adder = CoherentSummationUnit(
+            fan_in=2, clock_ghz=self.config.clock_ghz
+        )
+
+    # ------------------------------------------------------------------
+    # Functional model
+    # ------------------------------------------------------------------
+
+    def forward(self, mha: MultiHeadAttention, x: np.ndarray) -> np.ndarray:
+        """Optical MHA block: heads -> concat -> linear -> +residual -> LN.
+
+        Args:
+            mha: the reference attention module whose weights this unit
+                holds (quantization of those weights is the caller's
+                concern; values are used as-is).
+            x: (S, d_model) input.
+
+        Returns:
+            (S, d_model) block output (matches the electronic reference up
+            to analog noise).
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != mha.d_model:
+            raise ConfigurationError(
+                f"expected input (S, {mha.d_model}), got {x.shape}"
+            )
+        head_outputs = []
+        for head in range(mha.num_heads):
+            w_q, w_k, w_v = mha.head_weights(head)
+            head_outputs.append(self.head_unit.forward(x, w_q, w_k, w_v))
+        concat = np.concatenate(head_outputs, axis=1)  # buffer & concatenate
+        # Output linear layer, optical: (S, d) = (d x d W_O) @ concat^T.
+        projected = photonic_matmul(self._linear_array, mha.w_o, concat.T).T
+        # Residual add via coherent summation, then optical LayerNorm.
+        summed = x + projected
+        return layer_norm(summed)
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+
+    def block_cost(self, seq_len: int, d_model: int, num_heads: int) -> BlockCost:
+        """Cost of one MHA block invocation over a (S, d_model) input.
+
+        Heads run ``num_head_units`` at a time; additional waves serialize.
+        The linear layer is spread over ``num_linear_arrays`` arrays; the
+        residual add and LN are charged at one column per photonic cycle.
+        """
+        if num_heads < 1:
+            raise ConfigurationError(f"need >= 1 head, got {num_heads}")
+        d_k = d_model // num_heads
+        head_cost = self.head_unit.head_cost(seq_len, d_model, d_k)
+        waves = -(-num_heads // self.config.num_head_units)
+        heads_latency = head_cost.latency.scaled(waves)
+        heads_energy = head_cost.energy.scaled(num_heads)
+
+        cycle_ns = self.config.cycle_ns
+        # Linear layer: (d_model x d_model) @ (d_model x S) over the
+        # available linear arrays (column-parallel split).
+        linear_cycles = self._linear_array.cycles_for(d_model, d_model, seq_len)
+        linear_cycles = -(-linear_cycles // self.config.num_linear_arrays)
+        breakdown = self._linear_array.cycle_energy_breakdown_pj(
+            weight_refresh_cycles=self.config.weight_refresh_cycles
+        )
+        linear_total_cycles = linear_cycles * self.config.num_linear_arrays
+        linear_latency = LatencyReport(compute_ns=linear_cycles * cycle_ns)
+        linear_energy = EnergyReport(
+            laser_pj=linear_total_cycles * breakdown["laser_pj"],
+            tuning_pj=linear_total_cycles * breakdown["tuning_pj"],
+            dac_pj=linear_total_cycles * breakdown["dac_pj"],
+            adc_pj=linear_total_cycles * breakdown["adc_pj"],
+        )
+
+        # Residual add: S columns through the coherent adder (d_model-wide
+        # arm pairs, one column per cycle); LN: optical single-MR scaling
+        # per element, pipelined behind the adder -> one extra pass.
+        residual_latency = LatencyReport(compute_ns=2 * seq_len * cycle_ns)
+        add_pj = seq_len * self._residual_adder.operation_energy_pj(active_arms=2)
+        ln_pj = seq_len * d_model * 0.05  # single-MR EO retune per element
+        residual_energy = EnergyReport(laser_pj=add_pj, tuning_pj=ln_pj)
+
+        latency = heads_latency + linear_latency + residual_latency
+        energy = heads_energy + linear_energy + residual_energy
+        return BlockCost(latency=latency, energy=energy)

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller embedding the simulators can catch one type.  Subclasses separate
+configuration mistakes (bad parameters, impossible design points) from
+runtime modelling failures (e.g. a link budget that cannot close).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+class DesignSpaceError(ReproError):
+    """No feasible design point exists for the requested constraints."""
+
+
+class LinkBudgetError(ReproError):
+    """The optical link budget cannot close (insufficient laser power or
+    signal below photodetector sensitivity)."""
+
+
+class MappingError(ReproError):
+    """A workload cannot be mapped onto the requested hardware configuration."""
+
+
+class QuantizationError(ReproError):
+    """Invalid quantization request (bit-width, scale, or range)."""

@@ -1,0 +1,175 @@
+"""Compressed sparse row (CSR) graph container.
+
+The single graph type used across the library: GNN functional models
+iterate neighbourhoods through it, GHOST's mapper reads its degree
+statistics, and the partitioner slices it into blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class CSRGraph:
+    """A directed graph in CSR form (undirected graphs store both arcs).
+
+    Attributes:
+        indptr: (num_nodes + 1,) row pointers.
+        indices: (num_edges,) column indices (neighbour ids).
+        num_node_features: width of per-node feature vectors (metadata used
+            by cost models; features themselves live with the caller).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    num_node_features: int = 0
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        if self.indptr.ndim != 1 or self.indptr.size < 1:
+            raise ConfigurationError("indptr must be a non-empty 1-D array")
+        if self.indptr[0] != 0:
+            raise ConfigurationError("indptr must start at 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ConfigurationError("indptr must be non-decreasing")
+        if self.indices.ndim != 1:
+            raise ConfigurationError("indices must be 1-D")
+        if self.indptr[-1] != self.indices.size:
+            raise ConfigurationError(
+                f"indptr[-1]={self.indptr[-1]} != len(indices)={self.indices.size}"
+            )
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.num_nodes
+        ):
+            raise ConfigurationError("neighbour index out of range")
+        if self.num_node_features < 0:
+            raise ConfigurationError(
+                f"feature width must be >= 0, got {self.num_node_features}"
+            )
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of vertices."""
+        return self.indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of stored arcs (an undirected edge counts twice)."""
+        return self.indices.size
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Neighbour ids of a vertex."""
+        if not 0 <= node < self.num_nodes:
+            raise ConfigurationError(
+                f"node {node} out of range [0, {self.num_nodes})"
+            )
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    def degree(self, node: int) -> int:
+        """Out-degree of a vertex."""
+        if not 0 <= node < self.num_nodes:
+            raise ConfigurationError(
+                f"node {node} out of range [0, {self.num_nodes})"
+            )
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def degrees(self) -> np.ndarray:
+        """Out-degrees of all vertices."""
+        return np.diff(self.indptr).astype(float)
+
+    @property
+    def average_degree(self) -> float:
+        """Mean out-degree."""
+        if self.num_nodes == 0:
+            return 0.0
+        return self.num_edges / self.num_nodes
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum out-degree."""
+        if self.num_nodes == 0:
+            return 0
+        return int(self.degrees().max())
+
+    def degree_percentile(self, q: float) -> float:
+        """Degree at percentile ``q`` (0-100) — used by workload balancing."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+        return float(np.percentile(self.degrees(), q))
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        edges: Iterable[Tuple[int, int]],
+        undirected: bool = True,
+        num_node_features: int = 0,
+    ) -> "CSRGraph":
+        """Build from an edge list; deduplicates and drops self-loops."""
+        if num_nodes < 1:
+            raise ConfigurationError(f"need >= 1 node, got {num_nodes}")
+        pairs = set()
+        for u, v in edges:
+            if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+                raise ConfigurationError(
+                    f"edge ({u}, {v}) out of range for {num_nodes} nodes"
+                )
+            if u == v:
+                continue
+            pairs.add((u, v))
+            if undirected:
+                pairs.add((v, u))
+        if pairs:
+            arr = np.array(sorted(pairs), dtype=np.int64)
+            sources, targets = arr[:, 0], arr[:, 1]
+        else:
+            sources = np.empty(0, dtype=np.int64)
+            targets = np.empty(0, dtype=np.int64)
+        counts = np.bincount(sources, minlength=num_nodes)
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        return cls(
+            indptr=indptr, indices=targets, num_node_features=num_node_features
+        )
+
+    def to_dense_adjacency(self) -> np.ndarray:
+        """Dense (num_nodes x num_nodes) 0/1 adjacency matrix."""
+        adj = np.zeros((self.num_nodes, self.num_nodes))
+        for v in range(self.num_nodes):
+            adj[v, self.neighbors(v)] = 1.0
+        return adj
+
+    def is_symmetric(self) -> bool:
+        """Whether every arc has its reverse (undirected storage)."""
+        forward = set(
+            (int(u), int(v))
+            for u in range(self.num_nodes)
+            for v in self.neighbors(u)
+        )
+        return all((v, u) in forward for (u, v) in forward)
+
+    def subgraph(self, nodes: np.ndarray) -> "CSRGraph":
+        """Induced subgraph on a node subset (ids are remapped to 0..k-1)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            raise ConfigurationError("subgraph needs at least one node")
+        if nodes.min() < 0 or nodes.max() >= self.num_nodes:
+            raise ConfigurationError("subgraph node id out of range")
+        remap = {int(old): new for new, old in enumerate(nodes)}
+        edges = []
+        for old in nodes:
+            for nb in self.neighbors(int(old)):
+                if int(nb) in remap:
+                    edges.append((remap[int(old)], remap[int(nb)]))
+        return CSRGraph.from_edges(
+            num_nodes=nodes.size,
+            edges=edges,
+            undirected=False,
+            num_node_features=self.num_node_features,
+        )

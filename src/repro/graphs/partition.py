@@ -1,0 +1,168 @@
+"""Buffer-and-partition blocking of a graph (paper Section V.D).
+
+GHOST "split[s] the input graph into blocks of N and V where the
+aggregate block then is composed of N edge control units, V gather units,
+and V reduce units".  Each schedule step assigns V output vertices to the
+execution lanes while N input vertices are staged in the edge-control
+buffers; a step completes when every output vertex has seen all of its
+neighbours, which may take several input blocks.
+
+The partitioner quantifies the memory-traffic benefit: without blocking,
+every edge is an irregular off-chip fetch; with blocking, each input
+block is fetched once per output block that needs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graphs.graph import CSRGraph
+
+
+@dataclass(frozen=True)
+class PartitionBlock:
+    """One (output block, input block) work unit.
+
+    Attributes:
+        output_start / output_end: vertex id range processed by the lanes.
+        input_start / input_end: vertex id range staged in the buffers.
+        num_edges: edges between the two ranges (actual aggregation work).
+    """
+
+    output_start: int
+    output_end: int
+    input_start: int
+    input_end: int
+    num_edges: int
+
+    @property
+    def num_outputs(self) -> int:
+        return self.output_end - self.output_start
+
+    @property
+    def num_inputs(self) -> int:
+        return self.input_end - self.input_start
+
+
+@dataclass
+class PartitionSchedule:
+    """The full block schedule for one graph and one (V, N) blocking.
+
+    Attributes:
+        blocks: work units in execution order.
+        lanes: V (output vertices per step).
+        input_block: N (input vertices staged per step).
+        num_nodes / num_edges: graph totals for traffic accounting.
+        feature_bytes: bytes per feature vector element after quantization.
+    """
+
+    blocks: List[PartitionBlock]
+    lanes: int
+    input_block: int
+    num_nodes: int
+    num_edges: int
+    feature_dim: int
+    feature_bytes: int = 1  # 8-bit quantization
+
+    @property
+    def num_steps(self) -> int:
+        """Schedule length in block-steps."""
+        return len(self.blocks)
+
+    @property
+    def nonempty_blocks(self) -> List[PartitionBlock]:
+        """Blocks that carry at least one edge (empty ones are skipped by
+        the scheduler at zero cost)."""
+        return [b for b in self.blocks if b.num_edges > 0]
+
+    @property
+    def input_fetches(self) -> int:
+        """Input vertices fetched across the schedule (with blocking)."""
+        return sum(b.num_inputs for b in self.nonempty_blocks)
+
+    @property
+    def unblocked_fetches(self) -> int:
+        """Input fetches without blocking: one per edge."""
+        return self.num_edges
+
+    @property
+    def fetch_savings(self) -> float:
+        """Ratio of unblocked to blocked fetch traffic (> 1 is a win)."""
+        fetched = self.input_fetches
+        if fetched == 0:
+            return 1.0
+        return self.unblocked_fetches / fetched
+
+    def traffic_bytes(self, blocked: bool = True) -> int:
+        """Feature bytes moved from memory for aggregation inputs."""
+        vector_bytes = self.feature_dim * self.feature_bytes
+        fetches = self.input_fetches if blocked else self.unblocked_fetches
+        return fetches * vector_bytes
+
+
+@dataclass
+class GraphPartitioner:
+    """Builds :class:`PartitionSchedule` objects for a (V, N) blocking.
+
+    Attributes:
+        lanes: V — execution lanes (output vertices per step).
+        input_block: N — input vertices staged per step.
+    """
+
+    lanes: int
+    input_block: int
+
+    def __post_init__(self) -> None:
+        if self.lanes < 1:
+            raise ConfigurationError(f"lanes must be >= 1, got {self.lanes}")
+        if self.input_block < 1:
+            raise ConfigurationError(
+                f"input block must be >= 1, got {self.input_block}"
+            )
+
+    def schedule(self, graph: CSRGraph) -> PartitionSchedule:
+        """Blocked schedule covering every edge of ``graph`` exactly once."""
+        n = graph.num_nodes
+        blocks: List[PartitionBlock] = []
+        for out_start in range(0, n, self.lanes):
+            out_end = min(out_start + self.lanes, n)
+            # Count edges from this output block into each input block.
+            edge_counts = np.zeros(-(-n // self.input_block), dtype=np.int64)
+            for v in range(out_start, out_end):
+                neighbours = graph.neighbors(v)
+                if neighbours.size:
+                    np.add.at(edge_counts, neighbours // self.input_block, 1)
+            for block_idx, count in enumerate(edge_counts):
+                in_start = block_idx * self.input_block
+                in_end = min(in_start + self.input_block, n)
+                blocks.append(
+                    PartitionBlock(
+                        output_start=out_start,
+                        output_end=out_end,
+                        input_start=in_start,
+                        input_end=in_end,
+                        num_edges=int(count),
+                    )
+                )
+        return PartitionSchedule(
+            blocks=blocks,
+            lanes=self.lanes,
+            input_block=self.input_block,
+            num_nodes=n,
+            num_edges=graph.num_edges,
+            feature_dim=max(graph.num_node_features, 1),
+        )
+
+    def sweep_input_blocks(
+        self, graph: CSRGraph, candidates
+    ) -> List[PartitionSchedule]:
+        """Schedules for several N values — the blocking design sweep."""
+        schedules = []
+        for candidate in candidates:
+            partitioner = GraphPartitioner(lanes=self.lanes, input_block=candidate)
+            schedules.append(partitioner.schedule(graph))
+        return schedules

@@ -1,0 +1,111 @@
+"""Multi-head attention with explicit, inspectable weights.
+
+The functional reference for TRON's MHA unit (paper Fig. 5).  The weights
+are plain numpy arrays so the accelerator model can reach in, quantize
+them, and map them onto MR bank arrays; the forward pass is the golden
+output the optical datapath is checked against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.ops import linear, scaled_dot_product_attention
+
+
+@dataclass
+class MultiHeadAttention:
+    """Multi-head self/cross attention (paper eq. 1 and Fig. 5b).
+
+    Attributes:
+        d_model: model (embedding) width.
+        num_heads: number of attention heads H.
+        rng_seed: seed for the synthetic weight initialization.
+    """
+
+    d_model: int
+    num_heads: int
+    rng_seed: int = 0
+    w_q: np.ndarray = field(init=False, repr=False)
+    w_k: np.ndarray = field(init=False, repr=False)
+    w_v: np.ndarray = field(init=False, repr=False)
+    w_o: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.d_model < 1 or self.num_heads < 1:
+            raise ConfigurationError(
+                f"d_model and num_heads must be >= 1, got "
+                f"{self.d_model}, {self.num_heads}"
+            )
+        if self.d_model % self.num_heads != 0:
+            raise ConfigurationError(
+                f"d_model {self.d_model} not divisible by num_heads "
+                f"{self.num_heads}"
+            )
+        rng = np.random.default_rng(self.rng_seed)
+        scale = 1.0 / np.sqrt(self.d_model)
+        shape = (self.d_model, self.d_model)
+        self.w_q = rng.normal(0.0, scale, shape)
+        self.w_k = rng.normal(0.0, scale, shape)
+        self.w_v = rng.normal(0.0, scale, shape)
+        self.w_o = rng.normal(0.0, scale, shape)
+
+    @property
+    def d_k(self) -> int:
+        """Per-head key/query dimension."""
+        return self.d_model // self.num_heads
+
+    def split_heads(self, x: np.ndarray) -> np.ndarray:
+        """(seq, d_model) -> (heads, seq, d_k)."""
+        seq_len = x.shape[0]
+        return x.reshape(seq_len, self.num_heads, self.d_k).transpose(1, 0, 2)
+
+    def merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """(heads, seq, d_k) -> (seq, d_model) — the concat of Fig. 5b."""
+        heads, seq_len, d_k = x.shape
+        return x.transpose(1, 0, 2).reshape(seq_len, heads * d_k)
+
+    def forward(
+        self,
+        x: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        context: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Full MHA forward pass.
+
+        Args:
+            x: (seq, d_model) input sequence (queries).
+            mask: optional (seq_q, seq_k) boolean attention mask.
+            context: optional (seq_k, d_model) cross-attention source for
+                keys/values; defaults to ``x`` (self-attention).
+
+        Returns:
+            (seq, d_model) output after the final linear layer.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.d_model:
+            raise ConfigurationError(
+                f"expected input of shape (seq, {self.d_model}), got {x.shape}"
+            )
+        source = x if context is None else np.asarray(context, dtype=float)
+        q = self.split_heads(linear(x, self.w_q))
+        k = self.split_heads(linear(source, self.w_k))
+        v = self.split_heads(linear(source, self.w_v))
+        attended = scaled_dot_product_attention(q, k, v, mask=mask)
+        return linear(self.merge_heads(attended), self.w_o)
+
+    def head_weights(self, head: int) -> tuple:
+        """(W_Q, W_K, W_V) slices for one head — what an attention-head
+        unit's MR bank arrays hold (Fig. 5a)."""
+        if not 0 <= head < self.num_heads:
+            raise ConfigurationError(
+                f"head must be in [0, {self.num_heads}), got {head}"
+            )
+        lo = head * self.d_k
+        hi = lo + self.d_k
+        # linear() computes x @ W.T, so row slices select output features.
+        return self.w_q[lo:hi, :], self.w_k[lo:hi, :], self.w_v[lo:hi, :]

@@ -1,0 +1,294 @@
+"""GNN layers and models: GCN, GraphSAGE, GIN and GAT (Section III).
+
+Each layer implements the aggregate → combine → update pipeline of the
+paper's Fig. 2 over a CSR graph, in pure numpy.  These are the golden
+references for GHOST's optical datapath and the workload definitions for
+the Fig. 10 / Fig. 11 benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graphs.graph import CSRGraph
+from repro.nn.ops import relu, softmax
+
+
+class GNNKind(Enum):
+    """Supported GNN architectures."""
+
+    GCN = "gcn"
+    SAGE = "graphsage"
+    GIN = "gin"
+    GAT = "gat"
+
+
+class Reduction(Enum):
+    """Aggregation reductions GHOST's reduce units support (Fig. 7a)."""
+
+    SUM = "sum"
+    MEAN = "mean"
+    MAX = "max"
+
+
+@dataclass(frozen=True)
+class GNNConfig:
+    """Shape description of a GNN model.
+
+    Attributes:
+        name: human-readable name.
+        kind: architecture family.
+        num_layers: stacked GNN layers.
+        hidden_dim: hidden feature width.
+        in_dim: input feature width (from the dataset).
+        out_dim: output width (classes).
+        heads: attention heads (GAT only).
+        reduction: aggregation reduce function.
+    """
+
+    name: str
+    kind: GNNKind
+    num_layers: int
+    hidden_dim: int
+    in_dim: int
+    out_dim: int
+    heads: int = 1
+    reduction: Reduction = Reduction.SUM
+
+    def __post_init__(self) -> None:
+        for attr in ("num_layers", "hidden_dim", "in_dim", "out_dim", "heads"):
+            if getattr(self, attr) < 1:
+                raise ConfigurationError(f"{attr} must be >= 1")
+
+    def layer_dims(self) -> List:
+        """(in, out) dims per layer: in_dim → hidden… → out_dim."""
+        dims = []
+        for i in range(self.num_layers):
+            d_in = self.in_dim if i == 0 else self.hidden_dim
+            d_out = self.out_dim if i == self.num_layers - 1 else self.hidden_dim
+            dims.append((d_in, d_out))
+        return dims
+
+
+def _aggregate(
+    graph: CSRGraph,
+    features: np.ndarray,
+    reduction: Reduction,
+    include_self: bool = False,
+) -> np.ndarray:
+    """Neighbour aggregation (Fig. 2 stage 2) for all vertices.
+
+    Args:
+        graph: CSR adjacency.
+        features: (num_nodes, dim) input features.
+        reduction: sum / mean / max.
+        include_self: add the vertex's own feature to its neighbourhood
+            (GIN-style self-inclusion).
+    """
+    num_nodes, dim = features.shape
+    out = np.zeros((num_nodes, dim))
+    for v in range(num_nodes):
+        neighbours = graph.neighbors(v)
+        if include_self:
+            neighbours = np.concatenate([neighbours, [v]])
+        if neighbours.size == 0:
+            continue
+        block = features[neighbours]
+        if reduction is Reduction.SUM:
+            out[v] = block.sum(axis=0)
+        elif reduction is Reduction.MEAN:
+            out[v] = block.mean(axis=0)
+        else:
+            out[v] = block.max(axis=0)
+    return out
+
+
+@dataclass
+class GCNLayer:
+    """Graph convolution layer (Kipf & Welling): H' = act(Â H W).
+
+    Uses the symmetric-normalized adjacency with self-loops.
+    """
+
+    in_dim: int
+    out_dim: int
+    rng_seed: int = 0
+    weight: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.rng_seed)
+        self.weight = rng.normal(0.0, 1.0 / np.sqrt(self.in_dim), (self.in_dim, self.out_dim))
+
+    def forward(self, graph: CSRGraph, features: np.ndarray, activate: bool = True) -> np.ndarray:
+        """One GCN layer over the whole graph."""
+        degrees = graph.degrees() + 1.0  # +1 for the self loop
+        norm = 1.0 / np.sqrt(degrees)
+        scaled = features * norm[:, None]
+        aggregated = _aggregate(graph, scaled, Reduction.SUM, include_self=True)
+        aggregated = aggregated * norm[:, None]
+        out = aggregated @ self.weight
+        return relu(out) if activate else out
+
+
+@dataclass
+class GraphSAGELayer:
+    """GraphSAGE layer (mean aggregator): H' = act([H | mean(N(v))] W)."""
+
+    in_dim: int
+    out_dim: int
+    rng_seed: int = 0
+    weight_self: np.ndarray = field(init=False, repr=False)
+    weight_neigh: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.rng_seed)
+        scale = 1.0 / np.sqrt(self.in_dim)
+        self.weight_self = rng.normal(0.0, scale, (self.in_dim, self.out_dim))
+        self.weight_neigh = rng.normal(0.0, scale, (self.in_dim, self.out_dim))
+
+    def forward(self, graph: CSRGraph, features: np.ndarray, activate: bool = True) -> np.ndarray:
+        """One GraphSAGE layer over the whole graph."""
+        aggregated = _aggregate(graph, features, Reduction.MEAN)
+        out = features @ self.weight_self + aggregated @ self.weight_neigh
+        return relu(out) if activate else out
+
+
+@dataclass
+class GINLayer:
+    """Graph isomorphism network layer: H' = MLP((1+eps) h_v + sum(N(v)))."""
+
+    in_dim: int
+    out_dim: int
+    eps: float = 0.0
+    rng_seed: int = 0
+    w1: np.ndarray = field(init=False, repr=False)
+    w2: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.rng_seed)
+        hidden = max(self.in_dim, self.out_dim)
+        self.w1 = rng.normal(0.0, 1.0 / np.sqrt(self.in_dim), (self.in_dim, hidden))
+        self.w2 = rng.normal(0.0, 1.0 / np.sqrt(hidden), (hidden, self.out_dim))
+
+    def forward(self, graph: CSRGraph, features: np.ndarray, activate: bool = True) -> np.ndarray:
+        """One GIN layer over the whole graph."""
+        aggregated = _aggregate(graph, features, Reduction.SUM)
+        combined = (1.0 + self.eps) * features + aggregated
+        out = relu(combined @ self.w1) @ self.w2
+        return relu(out) if activate else out
+
+
+@dataclass
+class GATLayer:
+    """Graph attention layer (single or multi-head, concatenated).
+
+    Attention coefficients use the original GAT formulation:
+    e_uv = LeakyReLU(a^T [W h_u | W h_v]), normalized over N(v).
+    """
+
+    in_dim: int
+    out_dim: int
+    heads: int = 1
+    rng_seed: int = 0
+    weight: np.ndarray = field(init=False, repr=False)
+    attn_src: np.ndarray = field(init=False, repr=False)
+    attn_dst: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.out_dim % self.heads != 0:
+            raise ConfigurationError(
+                f"out_dim {self.out_dim} not divisible by heads {self.heads}"
+            )
+        rng = np.random.default_rng(self.rng_seed)
+        self.head_dim = self.out_dim // self.heads
+        self.weight = rng.normal(
+            0.0, 1.0 / np.sqrt(self.in_dim), (self.heads, self.in_dim, self.head_dim)
+        )
+        self.attn_src = rng.normal(0.0, 1.0, (self.heads, self.head_dim))
+        self.attn_dst = rng.normal(0.0, 1.0, (self.heads, self.head_dim))
+
+    def forward(self, graph: CSRGraph, features: np.ndarray, activate: bool = True) -> np.ndarray:
+        """One GAT layer over the whole graph (self-loops included)."""
+        num_nodes = features.shape[0]
+        # (heads, nodes, head_dim) projected features.
+        projected = np.einsum("nd,hdo->hno", features, self.weight)
+        src_scores = np.einsum("hno,ho->hn", projected, self.attn_src)
+        dst_scores = np.einsum("hno,ho->hn", projected, self.attn_dst)
+        out = np.zeros((self.heads, num_nodes, self.head_dim))
+        for v in range(num_nodes):
+            neighbours = np.concatenate([graph.neighbors(v), [v]])
+            # e[h, u] for u in neighbours attending into v.
+            raw = src_scores[:, neighbours] + dst_scores[:, v : v + 1]
+            raw = np.where(raw > 0.0, raw, 0.2 * raw)  # LeakyReLU(0.2)
+            alpha = softmax(raw, axis=-1)
+            out[:, v, :] = np.einsum("hu,huo->ho", alpha, projected[:, neighbours, :])
+        merged = out.transpose(1, 0, 2).reshape(num_nodes, self.out_dim)
+        return relu(merged) if activate else merged
+
+
+@dataclass
+class GNNModel:
+    """A stack of GNN layers realizing a :class:`GNNConfig`."""
+
+    config: GNNConfig
+    rng_seed: int = 0
+    layers: List = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.layers = []
+        for i, (d_in, d_out) in enumerate(self.config.layer_dims()):
+            seed = self.rng_seed + i
+            if self.config.kind is GNNKind.GCN:
+                self.layers.append(GCNLayer(d_in, d_out, rng_seed=seed))
+            elif self.config.kind is GNNKind.SAGE:
+                self.layers.append(GraphSAGELayer(d_in, d_out, rng_seed=seed))
+            elif self.config.kind is GNNKind.GIN:
+                self.layers.append(GINLayer(d_in, d_out, rng_seed=seed))
+            elif self.config.kind is GNNKind.GAT:
+                heads = self.config.heads if d_out % self.config.heads == 0 else 1
+                self.layers.append(GATLayer(d_in, d_out, heads=heads, rng_seed=seed))
+            else:  # pragma: no cover - enum is exhaustive
+                raise ConfigurationError(f"unsupported GNN kind {self.config.kind}")
+
+    def forward(self, graph: CSRGraph, features: np.ndarray) -> np.ndarray:
+        """Full-model inference; final layer has no activation (logits)."""
+        features = np.asarray(features, dtype=float)
+        if features.shape != (graph.num_nodes, self.config.in_dim):
+            raise ConfigurationError(
+                f"expected features of shape ({graph.num_nodes}, "
+                f"{self.config.in_dim}), got {features.shape}"
+            )
+        x = features
+        for i, layer in enumerate(self.layers):
+            activate = i < len(self.layers) - 1
+            x = layer.forward(graph, x, activate=activate)
+        return x
+
+
+def make_gnn(
+    kind: GNNKind,
+    in_dim: int,
+    out_dim: int,
+    hidden_dim: int = 64,
+    num_layers: int = 2,
+    heads: int = 1,
+    name: Optional[str] = None,
+    reduction: Reduction = Reduction.SUM,
+) -> GNNModel:
+    """Convenience constructor for a GNN model."""
+    config = GNNConfig(
+        name=name or kind.value,
+        kind=kind,
+        num_layers=num_layers,
+        hidden_dim=hidden_dim,
+        in_dim=in_dim,
+        out_dim=out_dim,
+        heads=heads,
+        reduction=reduction,
+    )
+    return GNNModel(config=config)

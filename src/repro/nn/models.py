@@ -1,0 +1,126 @@
+"""Model zoo: the transformer configurations evaluated in Figs. 8 and 9.
+
+The TRON evaluation (paper Section VI, inherited from GLSVLSI'23) spans
+encoder-only LLMs (BERT family), decoder-only LLMs (GPT family) and
+vision transformers.  Shape parameters follow the original publications
+(Devlin et al. 2018; Radford et al. 2019; Dosovitskiy et al. 2020).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.nn.transformer import TransformerConfig, TransformerKind
+
+
+def bert_base(seq_len: int = 512) -> TransformerConfig:
+    """BERT-Base: 12 layers, 768 wide, 12 heads, 3072 FF."""
+    return TransformerConfig(
+        name="BERT-base",
+        kind=TransformerKind.ENCODER_ONLY,
+        num_layers=12,
+        d_model=768,
+        num_heads=12,
+        d_ff=3072,
+        seq_len=seq_len,
+        vocab_size=30522,
+    )
+
+
+def bert_large(seq_len: int = 512) -> TransformerConfig:
+    """BERT-Large: 24 layers, 1024 wide, 16 heads, 4096 FF."""
+    return TransformerConfig(
+        name="BERT-large",
+        kind=TransformerKind.ENCODER_ONLY,
+        num_layers=24,
+        d_model=1024,
+        num_heads=16,
+        d_ff=4096,
+        seq_len=seq_len,
+        vocab_size=30522,
+    )
+
+
+def gpt2_small(seq_len: int = 1024) -> TransformerConfig:
+    """GPT-2 (small): 12 decoder layers, 768 wide, 12 heads."""
+    return TransformerConfig(
+        name="GPT-2",
+        kind=TransformerKind.DECODER_ONLY,
+        num_layers=12,
+        d_model=768,
+        num_heads=12,
+        d_ff=3072,
+        seq_len=seq_len,
+        vocab_size=50257,
+    )
+
+
+def vit_base(seq_len: int = 197) -> TransformerConfig:
+    """ViT-Base/16: 12 encoder layers over 196 patches + CLS token."""
+    return TransformerConfig(
+        name="ViT-base",
+        kind=TransformerKind.VISION,
+        num_layers=12,
+        d_model=768,
+        num_heads=12,
+        d_ff=3072,
+        seq_len=seq_len,
+        vocab_size=768,  # patch projection, not a token vocabulary
+    )
+
+
+def distilbert(seq_len: int = 512) -> TransformerConfig:
+    """DistilBERT: the 6-layer distilled BERT variant."""
+    return TransformerConfig(
+        name="DistilBERT",
+        kind=TransformerKind.ENCODER_ONLY,
+        num_layers=6,
+        d_model=768,
+        num_heads=12,
+        d_ff=3072,
+        seq_len=seq_len,
+        vocab_size=30522,
+    )
+
+
+def vit_large(seq_len: int = 197) -> TransformerConfig:
+    """ViT-Large/16: 24 encoder layers, 1024 wide."""
+    return TransformerConfig(
+        name="ViT-large",
+        kind=TransformerKind.VISION,
+        num_layers=24,
+        d_model=1024,
+        num_heads=16,
+        d_ff=4096,
+        seq_len=seq_len,
+        vocab_size=1024,
+    )
+
+
+#: The workload set used by the Fig. 8 / Fig. 9 benches.
+MODEL_ZOO: Dict[str, TransformerConfig] = {
+    config.name: config
+    for config in (
+        bert_base(),
+        bert_large(),
+        gpt2_small(),
+        vit_base(),
+        distilbert(),
+        vit_large(),
+    )
+}
+
+
+def get_model_config(name: str) -> TransformerConfig:
+    """Look up a zoo model by name.
+
+    Raises:
+        ConfigurationError: for unknown names (message lists valid ones).
+    """
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown model {name!r}; known models: {sorted(MODEL_ZOO)}"
+        ) from None

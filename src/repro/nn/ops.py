@@ -1,0 +1,116 @@
+"""Core numpy tensor operations used by the functional models.
+
+These are the reference ("golden") implementations the photonic datapaths
+are validated against: every optical unit in :mod:`repro.core` must
+produce the same numbers as these functions up to the analog noise model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias=None) -> np.ndarray:
+    """Affine layer: x @ weight.T + bias.
+
+    Args:
+        x: (..., in_features) input.
+        weight: (out_features, in_features) weight matrix.
+        bias: optional (out_features,) bias.
+    """
+    x = np.asarray(x, dtype=float)
+    weight = np.asarray(weight, dtype=float)
+    if weight.ndim != 2:
+        raise ConfigurationError(f"weight must be 2-D, got shape {weight.shape}")
+    if x.shape[-1] != weight.shape[1]:
+        raise ConfigurationError(
+            f"input features {x.shape[-1]} != weight in_features {weight.shape[1]}"
+        )
+    out = x @ weight.T
+    if bias is not None:
+        bias = np.asarray(bias, dtype=float)
+        if bias.shape != (weight.shape[0],):
+            raise ConfigurationError(
+                f"bias shape {bias.shape} != ({weight.shape[0]},)"
+            )
+        out = out + bias
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(np.asarray(x, dtype=float), 0.0)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian error linear unit (tanh approximation, as in BERT/GPT)."""
+    x = np.asarray(x, dtype=float)
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along an axis."""
+    x = np.asarray(x, dtype=float)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def layer_norm(
+    x: np.ndarray, gamma=None, beta=None, eps: float = 1e-5
+) -> np.ndarray:
+    """Layer normalization over the last axis."""
+    x = np.asarray(x, dtype=float)
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    normed = (x - mean) / np.sqrt(var + eps)
+    if gamma is not None:
+        normed = normed * np.asarray(gamma, dtype=float)
+    if beta is not None:
+        normed = normed + np.asarray(beta, dtype=float)
+    return normed
+
+
+def scaled_dot_product_attention(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray, mask=None
+) -> np.ndarray:
+    """The paper's equation (1): softmax(Q K^T / sqrt(d_k)) V.
+
+    Args:
+        q: (..., seq_q, d_k) queries.
+        k: (..., seq_k, d_k) keys.
+        v: (..., seq_k, d_v) values.
+        mask: optional boolean array broadcastable to (..., seq_q, seq_k);
+            True marks positions that may attend (False positions are
+            masked to -inf before the softmax), as in causal GPT decoding.
+
+    Returns:
+        (..., seq_q, d_v) attention output.
+    """
+    q = np.asarray(q, dtype=float)
+    k = np.asarray(k, dtype=float)
+    v = np.asarray(v, dtype=float)
+    if q.shape[-1] != k.shape[-1]:
+        raise ConfigurationError(
+            f"query dim {q.shape[-1]} != key dim {k.shape[-1]}"
+        )
+    if k.shape[-2] != v.shape[-2]:
+        raise ConfigurationError(
+            f"key length {k.shape[-2]} != value length {v.shape[-2]}"
+        )
+    d_k = q.shape[-1]
+    scores = q @ np.swapaxes(k, -1, -2) / np.sqrt(d_k)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        scores = np.where(mask, scores, -1e30)
+    weights = softmax(scores, axis=-1)
+    return weights @ v
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Lower-triangular attention mask for autoregressive decoding."""
+    if seq_len < 1:
+        raise ConfigurationError(f"sequence length must be >= 1, got {seq_len}")
+    return np.tril(np.ones((seq_len, seq_len), dtype=bool))

@@ -1,0 +1,98 @@
+"""Symmetric fixed-point quantization (the paper's 8-bit operating point).
+
+Section VI: "employing 8-bit model quantization yields algorithmic
+accuracy comparable to models utilizing full (32-bit) precision.
+Consequently, we focused on the acceleration of Transformer and GNN
+models with 8-bit precision."
+
+The analog datapath consumes values normalized to [-1, 1]; symmetric
+per-tensor quantization maps a float tensor to int codes plus one scale,
+which is exactly what the DACs drive onto the MR tuners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An integer-coded tensor with its dequantization scale.
+
+    ``values ≈ codes * scale`` with codes in [-(2^(bits-1)-1), 2^(bits-1)-1].
+    """
+
+    codes: np.ndarray
+    scale: float
+    bits: int
+
+    @property
+    def shape(self):
+        return self.codes.shape
+
+    def dequantize(self) -> np.ndarray:
+        """Recover the float approximation."""
+        return self.codes.astype(float) * self.scale
+
+    def normalized(self) -> np.ndarray:
+        """Codes mapped to [-1, 1] — the analog drive levels."""
+        qmax = 2 ** (self.bits - 1) - 1
+        return self.codes.astype(float) / qmax
+
+
+def quantize_symmetric(x: np.ndarray, bits: int = 8) -> QuantizedTensor:
+    """Symmetric per-tensor quantization to ``bits`` bits.
+
+    Args:
+        x: float tensor.
+        bits: total bit width (>= 2: one sign bit plus magnitude).
+
+    Raises:
+        QuantizationError: for bit widths < 2 or non-finite inputs.
+    """
+    if bits < 2:
+        raise QuantizationError(f"need >= 2 bits for signed codes, got {bits}")
+    x = np.asarray(x, dtype=float)
+    if not np.all(np.isfinite(x)):
+        raise QuantizationError("cannot quantize non-finite values")
+    qmax = 2 ** (bits - 1) - 1
+    max_abs = float(np.max(np.abs(x))) if x.size else 0.0
+    scale = max_abs / qmax
+    # Denormal inputs can underflow the scale to zero; treat them as a
+    # zero tensor (their values are below any representable step anyway).
+    if max_abs == 0.0 or scale == 0.0:
+        codes = np.zeros_like(x, dtype=np.int32)
+        return QuantizedTensor(codes=codes, scale=1.0 / qmax, bits=bits)
+    codes = np.clip(np.round(x / scale), -qmax, qmax).astype(np.int32)
+    return QuantizedTensor(codes=codes, scale=scale, bits=bits)
+
+
+def dequantize(qt: QuantizedTensor) -> np.ndarray:
+    """Free-function alias of :meth:`QuantizedTensor.dequantize`."""
+    return qt.dequantize()
+
+
+def quantization_error(x: np.ndarray, bits: int = 8) -> float:
+    """RMS relative error introduced by quantizing ``x`` to ``bits`` bits.
+
+    Used by the precision ablation (A4 in DESIGN.md) to show that 8-bit
+    error is small while 4-bit error is not.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.size == 0:
+        raise QuantizationError("cannot measure error of an empty tensor")
+    qt = quantize_symmetric(x, bits=bits)
+    err = qt.dequantize() - x
+    rms_signal = float(np.sqrt(np.mean(x**2)))
+    if rms_signal == 0.0:
+        return 0.0
+    return float(np.sqrt(np.mean(err**2))) / rms_signal
+
+
+def fake_quantize(x: np.ndarray, bits: int = 8) -> np.ndarray:
+    """Quantize-dequantize round trip (quantization-aware functional sim)."""
+    return quantize_symmetric(x, bits=bits).dequantize()

@@ -1,0 +1,201 @@
+"""Transformer models: configs and functional forward passes (Section II).
+
+Covers the three families the paper names: encoder-only (BERT),
+decoder-only (GPT), and vision transformers (ViT: encoder stack + MLP
+head).  A config carries the shape parameters every cost model needs; a
+model instance additionally materializes seeded synthetic weights for
+functional simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.ops import causal_mask, gelu, layer_norm, linear, relu
+
+
+class TransformerKind(Enum):
+    """Which architectural family a config belongs to."""
+
+    ENCODER_ONLY = "encoder-only"  # BERT-like
+    DECODER_ONLY = "decoder-only"  # GPT-like
+    VISION = "vision"  # ViT-like
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Shape description of a transformer model.
+
+    Attributes:
+        name: human-readable model name.
+        kind: architectural family.
+        num_layers: stacked encoder or decoder layers N.
+        d_model: embedding width.
+        num_heads: attention heads H per layer.
+        d_ff: feed-forward hidden width.
+        seq_len: evaluation sequence length (tokens or patches).
+        vocab_size: vocabulary (or patch-projection input) size; only used
+            for parameter counting of the embedding, which stays in memory.
+    """
+
+    name: str
+    kind: TransformerKind
+    num_layers: int
+    d_model: int
+    num_heads: int
+    d_ff: int
+    seq_len: int
+    vocab_size: int = 30522
+
+    def __post_init__(self) -> None:
+        for attr in ("num_layers", "d_model", "num_heads", "d_ff", "seq_len"):
+            if getattr(self, attr) < 1:
+                raise ConfigurationError(f"{attr} must be >= 1")
+        if self.d_model % self.num_heads != 0:
+            raise ConfigurationError(
+                f"d_model {self.d_model} not divisible by num_heads "
+                f"{self.num_heads}"
+            )
+
+    @property
+    def d_k(self) -> int:
+        """Per-head dimension."""
+        return self.d_model // self.num_heads
+
+    @property
+    def parameter_count(self) -> int:
+        """Trainable parameters in the layer stack (excl. embeddings)."""
+        per_layer = 4 * self.d_model * self.d_model  # Q, K, V, O
+        per_layer += 2 * self.d_model * self.d_ff  # FF up + down
+        per_layer += 2 * 2 * self.d_model  # two LayerNorms (gamma, beta)
+        per_layer += self.d_ff + self.d_model  # FF biases
+        return self.num_layers * per_layer
+
+
+@dataclass
+class TransformerEncoderLayer:
+    """One encoder layer: MHA + residual + LN, FF + residual + LN (Fig. 1)."""
+
+    d_model: int
+    num_heads: int
+    d_ff: int
+    activation: str = "gelu"
+    rng_seed: int = 0
+    mha: MultiHeadAttention = field(init=False, repr=False)
+    w_ff1: np.ndarray = field(init=False, repr=False)
+    b_ff1: np.ndarray = field(init=False, repr=False)
+    w_ff2: np.ndarray = field(init=False, repr=False)
+    b_ff2: np.ndarray = field(init=False, repr=False)
+    ln1_gamma: np.ndarray = field(init=False, repr=False)
+    ln1_beta: np.ndarray = field(init=False, repr=False)
+    ln2_gamma: np.ndarray = field(init=False, repr=False)
+    ln2_beta: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.activation not in ("gelu", "relu"):
+            raise ConfigurationError(
+                f"activation must be 'gelu' or 'relu', got {self.activation!r}"
+            )
+        rng = np.random.default_rng(self.rng_seed)
+        self.mha = MultiHeadAttention(
+            d_model=self.d_model, num_heads=self.num_heads, rng_seed=self.rng_seed
+        )
+        scale_in = 1.0 / np.sqrt(self.d_model)
+        scale_hidden = 1.0 / np.sqrt(self.d_ff)
+        self.w_ff1 = rng.normal(0.0, scale_in, (self.d_ff, self.d_model))
+        self.b_ff1 = np.zeros(self.d_ff)
+        self.w_ff2 = rng.normal(0.0, scale_hidden, (self.d_model, self.d_ff))
+        self.b_ff2 = np.zeros(self.d_model)
+        self.ln1_gamma = np.ones(self.d_model)
+        self.ln1_beta = np.zeros(self.d_model)
+        self.ln2_gamma = np.ones(self.d_model)
+        self.ln2_beta = np.zeros(self.d_model)
+
+    def feed_forward(self, x: np.ndarray) -> np.ndarray:
+        """Two dense layers with the configured activation in between."""
+        hidden = linear(x, self.w_ff1, self.b_ff1)
+        hidden = gelu(hidden) if self.activation == "gelu" else relu(hidden)
+        return linear(hidden, self.w_ff2, self.b_ff2)
+
+    def forward(self, x: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Post-norm layer: LN(x + MHA(x)), then LN(· + FF(·))."""
+        attended = self.mha.forward(x, mask=mask)
+        x = layer_norm(x + attended, self.ln1_gamma, self.ln1_beta)
+        ff_out = self.feed_forward(x)
+        return layer_norm(x + ff_out, self.ln2_gamma, self.ln2_beta)
+
+
+@dataclass
+class TransformerModel:
+    """A stack of layers realizing a :class:`TransformerConfig`.
+
+    Decoder-only configs get a causal mask automatically; vision configs
+    append a two-layer MLP head, mirroring the paper's description of ViT
+    ("N encoder layers followed by a multi-layer perceptron").
+    """
+
+    config: TransformerConfig
+    rng_seed: int = 0
+    layers: List[TransformerEncoderLayer] = field(init=False, repr=False)
+    mlp_head_w1: Optional[np.ndarray] = field(init=False, repr=False, default=None)
+    mlp_head_w2: Optional[np.ndarray] = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        activation = "gelu" if self.config.kind is not TransformerKind.VISION else "gelu"
+        self.layers = [
+            TransformerEncoderLayer(
+                d_model=self.config.d_model,
+                num_heads=self.config.num_heads,
+                d_ff=self.config.d_ff,
+                activation=activation,
+                rng_seed=self.rng_seed + i,
+            )
+            for i in range(self.config.num_layers)
+        ]
+        if self.config.kind is TransformerKind.VISION:
+            rng = np.random.default_rng(self.rng_seed + 1000)
+            scale = 1.0 / np.sqrt(self.config.d_model)
+            self.mlp_head_w1 = rng.normal(
+                0.0, scale, (self.config.d_ff, self.config.d_model)
+            )
+            self.mlp_head_w2 = rng.normal(
+                0.0, 1.0 / np.sqrt(self.config.d_ff), (1000, self.config.d_ff)
+            )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the layer stack (and ViT head when applicable).
+
+        Args:
+            x: (seq_len, d_model) embedded input.
+
+        Returns:
+            (seq_len, d_model) hidden states, or (1000,) class logits for
+            vision configs (from the first token, as in ViT's CLS token).
+        """
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.config.seq_len, self.config.d_model):
+            raise ConfigurationError(
+                f"expected input shape ({self.config.seq_len}, "
+                f"{self.config.d_model}), got {x.shape}"
+            )
+        mask = None
+        if self.config.kind is TransformerKind.DECODER_ONLY:
+            mask = causal_mask(self.config.seq_len)
+        for layer in self.layers:
+            x = layer.forward(x, mask=mask)
+        if self.config.kind is TransformerKind.VISION:
+            cls = x[0]
+            hidden = gelu(linear(cls, self.mlp_head_w1))
+            return linear(hidden, self.mlp_head_w2)
+        return x
+
+    def sample_input(self, rng_seed: int = 42) -> np.ndarray:
+        """A realistic (unit-variance) embedded input for this config."""
+        rng = np.random.default_rng(rng_seed)
+        return rng.normal(0.0, 1.0, (self.config.seq_len, self.config.d_model))

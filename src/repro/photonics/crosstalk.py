@@ -1,0 +1,242 @@
+"""Heterodyne and homodyne crosstalk models and SNR analysis (Section V.B).
+
+*Heterodyne* (inter-channel, incoherent) crosstalk appears in non-coherent
+WDM operation: the Lorentzian tail of an MR tuned to channel ``i`` still
+couples a little power from the adjacent channels ``j != i`` — the shaded
+regions of the paper's Fig. 3(d).  Its magnitude depends on channel
+spacing, Q factor and the free spectral range (channels one FSR away alias
+back onto the ring).
+
+*Homodyne* (coherent) crosstalk appears in coherent summation circuits:
+stray same-wavelength light leaks across the MR coupling region, picks up
+a phase, and interferes with the signal.  The paper mitigates it by
+widening the bus-to-ring gap, which reduces the leaked field.
+
+The models here are the closed-form counterparts of what the authors swept
+with Ansys Lumerical (see DESIGN.md section 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DesignSpaceError
+from repro.units import linear_to_db
+
+
+def lorentzian_tail(detuning_nm: float, fwhm_nm: float) -> float:
+    """Power pickup of a Lorentzian resonance at a given detuning.
+
+    L(d) = 1 / (1 + (2 d / FWHM)^2); equals 1 on resonance, 0.5 at d =
+    FWHM/2.
+    """
+    if fwhm_nm <= 0.0:
+        raise ConfigurationError(f"FWHM must be > 0 nm, got {fwhm_nm}")
+    x = 2.0 * detuning_nm / fwhm_nm
+    return 1.0 / (1.0 + x * x)
+
+
+def heterodyne_crosstalk_ratio(
+    channel_spacing_nm: float,
+    q_factor: float,
+    wavelength_nm: float = 1550.0,
+    num_channels: int = 2,
+    fsr_nm: Optional[float] = None,
+) -> float:
+    """Worst-case heterodyne crosstalk-to-signal power ratio for one MR.
+
+    Sums the Lorentzian tails of all other channels as seen by the centre
+    channel of an ``num_channels``-wide WDM comb (the centre channel has
+    the most neighbours and is the worst case).  If ``fsr_nm`` is given,
+    one aliased comb replica an FSR away is included as well.
+
+    Returns:
+        Crosstalk power / signal power (linear ratio, >= 0).
+    """
+    if channel_spacing_nm <= 0.0:
+        raise ConfigurationError(
+            f"channel spacing must be > 0 nm, got {channel_spacing_nm}"
+        )
+    if q_factor <= 0.0:
+        raise ConfigurationError(f"Q must be > 0, got {q_factor}")
+    if num_channels < 1:
+        raise ConfigurationError(f"need >= 1 channel, got {num_channels}")
+    fwhm_nm = wavelength_nm / q_factor
+    centre = (num_channels - 1) // 2
+    total = 0.0
+    for ch in range(num_channels):
+        if ch == centre:
+            continue
+        detuning = abs(ch - centre) * channel_spacing_nm
+        total += lorentzian_tail(detuning, fwhm_nm)
+    if fsr_nm is not None:
+        if fsr_nm <= 0.0:
+            raise ConfigurationError(f"FSR must be > 0 nm, got {fsr_nm}")
+        for ch in range(num_channels):
+            detuning = abs(fsr_nm - abs(ch - centre) * channel_spacing_nm)
+            if detuning > 0.0:
+                total += lorentzian_tail(detuning, fwhm_nm)
+    return total
+
+
+def homodyne_crosstalk_ratio(
+    coupling_gap_nm: float,
+    reference_gap_nm: float = 100.0,
+    reference_crosstalk_db: float = -20.0,
+    gap_decay_nm: float = 50.0,
+) -> float:
+    """Coherent (same-wavelength) crosstalk power ratio vs. coupling gap.
+
+    The evanescent field decays exponentially with the bus-to-ring gap, so
+    the leaked power does too: widening the gap suppresses homodyne
+    crosstalk — the mitigation the paper describes in Section V.B.
+
+    Args:
+        coupling_gap_nm: the MR design's bus-to-ring gap.
+        reference_gap_nm: gap at which the leaked power equals
+            ``reference_crosstalk_db``.
+        reference_crosstalk_db: measured leakage at the reference gap.
+        gap_decay_nm: exponential decay constant of the coupled *power*
+            with gap (evanescent overlap).
+
+    Returns:
+        Crosstalk power / signal power (linear ratio).
+    """
+    if coupling_gap_nm <= 0.0:
+        raise ConfigurationError(
+            f"coupling gap must be > 0 nm, got {coupling_gap_nm}"
+        )
+    if gap_decay_nm <= 0.0:
+        raise ConfigurationError(f"gap decay must be > 0 nm, got {gap_decay_nm}")
+    reference_ratio = 10.0 ** (reference_crosstalk_db / 10.0)
+    return reference_ratio * math.exp(
+        -(coupling_gap_nm - reference_gap_nm) / gap_decay_nm
+    )
+
+
+def snr_db(
+    signal_power_mw: float,
+    crosstalk_power_mw: float,
+    noise_power_mw: float = 0.0,
+) -> float:
+    """Signal-to-noise ratio in dB given signal, crosstalk and other noise."""
+    if signal_power_mw <= 0.0:
+        raise ConfigurationError(
+            f"signal power must be > 0 mW, got {signal_power_mw}"
+        )
+    interference = crosstalk_power_mw + noise_power_mw
+    if interference <= 0.0:
+        return math.inf
+    return linear_to_db(signal_power_mw / interference)
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """A WDM channel plan inside one free spectral range.
+
+    Attributes:
+        num_channels: number of wavelengths multiplexed on the bus.
+        channel_spacing_nm: spacing between adjacent channels.
+        centre_wavelength_nm: comb centre.
+        fsr_nm: free spectral range the comb must fit inside.
+    """
+
+    num_channels: int
+    channel_spacing_nm: float
+    centre_wavelength_nm: float = 1550.0
+    fsr_nm: float = 18.0
+
+    def __post_init__(self) -> None:
+        if self.num_channels < 1:
+            raise ConfigurationError(
+                f"need >= 1 channel, got {self.num_channels}"
+            )
+        if self.channel_spacing_nm <= 0.0:
+            raise ConfigurationError(
+                f"channel spacing must be > 0 nm, got {self.channel_spacing_nm}"
+            )
+        if self.span_nm > self.fsr_nm:
+            raise ConfigurationError(
+                f"comb span {self.span_nm:.2f} nm exceeds the FSR "
+                f"{self.fsr_nm:.2f} nm — channels would alias"
+            )
+
+    @property
+    def span_nm(self) -> float:
+        """Total comb width from first to last channel."""
+        return (self.num_channels - 1) * self.channel_spacing_nm
+
+    def wavelengths_nm(self) -> np.ndarray:
+        """Channel wavelengths, centred on ``centre_wavelength_nm``."""
+        offsets = (
+            np.arange(self.num_channels) - (self.num_channels - 1) / 2.0
+        ) * self.channel_spacing_nm
+        return self.centre_wavelength_nm + offsets
+
+    def worst_case_crosstalk_ratio(self, q_factor: float) -> float:
+        """Heterodyne crosstalk ratio for the centre (worst) channel."""
+        return heterodyne_crosstalk_ratio(
+            self.channel_spacing_nm,
+            q_factor,
+            wavelength_nm=self.centre_wavelength_nm,
+            num_channels=self.num_channels,
+            fsr_nm=self.fsr_nm,
+        )
+
+    def crosstalk_per_channel(self, q_factor: float) -> np.ndarray:
+        """Heterodyne crosstalk ratio seen by every channel in the plan."""
+        fwhm_nm = self.centre_wavelength_nm / q_factor
+        wavelengths = self.wavelengths_nm()
+        ratios = np.zeros(self.num_channels)
+        for i in range(self.num_channels):
+            total = 0.0
+            for j in range(self.num_channels):
+                if i == j:
+                    continue
+                detuning = abs(wavelengths[i] - wavelengths[j])
+                total += lorentzian_tail(detuning, fwhm_nm)
+                total += lorentzian_tail(abs(self.fsr_nm - detuning), fwhm_nm)
+            ratios[i] = total
+        return ratios
+
+
+def max_channels_for_snr(
+    q_factor: float,
+    min_snr_db: float,
+    fsr_nm: float = 18.0,
+    wavelength_nm: float = 1550.0,
+    max_channels: int = 64,
+) -> ChannelPlan:
+    """Largest channel plan meeting an SNR floor from crosstalk alone.
+
+    Searches channel counts from ``max_channels`` downward; each count uses
+    the widest spacing that fits the FSR.  This is the key design-space
+    question of Section V.B: how many wavelengths (hence how wide an MR
+    bank, hence how much parallelism) a waveguide supports.
+
+    Raises:
+        DesignSpaceError: if even two channels cannot meet the SNR target.
+    """
+    if min_snr_db <= 0.0:
+        raise ConfigurationError(f"SNR floor must be > 0 dB, got {min_snr_db}")
+    for count in range(max_channels, 1, -1):
+        spacing = fsr_nm / count
+        plan = ChannelPlan(
+            num_channels=count,
+            channel_spacing_nm=spacing,
+            centre_wavelength_nm=wavelength_nm,
+            fsr_nm=fsr_nm,
+        )
+        ratio = plan.worst_case_crosstalk_ratio(q_factor)
+        if ratio <= 0.0:
+            return plan
+        if linear_to_db(1.0 / ratio) >= min_snr_db:
+            return plan
+    raise DesignSpaceError(
+        f"no channel plan with >= 2 channels meets {min_snr_db:.1f} dB SNR "
+        f"at Q={q_factor:.0f}, FSR={fsr_nm:.1f} nm"
+    )

@@ -1,0 +1,169 @@
+"""MR design-space exploration — the Ansys Lumerical substitute.
+
+Section V.B: "Utilizing these models and the simulation tool suite from
+Ansys Lumerical, we can identify the design space for our MRs and the MR
+banks they constitute."  The quantities that sweep actually produces —
+crosstalk vs. (Q, channel spacing, gap), tuning power vs. range, usable
+channel count — are closed-form in our analytic device models, so the DSE
+here is an explicit grid search over the same variables with the same
+feasibility constraints:
+
+1. heterodyne crosstalk SNR above the photodetector's requirement,
+2. homodyne crosstalk below a target floor,
+3. the WDM comb fits inside one FSR,
+4. tuning power within budget for a full-FSR shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DesignSpaceError
+from repro.photonics.crosstalk import (
+    ChannelPlan,
+    homodyne_crosstalk_ratio,
+)
+from repro.photonics.microring import Microring, MicroringDesign
+from repro.photonics.tuning import TOTuner
+from repro.units import linear_to_db
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One feasible MR bank design found by the explorer.
+
+    Attributes:
+        design: the microring design (radius, coupling, gap).
+        plan: the WDM channel plan it supports.
+        q_factor: resulting loaded Q.
+        heterodyne_snr_db: worst-channel SNR from inter-channel crosstalk.
+        homodyne_crosstalk_db: same-wavelength leakage level.
+        tuning_power_full_fsr_mw: TO power for a full-FSR shift (upper
+            bound on per-MR tuning power).
+        figure_of_merit: channels supported per mW of worst-case tuning
+            power — the knob the explorer maximizes.
+    """
+
+    design: MicroringDesign
+    plan: ChannelPlan
+    q_factor: float
+    heterodyne_snr_db: float
+    homodyne_crosstalk_db: float
+    tuning_power_full_fsr_mw: float
+
+    @property
+    def figure_of_merit(self) -> float:
+        return self.plan.num_channels / max(self.tuning_power_full_fsr_mw, 1e-9)
+
+
+@dataclass
+class MRDesignSpaceExplorer:
+    """Grid search over MR design variables under crosstalk constraints.
+
+    Attributes:
+        min_snr_db: heterodyne SNR floor (photodetector requirement).
+        max_homodyne_db: homodyne crosstalk ceiling (dB, negative).
+        max_tuning_power_mw: TO power budget for a full-FSR shift (with
+            TED engaged — see ``ted_power_factor``).
+        ted_power_factor: TED power reduction assumed for the default TO
+            tuner (Section V.A; TED roughly halves heater power).
+        wavelength_nm: operating band centre.
+    """
+
+    min_snr_db: float = 20.0
+    max_homodyne_db: float = -25.0
+    max_tuning_power_mw: float = 40.0
+    ted_power_factor: float = 0.5
+    wavelength_nm: float = 1550.0
+
+    def evaluate(
+        self,
+        design: MicroringDesign,
+        num_channels: int,
+        to_tuner: Optional[TOTuner] = None,
+    ) -> Optional[DesignPoint]:
+        """Evaluate one (design, channel count) point; None if infeasible."""
+        ring = Microring.at_wavelength(design, self.wavelength_nm)
+        fsr = ring.fsr_nm
+        if num_channels < 2:
+            return None
+        spacing = fsr / num_channels
+        try:
+            plan = ChannelPlan(
+                num_channels=num_channels,
+                channel_spacing_nm=spacing,
+                centre_wavelength_nm=self.wavelength_nm,
+                fsr_nm=fsr,
+            )
+        except Exception:
+            return None
+        q = ring.quality_factor
+        ratio = plan.worst_case_crosstalk_ratio(q)
+        if ratio <= 0.0:
+            snr = float("inf")
+        else:
+            snr = linear_to_db(1.0 / ratio)
+        if snr < self.min_snr_db:
+            return None
+        homodyne = homodyne_crosstalk_ratio(design.coupling_gap_nm)
+        homodyne_db = linear_to_db(homodyne) if homodyne > 0 else -np.inf
+        if homodyne_db > self.max_homodyne_db:
+            return None
+        tuner = to_tuner or TOTuner(
+            max_shift_nm=fsr * 1.05, ted_power_factor=self.ted_power_factor
+        )
+        if not tuner.can_reach(fsr):
+            return None
+        tuning_power = tuner.power_for_shift_mw(fsr)
+        if tuning_power > self.max_tuning_power_mw:
+            return None
+        return DesignPoint(
+            design=design,
+            plan=plan,
+            q_factor=q,
+            heterodyne_snr_db=snr,
+            homodyne_crosstalk_db=homodyne_db,
+            tuning_power_full_fsr_mw=tuning_power,
+        )
+
+    def sweep(
+        self,
+        radii_um: Sequence[float] = (5.0, 7.5, 10.0),
+        self_couplings: Sequence[float] = (0.95, 0.97, 0.985, 0.995),
+        gaps_nm: Sequence[float] = (150.0, 200.0, 300.0, 400.0),
+        channel_counts: Sequence[int] = (4, 8, 16, 24, 32),
+    ) -> List[DesignPoint]:
+        """Full-factorial sweep; returns all feasible points sorted by FoM."""
+        points: List[DesignPoint] = []
+        for radius in radii_um:
+            for coupling in self_couplings:
+                for gap in gaps_nm:
+                    design = MicroringDesign(
+                        radius_um=radius,
+                        self_coupling=coupling,
+                        drop_coupling=coupling,
+                        coupling_gap_nm=gap,
+                    )
+                    for count in channel_counts:
+                        point = self.evaluate(design, count)
+                        if point is not None:
+                            points.append(point)
+        points.sort(key=lambda p: p.figure_of_merit, reverse=True)
+        return points
+
+    def best(self, **sweep_kwargs) -> DesignPoint:
+        """Best feasible design point of a sweep.
+
+        Raises:
+            DesignSpaceError: if the sweep found no feasible point.
+        """
+        points = self.sweep(**sweep_kwargs)
+        if not points:
+            raise DesignSpaceError(
+                "no feasible MR design found: relax the SNR floor, the "
+                "homodyne ceiling, or the tuning power budget"
+            )
+        return points[0]

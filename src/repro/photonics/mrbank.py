@@ -1,0 +1,345 @@
+"""MR banks and MR bank arrays: the non-coherent matmul engines (Fig. 3c).
+
+A *bank* is a row of MRs on one waveguide, one MR per WDM channel.  The
+first bank imprints the input activation vector onto the comb; a second
+bank imprints the weight vector onto the same signals, so each channel now
+carries the elementwise product ``w_i * a_i``.  A photodetector summing
+the comb's total power produces the dot product.
+
+An *array* stacks K such waveguide rows of N columns, computing a K x N
+matrix against a length-N vector every photonic cycle.  TRON's attention
+head uses seven such arrays (Fig. 5a); GHOST's transform units use them
+for the combine stage (Fig. 7b).
+
+Two models live here:
+
+- a **functional** model (``multiply``/``matvec``/``matmul``) that pushes
+  real numbers through the transmission math including analog noise, used
+  to validate numerical fidelity; and
+- a **cost** model (``cycle_energy_pj``/``hold_power_mw``) used by the
+  architecture simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.photonics.converters import ADC, DAC
+from repro.photonics.crosstalk import ChannelPlan
+from repro.photonics.devices import BalancedPhotodetector, Photodetector, VCSEL
+from repro.photonics.microring import Microring, MicroringDesign
+from repro.photonics.noise import AnalogNoiseModel
+from repro.photonics.pcm import PCMCell
+from repro.photonics.tuning import HybridTuner
+
+
+@dataclass
+class MRBank:
+    """One row of MRs imprinting a vector onto a WDM comb.
+
+    Attributes:
+        size: number of MRs (= number of WDM channels used).
+        design: the shared microring design.
+        plan: the WDM channel plan (spacing, FSR).
+        tuner: tuning circuit charged for every imprint.
+    """
+
+    size: int
+    design: MicroringDesign = field(default_factory=MicroringDesign)
+    plan: Optional[ChannelPlan] = None
+    tuner: HybridTuner = field(default_factory=HybridTuner)
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ConfigurationError(f"bank size must be >= 1, got {self.size}")
+        if self.plan is None:
+            reference = Microring.at_wavelength(self.design, 1550.0)
+            fsr = reference.fsr_nm
+            spacing = fsr / max(self.size, 2)
+            self.plan = ChannelPlan(
+                num_channels=self.size,
+                channel_spacing_nm=spacing,
+                centre_wavelength_nm=1550.0,
+                fsr_nm=fsr,
+            )
+        elif self.plan.num_channels != self.size:
+            raise ConfigurationError(
+                f"channel plan has {self.plan.num_channels} channels but the "
+                f"bank has {self.size} MRs"
+            )
+        self._reference_ring = Microring.at_wavelength(self.design, 1550.0)
+
+    @property
+    def q_factor(self) -> float:
+        """Loaded Q of the bank's rings."""
+        return self._reference_ring.quality_factor
+
+    def crosstalk_ratio(self) -> float:
+        """Worst-case heterodyne crosstalk of this bank's channel plan."""
+        return self.plan.worst_case_crosstalk_ratio(self.q_factor)
+
+    def transmission_for(self, values: np.ndarray) -> np.ndarray:
+        """Per-channel transmission realizing normalized values in [0, 1].
+
+        Values map linearly onto the achievable transmission window
+        [T_min, T_max]; this is the analog realization of the imprint.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.shape != (self.size,):
+            raise ConfigurationError(
+                f"expected {self.size} values, got shape {values.shape}"
+            )
+        if np.any(values < 0.0) or np.any(values > 1.0):
+            raise ConfigurationError("imprint values must lie in [0, 1]")
+        ring = self._reference_ring
+        t_min = ring.min_through_transmission
+        t_max = ring.transmission_at_max_detuning()
+        return t_min + values * (t_max - t_min)
+
+    def imprint_shifts_nm(self, values: np.ndarray) -> np.ndarray:
+        """Resonance shifts (nm) required to imprint normalized values."""
+        values = np.asarray(values, dtype=float)
+        return np.array([self._reference_ring.imprint(v) for v in values])
+
+    def hold_power_mw(self, values: np.ndarray) -> float:
+        """Tuning power to hold a vector imprinted (all MRs, hybrid policy)."""
+        shifts = self.imprint_shifts_nm(values)
+        return self.tuner.average_hold_power_mw(shifts) * self.size
+
+
+@dataclass
+class MRBankArray:
+    """A K x N array of MR banks: matrix-vector multiply per photonic cycle.
+
+    Functional semantics: given a weight matrix W (K x N) and input vector
+    x (length N), one photonic cycle produces W @ x.  Signed values are
+    handled the way the hardware does it — positive and negative parts on
+    separate arms summed by balanced photodetectors.
+
+    Attributes:
+        rows: K, number of output channels (waveguides / BPDs).
+        cols: N, number of WDM channels per waveguide.
+        design: microring design shared by all MRs.
+        clock_ghz: photonic cycle rate (bounded by VCSEL modulation and
+            converter sample rates).
+        dac: converter model driving MR tuners and VCSELs.
+        adc: converter model digitizing BPD outputs.
+        noise: analog noise model applied by the functional path; ``None``
+            disables noise (ideal analog computation).
+        vcsel: laser source model.
+        bpd: balanced photodetector model.
+        weight_dacs_shared: number of rows sharing one weight DAC
+            (GHOST's weight-DAC-sharing optimization, Section V.D).
+        pcm: optional non-volatile PCM weight cell; when set, weight MRs
+            hold their state with zero static power and the weight-DAC
+            refresh is replaced by (amortized) PCM write pulses — the
+            "alternative non-volatile optical memory cells" direction of
+            the paper's conclusion.
+    """
+
+    rows: int
+    cols: int
+    design: MicroringDesign = field(default_factory=MicroringDesign)
+    clock_ghz: float = 5.0
+    dac: DAC = field(default_factory=DAC)
+    adc: ADC = field(default_factory=ADC)
+    noise: Optional[AnalogNoiseModel] = None
+    vcsel: VCSEL = field(default_factory=VCSEL)
+    bpd: BalancedPhotodetector = field(default_factory=BalancedPhotodetector)
+    weight_dacs_shared: int = 1
+    pcm: Optional[PCMCell] = None
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigurationError(
+                f"array dimensions must be >= 1, got {self.rows}x{self.cols}"
+            )
+        if self.clock_ghz <= 0.0:
+            raise ConfigurationError(
+                f"clock must be > 0 GHz, got {self.clock_ghz}"
+            )
+        if self.clock_ghz > self.vcsel.modulation_rate_ghz + 1e-9:
+            raise ConfigurationError(
+                f"clock {self.clock_ghz} GHz exceeds VCSEL modulation rate "
+                f"{self.vcsel.modulation_rate_ghz} GHz"
+            )
+        if self.weight_dacs_shared < 1:
+            raise ConfigurationError(
+                f"weight DAC sharing factor must be >= 1, got "
+                f"{self.weight_dacs_shared}"
+            )
+        self._bank = MRBank(size=self.cols, design=self.design)
+
+    # ------------------------------------------------------------------
+    # Functional model
+    # ------------------------------------------------------------------
+
+    def matvec(self, weights: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """One photonic cycle: W @ x with optional analog noise.
+
+        Args:
+            weights: (rows, cols) signed weight matrix, expected in [-1, 1]
+                after quantization scaling.
+            x: length-``cols`` signed input vector in [-1, 1].
+
+        Returns:
+            Length-``rows`` result vector.
+        """
+        weights = np.asarray(weights, dtype=float)
+        x = np.asarray(x, dtype=float)
+        if weights.shape != (self.rows, self.cols):
+            raise ConfigurationError(
+                f"expected weights of shape ({self.rows}, {self.cols}), "
+                f"got {weights.shape}"
+            )
+        if x.shape != (self.cols,):
+            raise ConfigurationError(
+                f"expected input of length {self.cols}, got shape {x.shape}"
+            )
+        # Differential (BPD) decomposition: products with positive sign on
+        # the positive arm, negative on the negative arm.
+        products = weights * x[None, :]
+        positive = np.where(products > 0.0, products, 0.0).sum(axis=1)
+        negative = np.where(products < 0.0, -products, 0.0).sum(axis=1)
+        result = positive - negative
+        if self.noise is not None:
+            result = self.noise.apply_dot_products(
+                result, fan_in=self.cols, crosstalk=self._bank.crosstalk_ratio()
+            )
+        return result
+
+    def matmul(self, weights: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Multi-cycle matmul: W (rows x cols) @ X (cols x batch)."""
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim == 1:
+            return self.matvec(weights, inputs)
+        if inputs.shape[0] != self.cols:
+            raise ConfigurationError(
+                f"expected inputs with {self.cols} rows, got {inputs.shape}"
+            )
+        columns = [self.matvec(weights, inputs[:, j]) for j in range(inputs.shape[1])]
+        return np.stack(columns, axis=1)
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Multiply-accumulates completed each photonic cycle."""
+        return self.rows * self.cols
+
+    @property
+    def cycle_ns(self) -> float:
+        """Photonic cycle time."""
+        return 1.0 / self.clock_ghz
+
+    @property
+    def num_mrs(self) -> int:
+        """MR devices in the array (input bank + one bank per row)."""
+        return self.cols + self.rows * self.cols
+
+    def cycles_for(self, out_rows: int, inner: int, batch: int = 1) -> int:
+        """Photonic cycles to compute a (out_rows x inner) @ (inner x batch)
+        matmul by tiling it over this array."""
+        if out_rows < 1 or inner < 1 or batch < 1:
+            raise ConfigurationError("matmul dimensions must be >= 1")
+        row_tiles = -(-out_rows // self.rows)
+        inner_tiles = -(-inner // self.cols)
+        return row_tiles * inner_tiles * batch
+
+    def cycle_energy_breakdown_pj(
+        self,
+        average_weight_magnitude: float = 0.5,
+        weight_refresh_cycles: int = 1,
+    ) -> dict:
+        """Per-cycle energy split into laser / tuning / dac / adc terms.
+
+        Includes input DACs (one per column), weight DACs (amortized over
+        the weight-stationary window and over row groups sharing a DAC),
+        MR tuning hold power, VCSEL electrical power, and the row ADCs.
+
+        Args:
+            average_weight_magnitude: mean |w| of held weights in [0, 1];
+                sets the average tuning shift and so the TO/EO hold power.
+            weight_refresh_cycles: photonic cycles a weight tile stays
+                resident before the DACs re-imprint it.  Weight-stationary
+                dataflows (a tile reused across a whole sequence or vertex
+                block) amortize the weight-conversion energy by this factor.
+        """
+        if not 0.0 <= average_weight_magnitude <= 1.0:
+            raise ConfigurationError(
+                "average weight magnitude must be in [0, 1], got "
+                f"{average_weight_magnitude}"
+            )
+        if weight_refresh_cycles < 1:
+            raise ConfigurationError(
+                "weight refresh interval must be >= 1 cycle, got "
+                f"{weight_refresh_cycles}"
+            )
+        cycle_ns = self.cycle_ns
+        # Converters: cols input DACs fire every cycle; rows ADCs fire every
+        # cycle; weight DACs re-imprint once per refresh window per row group
+        # — unless PCM cells hold the weights, in which case the refresh is
+        # an amortized write burst instead.
+        input_dac_pj = self.cols * self.dac.energy_per_conversion_pj
+        if self.pcm is not None:
+            weight_dac_pj = (
+                self.pcm.program_energy_pj(self.rows * self.cols)
+                / weight_refresh_cycles
+            )
+        else:
+            weight_groups = -(-self.rows // self.weight_dacs_shared)
+            weight_dac_pj = (
+                weight_groups
+                * self.cols
+                * self.dac.energy_per_conversion_pj
+                / weight_refresh_cycles
+            )
+        adc_pj = self.rows * self.adc.energy_per_conversion_pj
+        # Tuning hold power for every MR holding a value this cycle; PCM
+        # weight cells hold state with zero static power, so only the input
+        # bank's MRs need active tuning in that case.
+        shift_nm = self._bank.imprint_shifts_nm(
+            np.array([average_weight_magnitude])
+        )[0]
+        per_mr_power = self._bank.tuner.average_hold_power_mw([shift_nm])
+        tuned_mrs = self.cols if self.pcm is not None else self.num_mrs
+        tuning_pj = per_mr_power * tuned_mrs * cycle_ns
+        # Laser: one VCSEL per column at mid-scale power.
+        vcsel_power = self.vcsel.electrical_power_mw(0.5 * self.vcsel.max_power_mw)
+        laser_pj = vcsel_power * self.cols * cycle_ns
+        return {
+            "laser_pj": laser_pj,
+            "tuning_pj": tuning_pj,
+            "dac_pj": input_dac_pj + weight_dac_pj,
+            "adc_pj": adc_pj,
+        }
+
+    def cycle_energy_pj(
+        self,
+        average_weight_magnitude: float = 0.5,
+        weight_refresh_cycles: int = 1,
+    ) -> float:
+        """Total energy of one photonic cycle (sum of the breakdown)."""
+        return sum(
+            self.cycle_energy_breakdown_pj(
+                average_weight_magnitude, weight_refresh_cycles
+            ).values()
+        )
+
+    def hold_power_mw(
+        self,
+        average_weight_magnitude: float = 0.5,
+        weight_refresh_cycles: int = 1,
+    ) -> float:
+        """Static power while the array is active (converters + tuning +
+        lasers), for duty-cycle-based energy accounting."""
+        return (
+            self.cycle_energy_pj(average_weight_magnitude, weight_refresh_cycles)
+            / self.cycle_ns
+        )

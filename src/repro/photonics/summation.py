@@ -1,0 +1,188 @@
+"""Coherent summation and the optical comparator (Figs. 3b and 7a).
+
+Coherent summation uses a *single* wavelength on several waveguides: each
+VCSEL emits a field whose amplitude encodes one addend, and when the
+waveguides merge, constructive interference of the in-phase fields adds
+them (paper Section IV, Fig. 3b).  GHOST's reduce units are built from
+this block, with an optional optical comparator stage turning the adder
+into a max-reduce for max-aggregation GNNs (Fig. 7a).
+
+As elsewhere, a functional model (numbers in, numbers out, optional
+noise) coexists with a cost model (energy per reduce operation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.photonics.converters import ADC, DAC
+from repro.photonics.devices import Photodetector, VCSEL
+from repro.photonics.noise import AnalogNoiseModel
+
+
+@dataclass
+class CoherentSummationUnit:
+    """Optical coherent adder: sums up to ``fan_in`` values per cycle.
+
+    Attributes:
+        fan_in: number of waveguide arms (addends per operation).
+        clock_ghz: operation rate.
+        vcsel: laser model, one per arm.
+        detector: photodetector reading the interfered output.
+        dac: converter driving each VCSEL's amplitude.
+        adc: converter digitizing the detected sum (when the result leaves
+            the optical domain; in GHOST it usually continues optically
+            into the transform unit, so the ADC is charged only when
+            ``detect=True``).
+        noise: optional analog noise model (homodyne crosstalk shows up as
+            a relative error on coherent sums).
+    """
+
+    fan_in: int
+    clock_ghz: float = 5.0
+    vcsel: VCSEL = field(default_factory=VCSEL)
+    detector: Photodetector = field(default_factory=Photodetector)
+    dac: DAC = field(default_factory=DAC)
+    adc: ADC = field(default_factory=ADC)
+    noise: Optional[AnalogNoiseModel] = None
+
+    def __post_init__(self) -> None:
+        if self.fan_in < 1:
+            raise ConfigurationError(f"fan-in must be >= 1, got {self.fan_in}")
+        if self.clock_ghz <= 0.0:
+            raise ConfigurationError(
+                f"clock must be > 0 GHz, got {self.clock_ghz}"
+            )
+
+    @property
+    def cycle_ns(self) -> float:
+        """One summation operation's latency."""
+        return 1.0 / self.clock_ghz
+
+    def sum(self, values: np.ndarray) -> float:
+        """Coherently sum a vector of up to ``fan_in`` signed values."""
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 1 or values.size > self.fan_in:
+            raise ConfigurationError(
+                f"expected a vector of <= {self.fan_in} values, got shape "
+                f"{values.shape}"
+            )
+        result = float(values.sum())
+        if self.noise is not None:
+            result = float(
+                self.noise.apply_dot_products(
+                    np.array(result), fan_in=max(values.size, 1)
+                )
+            )
+        return result
+
+    def sum_rows(self, matrix: np.ndarray) -> np.ndarray:
+        """Sum each row of a (features x neighbours) matrix.
+
+        This is one reduce-unit invocation in GHOST: each feature lane is a
+        row, each neighbour a column (Fig. 7a).
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ConfigurationError(
+                f"expected a 2-D matrix, got shape {matrix.shape}"
+            )
+        if matrix.shape[1] > self.fan_in:
+            raise ConfigurationError(
+                f"{matrix.shape[1]} neighbours exceed fan-in {self.fan_in}"
+            )
+        result = matrix.sum(axis=1)
+        if self.noise is not None:
+            result = self.noise.apply_dot_products(
+                result, fan_in=matrix.shape[1]
+            )
+        return result
+
+    def operation_energy_pj(self, active_arms: Optional[int] = None, detect: bool = False) -> float:
+        """Energy of one summation operation.
+
+        Args:
+            active_arms: addends actually present (defaults to full fan-in).
+            detect: charge an ADC conversion for reading the result out to
+                the digital domain.
+        """
+        arms = self.fan_in if active_arms is None else active_arms
+        if arms < 0 or arms > self.fan_in:
+            raise ConfigurationError(
+                f"active arms must be in [0, {self.fan_in}], got {arms}"
+            )
+        cycle = self.cycle_ns
+        vcsel_pj = (
+            self.vcsel.electrical_power_mw(0.5 * self.vcsel.max_power_mw)
+            * arms
+            * cycle
+        )
+        dac_pj = arms * self.dac.energy_per_conversion_pj
+        adc_pj = self.adc.energy_per_conversion_pj if detect else 0.0
+        return vcsel_pj + dac_pj + adc_pj
+
+
+@dataclass
+class OpticalComparator:
+    """Optical comparator enabling max-reduction (Fig. 7a).
+
+    Pairwise comparisons run as a tree: each stage interferes two signals
+    and keeps the stronger.  ``max`` over n inputs takes ceil(log2(n))
+    optical stages, still far faster than serial electronic comparison.
+    """
+
+    fan_in: int
+    clock_ghz: float = 5.0
+    stage_power_mw: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.fan_in < 1:
+            raise ConfigurationError(f"fan-in must be >= 1, got {self.fan_in}")
+        if self.clock_ghz <= 0.0:
+            raise ConfigurationError(f"clock must be > 0 GHz, got {self.clock_ghz}")
+        if self.stage_power_mw < 0.0:
+            raise ConfigurationError(
+                f"stage power must be >= 0 mW, got {self.stage_power_mw}"
+            )
+
+    @property
+    def num_stages(self) -> int:
+        """Comparator tree depth for the full fan-in."""
+        return max(int(np.ceil(np.log2(max(self.fan_in, 1)))), 1) if self.fan_in > 1 else 1
+
+    @property
+    def latency_ns(self) -> float:
+        """Latency of one full max-reduction."""
+        return self.num_stages / self.clock_ghz
+
+    def max(self, values: np.ndarray) -> float:
+        """Max-reduce a vector of up to ``fan_in`` values."""
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 1 or values.size == 0 or values.size > self.fan_in:
+            raise ConfigurationError(
+                f"expected a non-empty vector of <= {self.fan_in} values, "
+                f"got shape {values.shape}"
+            )
+        return float(values.max())
+
+    def max_rows(self, matrix: np.ndarray) -> np.ndarray:
+        """Max-reduce each row of a (features x neighbours) matrix."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] == 0:
+            raise ConfigurationError(
+                f"expected a non-empty 2-D matrix, got shape {matrix.shape}"
+            )
+        if matrix.shape[1] > self.fan_in:
+            raise ConfigurationError(
+                f"{matrix.shape[1]} neighbours exceed fan-in {self.fan_in}"
+            )
+        return matrix.max(axis=1)
+
+    def operation_energy_pj(self) -> float:
+        """Energy of one full max-reduction through the comparator tree."""
+        active_comparators = max(self.fan_in - 1, 1)
+        return self.stage_power_mw * active_comparators / self.clock_ghz

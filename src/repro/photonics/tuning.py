@@ -1,0 +1,231 @@
+"""MR tuning circuits: electro-optic, thermo-optic, and the hybrid policy.
+
+Section V.A of the paper: EO tuning is fast and cheap but covers only a
+small resonance shift; TO tuning covers a large range (up to a full FSR)
+but is slow and power hungry.  The accelerators use a *hybrid* policy —
+EO for the frequent small shifts that encode parameters, TO engaged only
+infrequently when a large shift is required — plus thermal eigenmode
+decomposition (TED, see :mod:`repro.photonics.thermal`) to cut TO power.
+
+Typical device numbers follow the values used across this group's
+accelerator papers (CrossLight DAC'21, SONIC ASPDAC'22, RecLight ISVLSI'22):
+EO tuning ~4 uW average power with sub-ns latency and ~0.6 nm usable range;
+TO tuning ~275 uW/nm with ~4 us time constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import ConfigurationError
+
+
+class TuningMechanism(Enum):
+    """Which physical effect produced a resonance shift."""
+
+    EO = "electro-optic"
+    TO = "thermo-optic"
+    HYBRID = "hybrid (TO coarse + EO fine)"
+
+
+@dataclass(frozen=True)
+class TuningEvent:
+    """Cost record for one resonance-shift operation.
+
+    Attributes:
+        delta_lambda_nm: the (absolute) resonance shift applied.
+        mechanism: which tuner(s) produced it.
+        power_mw: average electrical power drawn while the shift is held.
+        latency_ns: time until the shift settles.
+        energy_pj: settling energy (power * latency); holding energy is
+            accounted separately by the architecture model via ``power_mw``.
+    """
+
+    delta_lambda_nm: float
+    mechanism: TuningMechanism
+    power_mw: float
+    latency_ns: float
+
+    @property
+    def energy_pj(self) -> float:
+        return self.power_mw * self.latency_ns
+
+
+@dataclass
+class EOTuner:
+    """Electro-optic (carrier-injection/depletion) tuner.
+
+    Attributes:
+        max_shift_nm: usable tuning range; EO index change saturates, so
+            shifts beyond this must fall back to TO tuning.
+        power_mw: average power while holding a shift (weakly dependent on
+            the shift magnitude for depletion-mode tuners, so modelled
+            constant).
+        latency_ns: settling latency (carrier dynamics, sub-ns).
+    """
+
+    max_shift_nm: float = 0.6
+    power_mw: float = 0.004  # 4 uW
+    latency_ns: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_shift_nm <= 0.0:
+            raise ConfigurationError(
+                f"EO max shift must be > 0 nm, got {self.max_shift_nm}"
+            )
+        if self.power_mw < 0.0 or self.latency_ns < 0.0:
+            raise ConfigurationError("EO power and latency must be >= 0")
+
+    def can_reach(self, delta_lambda_nm: float) -> bool:
+        """Whether the requested shift lies inside the EO range."""
+        return abs(delta_lambda_nm) <= self.max_shift_nm
+
+    def tune(self, delta_lambda_nm: float) -> TuningEvent:
+        """Apply a shift; raises if it exceeds the EO range."""
+        if not self.can_reach(delta_lambda_nm):
+            raise ConfigurationError(
+                f"EO tuner cannot reach {delta_lambda_nm:.3f} nm "
+                f"(range +/-{self.max_shift_nm:.3f} nm)"
+            )
+        return TuningEvent(
+            delta_lambda_nm=abs(delta_lambda_nm),
+            mechanism=TuningMechanism.EO,
+            power_mw=self.power_mw,
+            latency_ns=self.latency_ns,
+        )
+
+
+@dataclass
+class TOTuner:
+    """Thermo-optic (integrated heater) tuner.
+
+    Attributes:
+        efficiency_nm_per_mw: resonance shift per milliwatt of heater power.
+        max_shift_nm: range limit — a well-designed heater reaches a full
+            FSR, so set this from the ring's FSR.
+        latency_ns: thermal time constant (microseconds).
+        ted_power_factor: multiplicative reduction of heater power when the
+            thermal eigenmode decomposition method is enabled (Section V.A);
+            1.0 disables TED.
+    """
+
+    efficiency_nm_per_mw: float = 0.25
+    max_shift_nm: float = 20.0
+    latency_ns: float = 4000.0
+    ted_power_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.efficiency_nm_per_mw <= 0.0:
+            raise ConfigurationError(
+                f"TO efficiency must be > 0 nm/mW, got {self.efficiency_nm_per_mw}"
+            )
+        if self.max_shift_nm <= 0.0:
+            raise ConfigurationError(
+                f"TO max shift must be > 0 nm, got {self.max_shift_nm}"
+            )
+        if not 0.0 < self.ted_power_factor <= 1.0:
+            raise ConfigurationError(
+                f"TED power factor must be in (0, 1], got {self.ted_power_factor}"
+            )
+
+    def can_reach(self, delta_lambda_nm: float) -> bool:
+        """Whether the requested shift lies inside the TO range."""
+        return abs(delta_lambda_nm) <= self.max_shift_nm
+
+    def power_for_shift_mw(self, delta_lambda_nm: float) -> float:
+        """Heater power needed to hold a given shift (TED applied)."""
+        return abs(delta_lambda_nm) / self.efficiency_nm_per_mw * self.ted_power_factor
+
+    def tune(self, delta_lambda_nm: float) -> TuningEvent:
+        """Apply a shift; raises if it exceeds the TO range."""
+        if not self.can_reach(delta_lambda_nm):
+            raise ConfigurationError(
+                f"TO tuner cannot reach {delta_lambda_nm:.3f} nm "
+                f"(range +/-{self.max_shift_nm:.3f} nm)"
+            )
+        return TuningEvent(
+            delta_lambda_nm=abs(delta_lambda_nm),
+            mechanism=TuningMechanism.TO,
+            power_mw=self.power_for_shift_mw(delta_lambda_nm),
+            latency_ns=self.latency_ns,
+        )
+
+
+@dataclass
+class HybridTuner:
+    """The paper's hybrid EO+TO tuning policy (Section V.A).
+
+    Small, frequent shifts (parameter imprinting every photonic cycle) use
+    the fast EO tuner.  Shifts beyond the EO range engage the slow TO
+    heater for the coarse part and the EO tuner for the residual fine
+    part.  The policy tracks how often TO was engaged so architecture
+    models can amortize its latency over many cycles.
+
+    Attributes:
+        eo: the electro-optic tuner.
+        to: the thermo-optic tuner.
+    """
+
+    eo: EOTuner = field(default_factory=EOTuner)
+    to: TOTuner = field(default_factory=TOTuner)
+    eo_events: int = field(default=0, init=False)
+    to_events: int = field(default=0, init=False)
+
+    @property
+    def max_shift_nm(self) -> float:
+        """Total reachable shift (TO coarse + EO fine)."""
+        return self.to.max_shift_nm + self.eo.max_shift_nm
+
+    def tune(self, delta_lambda_nm: float) -> TuningEvent:
+        """Apply a shift with the hybrid policy.
+
+        Returns a :class:`TuningEvent` whose power is the sum of the engaged
+        mechanisms and whose latency is the slowest engaged mechanism.
+        """
+        magnitude = abs(delta_lambda_nm)
+        if self.eo.can_reach(magnitude):
+            self.eo_events += 1
+            return self.eo.tune(magnitude)
+        if magnitude > self.max_shift_nm:
+            raise ConfigurationError(
+                f"hybrid tuner cannot reach {magnitude:.3f} nm "
+                f"(range +/-{self.max_shift_nm:.3f} nm)"
+            )
+        # TO provides the coarse shift down to the EO range boundary; EO
+        # covers the residual so the heater setpoint changes infrequently.
+        coarse = magnitude - self.eo.max_shift_nm
+        to_event = self.to.tune(coarse)
+        eo_event = self.eo.tune(self.eo.max_shift_nm)
+        self.to_events += 1
+        self.eo_events += 1
+        return TuningEvent(
+            delta_lambda_nm=magnitude,
+            mechanism=TuningMechanism.HYBRID,
+            power_mw=to_event.power_mw + eo_event.power_mw,
+            latency_ns=max(to_event.latency_ns, eo_event.latency_ns),
+        )
+
+    def average_hold_power_mw(self, shifts_nm) -> float:
+        """Mean holding power over a sequence of requested shifts.
+
+        Architecture models call this with the distribution of weight
+        shifts a bank will hold during steady-state inference.
+        """
+        shifts = list(shifts_nm)
+        if not shifts:
+            return 0.0
+        total = 0.0
+        for shift in shifts:
+            magnitude = abs(shift)
+            if self.eo.can_reach(magnitude):
+                total += self.eo.power_mw
+            else:
+                coarse = magnitude - self.eo.max_shift_nm
+                total += self.to.power_for_shift_mw(coarse) + self.eo.power_mw
+        return total / len(shifts)
+
+    def reset_counters(self) -> None:
+        """Zero the EO/TO engagement counters."""
+        self.eo_events = 0
+        self.to_events = 0

@@ -1,0 +1,263 @@
+"""Optical loss budgets, WDM buses and the laser power solver.
+
+The laser must deliver enough power that, after every splitter, coupler,
+MR pass-by and centimetre of waveguide, the photodetector still sees a
+signal above its sensitivity floor.  This link-budget closure determines
+the laser (and therefore total) power of both accelerators, and it caps
+how *large* an MR bank array can be before the budget no longer closes —
+the fundamental scale limit of analog photonic matmul.
+
+Loss values default to the figures used across the CrossLight / SONIC /
+TRON / GHOST papers (per-element dB losses of silicon photonic PDKs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError, LinkBudgetError
+from repro.photonics.devices import Photodetector, VCSEL
+from repro.units import dbm_to_mw, mw_to_dbm
+
+
+@dataclass(frozen=True)
+class LossBudget:
+    """Per-element insertion losses of an optical path (all in dB).
+
+    Attributes:
+        propagation_db_per_cm: waveguide propagation loss.
+        per_mr_through_db: loss of passing *by* one (off-resonance) MR.
+        per_mr_drop_db: loss of being dropped through an on-resonance MR.
+        splitter_db: excess loss of one Y-splitter stage.
+        coupler_db: fibre/laser-to-chip coupling loss.
+        combiner_db: excess loss of one combiner stage.
+        ec_penalty_db: aggregate penalty for crossings and bends.
+    """
+
+    propagation_db_per_cm: float = 0.274
+    per_mr_through_db: float = 0.02
+    per_mr_drop_db: float = 0.5
+    splitter_db: float = 0.13
+    coupler_db: float = 1.5
+    combiner_db: float = 0.13
+    ec_penalty_db: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "propagation_db_per_cm",
+            "per_mr_through_db",
+            "per_mr_drop_db",
+            "splitter_db",
+            "coupler_db",
+            "combiner_db",
+            "ec_penalty_db",
+        ):
+            if getattr(self, name) < 0.0:
+                raise ConfigurationError(f"{name} must be >= 0 dB")
+
+    def path_loss_db(
+        self,
+        waveguide_cm: float,
+        mrs_passed: int,
+        mrs_dropped: int = 0,
+        splitter_stages: int = 0,
+        combiner_stages: int = 0,
+    ) -> float:
+        """Total insertion loss of a path through the accelerator (dB).
+
+        Splitting a signal ``2**splitter_stages`` ways additionally costs
+        3.01 dB of *intrinsic* power division per stage on top of the
+        excess loss.
+        """
+        if waveguide_cm < 0.0 or mrs_passed < 0 or mrs_dropped < 0:
+            raise ConfigurationError("path parameters must be >= 0")
+        intrinsic_split_db = 3.0103 * splitter_stages
+        return (
+            self.coupler_db
+            + self.propagation_db_per_cm * waveguide_cm
+            + self.per_mr_through_db * mrs_passed
+            + self.per_mr_drop_db * mrs_dropped
+            + (self.splitter_db + 0.0) * splitter_stages
+            + intrinsic_split_db
+            + self.combiner_db * combiner_stages
+            + self.ec_penalty_db
+        )
+
+
+@dataclass
+class WDMBus:
+    """A waveguide carrying a WDM comb through a series of MR banks.
+
+    Used by the functional models to track per-wavelength power as signals
+    traverse imprint stages; used by the cost models to count MR pass-bys
+    for the loss budget.
+
+    Attributes:
+        num_wavelengths: channels multiplexed on this bus.
+        launch_power_mw: per-channel power at the bus input.
+        budget: the loss budget applied to propagation on this bus.
+    """
+
+    num_wavelengths: int
+    launch_power_mw: float = 1.0
+    budget: LossBudget = field(default_factory=LossBudget)
+    _stage_losses_db: List[float] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_wavelengths < 1:
+            raise ConfigurationError(
+                f"need >= 1 wavelength, got {self.num_wavelengths}"
+            )
+        if self.launch_power_mw <= 0.0:
+            raise ConfigurationError(
+                f"launch power must be > 0 mW, got {self.launch_power_mw}"
+            )
+
+    def add_bank_stage(self, mrs_in_bank: int) -> None:
+        """Record traversal of one MR bank (each channel passes all MRs)."""
+        if mrs_in_bank < 1:
+            raise ConfigurationError(f"bank must have >= 1 MR, got {mrs_in_bank}")
+        self._stage_losses_db.append(self.budget.per_mr_through_db * mrs_in_bank)
+
+    def add_waveguide(self, length_cm: float) -> None:
+        """Record a stretch of plain waveguide."""
+        if length_cm < 0.0:
+            raise ConfigurationError(f"length must be >= 0 cm, got {length_cm}")
+        self._stage_losses_db.append(self.budget.propagation_db_per_cm * length_cm)
+
+    @property
+    def accumulated_loss_db(self) -> float:
+        """Loss accumulated by all recorded stages."""
+        return sum(self._stage_losses_db)
+
+    @property
+    def output_power_mw(self) -> float:
+        """Per-channel power at the current end of the bus."""
+        return self.launch_power_mw * 10.0 ** (-self.accumulated_loss_db / 10.0)
+
+
+@dataclass(frozen=True)
+class LaserPowerSolver:
+    """Solves the per-wavelength laser power for link-budget closure.
+
+    P_laser(dBm) >= sensitivity(dBm) + total path loss(dB) + margin(dB)
+
+    Attributes:
+        budget: loss model.
+        detector: the photodetector terminating the path.
+        margin_db: engineering margin on top of the sensitivity floor.
+    """
+
+    budget: LossBudget = LossBudget()
+    detector: Photodetector = Photodetector()
+    margin_db: float = 1.0
+
+    def required_laser_power_mw(
+        self,
+        waveguide_cm: float,
+        mrs_passed: int,
+        mrs_dropped: int = 0,
+        splitter_stages: int = 0,
+        combiner_stages: int = 0,
+    ) -> float:
+        """Minimum per-wavelength laser power for this path (mW)."""
+        loss_db = self.budget.path_loss_db(
+            waveguide_cm,
+            mrs_passed,
+            mrs_dropped=mrs_dropped,
+            splitter_stages=splitter_stages,
+            combiner_stages=combiner_stages,
+        )
+        required_dbm = self.detector.sensitivity_dbm + loss_db + self.margin_db
+        return dbm_to_mw(required_dbm)
+
+    def check_budget(
+        self,
+        laser_power_mw: float,
+        waveguide_cm: float,
+        mrs_passed: int,
+        mrs_dropped: int = 0,
+        splitter_stages: int = 0,
+        combiner_stages: int = 0,
+    ) -> float:
+        """Margin (dB) by which a laser power closes the budget.
+
+        Raises:
+            LinkBudgetError: if the budget does not close.
+        """
+        if laser_power_mw <= 0.0:
+            raise ConfigurationError(
+                f"laser power must be > 0 mW, got {laser_power_mw}"
+            )
+        loss_db = self.budget.path_loss_db(
+            waveguide_cm,
+            mrs_passed,
+            mrs_dropped=mrs_dropped,
+            splitter_stages=splitter_stages,
+            combiner_stages=combiner_stages,
+        )
+        received_dbm = mw_to_dbm(laser_power_mw) - loss_db
+        margin = received_dbm - self.detector.sensitivity_dbm
+        if margin < 0.0:
+            raise LinkBudgetError(
+                f"link budget fails to close: received {received_dbm:.1f} dBm "
+                f"is {-margin:.1f} dB below the {self.detector.sensitivity_dbm:.1f} "
+                f"dBm sensitivity floor"
+            )
+        return margin
+
+    def max_array_size(
+        self,
+        laser_power_mw: float,
+        waveguide_cm_per_mr: float = 0.002,
+        max_size: int = 512,
+    ) -> int:
+        """Largest square MR bank array the budget supports.
+
+        Each added column means one more MR pass-by and a little more
+        waveguide; each doubling of rows costs one splitter stage.  Returns
+        the largest N such that an N x N array still closes the budget.
+
+        Raises:
+            LinkBudgetError: if even a 1x1 array cannot close.
+        """
+        best = 0
+        for size in range(1, max_size + 1):
+            splitter_stages = int(np.ceil(np.log2(size))) if size > 1 else 0
+            try:
+                self.check_budget(
+                    laser_power_mw,
+                    waveguide_cm=waveguide_cm_per_mr * size,
+                    mrs_passed=size,
+                    mrs_dropped=0,
+                    splitter_stages=splitter_stages,
+                    combiner_stages=splitter_stages,
+                )
+            except LinkBudgetError:
+                break
+            best = size
+        if best == 0:
+            raise LinkBudgetError(
+                f"laser power {laser_power_mw} mW cannot close even a 1x1 array"
+            )
+        return best
+
+
+def total_laser_wall_power_mw(
+    per_wavelength_mw: float,
+    num_wavelengths: int,
+    num_waveguides: int,
+    laser: VCSEL = VCSEL(),
+) -> float:
+    """Electrical wall power of the laser bank feeding an accelerator."""
+    if per_wavelength_mw <= 0.0:
+        raise ConfigurationError(
+            f"per-wavelength power must be > 0 mW, got {per_wavelength_mw}"
+        )
+    if num_wavelengths < 1 or num_waveguides < 1:
+        raise ConfigurationError("wavelength and waveguide counts must be >= 1")
+    optical_total = per_wavelength_mw * num_wavelengths * num_waveguides
+    return optical_total / laser.wall_plug_efficiency

@@ -1,0 +1,114 @@
+"""Unit conversion helpers and physical constants.
+
+Conventions used throughout the library (see DESIGN.md section 5):
+
+- wavelength: nanometres (nm)
+- optical / electrical power: milliwatts (mW), with dBm helpers
+- loss and gain: decibels (dB)
+- energy: picojoules (pJ)
+- time: nanoseconds (ns)
+- frequency: gigahertz (GHz)
+
+Keeping one module of explicit, well-tested converters avoids the classic
+1e-3/1e3 mistakes when mixing dBm link budgets with mW device models.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Speed of light, expressed in the library's native units (nm per ns).
+SPEED_OF_LIGHT_NM_PER_NS = 299_792_458.0  # c = 2.998e8 m/s = 2.998e17 nm/s
+
+#: Speed of light in m/s for callers that need SI.
+SPEED_OF_LIGHT_M_PER_S = 299_792_458.0
+
+#: Boltzmann constant in J/K (used by thermal noise models).
+BOLTZMANN_J_PER_K = 1.380_649e-23
+
+#: Elementary charge in coulombs (used by shot-noise models).
+ELEMENTARY_CHARGE_C = 1.602_176_634e-19
+
+
+def dbm_to_mw(power_dbm: float) -> float:
+    """Convert a power level in dBm to milliwatts."""
+    return 10.0 ** (power_dbm / 10.0)
+
+
+def mw_to_dbm(power_mw: float) -> float:
+    """Convert a power level in milliwatts to dBm.
+
+    Raises:
+        ValueError: if ``power_mw`` is not strictly positive (0 mW is
+            -infinity dBm, which is never a meaningful link-budget input).
+    """
+    if power_mw <= 0.0:
+        raise ValueError(f"power must be > 0 mW to convert to dBm, got {power_mw}")
+    return 10.0 * math.log10(power_mw)
+
+
+def db_to_linear(value_db: float) -> float:
+    """Convert a gain/loss in dB to a linear power ratio."""
+    return 10.0 ** (value_db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB.
+
+    Raises:
+        ValueError: if ``ratio`` is not strictly positive.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be > 0 to convert to dB, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def wavelength_nm_to_frequency_ghz(wavelength_nm: float) -> float:
+    """Convert an optical wavelength in nm to frequency in GHz."""
+    if wavelength_nm <= 0.0:
+        raise ValueError(f"wavelength must be > 0 nm, got {wavelength_nm}")
+    # c [m/s] / lambda [m] = f [Hz]; scale to GHz.
+    return SPEED_OF_LIGHT_M_PER_S / (wavelength_nm * 1e-9) / 1e9
+
+
+def frequency_ghz_to_wavelength_nm(frequency_ghz: float) -> float:
+    """Convert an optical frequency in GHz to wavelength in nm."""
+    if frequency_ghz <= 0.0:
+        raise ValueError(f"frequency must be > 0 GHz, got {frequency_ghz}")
+    return SPEED_OF_LIGHT_M_PER_S / (frequency_ghz * 1e9) * 1e9
+
+
+def energy_pj(power_mw: float, time_ns: float) -> float:
+    """Energy in pJ for a block drawing ``power_mw`` for ``time_ns``.
+
+    1 mW * 1 ns = 1 pJ, so this is a straight product; the helper exists to
+    make call sites self-documenting and unit-correct by construction.
+    """
+    return power_mw * time_ns
+
+
+def joules_to_pj(energy_j: float) -> float:
+    """Convert joules to picojoules."""
+    return energy_j * 1e12
+
+
+def pj_to_joules(energy_pj_value: float) -> float:
+    """Convert picojoules to joules."""
+    return energy_pj_value * 1e-12
+
+
+def ghz_period_ns(frequency_ghz: float) -> float:
+    """Clock period in ns for a clock frequency in GHz."""
+    if frequency_ghz <= 0.0:
+        raise ValueError(f"frequency must be > 0 GHz, got {frequency_ghz}")
+    return 1.0 / frequency_ghz
+
+
+def watts_to_mw(power_w: float) -> float:
+    """Convert watts to milliwatts."""
+    return power_w * 1e3
+
+
+def mw_to_watts(power_mw: float) -> float:
+    """Convert milliwatts to watts."""
+    return power_mw * 1e-3

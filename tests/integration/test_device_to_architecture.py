@@ -1,0 +1,71 @@
+"""Cross-layer integration: device physics feeding architecture decisions."""
+
+import numpy as np
+import pytest
+
+from repro.core.tron import TRONConfig
+from repro.photonics.crosstalk import max_channels_for_snr
+from repro.photonics.dse import MRDesignSpaceExplorer
+from repro.photonics.microring import Microring, MicroringDesign
+from repro.photonics.mrbank import MRBank, MRBankArray
+from repro.photonics.waveguide import LaserPowerSolver
+
+
+class TestDeviceToBank:
+    def test_dse_design_builds_working_bank(self):
+        """The best DSE point must produce an MR bank whose channel count
+        and crosstalk match what the explorer promised."""
+        explorer = MRDesignSpaceExplorer()
+        point = explorer.best()
+        bank = MRBank(
+            size=point.plan.num_channels, design=point.design, plan=point.plan
+        )
+        from repro.units import linear_to_db
+
+        snr = linear_to_db(1.0 / bank.crosstalk_ratio())
+        assert snr >= explorer.min_snr_db - 1.0
+
+    def test_bank_array_uses_ring_extinction_window(self, rng):
+        """The array's functional dot product stays exact regardless of the
+        ring design chosen, because imprinting maps onto the achievable
+        transmission window."""
+        for coupling in (0.97, 0.985, 0.995):
+            design = MicroringDesign(
+                self_coupling=coupling, drop_coupling=coupling
+            )
+            array = MRBankArray(rows=4, cols=4, design=design)
+            w = rng.uniform(-1, 1, (4, 4))
+            x = rng.uniform(-1, 1, 4)
+            assert np.allclose(array.matvec(w, x), w @ x)
+
+
+class TestLinkBudgetBoundsArchitecture:
+    def test_default_tron_arrays_close_link_budget(self):
+        """TRON's 64-wide arrays must be reachable with a 2 mW laser under
+        the default loss budget — otherwise the config is physically
+        inconsistent."""
+        config = TRONConfig()
+        solver = LaserPowerSolver()
+        assert solver.max_array_size(2.0) >= config.array_cols
+
+    def test_wavelength_count_vs_crosstalk_consistent(self):
+        """A 64-channel comb inside one FSR violates the 20 dB SNR floor at
+        the default ring Q — which is why the arrays split their columns
+        across waveguide groups rather than one dense comb."""
+        ring = Microring.at_wavelength(MicroringDesign(), 1550.0)
+        plan = max_channels_for_snr(
+            q_factor=ring.quality_factor,
+            min_snr_db=20.0,
+            fsr_nm=ring.fsr_nm,
+        )
+        assert plan.num_channels < 64
+
+
+class TestThermalToTuningIntegration:
+    def test_bank_hold_power_uses_hybrid_policy(self, rng):
+        """Bank hold power for small imprint values stays in the EO regime
+        (microwatts per ring), not the TO regime (milliwatts)."""
+        bank = MRBank(size=16)
+        values = rng.uniform(0.0, 0.3, 16)
+        per_ring_mw = bank.hold_power_mw(values) / 16
+        assert per_ring_mw < 0.1

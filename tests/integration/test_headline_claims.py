@@ -1,0 +1,82 @@
+"""The paper's headline claims, regenerated from the simulators.
+
+Abstract: "both hardware accelerators achieve at least 10.2x throughput
+improvement and 3.8x better energy efficiency over multiple state-of-the-
+art electronic hardware accelerators"; Section VI: TRON ">= 14x better
+throughput and 8x better energy efficiency", GHOST ">= 10.2x ... 3.8x".
+"""
+
+import pytest
+
+from repro.analysis.claims import PAPER_CLAIMS, check_headline_claims
+from repro.analysis.figures import (
+    fig8_llm_epb,
+    fig9_llm_gops,
+    fig10_gnn_epb,
+    fig11_gnn_gops,
+)
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return {check.figure: check for check in check_headline_claims()}
+
+
+class TestHeadlineClaims:
+    def test_all_four_claims_hold(self, checks):
+        failures = [c.format() for c in checks.values() if not c.holds]
+        assert not failures, "\n".join(failures)
+
+    def test_tron_throughput_at_least_14x(self, checks):
+        assert checks["Fig. 9"].measured_min_ratio >= 14.0
+
+    def test_tron_energy_at_least_8x(self, checks):
+        assert checks["Fig. 8"].measured_min_ratio >= 8.0
+
+    def test_ghost_throughput_at_least_10_2x(self, checks):
+        assert checks["Fig. 11"].measured_min_ratio >= 10.2
+
+    def test_ghost_energy_at_least_3_8x(self, checks):
+        assert checks["Fig. 10"].measured_min_ratio >= 3.8
+
+    def test_claim_table_complete(self, checks):
+        assert set(checks) == set(PAPER_CLAIMS)
+
+
+class TestFigureStructure:
+    def test_fig8_has_all_platforms(self):
+        data = fig8_llm_epb()
+        assert set(data.table.platforms) == {
+            "TRON", "V100 GPU", "TPU v2", "Xeon CPU", "TransPIM",
+            "FPGA_Acc1", "VAQF", "FPGA_Acc2",
+        }
+
+    def test_fig10_has_all_platforms(self):
+        data = fig10_gnn_epb()
+        assert set(data.table.platforms) == {
+            "GHOST", "A100 GPU", "TPU v4", "Xeon CPU", "GRIP", "HyGCN",
+            "EnGN", "HW_ACC", "ReGNN", "ReGraphX",
+        }
+
+    def test_fig9_tron_beats_every_baseline_on_every_workload(self):
+        data = fig9_llm_gops()
+        table = data.table
+        for workload in table.workloads:
+            tron = table.value("TRON", workload)
+            for platform in table.platforms:
+                if platform != "TRON":
+                    assert tron > table.value(platform, workload)
+
+    def test_fig10_ghost_beats_every_baseline_on_every_workload(self):
+        data = fig10_gnn_epb()
+        table = data.table
+        for workload in table.workloads:
+            ghost = table.value("GHOST", workload)
+            for platform in table.platforms:
+                if platform != "GHOST":
+                    assert ghost < table.value(platform, workload)
+
+    def test_format_output_readable(self):
+        text = fig9_llm_gops().format()
+        assert "Fig. 9" in text
+        assert "minimum win ratio" in text

@@ -1,0 +1,118 @@
+"""End-to-end TRON integration: functional fidelity + cost consistency."""
+
+import numpy as np
+import pytest
+
+from repro.core.tron import TRON, TRONConfig
+from repro.nn.models import MODEL_ZOO, bert_base
+from repro.nn.quantization import fake_quantize
+from repro.nn.transformer import (
+    TransformerConfig,
+    TransformerKind,
+    TransformerModel,
+)
+from repro.photonics.noise import AnalogNoiseModel, effective_bits
+
+
+class TestFunctionalFidelity:
+    def test_two_layer_stack_exact_without_noise(self, small_tron):
+        config = TransformerConfig(
+            name="t2",
+            kind=TransformerKind.ENCODER_ONLY,
+            num_layers=2,
+            d_model=32,
+            num_heads=4,
+            d_ff=48,
+            seq_len=10,
+        )
+        model = TransformerModel(config, rng_seed=11)
+        x = model.sample_input()
+        assert np.allclose(
+            small_tron.forward(model, x), model.forward(x), atol=1e-9
+        )
+
+    def test_noisy_inference_keeps_useful_precision(self, tiny_transformer):
+        """With a DSE-optimized device (Section V.B drives heterodyne
+        crosstalk to negligible levels) the optical output retains several
+        effective bits relative to the electronic reference."""
+        noisy = TRON(
+            TRONConfig(
+                num_head_units=2,
+                array_rows=16,
+                array_cols=16,
+                num_linear_arrays=1,
+                num_ff_arrays=2,
+                noise=AnalogNoiseModel(
+                    relative_sigma=0.002,
+                    crosstalk_fraction_scale=0.05,
+                    rng=np.random.default_rng(0),
+                ),
+            )
+        )
+        x = tiny_transformer.sample_input()
+        reference = tiny_transformer.forward(x)
+        optical = noisy.forward(tiny_transformer, x)
+        enob = effective_bits(reference, optical)
+        assert enob > 4.0
+
+    def test_quantized_weights_track_full_precision(self, tiny_transformer):
+        """8-bit weight quantization barely moves the model output — the
+        premise of the paper's 8-bit operating point (Section VI)."""
+        x = tiny_transformer.sample_input()
+        reference = tiny_transformer.forward(x)
+        for layer in tiny_transformer.layers:
+            layer.mha.w_q = fake_quantize(layer.mha.w_q)
+            layer.mha.w_k = fake_quantize(layer.mha.w_k)
+            layer.mha.w_v = fake_quantize(layer.mha.w_v)
+            layer.mha.w_o = fake_quantize(layer.mha.w_o)
+            layer.w_ff1 = fake_quantize(layer.w_ff1)
+            layer.w_ff2 = fake_quantize(layer.w_ff2)
+        quantized = tiny_transformer.forward(x)
+        rel_err = np.abs(quantized - reference).mean() / (
+            np.abs(reference).mean()
+        )
+        assert rel_err < 0.05
+
+
+class TestCostConsistency:
+    @pytest.fixture(scope="class")
+    def tron(self):
+        return TRON(TRONConfig(batch=8))
+
+    def test_energy_equals_power_times_latency(self, tron):
+        report = tron.run_transformer(bert_base())
+        assert report.average_power_mw == pytest.approx(
+            report.energy_pj / report.latency_ns
+        )
+
+    def test_gops_consistent_with_ops_and_latency(self, tron):
+        report = tron.run_transformer(bert_base())
+        assert report.gops == pytest.approx(
+            report.ops.total_ops / report.latency_ns
+        )
+
+    def test_power_in_plausible_accelerator_range(self, tron):
+        """Average power should land in the tens-of-watts class the
+        photonic accelerator papers report, not milliwatts or kilowatts."""
+        report = tron.run_transformer(bert_base())
+        power_w = report.average_power_mw / 1e3
+        assert 1.0 < power_w < 500.0
+
+    def test_latency_ordering_matches_model_size(self, tron):
+        reports = {
+            name: tron.run_transformer(config)
+            for name, config in MODEL_ZOO.items()
+        }
+        assert (
+            reports["BERT-large"].latency_ns
+            > reports["BERT-base"].latency_ns
+            > reports["DistilBERT"].latency_ns
+        )
+
+    def test_seq_len_scaling_superlinear(self, tron):
+        """Attention's S^2 term should show up in the latency scaling."""
+        from repro.nn.models import bert_base as make_bert
+
+        short = tron.run_transformer(make_bert(seq_len=128))
+        long = tron.run_transformer(make_bert(seq_len=512))
+        assert long.latency_ns > 3.9 * short.latency_ns

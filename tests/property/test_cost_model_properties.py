@@ -1,0 +1,111 @@
+"""Property-based tests for op counting and cost-model invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduling import PipelineStage, pipeline_latency_ns
+from repro.nn.counting import OpCount, transformer_op_count
+from repro.nn.transformer import TransformerConfig, TransformerKind
+
+
+@st.composite
+def transformer_configs(draw):
+    heads = draw(st.integers(1, 8))
+    d_model = heads * draw(st.integers(4, 32))
+    return TransformerConfig(
+        name="prop",
+        kind=draw(st.sampled_from(list(TransformerKind))),
+        num_layers=draw(st.integers(1, 6)),
+        d_model=d_model,
+        num_heads=heads,
+        d_ff=draw(st.integers(8, 128)),
+        seq_len=draw(st.integers(1, 64)),
+    )
+
+
+class TestOpCountInvariants:
+    @given(config=transformer_configs())
+    @settings(max_examples=60, deadline=None)
+    def test_counts_nonnegative(self, config):
+        count = transformer_op_count(config)
+        assert count.macs >= 0
+        assert count.total_ops > 0
+        assert count.total_bytes > 0
+
+    @given(config=transformer_configs())
+    @settings(max_examples=60, deadline=None)
+    def test_total_ops_at_least_twice_macs(self, config):
+        count = transformer_op_count(config)
+        assert count.total_ops >= 2 * count.macs
+
+    @given(
+        config=transformer_configs(),
+        bytes_per_value=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bytes_linear_in_precision(self, config, bytes_per_value):
+        one = transformer_op_count(config, bytes_per_value=1)
+        scaled = transformer_op_count(config, bytes_per_value=bytes_per_value)
+        assert scaled.weight_bytes == bytes_per_value * one.weight_bytes
+        assert scaled.macs == one.macs  # ops unchanged by precision
+
+    @given(
+        a=st.integers(0, 10**6),
+        b=st.integers(0, 10**6),
+        factor=st.integers(0, 100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_opcount_algebra(self, a, b, factor):
+        total = OpCount(macs=a) + OpCount(macs=b)
+        assert total.macs == a + b
+        assert OpCount(macs=a).scaled(factor).macs == a * factor
+
+
+class TestPipelineInvariants:
+    @given(
+        latencies=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=8),
+        items=st.integers(1, 1000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pipeline_bounded_by_serial(self, latencies, items):
+        """Pipelined latency never exceeds fully-serial execution and
+        never beats the bottleneck bound."""
+        stages = [PipelineStage(str(i), l) for i, l in enumerate(latencies)]
+        pipelined = pipeline_latency_ns(stages, items)
+        serial = items * sum(latencies)
+        bottleneck_bound = max(latencies) * items
+        assert pipelined <= serial + 1e-6
+        assert pipelined >= bottleneck_bound - 1e-6
+
+    @given(
+        latencies=st.lists(st.floats(0.1, 50.0), min_size=1, max_size=6),
+        items=st.integers(1, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pipeline_monotone_in_items(self, latencies, items):
+        stages = [PipelineStage(str(i), l) for i, l in enumerate(latencies)]
+        assert pipeline_latency_ns(stages, items + 1) >= pipeline_latency_ns(
+            stages, items
+        )
+
+
+class TestBalancingInvariants:
+    @given(
+        work=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=64),
+        lanes=st.integers(1, 16),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_balanced_factor_at_least_one(self, work, lanes):
+        from repro.core.scheduling import balanced_assignment
+
+        assert balanced_assignment(work, lanes) >= 1.0 - 1e-9
+
+    @given(
+        work=st.lists(st.floats(0.1, 100.0), min_size=8, max_size=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_lane_perfectly_balanced(self, work):
+        from repro.core.scheduling import balanced_assignment
+
+        assert balanced_assignment(work, lanes=1) == 1.0

@@ -1,0 +1,102 @@
+"""Property-based tests for graph structures and partitioning."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.graph import CSRGraph
+from repro.graphs.partition import GraphPartitioner
+
+
+@st.composite
+def edge_lists(draw):
+    """Random (num_nodes, edges) pairs."""
+    n = draw(st.integers(2, 40))
+    num_edges = draw(st.integers(0, 80))
+    edges = [
+        (draw(st.integers(0, n - 1)), draw(st.integers(0, n - 1)))
+        for _ in range(num_edges)
+    ]
+    return n, edges
+
+
+class TestCSRInvariants:
+    @given(data=edge_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_undirected_construction_symmetric(self, data):
+        n, edges = data
+        graph = CSRGraph.from_edges(n, edges, undirected=True)
+        assert graph.is_symmetric()
+
+    @given(data=edge_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_degrees_sum_to_arc_count(self, data):
+        n, edges = data
+        graph = CSRGraph.from_edges(n, edges)
+        assert graph.degrees().sum() == graph.num_edges
+
+    @given(data=edge_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_no_self_loops_after_construction(self, data):
+        n, edges = data
+        graph = CSRGraph.from_edges(n, edges)
+        for v in range(graph.num_nodes):
+            assert v not in graph.neighbors(v)
+
+    @given(data=edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_dense_adjacency_consistent(self, data):
+        n, edges = data
+        graph = CSRGraph.from_edges(n, edges)
+        adj = graph.to_dense_adjacency()
+        assert adj.sum() == graph.num_edges
+        assert np.allclose(adj, adj.T)
+
+
+class TestPartitionInvariants:
+    @given(
+        n=st.integers(10, 80),
+        p=st.floats(0.02, 0.3),
+        lanes=st.integers(1, 16),
+        block=st.integers(1, 32),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_schedule_conserves_edges(self, n, p, lanes, block, seed):
+        """Every edge appears in exactly one partition block."""
+        graph = erdos_renyi(n, p, rng=np.random.default_rng(seed))
+        schedule = GraphPartitioner(lanes=lanes, input_block=block).schedule(
+            graph
+        )
+        assert sum(b.num_edges for b in schedule.blocks) == graph.num_edges
+
+    @given(
+        n=st.integers(10, 60),
+        p=st.floats(0.05, 0.3),
+        lanes=st.integers(1, 8),
+        block=st.integers(1, 16),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_blocks_cover_node_ranges(self, n, p, lanes, block, seed):
+        graph = erdos_renyi(n, p, rng=np.random.default_rng(seed))
+        schedule = GraphPartitioner(lanes=lanes, input_block=block).schedule(
+            graph
+        )
+        for b in schedule.blocks:
+            assert 0 <= b.output_start < b.output_end <= n
+            assert 0 <= b.input_start < b.input_end <= n
+            assert b.num_outputs <= lanes
+            assert b.num_inputs <= block
+
+    @given(
+        n=st.integers(10, 60),
+        p=st.floats(0.05, 0.3),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fetches_never_exceed_block_grid(self, n, p, seed):
+        graph = erdos_renyi(n, p, rng=np.random.default_rng(seed))
+        schedule = GraphPartitioner(lanes=8, input_block=8).schedule(graph)
+        assert schedule.input_fetches <= schedule.num_steps * 8

@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) for the photonic device models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.photonics.crosstalk import heterodyne_crosstalk_ratio, lorentzian_tail
+from repro.photonics.microring import Microring, MicroringDesign
+from repro.photonics.mrbank import MRBankArray
+from repro.photonics.summation import CoherentSummationUnit
+from repro.photonics.thermal import ThermalGrid
+
+ring_designs = st.builds(
+    MicroringDesign,
+    radius_um=st.floats(3.0, 15.0),
+    self_coupling=st.floats(0.95, 0.995),
+    drop_coupling=st.floats(0.95, 0.995),
+    loss_db_per_cm=st.floats(0.5, 10.0),
+)
+
+
+class TestMicroringProperties:
+    @given(design=ring_designs, offset=st.floats(-5.0, 5.0))
+    @settings(max_examples=50, deadline=None)
+    def test_transmission_always_physical(self, design, offset):
+        """Through and drop transmissions are power ratios in [0, 1] and
+        never sum above unity, for any in-range design and probe."""
+        ring = Microring.at_wavelength(design, 1550.0)
+        wl = ring.resonance_nm + offset
+        through = ring.through_transmission(wl)
+        drop = ring.drop_transmission(wl)
+        assert 0.0 <= through <= 1.0
+        assert 0.0 <= drop <= 1.0
+        assert through + drop <= 1.0 + 1e-9
+
+    @given(design=ring_designs, value=st.floats(0.0, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_imprint_detuning_bounded_by_half_fsr(self, design, value):
+        ring = Microring.at_wavelength(design, 1550.0)
+        shift = ring.imprint(value)
+        assert 0.0 <= shift <= 0.5 * ring.fsr_nm + 1e-9
+
+    @given(
+        design=ring_designs,
+        v1=st.floats(0.0, 1.0),
+        v2=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_imprint_monotone(self, design, v1, v2):
+        ring = Microring.at_wavelength(design, 1550.0)
+        lo, hi = sorted((v1, v2))
+        assert ring.imprint(lo) <= ring.imprint(hi) + 1e-12
+
+
+class TestCrosstalkProperties:
+    @given(
+        detuning=st.floats(0.0, 10.0),
+        fwhm=st.floats(0.01, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lorentzian_in_unit_interval(self, detuning, fwhm):
+        assert 0.0 <= lorentzian_tail(detuning, fwhm) <= 1.0
+
+    @given(
+        spacing=st.floats(0.1, 2.0),
+        q=st.floats(2000.0, 50000.0),
+        channels=st.integers(2, 16),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_crosstalk_nonnegative_and_bounded(self, spacing, q, channels):
+        ratio = heterodyne_crosstalk_ratio(spacing, q, num_channels=channels)
+        assert 0.0 <= ratio <= channels  # each tail contributes <= 1
+
+
+class TestMRBankArrayProperties:
+    @given(
+        rows=st.integers(1, 12),
+        cols=st.integers(1, 12),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_noiseless_matvec_is_exact(self, rows, cols, seed):
+        """For any geometry and operand values in [-1, 1], the ideal
+        analog dot product equals the numpy reference."""
+        rng = np.random.default_rng(seed)
+        array = MRBankArray(rows=rows, cols=cols)
+        w = rng.uniform(-1, 1, (rows, cols))
+        x = rng.uniform(-1, 1, cols)
+        assert np.allclose(array.matvec(w, x), w @ x, atol=1e-12)
+
+    @given(
+        rows=st.integers(1, 8),
+        cols=st.integers(1, 8),
+        refresh=st.integers(1, 1024),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cycle_energy_positive_and_monotone_in_refresh(
+        self, rows, cols, refresh
+    ):
+        array = MRBankArray(rows=rows, cols=cols)
+        fast = array.cycle_energy_pj(weight_refresh_cycles=1)
+        amortized = array.cycle_energy_pj(weight_refresh_cycles=refresh)
+        assert 0.0 < amortized <= fast
+
+
+class TestSummationProperties:
+    @given(
+        values=st.lists(st.floats(-10.0, 10.0), min_size=1, max_size=16),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_coherent_sum_matches_python_sum(self, values):
+        unit = CoherentSummationUnit(fan_in=16)
+        assert unit.sum(np.array(values)) == np.float64(
+            np.asarray(values).sum()
+        )
+
+
+class TestThermalProperties:
+    @given(
+        heaters=st.integers(1, 12),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ted_never_costs_more_than_naive(self, heaters, seed):
+        """TED exploits crosstalk, so its total power never exceeds the
+        crosstalk-ignorant controller's."""
+        grid = ThermalGrid(num_heaters=heaters)
+        rng = np.random.default_rng(seed)
+        targets = rng.uniform(0.0, 30.0, heaters)
+        from repro.photonics.thermal import ted_power_mw
+
+        assert ted_power_mw(grid, targets, True) <= ted_power_mw(
+            grid, targets, False
+        ) + 1e-9
+
+    @given(
+        heaters=st.integers(1, 12),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ted_never_undershoots(self, heaters, seed):
+        grid = ThermalGrid(num_heaters=heaters)
+        rng = np.random.default_rng(seed)
+        targets = rng.uniform(0.0, 30.0, heaters)
+        achieved = grid.actual_temperatures(grid.ted_powers_mw(targets))
+        assert np.all(achieved >= targets - 1e-6)

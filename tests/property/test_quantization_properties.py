@@ -1,0 +1,59 @@
+"""Property-based tests for quantization invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.quantization import fake_quantize, quantize_symmetric
+
+float_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 200),
+    elements=st.floats(-100.0, 100.0, allow_nan=False),
+)
+
+
+class TestQuantizationInvariants:
+    @given(x=float_arrays, bits=st.integers(2, 12))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_error_within_half_lsb(self, x, bits):
+        qt = quantize_symmetric(x, bits=bits)
+        err = np.abs(qt.dequantize() - x)
+        assert np.all(err <= qt.scale / 2 + 1e-9)
+
+    @given(x=float_arrays, bits=st.integers(2, 12))
+    @settings(max_examples=100, deadline=None)
+    def test_codes_symmetric_range(self, x, bits):
+        qt = quantize_symmetric(x, bits=bits)
+        qmax = 2 ** (bits - 1) - 1
+        assert qt.codes.max() <= qmax
+        assert qt.codes.min() >= -qmax
+
+    @given(x=float_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_fake_quantize_idempotent(self, x):
+        once = fake_quantize(x)
+        assert np.allclose(fake_quantize(once), once, atol=1e-12)
+
+    @given(x=float_arrays, scale=st.floats(0.1, 10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_scale_equivariance(self, x, scale):
+        """Quantizing c*x gives c times the dequantization of x (same
+        codes, scaled step) for positive c."""
+        base = quantize_symmetric(x)
+        scaled = quantize_symmetric(x * scale)
+        assert np.array_equal(base.codes, scaled.codes)
+
+    @given(x=float_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_sign_preservation(self, x):
+        """Quantization never flips the sign of a value (it may zero it)."""
+        deq = quantize_symmetric(x).dequantize()
+        assert np.all(deq * x >= 0.0)
+
+    @given(x=float_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_normalized_bounded(self, x):
+        normalized = quantize_symmetric(x).normalized()
+        assert np.all(np.abs(normalized) <= 1.0 + 1e-12)

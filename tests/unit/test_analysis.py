@@ -1,0 +1,80 @@
+"""Tests for comparison tables and win-ratio analysis."""
+
+import pytest
+
+from repro.analysis.metrics import ComparisonTable, speedup_over_best_baseline
+from repro.core.reports import EnergyReport, LatencyReport, RunReport
+from repro.errors import ConfigurationError
+from repro.nn.counting import OpCount
+
+
+def _report(platform, workload, gops, epb):
+    """Fabricate a RunReport with exact gops/epb values."""
+    ops = OpCount(macs=500)  # 1000 ops
+    latency_ns = 1000.0 / gops
+    energy_pj = epb * 1000 * 8
+    return RunReport(
+        platform=platform,
+        workload=workload,
+        ops=ops,
+        latency=LatencyReport(compute_ns=latency_ns),
+        energy=EnergyReport(digital_pj=energy_pj),
+    )
+
+
+@pytest.fixture
+def table():
+    t = ComparisonTable(metric="gops")
+    t.add(_report("ours", "a", gops=100.0, epb=0.1))
+    t.add(_report("ours", "b", gops=50.0, epb=0.2))
+    t.add(_report("rival1", "a", gops=10.0, epb=1.0))
+    t.add(_report("rival1", "b", gops=20.0, epb=0.5))
+    t.add(_report("rival2", "a", gops=5.0, epb=2.0))
+    t.add(_report("rival2", "b", gops=2.0, epb=4.0))
+    return t
+
+
+class TestComparisonTable:
+    def test_platforms_and_workloads(self, table):
+        assert table.platforms == ["ours", "rival1", "rival2"]
+        assert table.workloads == ["a", "b"]
+
+    def test_value_lookup(self, table):
+        assert table.value("rival1", "a") == pytest.approx(10.0)
+
+    def test_missing_cell_helpful_error(self, table):
+        with pytest.raises(ConfigurationError) as exc:
+            table.value("nobody", "a")
+        assert "nobody" in str(exc.value)
+
+    def test_geomean(self, table):
+        assert table.geomean("ours") == pytest.approx((100.0 * 50.0) ** 0.5)
+
+    def test_format_contains_all_platforms(self, table):
+        text = table.format()
+        for name in ("ours", "rival1", "rival2"):
+            assert name in text
+
+    def test_metric_validation(self):
+        with pytest.raises(ConfigurationError):
+            ComparisonTable(metric="latency")
+
+
+class TestSpeedup:
+    def test_gops_ratio_vs_strongest(self, table):
+        ratios = speedup_over_best_baseline(table, "ours")
+        assert ratios["a"] == pytest.approx(10.0)  # 100 vs 10
+        assert ratios["b"] == pytest.approx(2.5)  # 50 vs 20
+
+    def test_epb_ratio_lower_is_better(self):
+        t = ComparisonTable(metric="epb")
+        t.add(_report("ours", "a", gops=1.0, epb=0.1))
+        t.add(_report("rival", "a", gops=1.0, epb=0.5))
+        ratios = speedup_over_best_baseline(t, "ours")
+        assert ratios["a"] == pytest.approx(5.0)
+
+    def test_no_baselines_raises(self):
+        t = ComparisonTable(metric="gops")
+        t.add(_report("ours", "a", gops=1.0, epb=1.0))
+        with pytest.raises(ConfigurationError):
+            speedup_over_best_baseline(t, "ours")

@@ -1,0 +1,83 @@
+"""Tests for the MultiHeadAttention reference module."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.ops import causal_mask, scaled_dot_product_attention
+
+
+class TestConstruction:
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ConfigurationError):
+            MultiHeadAttention(d_model=30, num_heads=4)
+
+    def test_weights_deterministic_by_seed(self):
+        a = MultiHeadAttention(d_model=16, num_heads=2, rng_seed=3)
+        b = MultiHeadAttention(d_model=16, num_heads=2, rng_seed=3)
+        assert np.allclose(a.w_q, b.w_q)
+
+    def test_different_seeds_differ(self):
+        a = MultiHeadAttention(d_model=16, num_heads=2, rng_seed=3)
+        b = MultiHeadAttention(d_model=16, num_heads=2, rng_seed=4)
+        assert not np.allclose(a.w_q, b.w_q)
+
+
+class TestHeadSplitMerge:
+    def test_roundtrip(self, rng):
+        mha = MultiHeadAttention(d_model=16, num_heads=4)
+        x = rng.normal(0, 1, (6, 16))
+        assert np.allclose(mha.merge_heads(mha.split_heads(x)), x)
+
+    def test_split_shape(self, rng):
+        mha = MultiHeadAttention(d_model=16, num_heads=4)
+        heads = mha.split_heads(rng.normal(0, 1, (6, 16)))
+        assert heads.shape == (4, 6, 4)
+
+
+class TestForward:
+    def test_output_shape(self, rng):
+        mha = MultiHeadAttention(d_model=32, num_heads=4)
+        out = mha.forward(rng.normal(0, 1, (10, 32)))
+        assert out.shape == (10, 32)
+
+    def test_matches_manual_head_computation(self, rng):
+        """forward() == per-head attention with head_weights() slices."""
+        mha = MultiHeadAttention(d_model=8, num_heads=2)
+        x = rng.normal(0, 1, (5, 8))
+        head_outputs = []
+        for h in range(2):
+            w_q, w_k, w_v = mha.head_weights(h)
+            q = x @ w_q.T
+            k = x @ w_k.T
+            v = x @ w_v.T
+            head_outputs.append(scaled_dot_product_attention(q, k, v))
+        manual = np.concatenate(head_outputs, axis=1) @ mha.w_o.T
+        assert np.allclose(mha.forward(x), manual)
+
+    def test_causal_mask_applies(self, rng):
+        mha = MultiHeadAttention(d_model=8, num_heads=2)
+        x = rng.normal(0, 1, (6, 8))
+        masked = mha.forward(x, mask=causal_mask(6))
+        unmasked = mha.forward(x)
+        # Last row attends to everything either way... first rows differ.
+        assert not np.allclose(masked[0], unmasked[0])
+
+    def test_cross_attention_uses_context(self, rng):
+        mha = MultiHeadAttention(d_model=8, num_heads=2)
+        x = rng.normal(0, 1, (4, 8))
+        ctx = rng.normal(0, 1, (9, 8))
+        out = mha.forward(x, context=ctx)
+        assert out.shape == (4, 8)
+        assert not np.allclose(out, mha.forward(x))
+
+    def test_rejects_wrong_width(self, rng):
+        mha = MultiHeadAttention(d_model=8, num_heads=2)
+        with pytest.raises(ConfigurationError):
+            mha.forward(rng.normal(0, 1, (4, 9)))
+
+    def test_head_weights_rejects_bad_index(self):
+        mha = MultiHeadAttention(d_model=8, num_heads=2)
+        with pytest.raises(ConfigurationError):
+            mha.head_weights(2)

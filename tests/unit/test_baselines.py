@@ -1,0 +1,117 @@
+"""Tests for baseline platform models."""
+
+import pytest
+
+from repro.baselines.gnn import GNN_BASELINES, gnn_baseline_platforms
+from repro.baselines.llm import LLM_BASELINES, llm_baseline_platforms
+from repro.baselines.platforms import RooflinePlatform
+from repro.baselines.reported import ReportedAccelerator
+from repro.errors import ConfigurationError
+from repro.nn.counting import OpCount
+
+
+@pytest.fixture
+def compute_bound_ops():
+    """High arithmetic intensity -> compute-bound on any roofline."""
+    return OpCount(macs=10**9, weight_bytes=10**5, activation_bytes=10**5)
+
+
+@pytest.fixture
+def memory_bound_ops():
+    """Low arithmetic intensity -> memory-bound."""
+    return OpCount(macs=10**6, weight_bytes=10**8, activation_bytes=10**8)
+
+
+class TestRooflinePlatform:
+    @pytest.fixture
+    def platform(self):
+        return RooflinePlatform(
+            platform_name="toy",
+            peak_gops=1000.0,
+            memory_bandwidth_gbps=100.0,
+            tdp_w=100.0,
+            compute_utilization=0.5,
+            bandwidth_utilization=0.5,
+        )
+
+    def test_compute_bound_latency(self, platform, compute_bound_ops):
+        report = platform.run(compute_bound_ops, "wl")
+        expected = compute_bound_ops.total_ops / 500.0
+        assert report.latency_ns == pytest.approx(expected)
+
+    def test_memory_bound_latency(self, platform, memory_bound_ops):
+        report = platform.run(memory_bound_ops, "wl")
+        expected = memory_bound_ops.total_bytes / 50.0
+        assert report.latency_ns == pytest.approx(expected)
+
+    def test_effective_gops_bounded_by_utilization(
+        self, platform, compute_bound_ops
+    ):
+        report = platform.run(compute_bound_ops, "wl")
+        assert report.gops <= platform.peak_gops * platform.compute_utilization
+
+    def test_energy_includes_idle_floor(self, platform, memory_bound_ops):
+        report = platform.run(memory_bound_ops, "wl")
+        assert report.energy.static_pj > 0.0
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ConfigurationError):
+            RooflinePlatform(
+                platform_name="bad",
+                peak_gops=1.0,
+                memory_bandwidth_gbps=1.0,
+                tdp_w=1.0,
+                compute_utilization=0.0,
+            )
+
+
+class TestReportedAccelerator:
+    def test_latency_from_effective_rate(self, compute_bound_ops):
+        acc = ReportedAccelerator(
+            platform_name="acc", effective_gops=100.0, power_w=10.0
+        )
+        report = acc.run(compute_bound_ops, "wl")
+        assert report.gops == pytest.approx(100.0)
+
+    def test_energy_from_power(self, compute_bound_ops):
+        acc = ReportedAccelerator(
+            platform_name="acc", effective_gops=100.0, power_w=10.0
+        )
+        report = acc.run(compute_bound_ops, "wl")
+        assert report.energy_pj == pytest.approx(
+            10.0 * 1e3 * report.latency_ns
+        )
+
+    def test_rejects_bad_numbers(self):
+        with pytest.raises(ConfigurationError):
+            ReportedAccelerator(platform_name="a", effective_gops=0.0, power_w=1.0)
+
+
+class TestBaselineSets:
+    def test_llm_set_matches_paper_list(self):
+        expected = {
+            "V100 GPU", "TPU v2", "Xeon CPU", "TransPIM",
+            "FPGA_Acc1", "VAQF", "FPGA_Acc2",
+        }
+        assert set(LLM_BASELINES) == expected
+
+    def test_gnn_set_matches_paper_list(self):
+        expected = {
+            "A100 GPU", "TPU v4", "Xeon CPU", "GRIP", "HyGCN",
+            "EnGN", "HW_ACC", "ReGNN", "ReGraphX",
+        }
+        assert set(GNN_BASELINES) == expected
+
+    def test_fresh_instances_each_call(self):
+        assert llm_baseline_platforms() is not llm_baseline_platforms()
+
+    def test_all_reported_have_derivations(self):
+        for platform in llm_baseline_platforms() + gnn_baseline_platforms():
+            if isinstance(platform, ReportedAccelerator):
+                assert platform.derivation
+
+    def test_all_platforms_runnable(self, compute_bound_ops):
+        for platform in llm_baseline_platforms() + gnn_baseline_platforms():
+            report = platform.run(compute_bound_ops, "wl")
+            assert report.latency_ns > 0.0
+            assert report.energy_pj > 0.0

@@ -1,0 +1,65 @@
+"""Tests for the DAC/ADC cost models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics.converters import ADC, DAC
+
+
+class TestDAC:
+    def test_power_is_energy_times_rate(self):
+        dac = DAC(sample_rate_gsps=5.0, energy_per_conversion_pj=2.0)
+        assert dac.power_mw == pytest.approx(10.0)
+
+    def test_latency_is_sample_period(self):
+        assert DAC(sample_rate_gsps=4.0).latency_ns == pytest.approx(0.25)
+
+    def test_energy_accumulates(self):
+        dac = DAC(energy_per_conversion_pj=2.0)
+        assert dac.energy_pj(100) == pytest.approx(200.0)
+
+    def test_energy_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            DAC().energy_pj(-1)
+
+    def test_scaling_doubles_per_bit(self):
+        dac8 = DAC(resolution_bits=8, energy_per_conversion_pj=2.0)
+        dac10 = dac8.scaled_to_bits(10)
+        assert dac10.energy_per_conversion_pj == pytest.approx(8.0)
+
+    def test_scaling_down_reduces_energy(self):
+        dac8 = DAC(resolution_bits=8, energy_per_conversion_pj=2.0)
+        dac4 = dac8.scaled_to_bits(4)
+        assert dac4.energy_per_conversion_pj == pytest.approx(2.0 / 16.0)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            DAC(resolution_bits=0)
+        with pytest.raises(ConfigurationError):
+            DAC(sample_rate_gsps=0.0)
+
+
+class TestADC:
+    def test_power_is_energy_times_rate(self):
+        adc = ADC(sample_rate_gsps=5.0, energy_per_conversion_pj=3.0)
+        assert adc.power_mw == pytest.approx(15.0)
+
+    def test_quantization_step(self):
+        adc = ADC(resolution_bits=8)
+        assert adc.quantization_step(1.0) == pytest.approx(1.0 / 255.0)
+
+    def test_quantization_step_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            ADC().quantization_step(0.0)
+
+    def test_scaling_walden(self):
+        adc = ADC(resolution_bits=8, energy_per_conversion_pj=4.0)
+        assert adc.scaled_to_bits(9).energy_per_conversion_pj == pytest.approx(8.0)
+
+    def test_energy_accumulates(self):
+        adc = ADC(energy_per_conversion_pj=3.0)
+        assert adc.energy_pj(10) == pytest.approx(30.0)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            ADC(energy_per_conversion_pj=0.0)

@@ -1,0 +1,125 @@
+"""Tests for op/byte counting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs.generators import erdos_renyi
+from repro.nn.counting import (
+    OpCount,
+    gnn_layer_op_count,
+    gnn_op_count,
+    transformer_layer_op_count,
+    transformer_op_count,
+)
+from repro.nn.gnn import GNNConfig, GNNKind
+from repro.nn.models import bert_base, bert_large, vit_base
+
+
+class TestOpCount:
+    def test_total_ops_weights_macs_double(self):
+        count = OpCount(macs=10, adds=5)
+        assert count.total_ops == 25
+
+    def test_addition(self):
+        total = OpCount(macs=1, weight_bytes=2) + OpCount(macs=3, adds=4)
+        assert total.macs == 4
+        assert total.adds == 4
+        assert total.weight_bytes == 2
+
+    def test_scaling(self):
+        assert OpCount(macs=3).scaled(4).macs == 12
+
+    def test_scaling_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            OpCount(macs=1).scaled(-1)
+
+    def test_arithmetic_intensity(self):
+        count = OpCount(macs=50, weight_bytes=10, activation_bytes=10)
+        assert count.arithmetic_intensity == pytest.approx(5.0)
+
+    def test_intensity_infinite_without_bytes(self):
+        assert OpCount(macs=5).arithmetic_intensity == float("inf")
+
+
+class TestTransformerCounts:
+    def test_bert_base_macs_match_closed_form(self):
+        """Per layer: 4*S*d^2 (proj) + 2*S^2*d (attn) + 2*S*d*d_ff (FF)."""
+        config = bert_base(seq_len=128)
+        per_layer = transformer_layer_op_count(config)
+        s, d, ff = 128, 768, 3072
+        expected = 4 * s * d * d + 2 * s * s * d + 2 * s * d * ff
+        assert per_layer.macs == expected
+
+    def test_model_is_layers_times_layer(self):
+        config = bert_base(seq_len=64)
+        assert transformer_op_count(config).macs == (
+            12 * transformer_layer_op_count(config).macs
+        )
+
+    def test_bert_large_more_ops_than_base(self):
+        assert (
+            transformer_op_count(bert_large()).total_ops
+            > transformer_op_count(bert_base()).total_ops
+        )
+
+    def test_weight_bytes_track_parameters(self):
+        config = bert_base()
+        counted = transformer_op_count(config).weight_bytes
+        # Weight matrices only (no LN/bias): 4d^2 + 2*d*d_ff per layer.
+        expected = 12 * (4 * 768 * 768 + 2 * 768 * 3072)
+        assert counted == expected
+
+    def test_vision_head_added(self):
+        config = vit_base()
+        with_head = transformer_op_count(config).macs
+        stack_only = transformer_layer_op_count(config).scaled(12).macs
+        assert with_head > stack_only
+
+    def test_bytes_scale_with_precision(self):
+        one = transformer_op_count(bert_base(), bytes_per_value=1)
+        four = transformer_op_count(bert_base(), bytes_per_value=4)
+        assert four.weight_bytes == 4 * one.weight_bytes
+
+    def test_rejects_bad_bytes(self):
+        with pytest.raises(ConfigurationError):
+            transformer_op_count(bert_base(), bytes_per_value=0)
+
+
+class TestGNNCounts:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        import numpy as np
+
+        return erdos_renyi(50, 0.1, rng=np.random.default_rng(0))
+
+    def test_gcn_combine_macs(self, graph):
+        count = gnn_layer_op_count(GNNKind.GCN, graph, 16, 8)
+        assert count.macs >= graph.num_nodes * 16 * 8
+
+    def test_aggregation_adds_touch_every_arc(self, graph):
+        count = gnn_layer_op_count(GNNKind.GCN, graph, 16, 8)
+        assert count.adds == graph.num_edges * 16
+
+    def test_sage_doubles_combine(self, graph):
+        gcn = gnn_layer_op_count(GNNKind.GCN, graph, 16, 8)
+        sage = gnn_layer_op_count(GNNKind.SAGE, graph, 16, 8)
+        assert sage.macs > gcn.macs
+
+    def test_gat_counts_softmax_on_edges(self, graph):
+        gat = gnn_layer_op_count(GNNKind.GAT, graph, 16, 8, heads=2)
+        assert gat.softmax_elements == graph.num_edges * 2
+
+    def test_model_sums_layers(self, graph):
+        config = GNNConfig(
+            name="t", kind=GNNKind.GCN, num_layers=2,
+            hidden_dim=8, in_dim=16, out_dim=4,
+        )
+        total = gnn_op_count(config, graph)
+        layer1 = gnn_layer_op_count(GNNKind.GCN, graph, 16, 8)
+        layer2 = gnn_layer_op_count(GNNKind.GCN, graph, 8, 4)
+        assert total.macs == layer1.macs + layer2.macs
+
+    def test_gin_has_mlp_overhead(self, graph):
+        gin = gnn_layer_op_count(GNNKind.GIN, graph, 16, 8)
+        gcn = gnn_layer_op_count(GNNKind.GCN, graph, 16, 8)
+        assert gin.macs > gcn.macs

@@ -1,0 +1,147 @@
+"""Tests for heterodyne/homodyne crosstalk and channel planning (V.B)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DesignSpaceError
+from repro.photonics.crosstalk import (
+    ChannelPlan,
+    heterodyne_crosstalk_ratio,
+    homodyne_crosstalk_ratio,
+    lorentzian_tail,
+    max_channels_for_snr,
+    snr_db,
+)
+
+
+class TestLorentzianTail:
+    def test_unity_on_resonance(self):
+        assert lorentzian_tail(0.0, 0.2) == pytest.approx(1.0)
+
+    def test_half_at_half_fwhm(self):
+        assert lorentzian_tail(0.1, 0.2) == pytest.approx(0.5)
+
+    def test_decays_with_detuning(self):
+        assert lorentzian_tail(1.0, 0.2) < lorentzian_tail(0.5, 0.2)
+
+    def test_rejects_bad_fwhm(self):
+        with pytest.raises(ConfigurationError):
+            lorentzian_tail(0.1, 0.0)
+
+
+class TestHeterodyneCrosstalk:
+    """Fig. 3(d): crosstalk falls with spacing and with Q."""
+
+    def test_decreases_with_spacing(self):
+        tight = heterodyne_crosstalk_ratio(0.4, 8000.0)
+        loose = heterodyne_crosstalk_ratio(1.6, 8000.0)
+        assert loose < tight
+
+    def test_decreases_with_q(self):
+        low_q = heterodyne_crosstalk_ratio(0.8, 4000.0)
+        high_q = heterodyne_crosstalk_ratio(0.8, 16000.0)
+        assert high_q < low_q
+
+    def test_grows_with_channel_count(self):
+        few = heterodyne_crosstalk_ratio(0.8, 8000.0, num_channels=4)
+        many = heterodyne_crosstalk_ratio(0.8, 8000.0, num_channels=16)
+        assert many > few
+
+    def test_single_channel_no_crosstalk(self):
+        assert heterodyne_crosstalk_ratio(0.8, 8000.0, num_channels=1) == 0.0
+
+    def test_fsr_aliasing_adds_crosstalk(self):
+        without = heterodyne_crosstalk_ratio(0.8, 8000.0, num_channels=8)
+        with_fsr = heterodyne_crosstalk_ratio(
+            0.8, 8000.0, num_channels=8, fsr_nm=18.0
+        )
+        assert with_fsr > without
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            heterodyne_crosstalk_ratio(0.0, 8000.0)
+        with pytest.raises(ConfigurationError):
+            heterodyne_crosstalk_ratio(0.8, 0.0)
+
+
+class TestHomodyneCrosstalk:
+    """Section V.B: widening the coupling gap suppresses homodyne leakage."""
+
+    def test_reference_point(self):
+        ratio = homodyne_crosstalk_ratio(100.0)
+        assert ratio == pytest.approx(0.01)  # -20 dB
+
+    def test_wider_gap_less_crosstalk(self):
+        assert homodyne_crosstalk_ratio(300.0) < homodyne_crosstalk_ratio(150.0)
+
+    def test_exponential_decay(self):
+        r1 = homodyne_crosstalk_ratio(150.0, gap_decay_nm=50.0)
+        r2 = homodyne_crosstalk_ratio(200.0, gap_decay_nm=50.0)
+        assert r2 / r1 == pytest.approx(math.exp(-1.0), rel=1e-9)
+
+    def test_rejects_bad_gap(self):
+        with pytest.raises(ConfigurationError):
+            homodyne_crosstalk_ratio(0.0)
+
+
+class TestSNR:
+    def test_equal_powers_zero_db(self):
+        assert snr_db(1.0, 1.0) == pytest.approx(0.0)
+
+    def test_includes_noise_term(self):
+        assert snr_db(1.0, 0.05, noise_power_mw=0.05) == pytest.approx(10.0)
+
+    def test_infinite_when_clean(self):
+        assert snr_db(1.0, 0.0) == math.inf
+
+    def test_rejects_nonpositive_signal(self):
+        with pytest.raises(ConfigurationError):
+            snr_db(0.0, 0.1)
+
+
+class TestChannelPlan:
+    def test_wavelengths_centred(self):
+        plan = ChannelPlan(num_channels=5, channel_spacing_nm=1.0)
+        wl = plan.wavelengths_nm()
+        assert wl.mean() == pytest.approx(plan.centre_wavelength_nm)
+        assert np.allclose(np.diff(wl), 1.0)
+
+    def test_span_must_fit_fsr(self):
+        with pytest.raises(ConfigurationError):
+            ChannelPlan(num_channels=32, channel_spacing_nm=1.0, fsr_nm=18.0)
+
+    def test_centre_channel_worst(self):
+        plan = ChannelPlan(num_channels=9, channel_spacing_nm=1.5)
+        per_channel = plan.crosstalk_per_channel(8000.0)
+        assert per_channel.argmax() == 4  # centre index
+
+    def test_worst_case_close_to_per_channel_max(self):
+        plan = ChannelPlan(num_channels=9, channel_spacing_nm=1.5)
+        worst = plan.worst_case_crosstalk_ratio(8000.0)
+        per_channel = plan.crosstalk_per_channel(8000.0)
+        assert worst == pytest.approx(per_channel.max(), rel=0.5)
+
+
+class TestMaxChannels:
+    def test_returns_feasible_plan(self):
+        plan = max_channels_for_snr(q_factor=8000.0, min_snr_db=20.0)
+        from repro.units import linear_to_db
+
+        ratio = plan.worst_case_crosstalk_ratio(8000.0)
+        assert linear_to_db(1.0 / ratio) >= 20.0
+
+    def test_higher_q_supports_more_channels(self):
+        low = max_channels_for_snr(q_factor=5000.0, min_snr_db=20.0)
+        high = max_channels_for_snr(q_factor=20000.0, min_snr_db=20.0)
+        assert high.num_channels >= low.num_channels
+
+    def test_stricter_snr_fewer_channels(self):
+        loose = max_channels_for_snr(q_factor=8000.0, min_snr_db=15.0)
+        strict = max_channels_for_snr(q_factor=8000.0, min_snr_db=30.0)
+        assert strict.num_channels <= loose.num_channels
+
+    def test_impossible_raises(self):
+        with pytest.raises(DesignSpaceError):
+            max_channels_for_snr(q_factor=100.0, min_snr_db=60.0)

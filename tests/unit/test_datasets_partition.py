@@ -1,0 +1,114 @@
+"""Tests for dataset replicas and buffer-and-partition blocking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs.datasets import (
+    DATASET_ZOO,
+    DatasetStats,
+    get_dataset_stats,
+    synthesize_dataset,
+)
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.partition import GraphPartitioner
+
+
+class TestDatasetStats:
+    def test_zoo_has_paper_datasets(self):
+        for name in ("cora", "citeseer", "pubmed"):
+            assert name in DATASET_ZOO
+
+    def test_cora_statistics(self):
+        cora = get_dataset_stats("cora")
+        assert cora.num_nodes == 2708
+        assert cora.feature_dim == 1433
+        assert cora.num_classes == 7
+
+    def test_average_degree(self):
+        cora = get_dataset_stats("cora")
+        assert cora.average_degree == pytest.approx(2 * 5278 / 2708)
+
+    def test_unknown_dataset_lists_options(self):
+        with pytest.raises(ConfigurationError) as exc:
+            get_dataset_stats("ogbn-papers")
+        assert "cora" in str(exc.value)
+
+    def test_rejects_bad_stats(self):
+        with pytest.raises(ConfigurationError):
+            DatasetStats(
+                name="bad", num_nodes=0, num_edges=1, feature_dim=4, num_classes=2
+            )
+
+
+class TestSynthesize:
+    @pytest.fixture(scope="class")
+    def cora_like(self):
+        return synthesize_dataset(
+            get_dataset_stats("cora"), rng=np.random.default_rng(3)
+        )
+
+    def test_node_count_exact(self, cora_like):
+        graph, _ = cora_like
+        assert graph.num_nodes == 2708
+
+    def test_edge_count_close(self, cora_like):
+        graph, _ = cora_like
+        undirected = graph.num_edges / 2
+        assert abs(undirected - 5278) < 0.05 * 5278
+
+    def test_feature_shape(self, cora_like):
+        graph, features = cora_like
+        assert features.shape == (2708, 1433)
+
+    def test_features_sparse_nonnegative(self, cora_like):
+        _, features = cora_like
+        assert np.all(features >= 0.0)
+        density = np.count_nonzero(features) / features.size
+        assert density < 0.1
+
+    def test_power_law_dataset_has_hubs(self):
+        graph, _ = synthesize_dataset(
+            get_dataset_stats("reddit-sample"), rng=np.random.default_rng(4)
+        )
+        degrees = graph.degrees()
+        assert degrees.max() > 10 * degrees.mean()
+
+
+class TestPartitioner:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return erdos_renyi(120, 0.08, rng=np.random.default_rng(5))
+
+    def test_schedule_covers_all_edges(self, graph):
+        schedule = GraphPartitioner(lanes=8, input_block=16).schedule(graph)
+        assert sum(b.num_edges for b in schedule.blocks) == graph.num_edges
+
+    def test_block_grid_dimensions(self, graph):
+        schedule = GraphPartitioner(lanes=8, input_block=16).schedule(graph)
+        out_blocks = -(-graph.num_nodes // 8)
+        in_blocks = -(-graph.num_nodes // 16)
+        assert schedule.num_steps == out_blocks * in_blocks
+
+    def test_fetch_savings_on_dense_graph(self):
+        dense = erdos_renyi(64, 0.5, rng=np.random.default_rng(6))
+        schedule = GraphPartitioner(lanes=16, input_block=16).schedule(dense)
+        # With ~32 neighbours per 16-node block, block fetches beat
+        # per-edge fetches.
+        assert schedule.fetch_savings > 1.0
+
+    def test_traffic_bytes_blocked_vs_not(self, graph):
+        schedule = GraphPartitioner(lanes=8, input_block=16).schedule(graph)
+        blocked = schedule.traffic_bytes(blocked=True)
+        unblocked = schedule.traffic_bytes(blocked=False)
+        assert blocked > 0 and unblocked > 0
+
+    def test_sweep_produces_one_schedule_per_candidate(self, graph):
+        partitioner = GraphPartitioner(lanes=8, input_block=16)
+        schedules = partitioner.sweep_input_blocks(graph, [8, 16, 32])
+        assert len(schedules) == 3
+        assert [s.input_block for s in schedules] == [8, 16, 32]
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            GraphPartitioner(lanes=0, input_block=8)

@@ -1,0 +1,126 @@
+"""Tests for VCSELs, photodetectors, BPDs and SOAs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics.devices import (
+    ActivationKind,
+    BalancedPhotodetector,
+    Photodetector,
+    SOA,
+    SOAActivation,
+    VCSEL,
+)
+
+
+class TestVCSEL:
+    def test_emit_scales_linearly(self):
+        laser = VCSEL(max_power_mw=2.0)
+        assert laser.emit(0.5) == pytest.approx(1.0)
+        assert laser.emit(1.0) == pytest.approx(2.0)
+
+    def test_emit_array(self):
+        laser = VCSEL()
+        out = laser.emit(np.array([0.0, 0.25, 1.0]))
+        assert out.shape == (3,)
+        assert out[0] == 0.0
+
+    def test_emit_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            VCSEL().emit(1.5)
+        with pytest.raises(ConfigurationError):
+            VCSEL().emit(-0.1)
+
+    def test_electrical_power_includes_efficiency(self):
+        laser = VCSEL(max_power_mw=2.0, wall_plug_efficiency=0.25)
+        assert laser.electrical_power_mw(1.0) == pytest.approx(4.0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            VCSEL(wall_plug_efficiency=0.0)
+
+
+class TestPhotodetector:
+    def test_photocurrent_linear(self):
+        pd = Photodetector(responsivity_a_per_w=1.1)
+        # 1 mW * 1.1 A/W = 1.1 mA
+        assert pd.photocurrent_ma(1.0) == pytest.approx(1.1)
+
+    def test_negative_power_clipped(self):
+        assert Photodetector().photocurrent_ma(-0.5) == 0.0
+
+    def test_sensitivity_conversion(self):
+        pd = Photodetector(sensitivity_dbm=-30.0)
+        assert pd.sensitivity_mw == pytest.approx(1e-3)
+
+    def test_detectable_threshold(self):
+        pd = Photodetector(sensitivity_dbm=-20.0)  # 0.01 mW
+        assert pd.detectable(0.02)
+        assert not pd.detectable(0.005)
+
+
+class TestBalancedPhotodetector:
+    def test_differential_sign(self):
+        bpd = BalancedPhotodetector()
+        assert bpd.differential_ma(2.0, 1.0) > 0.0
+        assert bpd.differential_ma(1.0, 2.0) < 0.0
+
+    def test_balanced_arms_cancel(self):
+        bpd = BalancedPhotodetector()
+        assert bpd.differential_ma(1.5, 1.5) == pytest.approx(0.0)
+
+    def test_differential_matches_subtraction(self):
+        bpd = BalancedPhotodetector()
+        expected = bpd.detector.photocurrent_ma(2.0) - bpd.detector.photocurrent_ma(
+            0.5
+        )
+        assert bpd.differential_ma(2.0, 0.5) == pytest.approx(expected)
+
+    def test_detectable_if_either_arm_clears(self):
+        bpd = BalancedPhotodetector(Photodetector(sensitivity_dbm=-20.0))
+        assert bpd.detectable(0.02, 0.001)
+        assert not bpd.detectable(0.001, 0.001)
+
+
+class TestSOA:
+    def test_gain_saturates(self):
+        soa = SOA(small_signal_gain_db=10.0, saturation_power_mw=1.0)
+        assert soa.gain_linear(0.0) == pytest.approx(10.0)
+        assert soa.gain_linear(1.0) == pytest.approx(5.0)
+
+    def test_amplify_monotone(self):
+        soa = SOA()
+        powers = np.linspace(0.0, 5.0, 50)
+        out = soa.amplify(powers)
+        assert np.all(np.diff(out) > 0.0)
+
+    def test_rejects_bad_saturation(self):
+        with pytest.raises(ConfigurationError):
+            SOA(saturation_power_mw=0.0)
+
+
+class TestSOAActivation:
+    def test_relu(self):
+        act = SOAActivation(kind=ActivationKind.RELU)
+        x = np.array([-2.0, -0.1, 0.0, 0.5, 3.0])
+        assert np.allclose(act.apply(x), np.maximum(x, 0.0))
+
+    def test_sigmoid_range(self):
+        act = SOAActivation(kind=ActivationKind.SIGMOID)
+        out = act.apply(np.linspace(-10, 10, 100))
+        assert np.all(out > 0.0) and np.all(out < 1.0)
+
+    def test_tanh_matches_numpy(self):
+        act = SOAActivation(kind=ActivationKind.TANH)
+        x = np.linspace(-3, 3, 20)
+        assert np.allclose(act.apply(x), np.tanh(x))
+
+    def test_scalar_in_scalar_out(self):
+        act = SOAActivation(kind=ActivationKind.RELU)
+        assert isinstance(act.apply(-1.0), float)
+
+    def test_cost_properties(self):
+        act = SOAActivation()
+        assert act.power_mw == act.soa.bias_power_mw
+        assert act.latency_ns == act.soa.latency_ns

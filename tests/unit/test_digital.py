@@ -1,0 +1,89 @@
+"""Tests for digital helper blocks (softmax LUT, adder tree, control)."""
+
+import numpy as np
+import pytest
+
+from repro.electronics.digital import (
+    AdderTree,
+    ControlUnit,
+    RegisterFile,
+    SoftmaxLUT,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSoftmaxLUT:
+    def test_matches_reference_softmax(self, rng):
+        unit = SoftmaxLUT()
+        logits = rng.normal(0, 3, (4, 10))
+        out = unit.apply(logits)
+        expected = np.exp(logits - logits.max(axis=-1, keepdims=True))
+        expected /= expected.sum(axis=-1, keepdims=True)
+        assert np.allclose(out, expected)
+
+    def test_rows_sum_to_one(self, rng):
+        out = SoftmaxLUT().apply(rng.normal(0, 5, (3, 7)))
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        out = SoftmaxLUT().apply(np.array([1000.0, 1000.0]))
+        assert np.allclose(out, [0.5, 0.5])
+
+    def test_energy_linear_in_elements(self):
+        unit = SoftmaxLUT()
+        assert unit.energy_pj(200) == pytest.approx(2 * unit.energy_pj(100))
+
+    def test_latency_uses_lanes(self):
+        narrow = SoftmaxLUT(lanes=1)
+        wide = SoftmaxLUT(lanes=64)
+        assert wide.latency_ns(640) < narrow.latency_ns(640)
+
+    def test_rejects_negative_elements(self):
+        with pytest.raises(ConfigurationError):
+            SoftmaxLUT().energy_pj(-1)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            SoftmaxLUT(entries=1)
+
+
+class TestAdderTree:
+    def test_reduce_matches_sum(self, rng):
+        tree = AdderTree(fan_in=16)
+        values = rng.normal(0, 1, 12)
+        assert tree.reduce(values) == pytest.approx(values.sum())
+
+    def test_depth_log2(self):
+        assert AdderTree(fan_in=16).depth == 4
+        assert AdderTree(fan_in=17).depth == 5
+
+    def test_energy_counts_adds(self):
+        tree = AdderTree(fan_in=8, add_energy_pj=0.1)
+        assert tree.energy_pj(8) == pytest.approx(0.7)
+        assert tree.energy_pj(1) == 0.0
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ConfigurationError):
+            AdderTree(fan_in=4).reduce(np.ones(5))
+
+
+class TestControlUnit:
+    def test_energy_is_power_times_time(self):
+        assert ControlUnit(power_mw=10.0).energy_pj(100.0) == pytest.approx(1000.0)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ConfigurationError):
+            ControlUnit().energy_pj(-1.0)
+
+
+class TestRegisterFile:
+    def test_capacity(self):
+        assert RegisterFile(num_entries=64, word_bits=64).capacity_bytes == 512
+
+    def test_transfer_energy(self):
+        rf = RegisterFile(word_bits=64, access_energy_pj=0.5)
+        assert rf.transfer_energy_pj(16) == pytest.approx(1.0)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            RegisterFile(num_entries=0)

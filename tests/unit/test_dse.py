@@ -1,0 +1,84 @@
+"""Tests for the MR design-space explorer (the Lumerical substitute)."""
+
+import pytest
+
+from repro.errors import DesignSpaceError
+from repro.photonics.dse import DesignPoint, MRDesignSpaceExplorer
+from repro.photonics.microring import MicroringDesign
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return MRDesignSpaceExplorer()
+
+
+@pytest.fixture(scope="module")
+def sweep_points(explorer):
+    return explorer.sweep()
+
+
+class TestEvaluate:
+    def test_feasible_point_meets_constraints(self, explorer):
+        design = MicroringDesign(
+            radius_um=7.5,
+            self_coupling=0.985,
+            drop_coupling=0.985,
+            coupling_gap_nm=300.0,
+        )
+        point = explorer.evaluate(design, num_channels=8)
+        assert point is not None
+        assert point.heterodyne_snr_db >= explorer.min_snr_db
+        assert point.homodyne_crosstalk_db <= explorer.max_homodyne_db
+        assert point.tuning_power_full_fsr_mw <= explorer.max_tuning_power_mw
+
+    def test_narrow_gap_infeasible(self, explorer):
+        design = MicroringDesign(coupling_gap_nm=50.0)
+        assert explorer.evaluate(design, num_channels=8) is None
+
+    def test_too_many_channels_infeasible(self, explorer):
+        # Cramming channels into the FSR collapses spacing -> SNR fails.
+        design = MicroringDesign(
+            self_coupling=0.95, drop_coupling=0.95, coupling_gap_nm=300.0
+        )
+        assert explorer.evaluate(design, num_channels=64) is None
+
+    def test_single_channel_rejected(self, explorer):
+        assert explorer.evaluate(MicroringDesign(), num_channels=1) is None
+
+
+class TestSweep:
+    def test_sweep_finds_points(self, sweep_points):
+        assert len(sweep_points) > 0
+
+    def test_sweep_sorted_by_fom(self, sweep_points):
+        foms = [p.figure_of_merit for p in sweep_points]
+        assert foms == sorted(foms, reverse=True)
+
+    def test_all_points_feasible(self, explorer, sweep_points):
+        for point in sweep_points:
+            assert point.heterodyne_snr_db >= explorer.min_snr_db
+            assert point.homodyne_crosstalk_db <= explorer.max_homodyne_db
+
+    def test_best_is_first(self, explorer, sweep_points):
+        assert explorer.best().figure_of_merit == pytest.approx(
+            sweep_points[0].figure_of_merit
+        )
+
+
+class TestConstraints:
+    def test_impossible_constraints_raise(self):
+        explorer = MRDesignSpaceExplorer(min_snr_db=90.0)
+        with pytest.raises(DesignSpaceError):
+            explorer.best()
+
+    def test_stricter_snr_fewer_points(self):
+        loose = MRDesignSpaceExplorer(min_snr_db=15.0).sweep()
+        strict = MRDesignSpaceExplorer(min_snr_db=30.0).sweep()
+        assert len(strict) <= len(loose)
+
+    def test_ted_factor_enables_more_points(self):
+        # Without TED the full-FSR tuning power doubles and more designs
+        # bust the power budget.
+        with_ted = MRDesignSpaceExplorer(ted_power_factor=0.5).sweep()
+        without = MRDesignSpaceExplorer(ted_power_factor=1.0).sweep()
+        assert len(with_ted) >= len(without)

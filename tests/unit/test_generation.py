@@ -1,0 +1,100 @@
+"""Tests for the autoregressive decode-phase model."""
+
+import pytest
+
+from repro.core.tron import TRON, TRONConfig, decode_step_ops, run_generation
+from repro.errors import ConfigurationError
+from repro.nn.models import bert_base, gpt2_small
+
+
+@pytest.fixture(scope="module")
+def tron():
+    return TRON(TRONConfig(batch=8))
+
+
+@pytest.fixture(scope="module")
+def episode(tron):
+    return run_generation(
+        tron, gpt2_small(), prompt_tokens=64, generated_tokens=32
+    )
+
+
+class TestDecodeStepOps:
+    def test_scales_with_context(self):
+        model = gpt2_small()
+        short = decode_step_ops(model, context_len=64)
+        long = decode_step_ops(model, context_len=1024)
+        assert long.macs > short.macs
+        assert long.softmax_elements > short.softmax_elements
+
+    def test_projection_floor_independent_of_context(self):
+        """QKV/FF work per token is context-independent; only attention
+        grows, by 2*d MACs per extra cached position per layer."""
+        model = gpt2_small()
+        a = decode_step_ops(model, context_len=100)
+        b = decode_step_ops(model, context_len=101)
+        assert b.macs - a.macs == model.num_layers * 2 * model.d_model
+
+    def test_rejects_bad_context(self):
+        with pytest.raises(ConfigurationError):
+            decode_step_ops(gpt2_small(), context_len=0)
+
+
+class TestRunGeneration:
+    def test_episode_shape(self, episode):
+        assert episode.prompt_tokens == 64
+        assert episode.generated_tokens == 32
+        assert episode.prefill.workload == "GPT-2"
+
+    def test_totals_compose(self, episode):
+        assert episode.total_latency_ns == pytest.approx(
+            episode.prefill.latency_ns + episode.decode_latency.total_ns
+        )
+        assert episode.total_energy_pj == pytest.approx(
+            episode.prefill.energy_pj + episode.decode_energy.total_pj
+        )
+
+    def test_decode_rate_high_but_below_photonic_limit(self, episode, tron):
+        rate = episode.tokens_per_second
+        assert rate > 1_000.0  # far above electronic batch-1 decode
+        assert rate < tron.config.clock_ghz * 1e9  # < one token per cycle
+
+    def test_longer_context_slows_decode(self, tron):
+        short = run_generation(
+            tron, gpt2_small(), prompt_tokens=32, generated_tokens=16
+        )
+        long = run_generation(
+            tron, gpt2_small(), prompt_tokens=896, generated_tokens=16
+        )
+        assert long.tokens_per_second < short.tokens_per_second
+
+    def test_decode_energy_breakdown_nonzero(self, episode):
+        energy = episode.decode_energy
+        assert energy.dac_pj > 0.0
+        assert energy.adc_pj > 0.0
+        assert energy.digital_pj > 0.0
+        assert energy.memory_pj > 0.0
+        assert energy.static_pj > 0.0
+
+    def test_rejects_encoder_models(self, tron):
+        with pytest.raises(ConfigurationError):
+            run_generation(tron, bert_base())
+
+    def test_rejects_empty_episode(self, tron):
+        with pytest.raises(ConfigurationError):
+            run_generation(
+                tron, gpt2_small(), prompt_tokens=0, generated_tokens=4
+            )
+
+    def test_summary_readable(self, episode):
+        text = episode.summary()
+        assert "tok/s" in text and "prefill" in text
+
+    def test_decode_ops_accumulate_over_tokens(self, tron):
+        few = run_generation(
+            tron, gpt2_small(), prompt_tokens=64, generated_tokens=8
+        )
+        many = run_generation(
+            tron, gpt2_small(), prompt_tokens=64, generated_tokens=24
+        )
+        assert many.decode_ops.macs > 2 * few.decode_ops.macs

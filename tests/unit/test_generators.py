@@ -1,0 +1,105 @@
+"""Tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    rmat,
+    stochastic_block_model,
+)
+
+
+class TestErdosRenyi:
+    def test_edge_count_near_expectation(self):
+        graph = erdos_renyi(200, 0.05, rng=np.random.default_rng(0))
+        expected_arcs = 2 * 0.05 * 200 * 199 / 2
+        assert abs(graph.num_edges - expected_arcs) < 0.3 * expected_arcs
+
+    def test_symmetric(self):
+        assert erdos_renyi(50, 0.1).is_symmetric()
+
+    def test_p_zero_gives_empty(self):
+        assert erdos_renyi(20, 0.0).num_edges == 0
+
+    def test_p_one_gives_complete(self):
+        graph = erdos_renyi(10, 1.0)
+        assert graph.num_edges == 10 * 9
+
+    def test_deterministic_with_seed(self):
+        a = erdos_renyi(30, 0.2, rng=np.random.default_rng(9))
+        b = erdos_renyi(30, 0.2, rng=np.random.default_rng(9))
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_heavy_tail(self):
+        graph = barabasi_albert(500, 3, rng=np.random.default_rng(0))
+        degrees = graph.degrees()
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_min_degree_at_least_attachment(self):
+        graph = barabasi_albert(200, 3, rng=np.random.default_rng(1))
+        assert graph.degrees().min() >= 3
+
+    def test_edge_count(self):
+        graph = barabasi_albert(100, 2, rng=np.random.default_rng(2))
+        # seed clique C(3,2)=3 + 2 per added node, 97 nodes -> 197 edges
+        assert graph.num_edges == 2 * (3 + 2 * 97)
+
+    def test_rejects_bad_attachment(self):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert(10, 0)
+        with pytest.raises(ConfigurationError):
+            barabasi_albert(10, 10)
+
+
+class TestRMAT:
+    def test_node_count_is_power_of_two(self):
+        graph = rmat(7, edge_factor=4)
+        assert graph.num_nodes == 128
+
+    def test_skewed_degrees(self):
+        graph = rmat(10, edge_factor=8, rng=np.random.default_rng(0))
+        degrees = graph.degrees()
+        assert degrees.max() > 4 * max(degrees.mean(), 1.0)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            rmat(0)
+        with pytest.raises(ConfigurationError):
+            rmat(30)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            rmat(5, a=0.9, b=0.9, c=0.9)
+
+
+class TestSBM:
+    def test_community_structure(self):
+        graph = stochastic_block_model(
+            [50, 50], p_within=0.2, p_between=0.01,
+            rng=np.random.default_rng(0),
+        )
+        within = between = 0
+        for v in range(graph.num_nodes):
+            for nb in graph.neighbors(v):
+                if (v < 50) == (nb < 50):
+                    within += 1
+                else:
+                    between += 1
+        assert within > 5 * between
+
+    def test_rejects_empty_blocks(self):
+        with pytest.raises(ConfigurationError):
+            stochastic_block_model([], 0.1, 0.01)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            stochastic_block_model([10, 10], 1.5, 0.01)

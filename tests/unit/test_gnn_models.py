@@ -1,0 +1,138 @@
+"""Tests for GNN layers and models (GCN / GraphSAGE / GIN / GAT)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs.graph import CSRGraph
+from repro.nn.gnn import (
+    GATLayer,
+    GCNLayer,
+    GINLayer,
+    GNNConfig,
+    GNNKind,
+    GNNModel,
+    GraphSAGELayer,
+    Reduction,
+    make_gnn,
+)
+
+
+class TestGNNConfig:
+    def test_layer_dims_chain(self):
+        config = GNNConfig(
+            name="t", kind=GNNKind.GCN, num_layers=3,
+            hidden_dim=16, in_dim=8, out_dim=4,
+        )
+        assert config.layer_dims() == [(8, 16), (16, 16), (16, 4)]
+
+    def test_single_layer_goes_straight_through(self):
+        config = GNNConfig(
+            name="t", kind=GNNKind.GCN, num_layers=1,
+            hidden_dim=16, in_dim=8, out_dim=4,
+        )
+        assert config.layer_dims() == [(8, 4)]
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            GNNConfig(
+                name="t", kind=GNNKind.GCN, num_layers=0,
+                hidden_dim=16, in_dim=8, out_dim=4,
+            )
+
+
+class TestGCNLayer:
+    def test_output_shape(self, small_graph, rng):
+        layer = GCNLayer(in_dim=8, out_dim=4)
+        feats = rng.normal(0, 1, (small_graph.num_nodes, 8))
+        assert layer.forward(small_graph, feats).shape == (
+            small_graph.num_nodes,
+            4,
+        )
+
+    def test_isolated_node_uses_only_self(self, rng):
+        graph = CSRGraph.from_edges(3, [(0, 1)])  # node 2 isolated
+        layer = GCNLayer(in_dim=4, out_dim=4)
+        feats = rng.normal(0, 1, (3, 4))
+        out = layer.forward(graph, feats, activate=False)
+        # Node 2 sees only itself with degree-1 normalization.
+        expected = feats[2] @ layer.weight
+        assert np.allclose(out[2], expected)
+
+    def test_relu_applied_when_activate(self, small_graph, rng):
+        layer = GCNLayer(in_dim=8, out_dim=4)
+        feats = rng.normal(0, 1, (small_graph.num_nodes, 8))
+        assert np.all(layer.forward(small_graph, feats, activate=True) >= 0.0)
+
+
+class TestGraphSAGELayer:
+    def test_mean_aggregation(self, rng):
+        graph = CSRGraph.from_edges(3, [(0, 1), (0, 2)])
+        layer = GraphSAGELayer(in_dim=4, out_dim=4)
+        feats = rng.normal(0, 1, (3, 4))
+        out = layer.forward(graph, feats, activate=False)
+        expected = feats[0] @ layer.weight_self + (
+            (feats[1] + feats[2]) / 2.0
+        ) @ layer.weight_neigh
+        assert np.allclose(out[0], expected)
+
+
+class TestGINLayer:
+    def test_eps_scales_self(self, rng):
+        graph = CSRGraph.from_edges(2, [(0, 1)])
+        feats = rng.normal(0, 1, (2, 4))
+        plain = GINLayer(in_dim=4, out_dim=4, eps=0.0, rng_seed=1)
+        eps = GINLayer(in_dim=4, out_dim=4, eps=1.0, rng_seed=1)
+        assert not np.allclose(
+            plain.forward(graph, feats), eps.forward(graph, feats)
+        )
+
+
+class TestGATLayer:
+    def test_output_shape_multihead(self, small_graph, rng):
+        layer = GATLayer(in_dim=8, out_dim=8, heads=2)
+        feats = rng.normal(0, 1, (small_graph.num_nodes, 8))
+        assert layer.forward(small_graph, feats).shape == (
+            small_graph.num_nodes,
+            8,
+        )
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ConfigurationError):
+            GATLayer(in_dim=8, out_dim=6, heads=4)
+
+    def test_attention_weights_normalized(self, rng):
+        """Single node with uniform neighbours reduces to a mean."""
+        graph = CSRGraph.from_edges(3, [(0, 1), (0, 2)])
+        layer = GATLayer(in_dim=4, out_dim=4, heads=1)
+        feats = np.tile(rng.normal(0, 1, 4), (3, 1))  # identical features
+        out = layer.forward(graph, feats, activate=False)
+        projected = feats[0] @ layer.weight[0]
+        assert np.allclose(out[0], projected)
+
+
+class TestGNNModel:
+    @pytest.mark.parametrize("kind", list(GNNKind))
+    def test_forward_all_kinds(self, kind, small_graph, rng):
+        model = make_gnn(kind, in_dim=8, out_dim=4, hidden_dim=8, heads=2)
+        feats = rng.normal(0, 1, (small_graph.num_nodes, 8))
+        out = model.forward(small_graph, feats)
+        assert out.shape == (small_graph.num_nodes, 4)
+        assert np.all(np.isfinite(out))
+
+    def test_final_layer_unactivated(self, small_graph, rng):
+        model = make_gnn(GNNKind.GCN, in_dim=8, out_dim=4)
+        feats = rng.normal(0, 1, (small_graph.num_nodes, 8))
+        out = model.forward(small_graph, feats)
+        assert (out < 0.0).any()  # logits, not ReLU output
+
+    def test_rejects_wrong_feature_shape(self, small_graph, rng):
+        model = make_gnn(GNNKind.GCN, in_dim=8, out_dim=4)
+        with pytest.raises(ConfigurationError):
+            model.forward(small_graph, rng.normal(0, 1, (small_graph.num_nodes, 9)))
+
+    def test_deterministic_by_seed(self, small_graph, rng):
+        feats = rng.normal(0, 1, (small_graph.num_nodes, 8))
+        a = make_gnn(GNNKind.GIN, in_dim=8, out_dim=4).forward(small_graph, feats)
+        b = make_gnn(GNNKind.GIN, in_dim=8, out_dim=4).forward(small_graph, feats)
+        assert np.allclose(a, b)

@@ -1,0 +1,112 @@
+"""Tests for the CACTI-substitute memory models."""
+
+import pytest
+
+from repro.electronics.memory import (
+    EDRAMBuffer,
+    HBMChannel,
+    MemorySystem,
+    SRAMBuffer,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSRAMScaling:
+    """The CACTI scaling laws the substitute is calibrated to."""
+
+    def test_energy_grows_sublinearly_with_capacity(self):
+        small = SRAMBuffer(capacity_bytes=32 * 1024)
+        big = SRAMBuffer(capacity_bytes=128 * 1024)
+        ratio = big.read_energy_pj / small.read_energy_pj
+        assert 1.5 < ratio < 3.0  # sqrt scaling -> 2x for 4x capacity
+
+    def test_leakage_linear_in_capacity(self):
+        small = SRAMBuffer(capacity_bytes=32 * 1024)
+        big = SRAMBuffer(capacity_bytes=64 * 1024)
+        assert big.leakage_mw / small.leakage_mw == pytest.approx(2.0, rel=0.1)
+
+    def test_banking_reduces_access_energy(self):
+        flat = SRAMBuffer(capacity_bytes=256 * 1024, banks=1)
+        banked = SRAMBuffer(capacity_bytes=256 * 1024, banks=16)
+        assert banked.read_energy_pj < flat.read_energy_pj
+
+    def test_banking_reduces_streaming_latency(self):
+        flat = SRAMBuffer(capacity_bytes=256 * 1024, banks=1)
+        banked = SRAMBuffer(capacity_bytes=256 * 1024, banks=16)
+        assert banked.transfer_latency_ns(4096) < flat.transfer_latency_ns(4096)
+
+    def test_write_costs_more_than_read(self):
+        buf = SRAMBuffer(capacity_bytes=64 * 1024)
+        assert buf.write_energy_pj > buf.read_energy_pj
+
+    def test_ports_increase_energy(self):
+        one = SRAMBuffer(capacity_bytes=64 * 1024, ports=1)
+        two = SRAMBuffer(capacity_bytes=64 * 1024, ports=2)
+        assert two.read_energy_pj > one.read_energy_pj
+
+    def test_transfer_energy_counts_words(self):
+        buf = SRAMBuffer(capacity_bytes=64 * 1024, word_bits=64)
+        # 16 bytes = 2 words of 64 bits
+        assert buf.transfer_energy_pj(16) == pytest.approx(
+            2 * buf.read_energy_pj
+        )
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            SRAMBuffer(capacity_bytes=32)
+        with pytest.raises(ConfigurationError):
+            SRAMBuffer(capacity_bytes=1024, banks=1000)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ConfigurationError):
+            SRAMBuffer(capacity_bytes=64 * 1024).transfer_energy_pj(-1)
+
+
+class TestEDRAM:
+    def test_refresh_power_linear(self):
+        small = EDRAMBuffer(capacity_bytes=1024 * 1024)
+        big = EDRAMBuffer(capacity_bytes=4 * 1024 * 1024)
+        assert big.refresh_power_mw == pytest.approx(4 * small.refresh_power_mw)
+
+    def test_slower_than_sram(self):
+        edram = EDRAMBuffer(capacity_bytes=1024 * 1024)
+        sram = SRAMBuffer(capacity_bytes=1024 * 1024)
+        assert edram.access_latency_ns > sram.access_latency_ns
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ConfigurationError):
+            EDRAMBuffer(capacity_bytes=512)
+
+
+class TestHBM:
+    def test_transfer_energy_per_bit(self):
+        hbm = HBMChannel(energy_per_bit_pj=4.0)
+        assert hbm.transfer_energy_pj(1) == pytest.approx(32.0)
+
+    def test_latency_uses_aggregate_bandwidth(self):
+        hbm = HBMChannel(bandwidth_gbps=128.0, channels=8)
+        # 1024 Gb/s aggregate -> 1 KiB = 8192 bits -> 8 ns
+        assert hbm.transfer_latency_ns(1024) == pytest.approx(8.0)
+
+    def test_more_channels_faster(self):
+        slow = HBMChannel(channels=4)
+        fast = HBMChannel(channels=16)
+        assert fast.transfer_latency_ns(1 << 20) < slow.transfer_latency_ns(1 << 20)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            HBMChannel(bandwidth_gbps=0.0)
+
+
+class TestMemorySystem:
+    def test_offchip_more_expensive_than_onchip(self):
+        system = MemorySystem()
+        off_energy, _ = system.load_from_offchip(4096)
+        on_energy, _ = system.read_onchip(4096)
+        assert off_energy > on_energy
+
+    def test_zero_bytes_zero_cost(self):
+        system = MemorySystem()
+        energy, latency = system.load_from_offchip(0)
+        assert energy == 0.0
+        assert latency == 0.0

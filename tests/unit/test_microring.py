@@ -1,0 +1,209 @@
+"""Tests for the microring resonator model (paper eq. 2 and Fig. 3a)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics.microring import (
+    DEFAULT_N_EFF,
+    Microring,
+    MicroringDesign,
+    free_spectral_range_nm,
+    resonance_order_for,
+    resonant_wavelength_nm,
+)
+
+
+class TestResonanceEquation:
+    """The paper's equation (2): lambda_MR = 2*pi*R*n_eff / m."""
+
+    def test_matches_closed_form(self):
+        lam = resonant_wavelength_nm(5.0, 2.36, 48)
+        expected = 2.0 * math.pi * 5.0e3 * 2.36 / 48
+        assert lam == pytest.approx(expected)
+
+    def test_larger_radius_longer_wavelength(self):
+        assert resonant_wavelength_nm(6.0, 2.36, 48) > resonant_wavelength_nm(
+            5.0, 2.36, 48
+        )
+
+    def test_higher_order_shorter_wavelength(self):
+        assert resonant_wavelength_nm(5.0, 2.36, 49) < resonant_wavelength_nm(
+            5.0, 2.36, 48
+        )
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ConfigurationError):
+            resonant_wavelength_nm(0.0, 2.36, 48)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ConfigurationError):
+            resonant_wavelength_nm(5.0, 2.36, 0)
+
+    def test_order_for_target_is_consistent(self):
+        order = resonance_order_for(5.0, DEFAULT_N_EFF, 1550.0)
+        lam = resonant_wavelength_nm(5.0, DEFAULT_N_EFF, order)
+        # Closest order puts the resonance within half an FSR of target.
+        fsr = free_spectral_range_nm(5.0, 4.2, 1550.0)
+        assert abs(lam - 1550.0) < fsr
+
+
+class TestFSR:
+    def test_fsr_shrinks_with_radius(self):
+        assert free_spectral_range_nm(10.0, 4.2, 1550.0) < free_spectral_range_nm(
+            5.0, 4.2, 1550.0
+        )
+
+    def test_fsr_formula(self):
+        circumference = 2.0 * math.pi * 5.0e3
+        expected = 1550.0**2 / (4.2 * circumference)
+        assert free_spectral_range_nm(5.0, 4.2, 1550.0) == pytest.approx(expected)
+
+
+class TestDesignValidation:
+    def test_default_is_valid(self):
+        MicroringDesign()
+
+    def test_rejects_coupling_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            MicroringDesign(self_coupling=1.0)
+        with pytest.raises(ConfigurationError):
+            MicroringDesign(self_coupling=0.0)
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(ConfigurationError):
+            MicroringDesign(loss_db_per_cm=-1.0)
+
+    def test_round_trip_amplitude_below_one(self):
+        design = MicroringDesign(loss_db_per_cm=2.0)
+        assert 0.0 < design.round_trip_amplitude < 1.0
+
+    def test_lossless_ring_amplitude_is_one(self):
+        design = MicroringDesign(loss_db_per_cm=0.0)
+        assert design.round_trip_amplitude == pytest.approx(1.0)
+
+    def test_with_gap_copies(self):
+        design = MicroringDesign()
+        wider = design.with_gap(400.0)
+        assert wider.coupling_gap_nm == 400.0
+        assert design.coupling_gap_nm != 400.0
+
+
+class TestTransmission:
+    """Fig. 3(a): through-port dip on resonance, transparency off it."""
+
+    @pytest.fixture
+    def ring(self):
+        return Microring.at_wavelength(MicroringDesign(), 1550.0)
+
+    def test_deep_dip_on_resonance(self, ring):
+        assert ring.through_transmission(ring.resonance_nm) < 0.01
+
+    def test_transparent_off_resonance(self, ring):
+        far = ring.resonance_nm + 0.45 * ring.fsr_nm
+        assert ring.through_transmission(far) > 0.95
+
+    def test_transmission_bounded(self, ring):
+        wavelengths = np.linspace(
+            ring.resonance_nm - ring.fsr_nm, ring.resonance_nm + ring.fsr_nm, 500
+        )
+        t = ring.through_transmission(wavelengths)
+        assert np.all(t >= 0.0) and np.all(t <= 1.0)
+
+    def test_symmetric_about_resonance(self, ring):
+        d = 0.1
+        left = ring.through_transmission(ring.resonance_nm - d)
+        right = ring.through_transmission(ring.resonance_nm + d)
+        assert left == pytest.approx(right, rel=1e-6)
+
+    def test_drop_peak_on_resonance(self, ring):
+        on = ring.drop_transmission(ring.resonance_nm)
+        off = ring.drop_transmission(ring.resonance_nm + 0.4 * ring.fsr_nm)
+        assert on > 0.9
+        assert off < 0.01
+
+    def test_energy_conservation(self, ring):
+        """Through + drop <= 1 everywhere (remainder is ring loss)."""
+        wavelengths = np.linspace(
+            ring.resonance_nm - 1.0, ring.resonance_nm + 1.0, 200
+        )
+        total = ring.through_transmission(wavelengths) + ring.drop_transmission(
+            wavelengths
+        )
+        assert np.all(total <= 1.0 + 1e-9)
+
+    def test_tuning_shift_moves_lineshape_rigidly(self, ring):
+        base = ring.through_transmission(ring.resonance_nm + 0.2)
+        ring.apply_shift(0.5)
+        shifted = ring.through_transmission(ring.resonance_nm + 0.2)
+        assert shifted == pytest.approx(base, rel=1e-6)
+
+    def test_fwhm_matches_half_depth_points(self, ring):
+        """Transmission at +/- FWHM/2 detuning is halfway up the dip."""
+        t_min = ring.min_through_transmission
+        half = ring.through_transmission(ring.resonance_nm + ring.fwhm_nm / 2)
+        midpoint = t_min + (1.0 - t_min) / 2.0
+        assert half == pytest.approx(midpoint, abs=0.05)
+
+
+class TestQualityFactor:
+    def test_q_in_expected_range_for_default(self):
+        ring = Microring.at_wavelength(MicroringDesign(), 1550.0)
+        assert 3_000 < ring.quality_factor < 30_000
+
+    def test_weaker_coupling_higher_q(self):
+        low = Microring.at_wavelength(
+            MicroringDesign(self_coupling=0.95, drop_coupling=0.95), 1550.0
+        )
+        high = Microring.at_wavelength(
+            MicroringDesign(self_coupling=0.995, drop_coupling=0.995), 1550.0
+        )
+        assert high.quality_factor > low.quality_factor
+
+    def test_finesse_is_fsr_over_fwhm(self):
+        ring = Microring.at_wavelength(MicroringDesign(), 1550.0)
+        assert ring.finesse == pytest.approx(ring.fsr_nm / ring.fwhm_nm)
+
+
+class TestImprinting:
+    @pytest.fixture
+    def ring(self):
+        return Microring.at_wavelength(MicroringDesign(), 1550.0)
+
+    def test_detuning_inversion_roundtrip(self, ring):
+        """detuning_for_transmission inverts the Lorentzian dip model."""
+        for target in (0.1, 0.5, 0.9):
+            d = ring.detuning_for_transmission(target)
+            lorentz = 1.0 - (1.0 - ring.min_through_transmission) / (
+                1.0 + (2.0 * d / ring.fwhm_nm) ** 2
+            )
+            assert lorentz == pytest.approx(target, abs=1e-9)
+
+    def test_rejects_target_below_floor(self, ring):
+        with pytest.raises(ConfigurationError):
+            ring.detuning_for_transmission(ring.min_through_transmission / 2 - 1e-6)
+
+    def test_rejects_target_of_one(self, ring):
+        with pytest.raises(ConfigurationError):
+            ring.detuning_for_transmission(1.0)
+
+    def test_imprint_monotone(self, ring):
+        """Bigger values need bigger detunings."""
+        shifts = [ring.imprint(v) for v in (0.1, 0.4, 0.7, 0.99)]
+        assert shifts == sorted(shifts)
+
+    def test_imprint_zero_is_zero_shift(self, ring):
+        assert ring.imprint(0.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_imprint_rejects_out_of_range(self, ring):
+        with pytest.raises(ConfigurationError):
+            ring.imprint(1.5)
+        with pytest.raises(ConfigurationError):
+            ring.imprint(-0.1)
+
+    def test_shift_for_index_change_first_order(self, ring):
+        shift = ring.shift_for_index_change(0.01)
+        expected = ring._base_resonance_nm * 0.01 / ring.design.n_group
+        assert shift == pytest.approx(expected)

@@ -1,0 +1,140 @@
+"""Tests for MR banks and MR bank arrays (Fig. 3c)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics.mrbank import MRBank, MRBankArray
+from repro.photonics.noise import AnalogNoiseModel
+
+
+class TestMRBank:
+    def test_transmission_monotone_in_value(self):
+        bank = MRBank(size=4)
+        low = bank.transmission_for(np.array([0.1, 0.1, 0.1, 0.1]))
+        high = bank.transmission_for(np.array([0.9, 0.9, 0.9, 0.9]))
+        assert np.all(high > low)
+
+    def test_transmission_spans_usable_window(self):
+        bank = MRBank(size=2)
+        t = bank.transmission_for(np.array([0.0, 1.0]))
+        assert t[0] < 0.05  # near the dip floor
+        assert t[1] > 0.9  # near transparency
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            MRBank(size=4).transmission_for(np.zeros(3))
+
+    def test_rejects_out_of_range_values(self):
+        with pytest.raises(ConfigurationError):
+            MRBank(size=2).transmission_for(np.array([0.5, 1.5]))
+
+    def test_crosstalk_ratio_positive_for_multichannel(self):
+        assert MRBank(size=8).crosstalk_ratio() > 0.0
+
+    def test_imprint_shifts_monotone(self):
+        bank = MRBank(size=3)
+        shifts = bank.imprint_shifts_nm(np.array([0.1, 0.5, 0.9]))
+        assert shifts[0] < shifts[1] < shifts[2]
+
+    def test_hold_power_scales_with_size(self):
+        small = MRBank(size=4)
+        large = MRBank(size=16)
+        values_small = np.full(4, 0.5)
+        values_large = np.full(16, 0.5)
+        assert large.hold_power_mw(values_large) > small.hold_power_mw(
+            values_small
+        )
+
+
+class TestMRBankArrayFunctional:
+    def test_matvec_exact_without_noise(self, rng):
+        array = MRBankArray(rows=8, cols=8)
+        w = rng.uniform(-1, 1, (8, 8))
+        x = rng.uniform(-1, 1, 8)
+        assert np.allclose(array.matvec(w, x), w @ x)
+
+    def test_matmul_exact_without_noise(self, rng):
+        array = MRBankArray(rows=4, cols=6)
+        w = rng.uniform(-1, 1, (4, 6))
+        x = rng.uniform(-1, 1, (6, 5))
+        assert np.allclose(array.matmul(w, x), w @ x)
+
+    def test_noise_bounded_by_quantization(self, rng):
+        array = MRBankArray(
+            rows=8,
+            cols=8,
+            noise=AnalogNoiseModel(
+                relative_sigma=0.0, crosstalk_fraction_scale=0.0, adc_bits=8
+            ),
+        )
+        w = rng.uniform(-1, 1, (8, 8))
+        x = rng.uniform(-1, 1, 8)
+        err = np.abs(array.matvec(w, x) - w @ x)
+        step = 2.0 * 8 / (2**8 - 1)
+        assert np.all(err <= step / 2 + 1e-12)
+
+    def test_matvec_shape_checks(self, rng):
+        array = MRBankArray(rows=4, cols=4)
+        with pytest.raises(ConfigurationError):
+            array.matvec(rng.uniform(-1, 1, (4, 5)), rng.uniform(-1, 1, 4))
+        with pytest.raises(ConfigurationError):
+            array.matvec(rng.uniform(-1, 1, (4, 4)), rng.uniform(-1, 1, 5))
+
+    def test_signed_values_via_bpd_decomposition(self):
+        array = MRBankArray(rows=2, cols=2)
+        w = np.array([[1.0, -1.0], [-0.5, 0.5]])
+        x = np.array([0.5, 0.5])
+        assert np.allclose(array.matvec(w, x), np.array([0.0, 0.0]))
+
+
+class TestMRBankArrayCost:
+    def test_macs_per_cycle(self):
+        assert MRBankArray(rows=16, cols=32).macs_per_cycle == 512
+
+    def test_cycles_for_exact_fit(self):
+        array = MRBankArray(rows=8, cols=8)
+        assert array.cycles_for(8, 8, batch=1) == 1
+        assert array.cycles_for(16, 8, batch=1) == 2
+        assert array.cycles_for(8, 16, batch=3) == 6
+
+    def test_cycles_for_rounds_up(self):
+        array = MRBankArray(rows=8, cols=8)
+        assert array.cycles_for(9, 9, batch=1) == 4
+
+    def test_cycles_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            MRBankArray(rows=8, cols=8).cycles_for(0, 8)
+
+    def test_cycle_energy_positive(self):
+        assert MRBankArray(rows=8, cols=8).cycle_energy_pj() > 0.0
+
+    def test_weight_refresh_amortizes_dac_energy(self):
+        array = MRBankArray(rows=16, cols=16)
+        fresh = array.cycle_energy_pj(weight_refresh_cycles=1)
+        amortized = array.cycle_energy_pj(weight_refresh_cycles=256)
+        assert amortized < fresh
+
+    def test_weight_dac_sharing_reduces_energy(self):
+        private = MRBankArray(rows=16, cols=16, weight_dacs_shared=1)
+        shared = MRBankArray(rows=16, cols=16, weight_dacs_shared=16)
+        assert shared.cycle_energy_pj() < private.cycle_energy_pj()
+
+    def test_breakdown_sums_to_total(self):
+        array = MRBankArray(rows=8, cols=8)
+        breakdown = array.cycle_energy_breakdown_pj()
+        assert sum(breakdown.values()) == pytest.approx(array.cycle_energy_pj())
+
+    def test_clock_bounded_by_vcsel(self):
+        with pytest.raises(ConfigurationError):
+            MRBankArray(rows=4, cols=4, clock_ghz=50.0)
+
+    def test_num_mrs(self):
+        # input bank (cols) + rows banks of cols each
+        assert MRBankArray(rows=4, cols=8).num_mrs == 8 + 4 * 8
+
+    def test_hold_power_consistent_with_cycle_energy(self):
+        array = MRBankArray(rows=8, cols=8)
+        assert array.hold_power_mw() == pytest.approx(
+            array.cycle_energy_pj() / array.cycle_ns
+        )

@@ -1,0 +1,113 @@
+"""Tests for the analog noise model and effective-bits metric."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics.noise import (
+    AnalogNoiseModel,
+    effective_bits,
+    shot_noise_current_ma,
+    thermal_noise_current_ma,
+)
+
+
+class TestAnalogNoiseModel:
+    def test_zero_noise_is_identity(self, rng):
+        model = AnalogNoiseModel(relative_sigma=0.0, crosstalk_fraction_scale=0.0)
+        values = rng.normal(0, 1, 50)
+        assert np.allclose(model.apply_dot_products(values, fan_in=8), values)
+
+    def test_relative_noise_scales_with_magnitude(self):
+        model = AnalogNoiseModel(
+            relative_sigma=0.05, rng=np.random.default_rng(0)
+        )
+        big = model.apply_dot_products(np.full(2000, 100.0), fan_in=8)
+        model2 = AnalogNoiseModel(
+            relative_sigma=0.05, rng=np.random.default_rng(0)
+        )
+        small = model2.apply_dot_products(np.full(2000, 1.0), fan_in=8)
+        assert np.std(big - 100.0) > np.std(small - 1.0)
+
+    def test_crosstalk_noise_additive(self):
+        model = AnalogNoiseModel(
+            relative_sigma=0.0, rng=np.random.default_rng(0)
+        )
+        out = model.apply_dot_products(np.zeros(2000), fan_in=16, crosstalk=0.01)
+        assert np.std(out) > 0.0
+
+    def test_quantization_clamps_and_snaps(self):
+        model = AnalogNoiseModel(
+            relative_sigma=0.0, crosstalk_fraction_scale=0.0, adc_bits=4
+        )
+        out = model.apply_dot_products(np.array([100.0]), fan_in=8)
+        assert out[0] <= 8.0  # clipped to the fan-in full scale
+
+    def test_deterministic_with_seed(self):
+        values = np.linspace(-1, 1, 20)
+        a = AnalogNoiseModel(rng=np.random.default_rng(42)).apply_dot_products(
+            values, fan_in=4
+        )
+        b = AnalogNoiseModel(rng=np.random.default_rng(42)).apply_dot_products(
+            values, fan_in=4
+        )
+        assert np.allclose(a, b)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            AnalogNoiseModel(relative_sigma=-0.1)
+        with pytest.raises(ConfigurationError):
+            AnalogNoiseModel(adc_bits=0)
+        model = AnalogNoiseModel()
+        with pytest.raises(ConfigurationError):
+            model.apply_dot_products(np.ones(3), fan_in=0)
+
+
+class TestEffectiveBits:
+    def test_exact_match_is_infinite(self):
+        x = np.linspace(-1, 1, 100)
+        assert effective_bits(x, x) == math.inf
+
+    def test_8bit_quantization_is_about_8_bits(self, rng):
+        x = rng.uniform(-1, 1, 10000)
+        step = 2.0 / (2**8 - 1)
+        quantized = np.round(x / step) * step
+        enob = effective_bits(x, quantized)
+        assert 7.0 < enob < 9.5
+
+    def test_more_noise_fewer_bits(self, rng):
+        x = rng.uniform(-1, 1, 5000)
+        slightly = x + rng.normal(0, 0.001, x.shape)
+        badly = x + rng.normal(0, 0.1, x.shape)
+        assert effective_bits(x, slightly) > effective_bits(x, badly)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            effective_bits(np.ones(3), np.ones(4))
+
+    def test_zero_signal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            effective_bits(np.zeros(5), np.ones(5))
+
+
+class TestReceiverNoise:
+    def test_shot_noise_grows_with_current(self):
+        assert shot_noise_current_ma(2.0, 10.0) > shot_noise_current_ma(0.5, 10.0)
+
+    def test_shot_noise_formula(self):
+        # sqrt(2 q I B) with I = 1 mA, B = 10 GHz
+        expected = math.sqrt(2 * 1.602e-19 * 1e-3 * 10e9) * 1e3
+        assert shot_noise_current_ma(1.0, 10.0) == pytest.approx(
+            expected, rel=1e-3
+        )
+
+    def test_thermal_noise_grows_with_bandwidth(self):
+        assert thermal_noise_current_ma(20.0) > thermal_noise_current_ma(5.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            shot_noise_current_ma(-1.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            thermal_noise_current_ma(0.0)

@@ -1,0 +1,143 @@
+"""Tests for core numpy tensor operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.ops import (
+    causal_mask,
+    gelu,
+    layer_norm,
+    linear,
+    relu,
+    scaled_dot_product_attention,
+    softmax,
+)
+
+
+class TestLinear:
+    def test_matches_matmul(self, rng):
+        x = rng.normal(0, 1, (5, 8))
+        w = rng.normal(0, 1, (3, 8))
+        assert np.allclose(linear(x, w), x @ w.T)
+
+    def test_bias_added(self, rng):
+        x = rng.normal(0, 1, (5, 8))
+        w = rng.normal(0, 1, (3, 8))
+        b = rng.normal(0, 1, 3)
+        assert np.allclose(linear(x, w, b), x @ w.T + b)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            linear(rng.normal(0, 1, (5, 7)), rng.normal(0, 1, (3, 8)))
+
+    def test_bad_bias_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            linear(
+                rng.normal(0, 1, (5, 8)),
+                rng.normal(0, 1, (3, 8)),
+                np.zeros(4),
+            )
+
+
+class TestActivations:
+    def test_relu_clamps_negatives(self):
+        assert np.allclose(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_gelu_asymptotes(self):
+        assert gelu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-3)
+        assert gelu(np.array([-10.0]))[0] == pytest.approx(0.0, abs=1e-3)
+
+    def test_gelu_at_zero(self):
+        assert gelu(np.array([0.0]))[0] == pytest.approx(0.0)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self, rng):
+        out = softmax(rng.normal(0, 5, (4, 9)))
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_invariant_to_shift(self, rng):
+        x = rng.normal(0, 1, 10)
+        assert np.allclose(softmax(x), softmax(x + 100.0))
+
+    def test_axis_argument(self, rng):
+        x = rng.normal(0, 1, (3, 4))
+        assert np.allclose(softmax(x, axis=0).sum(axis=0), 1.0)
+
+
+class TestLayerNorm:
+    def test_zero_mean_unit_variance(self, rng):
+        out = layer_norm(rng.normal(3.0, 2.0, (6, 32)))
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gamma_beta(self, rng):
+        x = rng.normal(0, 1, (2, 8))
+        gamma = np.full(8, 2.0)
+        beta = np.full(8, 1.0)
+        plain = layer_norm(x)
+        scaled = layer_norm(x, gamma, beta)
+        assert np.allclose(scaled, plain * 2.0 + 1.0)
+
+
+class TestAttention:
+    """The paper's equation (1)."""
+
+    def test_output_shape(self, rng):
+        q = rng.normal(0, 1, (5, 8))
+        k = rng.normal(0, 1, (7, 8))
+        v = rng.normal(0, 1, (7, 4))
+        assert scaled_dot_product_attention(q, k, v).shape == (5, 4)
+
+    def test_uniform_when_scores_equal(self):
+        q = np.zeros((2, 4))
+        k = np.zeros((3, 4))
+        v = np.arange(12.0).reshape(3, 4)
+        out = scaled_dot_product_attention(q, k, v)
+        assert np.allclose(out, v.mean(axis=0))
+
+    def test_attends_to_matching_key(self):
+        q = np.array([[10.0, 0.0]])
+        k = np.array([[10.0, 0.0], [0.0, 10.0]])
+        v = np.array([[1.0], [2.0]])
+        out = scaled_dot_product_attention(q, k, v)
+        assert out[0, 0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_causal_mask_blocks_future(self, rng):
+        s, d = 6, 4
+        q = rng.normal(0, 1, (s, d))
+        k = rng.normal(0, 1, (s, d))
+        v = rng.normal(0, 1, (s, d))
+        mask = causal_mask(s)
+        out = scaled_dot_product_attention(q, k, v, mask=mask)
+        # First position can only attend to itself.
+        assert np.allclose(out[0], v[0])
+
+    def test_batched_heads(self, rng):
+        q = rng.normal(0, 1, (3, 5, 8))
+        k = rng.normal(0, 1, (3, 5, 8))
+        v = rng.normal(0, 1, (3, 5, 8))
+        out = scaled_dot_product_attention(q, k, v)
+        # Each head independent: computing head 0 alone must match.
+        solo = scaled_dot_product_attention(q[0], k[0], v[0])
+        assert np.allclose(out[0], solo)
+
+    def test_dim_mismatch_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            scaled_dot_product_attention(
+                rng.normal(0, 1, (5, 8)),
+                rng.normal(0, 1, (5, 7)),
+                rng.normal(0, 1, (5, 8)),
+            )
+
+
+class TestCausalMask:
+    def test_lower_triangular(self):
+        mask = causal_mask(4)
+        assert mask[0, 0] and not mask[0, 1]
+        assert mask[3].all()
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ConfigurationError):
+            causal_mask(0)

@@ -1,0 +1,100 @@
+"""Tests for the non-volatile PCM weight memory model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics.mrbank import MRBankArray
+from repro.photonics.pcm import NonVolatileWeightBank, PCMCell
+
+
+class TestPCMCell:
+    def test_bits_from_levels(self):
+        assert PCMCell(levels=32).bits == pytest.approx(5.0)
+        assert PCMCell(levels=2).bits == pytest.approx(1.0)
+
+    def test_program_energy_accumulates(self):
+        cell = PCMCell(write_energy_pj=10.0)
+        assert cell.program_energy_pj(100) == pytest.approx(1000.0)
+
+    def test_lifetime(self):
+        cell = PCMCell(endurance_writes=10**6)
+        assert cell.lifetime_reprograms(1000.0) == pytest.approx(1000.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            PCMCell(levels=1)
+        with pytest.raises(ConfigurationError):
+            PCMCell(write_energy_pj=0.0)
+        with pytest.raises(ConfigurationError):
+            PCMCell().program_energy_pj(-1)
+
+
+class TestNonVolatileWeightBank:
+    def test_pcm_wins_for_long_reuse(self):
+        bank = NonVolatileWeightBank()
+        breakeven = bank.breakeven_reuse_cycles()
+        long_window = 100 * breakeven
+        assert bank.pcm_energy_pj(long_window) < bank.volatile_energy_pj(
+            long_window
+        )
+
+    def test_volatile_wins_for_short_reuse(self):
+        bank = NonVolatileWeightBank()
+        assert bank.pcm_energy_pj(1) > bank.volatile_energy_pj(1)
+
+    def test_breakeven_is_the_crossover(self):
+        bank = NonVolatileWeightBank()
+        n = bank.breakeven_reuse_cycles()
+        assert bank.pcm_energy_pj(n) <= bank.volatile_energy_pj(n)
+        if n > 1:
+            assert bank.pcm_energy_pj(n - 1) > bank.volatile_energy_pj(n - 1)
+
+    def test_pcm_energy_independent_of_window(self):
+        bank = NonVolatileWeightBank()
+        assert bank.pcm_energy_pj(10) == bank.pcm_energy_pj(10_000)
+
+    def test_endurance_lifetime_scales_with_window(self):
+        bank = NonVolatileWeightBank()
+        assert bank.endurance_limited_lifetime_s(
+            10_000
+        ) == pytest.approx(100 * bank.endurance_limited_lifetime_s(100))
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            NonVolatileWeightBank().volatile_energy_pj(0)
+
+
+class TestPCMInMRBankArray:
+    def test_pcm_removes_weight_tuning_hold(self):
+        volatile = MRBankArray(rows=16, cols=16)
+        nonvolatile = MRBankArray(rows=16, cols=16, pcm=PCMCell())
+        v = volatile.cycle_energy_breakdown_pj(weight_refresh_cycles=1000)
+        nv = nonvolatile.cycle_energy_breakdown_pj(weight_refresh_cycles=1000)
+        assert nv["tuning_pj"] < v["tuning_pj"]
+
+    def test_pcm_wins_at_long_refresh_windows(self):
+        volatile = MRBankArray(rows=16, cols=16)
+        nonvolatile = MRBankArray(rows=16, cols=16, pcm=PCMCell())
+        long_window = 100_000
+        assert nonvolatile.cycle_energy_pj(
+            weight_refresh_cycles=long_window
+        ) < volatile.cycle_energy_pj(weight_refresh_cycles=long_window)
+
+    def test_pcm_loses_at_rapid_refresh(self):
+        """Streaming weights through expensive PCM writes is a loss — the
+        trade the paper's future-work direction has to navigate."""
+        volatile = MRBankArray(rows=16, cols=16)
+        nonvolatile = MRBankArray(rows=16, cols=16, pcm=PCMCell())
+        assert nonvolatile.cycle_energy_pj(
+            weight_refresh_cycles=1
+        ) > volatile.cycle_energy_pj(weight_refresh_cycles=1)
+
+    def test_functional_path_unaffected(self, rng):
+        import numpy as np
+
+        array = MRBankArray(rows=8, cols=8, pcm=PCMCell())
+        w = rng.uniform(-1, 1, (8, 8))
+        x = rng.uniform(-1, 1, 8)
+        assert np.allclose(array.matvec(w, x), w @ x)

@@ -1,0 +1,86 @@
+"""Tests for symmetric quantization (the 8-bit operating point)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.nn.quantization import (
+    QuantizedTensor,
+    fake_quantize,
+    quantization_error,
+    quantize_symmetric,
+)
+
+
+class TestQuantizeSymmetric:
+    def test_roundtrip_error_bounded_by_half_step(self, rng):
+        x = rng.uniform(-3, 3, 1000)
+        qt = quantize_symmetric(x, bits=8)
+        err = np.abs(qt.dequantize() - x)
+        assert np.all(err <= qt.scale / 2 + 1e-12)
+
+    def test_codes_in_range(self, rng):
+        x = rng.normal(0, 10, 500)
+        qt = quantize_symmetric(x, bits=8)
+        assert qt.codes.max() <= 127
+        assert qt.codes.min() >= -127
+
+    def test_preserves_extremes(self):
+        x = np.array([-5.0, 0.0, 5.0])
+        qt = quantize_symmetric(x, bits=8)
+        deq = qt.dequantize()
+        assert deq[0] == pytest.approx(-5.0, rel=0.01)
+        assert deq[2] == pytest.approx(5.0, rel=0.01)
+
+    def test_zero_tensor(self):
+        qt = quantize_symmetric(np.zeros(10), bits=8)
+        assert np.all(qt.codes == 0)
+        assert np.allclose(qt.dequantize(), 0.0)
+
+    def test_normalized_in_unit_range(self, rng):
+        qt = quantize_symmetric(rng.normal(0, 4, 100), bits=8)
+        normalized = qt.normalized()
+        assert np.all(np.abs(normalized) <= 1.0)
+
+    def test_rejects_one_bit(self):
+        with pytest.raises(QuantizationError):
+            quantize_symmetric(np.ones(4), bits=1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(QuantizationError):
+            quantize_symmetric(np.array([1.0, np.nan]))
+
+    def test_shape_preserved(self, rng):
+        x = rng.normal(0, 1, (3, 4, 5))
+        assert quantize_symmetric(x).shape == (3, 4, 5)
+
+
+class TestQuantizationError:
+    def test_more_bits_less_error(self, rng):
+        x = rng.normal(0, 1, 5000)
+        errors = [quantization_error(x, bits=b) for b in (4, 6, 8, 10)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_8bit_error_small(self, rng):
+        """The paper's justification for the 8-bit operating point."""
+        x = rng.normal(0, 1, 5000)
+        assert quantization_error(x, bits=8) < 0.01
+
+    def test_4bit_error_substantial(self, rng):
+        x = rng.normal(0, 1, 5000)
+        assert quantization_error(x, bits=4) > 5 * quantization_error(x, bits=8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(QuantizationError):
+            quantization_error(np.array([]))
+
+    def test_zero_signal_is_zero_error(self):
+        assert quantization_error(np.zeros(10)) == 0.0
+
+
+class TestFakeQuantize:
+    def test_idempotent(self, rng):
+        x = rng.normal(0, 1, 200)
+        once = fake_quantize(x, bits=8)
+        twice = fake_quantize(once, bits=8)
+        assert np.allclose(once, twice)

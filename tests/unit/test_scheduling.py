@@ -1,0 +1,82 @@
+"""Tests for pipeline latency composition and workload balancing."""
+
+import pytest
+
+from repro.core.scheduling import (
+    PipelineStage,
+    balanced_assignment,
+    lane_imbalance_factor,
+    pipeline_latency_ns,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPipelineLatency:
+    def test_single_item_is_fill_time(self):
+        stages = [PipelineStage("a", 2.0), PipelineStage("b", 3.0)]
+        assert pipeline_latency_ns(stages, 1) == pytest.approx(5.0)
+
+    def test_steady_state_at_bottleneck(self):
+        stages = [PipelineStage("a", 2.0), PipelineStage("b", 3.0)]
+        # fill 5 + 9 more items at 3 ns each
+        assert pipeline_latency_ns(stages, 10) == pytest.approx(5.0 + 27.0)
+
+    def test_pipelining_beats_serial(self):
+        stages = [PipelineStage("a", 2.0), PipelineStage("b", 3.0)]
+        serial = 10 * (2.0 + 3.0)
+        assert pipeline_latency_ns(stages, 10) < serial
+
+    def test_rejects_no_stages(self):
+        with pytest.raises(ConfigurationError):
+            pipeline_latency_ns([], 5)
+
+    def test_rejects_zero_items(self):
+        with pytest.raises(ConfigurationError):
+            pipeline_latency_ns([PipelineStage("a", 1.0)], 0)
+
+    def test_rejects_negative_stage_latency(self):
+        with pytest.raises(ConfigurationError):
+            PipelineStage("a", -1.0)
+
+
+class TestImbalance:
+    def test_balanced_is_one(self):
+        assert lane_imbalance_factor([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_imbalanced_above_one(self):
+        assert lane_imbalance_factor([1.0, 1.0, 10.0]) > 2.0
+
+    def test_zero_work_is_one(self):
+        assert lane_imbalance_factor([0.0, 0.0]) == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            lane_imbalance_factor([])
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(ConfigurationError):
+            lane_imbalance_factor([1.0, -1.0])
+
+
+class TestBalancedAssignment:
+    def test_greedy_beats_natural_split_for_skewed_work(self):
+        """The point of workload balancing: skewed degree distributions
+        spread evenly under longest-first assignment."""
+        work = [100.0] + [1.0] * 99
+        factor = balanced_assignment(work, lanes=4)
+        # One lane takes the hub; others share the small items.
+        assert factor < 2.1
+
+    def test_uniform_work_perfectly_balanced(self):
+        assert balanced_assignment([2.0] * 16, lanes=4) == pytest.approx(1.0)
+
+    def test_empty_work_is_one(self):
+        assert balanced_assignment([], lanes=4) == 1.0
+
+    def test_rejects_bad_lanes(self):
+        with pytest.raises(ConfigurationError):
+            balanced_assignment([1.0], lanes=0)
+
+    def test_factor_at_least_one(self):
+        factor = balanced_assignment([5.0, 1.0, 1.0], lanes=2)
+        assert factor >= 1.0

@@ -1,0 +1,89 @@
+"""Tests for coherent summation and the optical comparator (Figs. 3b, 7a)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics.noise import AnalogNoiseModel
+from repro.photonics.summation import CoherentSummationUnit, OpticalComparator
+
+
+class TestCoherentSummation:
+    def test_sum_exact_without_noise(self):
+        unit = CoherentSummationUnit(fan_in=8)
+        assert unit.sum(np.array([1.0, -2.0, 3.5])) == pytest.approx(2.5)
+
+    def test_sum_rows_matches_numpy(self, rng):
+        unit = CoherentSummationUnit(fan_in=8)
+        matrix = rng.normal(0, 1, (5, 8))
+        assert np.allclose(unit.sum_rows(matrix), matrix.sum(axis=1))
+
+    def test_rejects_fan_in_overflow(self):
+        unit = CoherentSummationUnit(fan_in=4)
+        with pytest.raises(ConfigurationError):
+            unit.sum(np.ones(5))
+        with pytest.raises(ConfigurationError):
+            unit.sum_rows(np.ones((2, 5)))
+
+    def test_noise_perturbs_but_tracks(self, rng):
+        unit = CoherentSummationUnit(
+            fan_in=16, noise=AnalogNoiseModel(relative_sigma=0.01)
+        )
+        values = rng.normal(0, 1, 16)
+        result = unit.sum(values)
+        assert result != pytest.approx(values.sum(), abs=1e-12) or values.sum() == 0
+        assert result == pytest.approx(values.sum(), abs=1.0)
+
+    def test_energy_scales_with_arms(self):
+        unit = CoherentSummationUnit(fan_in=16)
+        assert unit.operation_energy_pj(active_arms=16) > unit.operation_energy_pj(
+            active_arms=4
+        )
+
+    def test_detect_adds_adc_energy(self):
+        unit = CoherentSummationUnit(fan_in=8)
+        assert unit.operation_energy_pj(detect=True) > unit.operation_energy_pj(
+            detect=False
+        )
+
+    def test_energy_rejects_bad_arm_count(self):
+        with pytest.raises(ConfigurationError):
+            CoherentSummationUnit(fan_in=8).operation_energy_pj(active_arms=9)
+
+    def test_cycle_time(self):
+        assert CoherentSummationUnit(fan_in=4, clock_ghz=5.0).cycle_ns == (
+            pytest.approx(0.2)
+        )
+
+
+class TestOpticalComparator:
+    def test_max_matches_numpy(self, rng):
+        comp = OpticalComparator(fan_in=16)
+        values = rng.normal(0, 1, 12)
+        assert comp.max(values) == pytest.approx(values.max())
+
+    def test_max_rows(self, rng):
+        comp = OpticalComparator(fan_in=8)
+        matrix = rng.normal(0, 1, (4, 8))
+        assert np.allclose(comp.max_rows(matrix), matrix.max(axis=1))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            OpticalComparator(fan_in=8).max(np.array([]))
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ConfigurationError):
+            OpticalComparator(fan_in=4).max(np.ones(5))
+
+    def test_tree_depth_log2(self):
+        assert OpticalComparator(fan_in=16).num_stages == 4
+        assert OpticalComparator(fan_in=9).num_stages == 4
+        assert OpticalComparator(fan_in=2).num_stages == 1
+
+    def test_latency_scales_with_depth(self):
+        shallow = OpticalComparator(fan_in=2)
+        deep = OpticalComparator(fan_in=64)
+        assert deep.latency_ns > shallow.latency_ns
+
+    def test_energy_positive(self):
+        assert OpticalComparator(fan_in=8).operation_energy_pj() > 0.0

@@ -1,0 +1,115 @@
+"""Tests for the design-space sweep module and the CLI."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    SweepPoint,
+    format_sweep,
+    pareto_frontier,
+    sweep_ghost,
+    sweep_tron,
+)
+from repro.cli import build_parser, main
+from repro.core.reports import EnergyReport, LatencyReport, RunReport
+from repro.errors import ConfigurationError
+from repro.nn.counting import OpCount
+
+
+def _point(label, latency, energy):
+    report = RunReport(
+        platform="p",
+        workload="w",
+        ops=OpCount(macs=500),
+        latency=LatencyReport(compute_ns=latency),
+        energy=EnergyReport(digital_pj=energy),
+    )
+    return SweepPoint(label=label, knobs={}, report=report)
+
+
+class TestParetoFrontier:
+    def test_dominated_points_removed(self):
+        points = [
+            _point("fast+cheap", 1.0, 1.0),
+            _point("dominated", 2.0, 2.0),
+        ]
+        frontier = pareto_frontier(points)
+        assert [p.label for p in frontier] == ["fast+cheap"]
+
+    def test_tradeoff_points_kept(self):
+        points = [
+            _point("fast", 1.0, 10.0),
+            _point("cheap", 10.0, 1.0),
+            _point("middle", 5.0, 5.0),
+        ]
+        frontier = pareto_frontier(points)
+        assert {p.label for p in frontier} == {"fast", "cheap", "middle"}
+
+    def test_sorted_by_latency(self):
+        points = [_point("b", 5.0, 1.0), _point("a", 1.0, 5.0)]
+        frontier = pareto_frontier(points)
+        assert [p.label for p in frontier] == ["a", "b"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            pareto_frontier([])
+
+
+class TestSweeps:
+    def test_tron_sweep_covers_grid(self):
+        points = sweep_tron(
+            head_units=(4, 8), array_sizes=(32,), clocks_ghz=(5.0,)
+        )
+        assert len(points) == 2
+        assert all(p.report.platform == "TRON" for p in points)
+
+    def test_tron_bigger_arrays_on_frontier(self):
+        points = sweep_tron(
+            head_units=(4,), array_sizes=(32, 64), clocks_ghz=(5.0,)
+        )
+        frontier = pareto_frontier(points)
+        # The larger array is strictly faster; it must survive.
+        assert any(p.knobs["array_size"] == 64 for p in frontier)
+
+    def test_ghost_sweep_covers_grid(self):
+        points = sweep_ghost(lanes=(8, 16), edge_units=(32,))
+        assert len(points) == 2
+        assert all(p.report.platform == "GHOST" for p in points)
+
+    def test_format_marks_pareto(self):
+        points = sweep_tron(
+            head_units=(4,), array_sizes=(32, 64), clocks_ghz=(5.0,)
+        )
+        text = format_sweep(points, pareto_frontier(points))
+        assert "*" in text
+        assert "latency" in text
+
+
+class TestCLI:
+    def test_describe(self, capsys):
+        assert main(["describe"]) == 0
+        out = capsys.readouterr().out
+        assert "TRON" in out and "GHOST" in out
+
+    def test_run_llm(self, capsys):
+        assert main(["run-llm", "BERT-base", "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "BERT-base" in out and "GOPS" in out
+
+    def test_run_gnn(self, capsys):
+        assert main(["run-gnn", "gcn", "cora"]) == 0
+        out = capsys.readouterr().out
+        assert "gcn-cora" in out
+
+    def test_sweep_tron_smoke(self, capsys):
+        # Full sweep is slow; just exercise the parser path.
+        parser = build_parser()
+        args = parser.parse_args(["sweep", "tron"])
+        assert args.target == "tron"
+
+    def test_unknown_model_fails_cleanly(self):
+        with pytest.raises(Exception):
+            main(["run-llm", "BERT-giant"])
+
+    def test_parser_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

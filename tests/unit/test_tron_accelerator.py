@@ -1,0 +1,109 @@
+"""Tests for the TRON top-level accelerator model."""
+
+import numpy as np
+import pytest
+
+from repro.core.tron import TRON, TRONConfig
+from repro.nn.models import bert_base, bert_large, gpt2_small, vit_base
+
+
+class TestRunTransformer:
+    @pytest.fixture(scope="class")
+    def tron(self):
+        return TRON()
+
+    @pytest.fixture(scope="class")
+    def bert_report(self, tron):
+        return tron.run_transformer(bert_base())
+
+    def test_report_identity(self, bert_report):
+        assert bert_report.platform == "TRON"
+        assert bert_report.workload == "BERT-base"
+        assert bert_report.bits_per_value == 8
+
+    def test_latency_positive_and_sub_second(self, bert_report):
+        assert 0.0 < bert_report.latency_ns < 1e9
+
+    def test_energy_breakdown_nonzero(self, bert_report):
+        energy = bert_report.energy
+        assert energy.dac_pj > 0.0
+        assert energy.adc_pj > 0.0
+        assert energy.laser_pj > 0.0
+        assert energy.memory_pj > 0.0
+        assert energy.digital_pj > 0.0  # softmax
+
+    def test_throughput_below_peak(self, tron, bert_report):
+        assert bert_report.gops < tron.config.peak_gops
+
+    def test_throughput_well_above_gpu_class(self, bert_report):
+        """TRON's raison d'etre: far beyond electronic effective rates."""
+        assert bert_report.gops > 10_000.0  # > 10 TOPS
+
+    def test_bigger_model_more_latency(self, tron, bert_report):
+        large = tron.run_transformer(bert_large())
+        assert large.latency_ns > bert_report.latency_ns
+        assert large.energy_pj > bert_report.energy_pj
+
+    def test_all_zoo_models_run(self, tron):
+        for factory in (bert_base, bert_large, gpt2_small, vit_base):
+            report = tron.run_transformer(factory())
+            assert report.latency_ns > 0.0
+            assert report.energy_pj > 0.0
+
+    def test_batching_amortizes_weight_traffic(self):
+        single = TRON(TRONConfig(batch=1)).run_transformer(bert_base())
+        batched = TRON(TRONConfig(batch=8)).run_transformer(bert_base())
+        assert batched.energy.memory_pj < single.energy.memory_pj
+        assert batched.latency_ns <= single.latency_ns
+
+    def test_more_head_units_reduce_latency(self):
+        # batch > 1 amortizes weight streaming so compute is exposed.
+        few = TRON(TRONConfig(num_head_units=4, batch=8)).run_transformer(
+            bert_large()
+        )
+        many = TRON(TRONConfig(num_head_units=16, batch=8)).run_transformer(
+            bert_large()
+        )
+        assert many.latency_ns < few.latency_ns
+
+    def test_faster_clock_reduces_latency(self):
+        # batch > 1 amortizes weight streaming so compute is exposed.
+        slow = TRON(TRONConfig(clock_ghz=2.5, batch=8)).run_transformer(
+            bert_base()
+        )
+        fast = TRON(TRONConfig(clock_ghz=5.0, batch=8)).run_transformer(
+            bert_base()
+        )
+        assert fast.latency_ns < slow.latency_ns
+
+    def test_describe_mentions_geometry(self, tron):
+        text = tron.describe()
+        assert "64x64" in text
+        assert "GHz" in text
+
+
+class TestFunctionalForward:
+    def test_matches_reference_without_noise(self, small_tron, tiny_transformer):
+        x = tiny_transformer.sample_input()
+        reference = tiny_transformer.forward(x)
+        optical = small_tron.forward(tiny_transformer, x)
+        assert np.allclose(optical, reference, atol=1e-9)
+
+    def test_noisy_forward_close_to_reference(self, tiny_transformer):
+        from repro.photonics.noise import AnalogNoiseModel
+
+        noisy_tron = TRON(
+            TRONConfig(
+                num_head_units=2,
+                array_rows=16,
+                array_cols=16,
+                num_linear_arrays=1,
+                num_ff_arrays=2,
+                noise=AnalogNoiseModel(relative_sigma=0.005),
+            )
+        )
+        x = tiny_transformer.sample_input()
+        reference = tiny_transformer.forward(x)
+        optical = noisy_tron.forward(tiny_transformer, x)
+        # LayerNorm keeps activations O(1); analog error stays moderate.
+        assert np.abs(optical - reference).mean() < 0.5

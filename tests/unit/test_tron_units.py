@@ -1,0 +1,175 @@
+"""Tests for TRON's building blocks: config, head unit, MHA, FF."""
+
+import numpy as np
+import pytest
+
+from repro.core.tron import TRON, TRONConfig
+from repro.core.tron.attention_head import AttentionHeadUnit, photonic_matmul
+from repro.core.tron.config import ARRAYS_PER_HEAD
+from repro.core.tron.feedforward import FeedForwardUnit
+from repro.core.tron.mha import MHAUnit
+from repro.errors import ConfigurationError
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.transformer import TransformerEncoderLayer
+from repro.photonics.mrbank import MRBankArray
+from repro.photonics.noise import AnalogNoiseModel
+
+
+class TestTRONConfig:
+    def test_total_arrays(self):
+        config = TRONConfig(
+            num_head_units=4, num_linear_arrays=2, num_ff_arrays=4
+        )
+        assert config.total_arrays == 4 * ARRAYS_PER_HEAD + 2 + 4
+
+    def test_peak_gops(self):
+        config = TRONConfig(
+            num_head_units=1,
+            array_rows=8,
+            array_cols=8,
+            num_linear_arrays=1,
+            num_ff_arrays=1,
+            clock_ghz=5.0,
+        )
+        arrays = ARRAYS_PER_HEAD + 2
+        assert config.peak_gops == pytest.approx(2 * arrays * 64 * 5.0)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            TRONConfig(num_head_units=0)
+        with pytest.raises(ConfigurationError):
+            TRONConfig(weight_refresh_cycles=0)
+        with pytest.raises(ConfigurationError):
+            TRONConfig(batch=0)
+
+
+class TestPhotonicMatmul:
+    def test_exact_on_tile_boundary(self, rng):
+        array = MRBankArray(rows=4, cols=4)
+        w = rng.uniform(-1, 1, (8, 8))
+        x = rng.uniform(-1, 1, (8, 3))
+        assert np.allclose(photonic_matmul(array, w, x), w @ x)
+
+    def test_exact_off_boundary(self, rng):
+        array = MRBankArray(rows=4, cols=4)
+        w = rng.uniform(-1, 1, (5, 7))
+        x = rng.uniform(-1, 1, (7, 2))
+        assert np.allclose(photonic_matmul(array, w, x), w @ x)
+
+    def test_vector_input(self, rng):
+        array = MRBankArray(rows=4, cols=4)
+        w = rng.uniform(-1, 1, (6, 6))
+        x = rng.uniform(-1, 1, 6)
+        out = photonic_matmul(array, w, x)
+        assert out.shape == (6,)
+        assert np.allclose(out, w @ x)
+
+    def test_rejects_dim_mismatch(self, rng):
+        array = MRBankArray(rows=4, cols=4)
+        with pytest.raises(ConfigurationError):
+            photonic_matmul(
+                array, rng.uniform(-1, 1, (4, 5)), rng.uniform(-1, 1, (6, 2))
+            )
+
+
+class TestAttentionHeadUnit:
+    @pytest.fixture
+    def unit(self):
+        return AttentionHeadUnit(
+            TRONConfig(num_head_units=1, array_rows=8, array_cols=8)
+        )
+
+    def test_forward_matches_reference(self, unit, rng):
+        x = rng.normal(0, 1, (6, 16))
+        w_q = rng.normal(0, 0.25, (4, 16))
+        w_k = rng.normal(0, 0.25, (4, 16))
+        w_v = rng.normal(0, 0.25, (4, 16))
+        optical = unit.forward(x, w_q, w_k, w_v)
+        reference = unit.reference_forward(x, w_q, w_k, w_v)
+        assert np.allclose(optical, reference, atol=1e-10)
+
+    def test_noise_perturbs_output(self, rng):
+        config = TRONConfig(
+            num_head_units=1,
+            array_rows=8,
+            array_cols=8,
+            noise=AnalogNoiseModel(relative_sigma=0.01),
+        )
+        unit = AttentionHeadUnit(config)
+        x = rng.normal(0, 1, (6, 16))
+        w = rng.normal(0, 0.25, (4, 16))
+        optical = unit.forward(x, w, w, w)
+        reference = unit.reference_forward(x, w, w, w)
+        assert not np.allclose(optical, reference, atol=1e-10)
+        assert np.allclose(optical, reference, atol=1.0)
+
+    def test_head_cost_scales_with_seq_len(self, unit):
+        short = unit.head_cost(16, 64, 16)
+        long = unit.head_cost(64, 64, 16)
+        assert long.latency.total_ns > short.latency.total_ns
+        assert long.energy.total_pj > short.energy.total_pj
+
+    def test_head_cost_rejects_bad_dims(self, unit):
+        with pytest.raises(ConfigurationError):
+            unit.head_cost(0, 64, 16)
+
+    def test_head_cost_energy_has_conversion_terms(self, unit):
+        cost = unit.head_cost(16, 64, 16)
+        assert cost.energy.dac_pj > 0.0
+        assert cost.energy.adc_pj > 0.0
+        assert cost.energy.digital_pj > 0.0  # softmax
+
+
+class TestMHAUnit:
+    def test_forward_matches_reference(self, rng):
+        config = TRONConfig(num_head_units=2, array_rows=8, array_cols=8)
+        unit = MHAUnit(config)
+        mha = MultiHeadAttention(d_model=16, num_heads=2)
+        x = rng.normal(0, 1, (5, 16))
+        from repro.nn.ops import layer_norm
+
+        reference = layer_norm(x + mha.forward(x))
+        assert np.allclose(unit.forward(mha, x), reference, atol=1e-10)
+
+    def test_block_cost_waves(self):
+        config = TRONConfig(num_head_units=2, array_rows=16, array_cols=16)
+        unit = MHAUnit(config)
+        two_heads = unit.block_cost(8, 32, 2)  # one wave
+        four_heads = unit.block_cost(8, 32, 4)  # two waves
+        assert four_heads.latency.total_ns > two_heads.latency.total_ns
+
+    def test_rejects_wrong_input_width(self, rng):
+        config = TRONConfig(num_head_units=1, array_rows=8, array_cols=8)
+        unit = MHAUnit(config)
+        mha = MultiHeadAttention(d_model=16, num_heads=2)
+        with pytest.raises(ConfigurationError):
+            unit.forward(mha, rng.normal(0, 1, (5, 17)))
+
+
+class TestFeedForwardUnit:
+    def test_forward_matches_reference(self, rng):
+        config = TRONConfig(num_head_units=1, array_rows=8, array_cols=8)
+        unit = FeedForwardUnit(config)
+        layer = TransformerEncoderLayer(d_model=16, num_heads=2, d_ff=32)
+        x = rng.normal(0, 1, (5, 16))
+        from repro.nn.ops import layer_norm
+
+        reference = layer_norm(x + layer.feed_forward(x))
+        assert np.allclose(unit.forward(layer, x), reference, atol=1e-10)
+
+    def test_block_cost_scales_with_ff_width(self):
+        config = TRONConfig(num_head_units=1, array_rows=16, array_cols=16)
+        unit = FeedForwardUnit(config)
+        narrow = unit.block_cost(8, 32, 64)
+        wide = unit.block_cost(8, 32, 256)
+        assert wide.latency.total_ns > narrow.latency.total_ns
+        assert wide.energy.activation_pj > narrow.energy.activation_pj
+
+    def test_more_arrays_faster(self):
+        few = FeedForwardUnit(
+            TRONConfig(num_head_units=1, array_rows=16, array_cols=16, num_ff_arrays=2)
+        ).block_cost(8, 32, 256)
+        many = FeedForwardUnit(
+            TRONConfig(num_head_units=1, array_rows=16, array_cols=16, num_ff_arrays=8)
+        ).block_cost(8, 32, 256)
+        assert many.latency.total_ns < few.latency.total_ns

@@ -1,0 +1,128 @@
+"""Tests for EO/TO tuners and the hybrid tuning policy (Section V.A)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics.tuning import (
+    EOTuner,
+    HybridTuner,
+    TOTuner,
+    TuningMechanism,
+)
+
+
+class TestEOTuner:
+    def test_within_range(self):
+        event = EOTuner().tune(0.3)
+        assert event.mechanism is TuningMechanism.EO
+        assert event.delta_lambda_nm == pytest.approx(0.3)
+
+    def test_rejects_beyond_range(self):
+        with pytest.raises(ConfigurationError):
+            EOTuner(max_shift_nm=0.5).tune(0.6)
+
+    def test_negative_shift_uses_magnitude(self):
+        event = EOTuner().tune(-0.2)
+        assert event.delta_lambda_nm == pytest.approx(0.2)
+
+    def test_eo_is_fast_and_cheap(self):
+        tuner = EOTuner()
+        event = tuner.tune(0.1)
+        assert event.latency_ns < 1.0
+        assert event.power_mw < 0.1
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            EOTuner(max_shift_nm=0.0)
+
+
+class TestTOTuner:
+    def test_power_proportional_to_shift(self):
+        tuner = TOTuner(efficiency_nm_per_mw=0.25)
+        assert tuner.power_for_shift_mw(2.5) == pytest.approx(10.0)
+
+    def test_ted_reduces_power(self):
+        plain = TOTuner(ted_power_factor=1.0)
+        ted = TOTuner(ted_power_factor=0.5)
+        assert ted.power_for_shift_mw(5.0) == pytest.approx(
+            0.5 * plain.power_for_shift_mw(5.0)
+        )
+
+    def test_to_is_slow(self):
+        event = TOTuner().tune(5.0)
+        assert event.latency_ns >= 1000.0
+
+    def test_rejects_beyond_range(self):
+        with pytest.raises(ConfigurationError):
+            TOTuner(max_shift_nm=10.0).tune(11.0)
+
+    def test_rejects_bad_ted_factor(self):
+        with pytest.raises(ConfigurationError):
+            TOTuner(ted_power_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            TOTuner(ted_power_factor=1.5)
+
+    def test_energy_is_power_times_latency(self):
+        event = TOTuner().tune(1.0)
+        assert event.energy_pj == pytest.approx(event.power_mw * event.latency_ns)
+
+
+class TestHybridTuner:
+    """Section V.A: EO for small frequent shifts, TO only for large ones."""
+
+    def test_small_shift_uses_eo_only(self):
+        tuner = HybridTuner()
+        event = tuner.tune(0.2)
+        assert event.mechanism is TuningMechanism.EO
+        assert tuner.eo_events == 1
+        assert tuner.to_events == 0
+
+    def test_large_shift_engages_to(self):
+        tuner = HybridTuner()
+        event = tuner.tune(3.0)
+        assert event.mechanism is TuningMechanism.HYBRID
+        assert tuner.to_events == 1
+
+    def test_hybrid_latency_dominated_by_to(self):
+        tuner = HybridTuner()
+        event = tuner.tune(3.0)
+        assert event.latency_ns == pytest.approx(tuner.to.latency_ns)
+
+    def test_total_range_is_sum(self):
+        tuner = HybridTuner()
+        assert tuner.max_shift_nm == pytest.approx(
+            tuner.eo.max_shift_nm + tuner.to.max_shift_nm
+        )
+
+    def test_rejects_beyond_total_range(self):
+        tuner = HybridTuner()
+        with pytest.raises(ConfigurationError):
+            tuner.tune(tuner.max_shift_nm + 1.0)
+
+    def test_hold_power_averages_over_shifts(self):
+        tuner = HybridTuner()
+        small_only = tuner.average_hold_power_mw([0.1, 0.2])
+        with_large = tuner.average_hold_power_mw([0.1, 5.0])
+        assert small_only == pytest.approx(tuner.eo.power_mw)
+        assert with_large > small_only
+
+    def test_hold_power_empty_is_zero(self):
+        assert HybridTuner().average_hold_power_mw([]) == 0.0
+
+    def test_reset_counters(self):
+        tuner = HybridTuner()
+        tuner.tune(0.1)
+        tuner.tune(3.0)
+        tuner.reset_counters()
+        assert tuner.eo_events == 0
+        assert tuner.to_events == 0
+
+    def test_hybrid_cheaper_than_to_only_for_small_shifts(self):
+        """The point of the hybrid policy: frequent small shifts avoid
+        heater power entirely."""
+        hybrid = HybridTuner()
+        to_only = TOTuner()
+        shift = 0.4
+        assert hybrid.average_hold_power_mw([shift]) < to_only.power_for_shift_mw(
+            shift
+        )

@@ -1,0 +1,78 @@
+"""Tests for unit conversion helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestDbmConversions:
+    def test_zero_dbm_is_one_mw(self):
+        assert units.dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_ten_dbm_is_ten_mw(self):
+        assert units.dbm_to_mw(10.0) == pytest.approx(10.0)
+
+    def test_negative_dbm(self):
+        assert units.dbm_to_mw(-30.0) == pytest.approx(1e-3)
+
+    def test_roundtrip(self):
+        for power in (0.01, 1.0, 37.5, 2000.0):
+            assert units.dbm_to_mw(units.mw_to_dbm(power)) == pytest.approx(power)
+
+    def test_mw_to_dbm_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.mw_to_dbm(0.0)
+
+    def test_mw_to_dbm_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.mw_to_dbm(-1.0)
+
+
+class TestDbConversions:
+    def test_three_db_doubles(self):
+        assert units.db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_roundtrip(self):
+        for ratio in (0.5, 1.0, 100.0):
+            assert units.db_to_linear(units.linear_to_db(ratio)) == pytest.approx(
+                ratio
+            )
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+
+
+class TestOpticalConversions:
+    def test_1550nm_is_about_193_thz(self):
+        freq = units.wavelength_nm_to_frequency_ghz(1550.0)
+        assert freq == pytest.approx(193.4e3, rel=1e-3)
+
+    def test_wavelength_frequency_roundtrip(self):
+        for wl in (1310.0, 1550.0, 1600.0):
+            freq = units.wavelength_nm_to_frequency_ghz(wl)
+            assert units.frequency_ghz_to_wavelength_nm(freq) == pytest.approx(wl)
+
+    def test_rejects_nonpositive_wavelength(self):
+        with pytest.raises(ValueError):
+            units.wavelength_nm_to_frequency_ghz(0.0)
+
+
+class TestEnergyHelpers:
+    def test_one_mw_one_ns_is_one_pj(self):
+        assert units.energy_pj(1.0, 1.0) == pytest.approx(1.0)
+
+    def test_joules_roundtrip(self):
+        assert units.pj_to_joules(units.joules_to_pj(0.5)) == pytest.approx(0.5)
+
+    def test_period_of_5ghz(self):
+        assert units.ghz_period_ns(5.0) == pytest.approx(0.2)
+
+    def test_period_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.ghz_period_ns(0.0)
+
+    def test_watts_mw_roundtrip(self):
+        assert units.mw_to_watts(units.watts_to_mw(2.5)) == pytest.approx(2.5)

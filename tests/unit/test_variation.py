@@ -1,0 +1,122 @@
+"""Tests for the fabrication process-variation model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics.microring import MicroringDesign
+from repro.photonics.tuning import TOTuner
+from repro.photonics.variation import (
+    ProcessVariationModel,
+    VariationImpact,
+    variation_impact,
+)
+
+
+class TestProcessVariationModel:
+    def test_resonance_sigma_combines_sources(self):
+        model = ProcessVariationModel(
+            width_sigma_nm=3.0,
+            thickness_sigma_nm=4.0,
+            width_sensitivity=1.0,
+            thickness_sensitivity=1.0,
+        )
+        assert model.resonance_sigma_nm == pytest.approx(5.0)
+
+    def test_sample_statistics(self):
+        model = ProcessVariationModel()
+        rng = np.random.default_rng(0)
+        samples = np.concatenate(
+            [model.sample_resonance_errors(64, rng=rng) for _ in range(200)]
+        )
+        assert abs(samples.mean()) < 0.3
+        assert samples.std() == pytest.approx(model.resonance_sigma_nm, rel=0.15)
+
+    def test_correlation_between_rings(self):
+        correlated = ProcessVariationModel(intra_die_correlation=0.95)
+        rng = np.random.default_rng(1)
+        pairs = np.array(
+            [correlated.sample_resonance_errors(2, rng=rng) for _ in range(500)]
+        )
+        corr = np.corrcoef(pairs[:, 0], pairs[:, 1])[0, 1]
+        assert corr > 0.8
+
+    def test_uncorrelated_rings(self):
+        independent = ProcessVariationModel(intra_die_correlation=0.0)
+        rng = np.random.default_rng(2)
+        pairs = np.array(
+            [independent.sample_resonance_errors(2, rng=rng) for _ in range(500)]
+        )
+        corr = np.corrcoef(pairs[:, 0], pairs[:, 1])[0, 1]
+        assert abs(corr) < 0.2
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            ProcessVariationModel(width_sigma_nm=-1.0)
+        with pytest.raises(ConfigurationError):
+            ProcessVariationModel(intra_die_correlation=1.5)
+        with pytest.raises(ConfigurationError):
+            ProcessVariationModel().sample_resonance_errors(0)
+
+
+class TestVariationImpact:
+    def test_impact_fields_sane(self):
+        impact = variation_impact(MicroringDesign(), bank_size=16, trials=50)
+        assert impact.trials == 50
+        assert impact.mean_correction_nm > 0.0
+        assert impact.mean_tuning_power_mw > 0.0
+        assert 0.0 <= impact.bank_yield <= 1.0
+
+    def test_more_variation_more_power(self):
+        low = variation_impact(
+            MicroringDesign(),
+            bank_size=16,
+            model=ProcessVariationModel(width_sigma_nm=0.5, thickness_sigma_nm=0.25),
+            trials=50,
+        )
+        high = variation_impact(
+            MicroringDesign(),
+            bank_size=16,
+            model=ProcessVariationModel(width_sigma_nm=4.0, thickness_sigma_nm=2.0),
+            trials=50,
+        )
+        assert high.mean_tuning_power_mw > low.mean_tuning_power_mw
+
+    def test_short_tuner_range_hurts_yield(self):
+        generous = variation_impact(
+            MicroringDesign(),
+            bank_size=32,
+            tuner=TOTuner(max_shift_nm=12.0, ted_power_factor=0.5),
+            trials=50,
+        )
+        stingy = variation_impact(
+            MicroringDesign(),
+            bank_size=32,
+            tuner=TOTuner(max_shift_nm=1.0, ted_power_factor=0.5),
+            trials=50,
+        )
+        assert stingy.bank_yield <= generous.bank_yield
+
+    def test_corrections_folded_within_half_fsr(self):
+        from repro.photonics.microring import Microring
+
+        ring = Microring.at_wavelength(MicroringDesign(), 1550.0)
+        impact = variation_impact(MicroringDesign(), bank_size=8, trials=50)
+        assert impact.mean_correction_nm <= 0.5 * ring.fsr_nm
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            variation_impact(MicroringDesign(), bank_size=0)
+        with pytest.raises(ConfigurationError):
+            variation_impact(MicroringDesign(), bank_size=4, trials=0)
+
+    def test_deterministic_with_seed(self):
+        a = variation_impact(
+            MicroringDesign(), bank_size=8, trials=20,
+            rng=np.random.default_rng(7),
+        )
+        b = variation_impact(
+            MicroringDesign(), bank_size=8, trials=20,
+            rng=np.random.default_rng(7),
+        )
+        assert a == b

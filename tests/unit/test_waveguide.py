@@ -1,0 +1,124 @@
+"""Tests for loss budgets, WDM buses and the laser power solver."""
+
+import pytest
+
+from repro.errors import ConfigurationError, LinkBudgetError
+from repro.photonics.devices import Photodetector, VCSEL
+from repro.photonics.waveguide import (
+    LaserPowerSolver,
+    LossBudget,
+    WDMBus,
+    total_laser_wall_power_mw,
+)
+
+
+class TestLossBudget:
+    def test_more_mrs_more_loss(self):
+        budget = LossBudget()
+        few = budget.path_loss_db(0.1, mrs_passed=8)
+        many = budget.path_loss_db(0.1, mrs_passed=64)
+        assert many > few
+
+    def test_splitting_costs_3db_per_stage(self):
+        budget = LossBudget(splitter_db=0.0)
+        base = budget.path_loss_db(0.0, 0)
+        split = budget.path_loss_db(0.0, 0, splitter_stages=1)
+        assert split - base == pytest.approx(3.0103, abs=0.01)
+
+    def test_drop_loss_counted(self):
+        budget = LossBudget()
+        through = budget.path_loss_db(0.1, 8)
+        dropped = budget.path_loss_db(0.1, 8, mrs_dropped=1)
+        assert dropped - through == pytest.approx(budget.per_mr_drop_db)
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(ConfigurationError):
+            LossBudget(coupler_db=-1.0)
+
+    def test_rejects_negative_path(self):
+        with pytest.raises(ConfigurationError):
+            LossBudget().path_loss_db(-0.1, 0)
+
+
+class TestWDMBus:
+    def test_power_decreases_through_stages(self):
+        bus = WDMBus(num_wavelengths=8, launch_power_mw=1.0)
+        p0 = bus.output_power_mw
+        bus.add_bank_stage(8)
+        p1 = bus.output_power_mw
+        bus.add_waveguide(0.5)
+        p2 = bus.output_power_mw
+        assert p0 > p1 > p2
+
+    def test_loss_accumulates_linearly_in_db(self):
+        bus = WDMBus(num_wavelengths=4)
+        bus.add_bank_stage(10)
+        bus.add_bank_stage(10)
+        assert bus.accumulated_loss_db == pytest.approx(
+            2 * 10 * bus.budget.per_mr_through_db
+        )
+
+    def test_rejects_bad_bank(self):
+        with pytest.raises(ConfigurationError):
+            WDMBus(num_wavelengths=4).add_bank_stage(0)
+
+
+class TestLaserPowerSolver:
+    def test_required_power_positive(self):
+        solver = LaserPowerSolver()
+        power = solver.required_laser_power_mw(0.1, 16, splitter_stages=2)
+        assert power > 0.0
+
+    def test_longer_path_needs_more_power(self):
+        solver = LaserPowerSolver()
+        short = solver.required_laser_power_mw(0.05, 8)
+        long = solver.required_laser_power_mw(0.5, 128, splitter_stages=4)
+        assert long > short
+
+    def test_check_budget_margin(self):
+        solver = LaserPowerSolver()
+        needed = solver.required_laser_power_mw(0.1, 16)
+        margin = solver.check_budget(needed * 2.0, 0.1, 16)
+        assert margin > 0.0
+
+    def test_check_budget_fails_when_underpowered(self):
+        solver = LaserPowerSolver()
+        needed = solver.required_laser_power_mw(0.1, 64, splitter_stages=4)
+        with pytest.raises(LinkBudgetError):
+            solver.check_budget(needed / 100.0, 0.1, 64, splitter_stages=4)
+
+    def test_max_array_size_monotone_in_power(self):
+        solver = LaserPowerSolver()
+        small = solver.max_array_size(1.0)
+        large = solver.max_array_size(10.0)
+        assert large >= small >= 1
+
+    def test_max_array_size_raises_when_hopeless(self):
+        solver = LaserPowerSolver(
+            detector=Photodetector(sensitivity_dbm=30.0)  # absurd floor
+        )
+        with pytest.raises(LinkBudgetError):
+            solver.max_array_size(0.001)
+
+    def test_default_budget_supports_64_column_array(self):
+        """The TRON/GHOST default 64-wide arrays must close their budget
+        with a ~2 mW per-channel laser."""
+        solver = LaserPowerSolver()
+        assert solver.max_array_size(2.0) >= 64
+
+
+class TestWallPower:
+    def test_scales_with_counts(self):
+        one = total_laser_wall_power_mw(1.0, 8, 8)
+        two = total_laser_wall_power_mw(1.0, 16, 8)
+        assert two == pytest.approx(2 * one)
+
+    def test_includes_wall_plug_efficiency(self):
+        power = total_laser_wall_power_mw(
+            1.0, 1, 1, laser=VCSEL(wall_plug_efficiency=0.5)
+        )
+        assert power == pytest.approx(2.0)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ConfigurationError):
+            total_laser_wall_power_mw(1.0, 0, 1)
