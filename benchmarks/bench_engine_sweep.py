@@ -1,0 +1,58 @@
+"""The unified sweep engine vs. naive per-point re-evaluation.
+
+The engine memoizes the materialized workload (graph synthesis is the
+dominant cost of a GNN point) and the device-physics curves across
+points, and evaluates points concurrently; the naive baseline
+re-materializes everything per point, strictly sequentially.  The
+combined TRON + GHOST sweep must run at least 2x faster — the number
+``run_engine_bench.py`` records in BENCH_engine.json.
+"""
+
+import time
+
+from repro.analysis.sweep import (
+    combined_sweep,
+    ghost_sweep_space,
+    pareto_frontier,
+    tron_sweep_space,
+)
+
+
+def _spaces():
+    return [tron_sweep_space(), ghost_sweep_space()]
+
+
+def measure_sweep_speedup():
+    """(engine_s, naive_s, num_points, frontiers) for the combined sweep."""
+    spaces = _spaces()
+    t0 = time.perf_counter()
+    naive = combined_sweep(spaces, memoize=False, parallel=False)
+    naive_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fast = combined_sweep(spaces)
+    engine_s = time.perf_counter() - t0
+
+    # Same frontiers either way — the speedup must be free of drift.
+    frontiers = {}
+    for name in fast:
+        fast_frontier = [p.label for p in pareto_frontier(fast[name])]
+        naive_frontier = [p.label for p in pareto_frontier(naive[name])]
+        assert fast_frontier == naive_frontier, (
+            f"{name}: {fast_frontier} != {naive_frontier}"
+        )
+        frontiers[name] = fast_frontier
+    num_points = sum(len(points) for points in fast.values())
+    return engine_s, naive_s, num_points, frontiers
+
+
+def test_engine_sweep_speedup(run_once):
+    engine_s, naive_s, num_points, frontiers = run_once(measure_sweep_speedup)
+    speedup = naive_s / engine_s
+    print()
+    print(f"combined sweep: {num_points} points")
+    print(f"engine {engine_s * 1e3:.1f} ms, naive {naive_s * 1e3:.1f} ms "
+          f"-> {speedup:.1f}x")
+    for name, frontier in frontiers.items():
+        print(f"{name} frontier: {frontier}")
+    assert speedup >= 2.0

@@ -1,0 +1,46 @@
+"""Emit BENCH_engine.json: sweep wall-time and points/sec trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_engine_bench.py [output.json]
+
+Records the combined TRON + GHOST design-space sweep through the unified
+engine (memoized workloads + device-physics curves, concurrent point
+evaluation) against naive sequential per-point re-evaluation, so future
+PRs can track the perf trajectory of the sweep path.
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from bench_engine_sweep import measure_sweep_speedup  # noqa: E402
+
+
+def main() -> int:
+    out_path = pathlib.Path(
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    )
+    engine_s, naive_s, num_points, frontiers = measure_sweep_speedup()
+    record = {
+        "bench": "combined TRON+GHOST design-space sweep",
+        "points": num_points,
+        "engine_wall_s": round(engine_s, 4),
+        "naive_sequential_wall_s": round(naive_s, 4),
+        "speedup": round(naive_s / engine_s, 2),
+        "points_per_sec": round(num_points / engine_s, 1),
+        "pareto_frontiers": frontiers,
+    }
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    return 0 if record["speedup"] >= 2.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

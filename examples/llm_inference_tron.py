@@ -21,7 +21,7 @@ def best_baseline(ops, workload):
     best_gops, best_epb = 0.0, float("inf")
     gops_name = epb_name = ""
     for platform in llm_baseline_platforms():
-        report = platform.run(ops, workload)
+        report = platform.run_ops(ops, workload)
         if report.gops > best_gops:
             best_gops, gops_name = report.gops, platform.name
         if report.epb_pj < best_epb:

@@ -15,32 +15,22 @@ ViT families) and multiple GNN models x datasets at 8-bit precision.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Dict, Optional, Tuple
 
 from repro.analysis.metrics import ComparisonTable, speedup_over_best_baseline
 from repro.baselines.gnn import gnn_baseline_platforms
 from repro.baselines.llm import llm_baseline_platforms
-from repro.core.ghost import GHOST, GHOSTConfig
+from repro.core.base import get_workload
+from repro.core.ghost import GHOST
 from repro.core.tron import TRON, TRONConfig
-from repro.graphs.datasets import get_dataset_stats, synthesize_dataset
-from repro.nn.counting import gnn_op_count, transformer_op_count
-from repro.nn.gnn import GNNConfig, GNNKind
-from repro.nn.models import bert_base, bert_large, gpt2_small, vit_base
+from repro.nn.gnn import GNNKind
+from repro.workloads import GNN_WORKLOAD_SPECS
 
-#: The transformer workloads of Figs. 8 and 9.
-LLM_WORKLOADS = (bert_base, bert_large, gpt2_small, vit_base)
+#: The transformer workloads of Figs. 8 and 9 (registry names).
+LLM_WORKLOADS = ("BERT-base", "BERT-large", "GPT-2", "ViT-base")
 
 #: The (model kind, hidden width, dataset) workloads of Figs. 10 and 11.
-GNN_WORKLOADS: Tuple[Tuple[GNNKind, int, str], ...] = (
-    (GNNKind.GCN, 64, "cora"),
-    (GNNKind.GCN, 64, "citeseer"),
-    (GNNKind.GCN, 64, "pubmed"),
-    (GNNKind.SAGE, 64, "cora"),
-    (GNNKind.GIN, 64, "citeseer"),
-    (GNNKind.GAT, 64, "pubmed"),
-)
+GNN_WORKLOADS: Tuple[Tuple[GNNKind, int, str], ...] = GNN_WORKLOAD_SPECS
 
 
 @dataclass(frozen=True)
@@ -86,12 +76,11 @@ def _llm_table(metric: str, tron: Optional[TRON] = None) -> ComparisonTable:
     table = ComparisonTable(metric=metric)
     tron = tron or TRON(TRONConfig(batch=8))
     baselines = llm_baseline_platforms()
-    for factory in LLM_WORKLOADS:
-        model = factory()
-        ops = transformer_op_count(model, bytes_per_value=1)
-        table.add(tron.run_transformer(model))
+    for name in LLM_WORKLOADS:
+        workload = get_workload(name)
+        table.add(tron.run(workload))
         for platform in baselines:
-            table.add(platform.run(ops, model.name))
+            table.add(platform.run(workload))
     return table
 
 
@@ -99,33 +88,11 @@ def _gnn_table(metric: str, ghost: Optional[GHOST] = None) -> ComparisonTable:
     table = ComparisonTable(metric=metric)
     ghost = ghost or GHOST()
     baselines = gnn_baseline_platforms()
-    for kind, hidden, dataset in GNN_WORKLOADS:
-        stats = get_dataset_stats(dataset)
-        graph, _ = synthesize_dataset(stats, rng=np.random.default_rng(7))
-        model = GNNConfig(
-            name=f"{kind.value.upper()}-{dataset}",
-            kind=kind,
-            num_layers=2,
-            hidden_dim=hidden,
-            in_dim=stats.feature_dim,
-            out_dim=stats.num_classes,
-            heads=2 if kind is GNNKind.GAT else 1,
-        )
-        ops = gnn_op_count(model, graph, bytes_per_value=1)
-        ghost_report = ghost.run_gnn(model, graph)
-        # Align the workload label across platforms.
-        table.add(
-            type(ghost_report)(
-                platform=ghost_report.platform,
-                workload=model.name,
-                ops=ghost_report.ops,
-                latency=ghost_report.latency,
-                energy=ghost_report.energy,
-                bits_per_value=ghost_report.bits_per_value,
-            )
-        )
+    for kind, _hidden, dataset in GNN_WORKLOADS:
+        workload = get_workload(f"{kind.value.upper()}-{dataset}")
+        table.add(ghost.run(workload))
         for platform in baselines:
-            table.add(platform.run(ops, model.name))
+            table.add(platform.run(workload))
     return table
 
 

@@ -1,26 +1,35 @@
-"""Accelerator design-space sweeps and Pareto analysis.
+"""Workload-agnostic design-space sweeps and Pareto analysis.
 
 Section VI: "The specific architectural details of each hardware
 accelerator ... were determined through detailed design-space analysis."
-This module replays that analysis: sweep TRON and GHOST configurations
-over their main structural knobs, evaluate each on a reference workload,
-and extract the latency-energy Pareto frontier.
+This module replays that analysis with a single sweep engine: a
+:class:`SweepSpace` names the knob grid, how to build an accelerator at
+a point, and which workload to evaluate — the engine enumerates the
+cartesian product, evaluates points concurrently, and memoizes the
+expensive shared state (the materialized workload and the engine's
+device-physics curves) across points.
+
+The classic TRON and GHOST sweeps are thin wrappers
+(:func:`sweep_tron` / :func:`sweep_ghost`); any registered workload and
+any config space sweeps the same way.
 """
 
 from __future__ import annotations
 
+import itertools
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
-
+from repro.core.base import Accelerator, Workload
+from repro.core.engine import clear_physics_cache
 from repro.core.ghost import GHOST, GHOSTConfig
 from repro.core.reports import RunReport
 from repro.core.tron import TRON, TRONConfig
 from repro.errors import ConfigurationError
-from repro.graphs.datasets import get_dataset_stats, synthesize_dataset
-from repro.nn.gnn import GNNKind, make_gnn
+from repro.nn.gnn import GNNKind
 from repro.nn.models import bert_base
+from repro.workloads import TransformerWorkload, make_gnn_workload
 
 
 @dataclass(frozen=True)
@@ -50,7 +59,9 @@ def pareto_frontier(points: Sequence[SweepPoint]) -> List[SweepPoint]:
     """Latency-energy Pareto-optimal subset (both minimized).
 
     A point survives if no other point is at least as good on both axes
-    and strictly better on one.
+    and strictly better on one; exact duplicates therefore survive
+    together.  The frontier sorts by (latency, energy, label) so ties
+    break deterministically.
     """
     if not points:
         raise ConfigurationError("need at least one sweep point")
@@ -67,8 +78,197 @@ def pareto_frontier(points: Sequence[SweepPoint]) -> List[SweepPoint]:
         )
         if not dominated:
             frontier.append(candidate)
-    frontier.sort(key=lambda p: p.latency_ns)
+    frontier.sort(key=lambda p: (p.latency_ns, p.energy_pj, p.label))
     return frontier
+
+
+@dataclass(frozen=True)
+class SweepSpace:
+    """A named config space evaluated on one workload.
+
+    Attributes:
+        name: space name (for reports and benches).
+        knobs: ordered knob name -> candidate values.
+        build_accelerator: knob values -> configured accelerator.
+        build_workload: materializes the reference workload (called once
+            per sweep when memoizing; per point in the naive baseline).
+        label: knob values -> human-readable point label.
+    """
+
+    name: str
+    knobs: Tuple[Tuple[str, Tuple[Any, ...]], ...]
+    build_accelerator: Callable[[Dict[str, Any]], Accelerator]
+    build_workload: Callable[[], Workload]
+    label: Callable[[Dict[str, Any]], str]
+
+    @staticmethod
+    def ordered_knobs(
+        knobs: Mapping[str, Sequence[Any]]
+    ) -> Tuple[Tuple[str, Tuple[Any, ...]], ...]:
+        """Normalize a knob mapping into the hashable internal form."""
+        return tuple((name, tuple(values)) for name, values in knobs.items())
+
+    def enumerate(self) -> List[Dict[str, Any]]:
+        """All knob combinations, in deterministic grid order."""
+        if not self.knobs:
+            raise ConfigurationError(f"sweep space {self.name!r} has no knobs")
+        names = [name for name, _ in self.knobs]
+        grids = [values for _, values in self.knobs]
+        if any(len(values) == 0 for values in grids):
+            raise ConfigurationError(
+                f"sweep space {self.name!r} has an empty knob grid"
+            )
+        return [
+            dict(zip(names, combo)) for combo in itertools.product(*grids)
+        ]
+
+    @property
+    def num_points(self) -> int:
+        """Grid size."""
+        size = 1
+        for _, values in self.knobs:
+            size *= len(values)
+        return size
+
+
+def run_sweep(
+    space: SweepSpace,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+    memoize: bool = True,
+) -> List[SweepPoint]:
+    """Evaluate every point of a sweep space.
+
+    With ``memoize`` (the default) the workload materializes once and the
+    engine's device-physics curves persist across points; points then
+    evaluate concurrently (``parallel`` defaults to True).
+    ``memoize=False`` is the naive baseline the benchmarks compare
+    against: every point re-materializes its workload and recomputes the
+    physics curves, **strictly sequentially** — requesting
+    ``parallel=True`` with it is a contradiction and raises.
+    """
+    settings = space.enumerate()
+
+    if not memoize:
+        if parallel:
+            raise ConfigurationError(
+                "memoize=False is the sequential per-point baseline; "
+                "it cannot run in parallel (the physics cache is cleared "
+                "per point)"
+            )
+        points = []
+        for knobs in settings:
+            clear_physics_cache()
+            workload = space.build_workload()
+            report = space.build_accelerator(knobs).run(workload)
+            points.append(
+                SweepPoint(label=space.label(knobs), knobs=knobs, report=report)
+            )
+        return points
+
+    workload = space.build_workload()
+    workload.materialize()  # once, outside the worker pool
+
+    def evaluate(knobs: Dict[str, Any]) -> SweepPoint:
+        report = space.build_accelerator(knobs).run(workload)
+        return SweepPoint(label=space.label(knobs), knobs=knobs, report=report)
+
+    if parallel is None:
+        parallel = True
+    if parallel and len(settings) > 1:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(evaluate, settings))
+    return [evaluate(knobs) for knobs in settings]
+
+
+def combined_sweep(
+    spaces: Sequence[SweepSpace],
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+    memoize: bool = True,
+) -> Dict[str, List[SweepPoint]]:
+    """Run several sweep spaces, sharing the memoized engine state."""
+    return {
+        space.name: run_sweep(
+            space, parallel=parallel, max_workers=max_workers, memoize=memoize
+        )
+        for space in spaces
+    }
+
+
+# ----------------------------------------------------------------------
+# The classic TRON / GHOST spaces
+# ----------------------------------------------------------------------
+
+
+def tron_sweep_space(
+    head_units: Sequence[int] = (4, 8, 16),
+    array_sizes: Sequence[int] = (32, 64, 128),
+    clocks_ghz: Sequence[float] = (2.5, 5.0),
+    batch: int = 8,
+    model_factory: Callable = bert_base,
+) -> SweepSpace:
+    """TRON's structural knobs on a transformer workload."""
+
+    def build(knobs: Dict[str, Any]) -> TRON:
+        return TRON(
+            TRONConfig(
+                num_head_units=int(knobs["head_units"]),
+                array_rows=int(knobs["array_size"]),
+                array_cols=int(knobs["array_size"]),
+                clock_ghz=float(knobs["clock_ghz"]),
+                batch=batch,
+            )
+        )
+
+    return SweepSpace(
+        name="tron",
+        knobs=SweepSpace.ordered_knobs(
+            {
+                "head_units": head_units,
+                "array_size": array_sizes,
+                "clock_ghz": clocks_ghz,
+            }
+        ),
+        build_accelerator=build,
+        build_workload=lambda: TransformerWorkload(model=model_factory()),
+        label=lambda knobs: (
+            f"H{knobs['head_units']}/A{knobs['array_size']}/"
+            f"{knobs['clock_ghz']:.1f}GHz"
+        ),
+    )
+
+
+def ghost_sweep_space(
+    lanes: Sequence[int] = (8, 16, 32),
+    edge_units: Sequence[int] = (16, 32, 64),
+    dataset: str = "cora",
+    hidden_dim: int = 64,
+) -> SweepSpace:
+    """GHOST's structural knobs on a GCN workload."""
+
+    def build(knobs: Dict[str, Any]) -> GHOST:
+        return GHOST(
+            GHOSTConfig(
+                lanes=int(knobs["lanes"]), edge_units=int(knobs["edge_units"])
+            )
+        )
+
+    return SweepSpace(
+        name="ghost",
+        knobs=SweepSpace.ordered_knobs(
+            {"lanes": lanes, "edge_units": edge_units}
+        ),
+        build_accelerator=build,
+        build_workload=lambda: make_gnn_workload(
+            GNNKind.GCN,
+            dataset,
+            hidden_dim=hidden_dim,
+            rng_seed=0,
+            name=f"GCN-{dataset}",
+        ),
+        label=lambda knobs: f"V{knobs['lanes']}/N{knobs['edge_units']}",
+    )
 
 
 def sweep_tron(
@@ -79,31 +279,15 @@ def sweep_tron(
     model_factory: Callable = bert_base,
 ) -> List[SweepPoint]:
     """Sweep TRON's structural knobs on a transformer workload."""
-    model = model_factory()
-    points = []
-    for units in head_units:
-        for size in array_sizes:
-            for clock in clocks_ghz:
-                config = TRONConfig(
-                    num_head_units=units,
-                    array_rows=size,
-                    array_cols=size,
-                    clock_ghz=clock,
-                    batch=batch,
-                )
-                report = TRON(config).run_transformer(model)
-                points.append(
-                    SweepPoint(
-                        label=f"H{units}/A{size}/{clock:.1f}GHz",
-                        knobs={
-                            "head_units": units,
-                            "array_size": size,
-                            "clock_ghz": clock,
-                        },
-                        report=report,
-                    )
-                )
-    return points
+    return run_sweep(
+        tron_sweep_space(
+            head_units=head_units,
+            array_sizes=array_sizes,
+            clocks_ghz=clocks_ghz,
+            batch=batch,
+            model_factory=model_factory,
+        )
+    )
 
 
 def sweep_ghost(
@@ -113,28 +297,14 @@ def sweep_ghost(
     hidden_dim: int = 64,
 ) -> List[SweepPoint]:
     """Sweep GHOST's structural knobs on a GCN workload."""
-    stats = get_dataset_stats(dataset)
-    graph, _ = synthesize_dataset(stats, rng=np.random.default_rng(0))
-    model = make_gnn(
-        GNNKind.GCN,
-        in_dim=stats.feature_dim,
-        out_dim=stats.num_classes,
-        hidden_dim=hidden_dim,
-        name=f"GCN-{dataset}",
+    return run_sweep(
+        ghost_sweep_space(
+            lanes=lanes,
+            edge_units=edge_units,
+            dataset=dataset,
+            hidden_dim=hidden_dim,
+        )
     )
-    points = []
-    for v in lanes:
-        for n in edge_units:
-            config = GHOSTConfig(lanes=v, edge_units=n)
-            report = GHOST(config).run_gnn(model.config, graph)
-            points.append(
-                SweepPoint(
-                    label=f"V{v}/N{n}",
-                    knobs={"lanes": v, "edge_units": n},
-                    report=report,
-                )
-            )
-    return points
 
 
 def format_sweep(points: Sequence[SweepPoint], frontier: Sequence[SweepPoint]) -> str:

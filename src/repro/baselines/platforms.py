@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.base import Accelerator
+from repro.core.base import Accelerator, Workload
 from repro.core.reports import EnergyReport, LatencyReport, RunReport
 from repro.errors import ConfigurationError
 from repro.nn.counting import OpCount
@@ -75,7 +75,13 @@ class RooflinePlatform(Accelerator):
         """Peak bandwidth derated by the access-pattern utilization."""
         return self.memory_bandwidth_gbps * self.bandwidth_utilization
 
-    def run(self, ops: OpCount, workload: str, bits_per_value: int = 8) -> RunReport:
+    def _run_workload(self, workload: Workload) -> RunReport:
+        # Rooflines cost any workload family: only the op counts matter.
+        return self.run_ops(workload.op_count(bytes_per_value=1), workload.name)
+
+    def run_ops(
+        self, ops: OpCount, workload: str, bits_per_value: int = 8
+    ) -> RunReport:
         """Roofline cost of one inference of a counted workload."""
         compute_ns = ops.total_ops / self.effective_gops
         memory_ns = ops.total_bytes / self.effective_bandwidth_gbps

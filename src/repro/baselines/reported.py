@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.base import Accelerator
+from repro.core.base import Accelerator, Workload
 from repro.core.reports import EnergyReport, LatencyReport, RunReport
 from repro.errors import ConfigurationError
 from repro.nn.counting import OpCount
@@ -47,7 +47,12 @@ class ReportedAccelerator(Accelerator):
     def name(self) -> str:
         return self.platform_name
 
-    def run(self, ops: OpCount, workload: str, bits_per_value: int = 8) -> RunReport:
+    def _run_workload(self, workload: Workload) -> RunReport:
+        return self.run_ops(workload.op_count(bytes_per_value=1), workload.name)
+
+    def run_ops(
+        self, ops: OpCount, workload: str, bits_per_value: int = 8
+    ) -> RunReport:
         """Cost of one inference at the reported sustained rate."""
         latency_ns = ops.total_ops / self.effective_gops
         energy_pj = self.power_w * 1e3 * latency_ns

@@ -5,7 +5,9 @@ Commands:
 - ``describe`` — print both accelerators' configurations.
 - ``claims`` — regenerate and check the paper's headline claims.
 - ``figures`` — print the regenerated Figs. 8-11 tables.
-- ``sweep tron|ghost`` — run the design-space sweep with Pareto marking.
+- ``sweep tron|ghost|all`` — design-space sweep(s) with Pareto marking.
+- ``run <workload>`` — cost any registered workload on a platform.
+- ``workloads`` — list the registered workload names.
 - ``run-llm <model>`` — cost one transformer inference on TRON.
 - ``run-gnn <kind> <dataset>`` — cost one GNN inference on GHOST.
 """
@@ -17,6 +19,14 @@ import sys
 from typing import List, Optional
 
 import numpy as np
+
+
+def _print_report(report) -> None:
+    print(report.summary())
+    print("energy breakdown (uJ):")
+    for key, pj in report.energy.as_dict().items():
+        if pj > 0.0:
+            print(f"  {key:<14s} {pj / 1e6:10.2f}")
 
 
 def _cmd_describe(_args) -> int:
@@ -54,15 +64,59 @@ def _cmd_figures(_args) -> int:
 def _cmd_sweep(args) -> int:
     from repro.analysis.sweep import (
         format_sweep,
+        ghost_sweep_space,
         pareto_frontier,
-        sweep_ghost,
-        sweep_tron,
+        run_sweep,
+        tron_sweep_space,
     )
 
-    points = sweep_tron() if args.target == "tron" else sweep_ghost()
-    frontier = pareto_frontier(points)
-    print(format_sweep(points, frontier))
-    print(f"\n{len(frontier)} Pareto-optimal of {len(points)} configs")
+    spaces = {
+        "tron": (tron_sweep_space,),
+        "ghost": (ghost_sweep_space,),
+        "all": (tron_sweep_space, ghost_sweep_space),
+    }[args.target]
+    for make_space in spaces:
+        space = make_space()
+        points = run_sweep(space)
+        frontier = pareto_frontier(points)
+        print(f"--- {space.name} ---")
+        print(format_sweep(points, frontier))
+        print(f"\n{len(frontier)} Pareto-optimal of {len(points)} configs\n")
+    return 0
+
+
+def _cmd_workloads(_args) -> int:
+    from repro.core.base import get_workload, list_workloads
+
+    for name in list_workloads():
+        workload = get_workload(name)
+        print(f"{name:<20s} [{workload.kind.value:<11s}] {workload.describe()}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.core.base import WorkloadKind, get_workload
+    from repro.core.ghost import GHOST
+    from repro.core.tron import TRON, TRONConfig
+
+    workload = get_workload(args.workload)
+    platform = args.platform
+    if platform == "auto":
+        # GNN workloads map onto GHOST; everything else onto TRON (which
+        # also covers suites that mix transformer and MLP members).
+        platform = "ghost" if workload.kind is WorkloadKind.GNN else "tron"
+    if platform == "ghost":
+        if args.batch != 1:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "--batch only applies to TRON (GHOST costs full-graph "
+                "inferences); rerun without it or with --platform tron"
+            )
+        accelerator = GHOST()
+    else:
+        accelerator = TRON(TRONConfig(batch=args.batch))
+    _print_report(accelerator.run(workload))
     return 0
 
 
@@ -72,11 +126,7 @@ def _cmd_run_llm(args) -> int:
 
     model = get_model_config(args.model)
     report = TRON(TRONConfig(batch=args.batch)).run_transformer(model)
-    print(report.summary())
-    print("energy breakdown (uJ):")
-    for key, pj in report.energy.as_dict().items():
-        if pj > 0.0:
-            print(f"  {key:<14s} {pj / 1e6:10.2f}")
+    _print_report(report)
     return 0
 
 
@@ -97,11 +147,7 @@ def _cmd_run_gnn(args) -> int:
         name=f"{args.kind}-{args.dataset}",
     )
     report = GHOST().run_gnn(model.config, graph)
-    print(report.summary())
-    print("energy breakdown (uJ):")
-    for key, pj in report.energy.as_dict().items():
-        if pj > 0.0:
-            print(f"  {key:<14s} {pj / 1e6:10.2f}")
+    _print_report(report)
     return 0
 
 
@@ -116,9 +162,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("describe", help="print accelerator configurations")
     sub.add_parser("claims", help="check the paper's headline claims")
     sub.add_parser("figures", help="regenerate Figs. 8-11")
+    sub.add_parser("workloads", help="list registered workloads")
 
     sweep = sub.add_parser("sweep", help="design-space sweep with Pareto")
-    sweep.add_argument("target", choices=("tron", "ghost"))
+    sweep.add_argument("target", choices=("tron", "ghost", "all"))
+
+    run = sub.add_parser("run", help="cost any registered workload")
+    run.add_argument("workload", help="registered name, e.g. BERT-base, GCN-cora")
+    run.add_argument(
+        "--platform",
+        choices=("auto", "tron", "ghost"),
+        default="auto",
+        help="target accelerator (auto picks by workload kind)",
+    )
+    run.add_argument("--batch", type=int, default=1)
 
     run_llm = sub.add_parser("run-llm", help="cost a transformer on TRON")
     run_llm.add_argument("model", help="model zoo name, e.g. BERT-base")
@@ -138,7 +195,9 @@ _HANDLERS = {
     "describe": _cmd_describe,
     "claims": _cmd_claims,
     "figures": _cmd_figures,
+    "workloads": _cmd_workloads,
     "sweep": _cmd_sweep,
+    "run": _cmd_run,
     "run-llm": _cmd_run_llm,
     "run-gnn": _cmd_run_gnn,
 }

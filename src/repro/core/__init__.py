@@ -2,14 +2,24 @@
 
 - :mod:`repro.core.reports` — structured latency/energy/run reports and
   the EPB / GOPS metric definitions shared by every platform model.
-- :mod:`repro.core.base` — the accelerator interface.
+- :mod:`repro.core.base` — the accelerator + workload interfaces and the
+  workload registry.
 - :mod:`repro.core.scheduling` — pipeline latency composition.
+- :mod:`repro.core.engine` — the shared photonic execution engine
+  (tiled MR-bank matmul, memory-traffic model, pipeline composition).
 - :mod:`repro.core.tron` — the transformer/LLM accelerator (Section V.C).
 - :mod:`repro.core.ghost` — the GNN accelerator (Section V.D).
 """
 
 from repro.core.reports import EnergyReport, LatencyReport, RunReport
-from repro.core.base import Accelerator
+from repro.core.base import (
+    Accelerator,
+    Workload,
+    WorkloadKind,
+    get_workload,
+    list_workloads,
+    register_workload,
+)
 from repro.core.scheduling import PipelineStage, pipeline_latency_ns
 from repro.core.tron import TRON, TRONConfig
 from repro.core.ghost import GHOST, GHOSTConfig
@@ -19,6 +29,11 @@ __all__ = [
     "LatencyReport",
     "RunReport",
     "Accelerator",
+    "Workload",
+    "WorkloadKind",
+    "get_workload",
+    "list_workloads",
+    "register_workload",
     "PipelineStage",
     "pipeline_latency_ns",
     "TRON",

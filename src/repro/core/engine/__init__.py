@@ -1,0 +1,45 @@
+"""The shared photonic execution engine.
+
+TRON and GHOST run on the same photonic substrate — MR-bank matmul
+arrays, HBM streaming, linear streaming pipelines — and this package is
+that substrate's single implementation:
+
+- :mod:`repro.core.engine.matmul` — the :func:`photonic_matmul`
+  primitive and the tiled :class:`ArrayExecutor` (functional + cost
+  paths, memoized device-physics curves).
+- :mod:`repro.core.engine.memory` — the :class:`MemoryModel` costing
+  streamed weights, burst/random feature traffic and buffer bounces.
+- :mod:`repro.core.engine.pipeline` — streaming-pipeline composition
+  built on :mod:`repro.core.scheduling`.
+
+Accelerators compose these into workload-specific datapaths; the
+analysis layer (figures, claims, sweeps) only ever sees the uniform
+``Accelerator.run(workload)`` entry point of :mod:`repro.core.base`.
+"""
+
+from repro.core.engine.matmul import (
+    ArrayExecutor,
+    ArraySpec,
+    clear_physics_cache,
+    photonic_matmul,
+)
+from repro.core.engine.memory import MemoryModel, Traffic
+from repro.core.engine.pipeline import (
+    PipelineStage,
+    overlapped_stage_latency_ns,
+    pipeline_latency_ns,
+    serial_waves,
+)
+
+__all__ = [
+    "ArrayExecutor",
+    "ArraySpec",
+    "MemoryModel",
+    "PipelineStage",
+    "Traffic",
+    "clear_physics_cache",
+    "overlapped_stage_latency_ns",
+    "photonic_matmul",
+    "pipeline_latency_ns",
+    "serial_waves",
+]

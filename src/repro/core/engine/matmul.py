@@ -1,0 +1,229 @@
+"""The shared photonic matmul primitive and tiled array executor.
+
+Both accelerators compute dense products the same way: a K x N MR bank
+array multiplies a weight tile against streamed input columns, partial
+tile products accumulate electronically, and every cycle burns the same
+laser / tuning / DAC / ADC energy.  This module is the canonical home of
+that machinery (it was born in ``core/tron/attention_head.py``; GHOST's
+transform units use it identically).
+
+Device-physics curves — the per-cycle energy breakdown of an array — are
+memoized per :class:`ArraySpec`, so design-space sweeps that revisit an
+array geometry (or instantiate many units of the same geometry) never
+recompute the microring tuning / laser working point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.reports import EnergyReport
+from repro.errors import ConfigurationError
+from repro.photonics.converters import ADC, DAC
+from repro.photonics.microring import MicroringDesign
+from repro.photonics.mrbank import MRBankArray
+from repro.photonics.noise import AnalogNoiseModel
+from repro.photonics.pcm import PCMCell
+
+
+def photonic_matmul(
+    array: MRBankArray, weights: np.ndarray, inputs: np.ndarray
+) -> np.ndarray:
+    """W @ X computed by tiling onto a K x N MR bank array.
+
+    Splits ``weights`` into (array.rows x array.cols) tiles; partial tile
+    products accumulate electronically (the BPD output of each tile is one
+    partial sum).  Analog noise, if the array has a noise model, applies
+    per tile — matching how errors accumulate in hardware.
+
+    Args:
+        array: the MR bank array (its dims set the tile size).
+        weights: (M, K) matrix held by the MR banks.
+        inputs: (K,) vector or (K, B) matrix arriving on the waveguides.
+
+    Returns:
+        (M,) or (M, B) product.
+    """
+    weights = np.asarray(weights, dtype=float)
+    inputs = np.asarray(inputs, dtype=float)
+    if weights.ndim != 2:
+        raise ConfigurationError(f"weights must be 2-D, got shape {weights.shape}")
+    squeeze = inputs.ndim == 1
+    if squeeze:
+        inputs = inputs[:, None]
+    if inputs.shape[0] != weights.shape[1]:
+        raise ConfigurationError(
+            f"inner dims mismatch: weights {weights.shape}, inputs {inputs.shape}"
+        )
+    m, k = weights.shape
+    batch = inputs.shape[1]
+    out = np.zeros((m, batch))
+    for row_start in range(0, m, array.rows):
+        row_end = min(row_start + array.rows, m)
+        for col_start in range(0, k, array.cols):
+            col_end = min(col_start + array.cols, k)
+            tile = np.zeros((array.rows, array.cols))
+            tile[: row_end - row_start, : col_end - col_start] = weights[
+                row_start:row_end, col_start:col_end
+            ]
+            block = np.zeros((array.cols, batch))
+            block[: col_end - col_start, :] = inputs[col_start:col_end, :]
+            partial = array.matmul(tile, block)
+            out[row_start:row_end, :] += partial[: row_end - row_start, :]
+    return out[:, 0] if squeeze else out
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """The physical signature of an MR bank array.
+
+    Two arrays with equal specs share identical device physics, so this
+    is the memoization key for energy curves.  All component models are
+    frozen dataclasses, which makes the spec hashable.
+    """
+
+    rows: int
+    cols: int
+    clock_ghz: float = 5.0
+    design: MicroringDesign = field(default_factory=MicroringDesign)
+    dac: DAC = field(default_factory=DAC)
+    adc: ADC = field(default_factory=ADC)
+    weight_dacs_shared: int = 1
+    pcm: Optional[PCMCell] = None
+
+    @classmethod
+    def from_config(cls, config, weight_dacs_shared: int = 1) -> "ArraySpec":
+        """Spec from any config exposing the common array attributes
+        (``array_rows``, ``array_cols``, ``clock_ghz``, ``design``,
+        ``dac``, ``adc``, ``pcm``) — both TRONConfig and GHOSTConfig do."""
+        return cls(
+            rows=config.array_rows,
+            cols=config.array_cols,
+            clock_ghz=config.clock_ghz,
+            design=config.design,
+            dac=config.dac,
+            adc=config.adc,
+            weight_dacs_shared=weight_dacs_shared,
+            pcm=config.pcm,
+        )
+
+
+#: (spec, weight magnitude, refresh window) -> per-cycle energy breakdown.
+_BREAKDOWN_CACHE: Dict[Tuple[ArraySpec, float, int], Dict[str, float]] = {}
+
+
+def clear_physics_cache() -> None:
+    """Drop memoized device-physics curves (benchmarks use this to time
+    the unmemoized path)."""
+    _BREAKDOWN_CACHE.clear()
+
+
+@dataclass
+class ArrayExecutor:
+    """A tiled matmul executor over one MR bank array geometry.
+
+    The executor owns the functional path (:meth:`matmul`) and the cost
+    path (:meth:`cycles_for` / :meth:`energy_for_cycles`) every photonic
+    unit in TRON and GHOST shares.
+
+    Attributes:
+        spec: the array's physical signature.
+        noise: analog noise model for the functional path (None = ideal).
+    """
+
+    spec: ArraySpec
+    noise: Optional[AnalogNoiseModel] = None
+    array: MRBankArray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.array = MRBankArray(
+            rows=self.spec.rows,
+            cols=self.spec.cols,
+            design=self.spec.design,
+            clock_ghz=self.spec.clock_ghz,
+            dac=self.spec.dac,
+            adc=self.spec.adc,
+            noise=self.noise,
+            weight_dacs_shared=self.spec.weight_dacs_shared,
+            pcm=self.spec.pcm,
+        )
+
+    @classmethod
+    def from_config(
+        cls, config, weight_dacs_shared: int = 1
+    ) -> "ArrayExecutor":
+        """Executor for a TRON- or GHOST-style config (shared attributes)."""
+        return cls(
+            spec=ArraySpec.from_config(
+                config, weight_dacs_shared=weight_dacs_shared
+            ),
+            noise=config.noise,
+        )
+
+    # ------------------------------------------------------------------
+    # Functional model
+    # ------------------------------------------------------------------
+
+    def matmul(self, weights: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """W @ X tiled over this array (see :func:`photonic_matmul`)."""
+        return photonic_matmul(self.array, weights, inputs)
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+
+    @property
+    def cycle_ns(self) -> float:
+        """Photonic cycle time."""
+        return 1.0 / self.spec.clock_ghz
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Multiply-accumulates completed each photonic cycle."""
+        return self.spec.rows * self.spec.cols
+
+    def cycles_for(self, out_rows: int, inner: int, batch: int = 1) -> int:
+        """Photonic cycles to tile a (out_rows x inner) @ (inner x batch)
+        matmul over this array."""
+        return self.array.cycles_for(out_rows, inner, batch=batch)
+
+    def energy_breakdown_pj(
+        self,
+        average_weight_magnitude: float = 0.5,
+        weight_refresh_cycles: int = 1,
+    ) -> Dict[str, float]:
+        """Memoized per-cycle laser / tuning / dac / adc energy split.
+
+        The breakdown depends only on the spec (not on the noise model),
+        so all executors with equal specs share one cached curve.
+        """
+        key = (self.spec, average_weight_magnitude, weight_refresh_cycles)
+        if key not in _BREAKDOWN_CACHE:
+            _BREAKDOWN_CACHE[key] = self.array.cycle_energy_breakdown_pj(
+                average_weight_magnitude=average_weight_magnitude,
+                weight_refresh_cycles=weight_refresh_cycles,
+            )
+        return _BREAKDOWN_CACHE[key]
+
+    def energy_for_cycles(
+        self,
+        cycles: int,
+        weight_refresh_cycles: int = 1,
+        average_weight_magnitude: float = 0.5,
+    ) -> EnergyReport:
+        """Photonic energy of ``cycles`` array cycles as an EnergyReport."""
+        if cycles < 0:
+            raise ConfigurationError(f"cycle count must be >= 0, got {cycles}")
+        breakdown = self.energy_breakdown_pj(
+            average_weight_magnitude=average_weight_magnitude,
+            weight_refresh_cycles=weight_refresh_cycles,
+        )
+        return EnergyReport(
+            laser_pj=cycles * breakdown["laser_pj"],
+            tuning_pj=cycles * breakdown["tuning_pj"],
+            dac_pj=cycles * breakdown["dac_pj"],
+            adc_pj=cycles * breakdown["adc_pj"],
+        )

@@ -1,0 +1,139 @@
+"""The shared memory-traffic model (HBM streaming + global-buffer bounce).
+
+Both accelerators hang off the same :class:`repro.electronics.memory`
+hierarchy and route three kinds of traffic through it:
+
+- **streamed weights** — sequential HBM bursts double-buffered against
+  compute and amortized over a batch (TRON's weight path),
+- **burst vs. random feature traffic** — sequential sweeps when blocking
+  (buffer-and-partition) is on, penalized per-edge random accesses when
+  it is off (GHOST's feature path),
+- **buffer bounces** — intermediate tensors crossing the global buffer.
+
+Factoring the arithmetic here keeps the energy ledgers of TRON, GHOST
+and any future backend byte-for-byte comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.core.reports import EnergyReport, LatencyReport
+from repro.electronics.memory import MemorySystem
+from repro.errors import ConfigurationError
+
+
+class Traffic(NamedTuple):
+    """Energy and latency of one traffic pattern."""
+
+    energy_pj: float
+    latency_ns: float
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Traffic-pattern cost model over a :class:`MemorySystem`."""
+
+    system: MemorySystem
+
+    # ------------------------------------------------------------------
+    # Primitive traffic patterns
+    # ------------------------------------------------------------------
+
+    def stream_offchip(self, num_bytes: int) -> Traffic:
+        """HBM -> global buffer streaming (weights into residence)."""
+        energy_pj, latency_ns = self.system.load_from_offchip(num_bytes)
+        return Traffic(energy_pj, latency_ns)
+
+    def burst_offchip(self, num_bytes: int) -> Traffic:
+        """Sequential HBM burst at full aggregate bandwidth."""
+        return Traffic(
+            self.system.hbm.transfer_energy_pj(num_bytes),
+            self.system.hbm.transfer_latency_ns(num_bytes),
+        )
+
+    def random_offchip(self, num_bytes: int, penalty: float) -> Traffic:
+        """Irregular off-chip accesses, penalized relative to bursts."""
+        if penalty < 1.0:
+            raise ConfigurationError(
+                f"random access penalty must be >= 1, got {penalty}"
+            )
+        burst = self.burst_offchip(num_bytes)
+        return Traffic(burst.energy_pj * penalty, burst.latency_ns * penalty)
+
+    def bounce_onchip(self, num_bytes: int) -> Traffic:
+        """Intermediate tensors read through the global buffer."""
+        energy_pj, latency_ns = self.system.read_onchip(num_bytes)
+        return Traffic(energy_pj, latency_ns)
+
+    @staticmethod
+    def overlap_stall_ns(transfer_ns: float, compute_ns: float) -> float:
+        """Stall left after overlapping a transfer with compute."""
+        return max(transfer_ns - compute_ns, 0.0)
+
+    # ------------------------------------------------------------------
+    # Composed patterns
+    # ------------------------------------------------------------------
+
+    def weight_stream_cost(
+        self,
+        weight_bytes: int,
+        activation_bounce_bytes: int,
+        compute_ns: float,
+        batch: int = 1,
+    ) -> "tuple[EnergyReport, LatencyReport]":
+        """TRON-style memory cost: batched weight streaming + activation
+        bounce.
+
+        Model weights stream from HBM once per batch (double-buffered
+        against compute, so only the excess stalls); activations bounce
+        through the global buffer between blocks.
+        """
+        if batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {batch}")
+        weights = self.stream_offchip(weight_bytes)
+        acts = self.bounce_onchip(activation_bounce_bytes)
+        energy = EnergyReport(
+            memory_pj=weights.energy_pj / batch + acts.energy_pj
+        )
+        stall_ns = self.overlap_stall_ns(
+            weights.latency_ns / batch, compute_ns
+        )
+        latency = LatencyReport(memory_ns=stall_ns + acts.latency_ns)
+        return energy, latency
+
+    def feature_sweep_cost(
+        self,
+        sweep_bytes: int,
+        index_bytes: int,
+        writeback_bytes: int,
+        blocked: bool,
+        random_access_penalty: float = 1.0,
+    ) -> "tuple[EnergyReport, LatencyReport]":
+        """GHOST-style memory cost: feature sweep + edge indices + writeback.
+
+        Args:
+            sweep_bytes: feature bytes crossing the HBM interface — one
+                sequential sweep per panel when ``blocked``, per-edge
+                fetches otherwise.
+            index_bytes: edge-index bytes (sequential either way).
+            writeback_bytes: results written through the global buffer.
+            blocked: buffer-and-partition enabled (sequential bursts).
+            random_access_penalty: multiplier applied when not blocked.
+        """
+        if blocked:
+            features = self.burst_offchip(sweep_bytes)
+        else:
+            features = self.random_offchip(sweep_bytes, random_access_penalty)
+        indices = self.burst_offchip(index_bytes)
+        writeback = self.bounce_onchip(writeback_bytes)
+        energy = EnergyReport(
+            memory_pj=features.energy_pj + indices.energy_pj + writeback.energy_pj
+        )
+        latency = LatencyReport(
+            memory_ns=features.latency_ns
+            + indices.latency_ns
+            + writeback.latency_ns
+        )
+        return energy, latency

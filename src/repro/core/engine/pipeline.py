@@ -1,0 +1,57 @@
+"""Pipeline composition helpers built on :mod:`repro.core.scheduling`.
+
+The engine composes streaming datapaths two ways:
+
+- **linear pipelines** (TRON's five-stage attention datapath): items
+  stream through every stage; fill once, then the bottleneck sets the
+  steady-state rate — :func:`pipeline_latency_ns`.
+- **overlapped stage groups** (GHOST's aggregate/combine/update blocks):
+  stages overlap across items, so the group runs at the slowest stage
+  plus a fill fraction of the others — :func:`overlapped_stage_latency_ns`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.scheduling import (  # noqa: F401  (re-exported)
+    PipelineStage,
+    balanced_assignment,
+    lane_imbalance_factor,
+    pipeline_latency_ns,
+)
+from repro.errors import ConfigurationError
+
+
+def overlapped_stage_latency_ns(
+    stage_latencies_ns: Sequence[float], fill_fraction: float = 0.1
+) -> float:
+    """Latency of stages that overlap across a stream of items.
+
+    The group runs at the slowest stage; the remaining stages only
+    contribute their fill time, approximated as ``fill_fraction`` of
+    their summed latencies (Section V.D "execution pipelining and
+    scheduling").
+    """
+    latencies = list(stage_latencies_ns)
+    if not latencies:
+        raise ConfigurationError("need at least one stage")
+    if any(latency < 0.0 for latency in latencies):
+        raise ConfigurationError("stage latencies must be >= 0")
+    if not 0.0 <= fill_fraction <= 1.0:
+        raise ConfigurationError(
+            f"fill fraction must be in [0, 1], got {fill_fraction}"
+        )
+    bottleneck = max(latencies)
+    return bottleneck + fill_fraction * (sum(latencies) - bottleneck)
+
+
+def serial_waves(items: int, parallel_units: int) -> int:
+    """Waves needed to push ``items`` through ``parallel_units`` units."""
+    if items < 0:
+        raise ConfigurationError(f"item count must be >= 0, got {items}")
+    if parallel_units < 1:
+        raise ConfigurationError(
+            f"need >= 1 parallel unit, got {parallel_units}"
+        )
+    return -(-items // parallel_units)

@@ -16,14 +16,18 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.base import Accelerator
+from repro.core.base import Accelerator, Workload, WorkloadKind
+from repro.core.engine import (
+    MemoryModel,
+    overlapped_stage_latency_ns,
+    serial_waves,
+)
 from repro.core.ghost.aggregate import AggregateBlock
 from repro.core.ghost.combine import CombineBlock
 from repro.core.ghost.config import GHOSTConfig
 from repro.core.ghost.update import UpdateBlock
 from repro.core.reports import EnergyReport, LatencyReport, RunReport
-from repro.core.tron.attention_head import photonic_matmul
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MappingError
 from repro.graphs.graph import CSRGraph
 from repro.graphs.partition import GraphPartitioner
 from repro.nn.counting import gnn_layer_op_count, gnn_op_count
@@ -55,11 +59,13 @@ class GHOST(Accelerator):
     aggregate: AggregateBlock = field(init=False, repr=False)
     combine: CombineBlock = field(init=False, repr=False)
     update: UpdateBlock = field(init=False, repr=False)
+    memory_model: MemoryModel = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.aggregate = AggregateBlock(config=self.config)
         self.combine = CombineBlock(config=self.config)
         self.update = UpdateBlock(config=self.config)
+        self.memory_model = MemoryModel(self.config.memory)
 
     @property
     def name(self) -> str:
@@ -71,6 +77,25 @@ class GHOST(Accelerator):
             f"GHOST: {cfg.lanes} lanes, {cfg.edge_units} edge units, "
             f"{cfg.array_rows}x{cfg.array_cols} transform arrays, "
             f"{cfg.clock_ghz:.0f} GHz, {cfg.peak_gops / 1e3:.1f} TOPS peak"
+        )
+
+    # ------------------------------------------------------------------
+    # Workload dispatch
+    # ------------------------------------------------------------------
+
+    def _run_workload(self, workload: Workload) -> RunReport:
+        from dataclasses import replace
+
+        if workload.kind is WorkloadKind.GNN:
+            report = self.run_gnn(workload.model_config, workload.graph)
+            # Figure tables key rows on the registry name, not the
+            # graph-annotated label run_gnn produces for ad-hoc calls.
+            return replace(report, workload=workload.name)
+        if workload.kind is WorkloadKind.MLP:
+            return self.run_mlp(workload)
+        raise MappingError(
+            f"GHOST cannot execute {workload.kind.value!r} workload "
+            f"{workload.name!r}"
         )
 
     # ------------------------------------------------------------------
@@ -99,31 +124,19 @@ class GHOST(Accelerator):
                 1,
                 -(-accumulator_bytes // cfg.memory.global_buffer.capacity_bytes),
             )
-            traffic_bytes = (
+            sweep_bytes = (
                 panels * graph.num_nodes * feature_dim * bytes_per_value
             )
-            energy_pj = cfg.memory.hbm.transfer_energy_pj(traffic_bytes)
-            latency_ns = cfg.memory.hbm.transfer_latency_ns(traffic_bytes)
         else:
-            traffic_bytes = graph.num_edges * feature_dim * bytes_per_value
-            energy_pj = (
-                cfg.memory.hbm.transfer_energy_pj(traffic_bytes)
-                * cfg.random_access_penalty
-            )
-            latency_ns = (
-                cfg.memory.hbm.transfer_latency_ns(traffic_bytes)
-                * cfg.random_access_penalty
-            )
-        # Edge indices: 4 bytes per arc, sequential either way.
-        index_bytes = 4 * graph.num_edges
-        energy_pj += cfg.memory.hbm.transfer_energy_pj(index_bytes)
-        latency_ns += cfg.memory.hbm.transfer_latency_ns(index_bytes)
-        # Results written back through the global buffer.
-        out_bytes = graph.num_nodes * out_dim * bytes_per_value
-        buf_pj, buf_ns = cfg.memory.read_onchip(out_bytes)
-        return (
-            EnergyReport(memory_pj=energy_pj + buf_pj),
-            LatencyReport(memory_ns=latency_ns + buf_ns),
+            sweep_bytes = graph.num_edges * feature_dim * bytes_per_value
+        return self.memory_model.feature_sweep_cost(
+            sweep_bytes=sweep_bytes,
+            # Edge indices: 4 bytes per arc, sequential either way.
+            index_bytes=4 * graph.num_edges,
+            # Results written back through the global buffer.
+            writeback_bytes=graph.num_nodes * out_dim * bytes_per_value,
+            blocked=cfg.use_partitioning,
+            random_access_penalty=cfg.random_access_penalty,
         )
 
     def run_gnn(self, model: GNNConfig, graph: CSRGraph) -> RunReport:
@@ -154,14 +167,17 @@ class GHOST(Accelerator):
             # Pipelining: aggregate / combine / update overlap across
             # vertices, so the layer runs at the slowest stage plus the
             # others' fill time (approximated by the max + 10% fill).
-            stage_ns = [
-                agg.latency.total_ns,
-                comb.latency.total_ns,
-                upd.latency.total_ns,
-            ]
-            pipelined_ns = max(stage_ns) + 0.1 * (sum(stage_ns) - max(stage_ns))
+            pipelined_ns = overlapped_stage_latency_ns(
+                [
+                    agg.latency.total_ns,
+                    comb.latency.total_ns,
+                    upd.latency.total_ns,
+                ]
+            )
             # Memory streaming overlaps compute; only the excess stalls.
-            stall_ns = max(mem_latency.total_ns - pipelined_ns, 0.0)
+            stall_ns = self.memory_model.overlap_stall_ns(
+                mem_latency.total_ns, pipelined_ns
+            )
             total_latency = total_latency + LatencyReport(
                 compute_ns=pipelined_ns,
                 memory_ns=stall_ns,
@@ -186,6 +202,55 @@ class GHOST(Accelerator):
             ops=ops,
             latency=total_latency,
             energy=total_energy,
+            bits_per_value=cfg.bits,
+        )
+
+    def run_mlp(self, workload: Workload) -> RunReport:
+        """Estimate one batched MLP inference on the transform arrays.
+
+        Each sample routes through the lanes like a vertex with no
+        neighbours: the combine block applies every dense layer and the
+        update block's SOAs activate the hidden outputs.  Weights stream
+        from HBM once; activations bounce through the global buffer.
+        """
+        cfg = self.config
+        executor = self.combine.executor
+        cycle_ns = cfg.cycle_ns
+        samples = workload.samples
+        dims = list(workload.layer_dims)
+        total_cycles = 0
+        latency_cycles = 0
+        soa_pj = 0.0
+        for i, (d_in, d_out) in enumerate(dims):
+            per_sample = executor.cycles_for(d_out, d_in, batch=1)
+            latency_cycles += serial_waves(samples, cfg.lanes) * per_sample
+            total_cycles += samples * per_sample
+            if i < len(dims) - 1:  # hidden activations only
+                soa_pj += samples * d_out * cfg.activation.power_mw * cycle_ns
+        compute_latency = LatencyReport(compute_ns=latency_cycles * cycle_ns)
+        compute_energy = executor.energy_for_cycles(
+            total_cycles, weight_refresh_cycles=cfg.weight_refresh_cycles
+        ) + EnergyReport(activation_pj=soa_pj)
+
+        bytes_per_value = cfg.bits // 8 or 1
+        ops = workload.op_count(bytes_per_value=bytes_per_value)
+        memory_energy, memory_latency = self.memory_model.weight_stream_cost(
+            weight_bytes=ops.weight_bytes,
+            activation_bounce_bytes=2 * ops.activation_bytes,
+            compute_ns=compute_latency.total_ns,
+        )
+
+        latency = compute_latency + memory_latency
+        static_pj = (
+            cfg.control.power_mw + cfg.memory.global_buffer.leakage_mw
+        ) * latency.total_ns
+        energy = compute_energy + memory_energy + EnergyReport(static_pj=static_pj)
+        return RunReport(
+            platform=self.name,
+            workload=workload.name,
+            ops=ops,
+            latency=latency,
+            energy=energy,
             bits_per_value=cfg.bits,
         )
 

@@ -13,11 +13,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.engine import ArrayExecutor
 from repro.core.ghost.config import GHOSTConfig
 from repro.core.reports import EnergyReport, LatencyReport
-from repro.core.tron.attention_head import photonic_matmul
 from repro.errors import ConfigurationError
-from repro.photonics.mrbank import MRBankArray
 
 
 @dataclass(frozen=True)
@@ -34,20 +33,17 @@ class CombineBlock:
     """Functional + cost model of the combine (transform) stage."""
 
     config: GHOSTConfig
-    _array: MRBankArray = field(init=False, repr=False)
+    _executor: ArrayExecutor = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self._array = MRBankArray(
-            rows=self.config.array_rows,
-            cols=self.config.array_cols,
-            design=self.config.design,
-            clock_ghz=self.config.clock_ghz,
-            dac=self.config.dac,
-            adc=self.config.adc,
-            noise=self.config.noise,
-            weight_dacs_shared=self.config.weight_dac_sharing,
-            pcm=self.config.pcm,
+        self._executor = ArrayExecutor.from_config(
+            self.config, weight_dacs_shared=self.config.weight_dac_sharing
         )
+
+    @property
+    def executor(self) -> ArrayExecutor:
+        """The block's array executor (shared with the MLP path)."""
+        return self._executor
 
     # ------------------------------------------------------------------
     # Functional model
@@ -74,7 +70,7 @@ class CombineBlock:
                 f"weights {weights.shape}"
             )
         # The array computes W @ x: hold weights^T, stream feature vectors.
-        return photonic_matmul(self._array, weights.T, features.T).T
+        return self._executor.matmul(weights.T, features.T).T
 
     # ------------------------------------------------------------------
     # Cost model
@@ -82,7 +78,7 @@ class CombineBlock:
 
     def node_cycles(self, in_dim: int, out_dim: int) -> int:
         """Photonic cycles for one vertex's transform on one lane."""
-        return self._array.cycles_for(out_dim, in_dim, batch=1)
+        return self._executor.cycles_for(out_dim, in_dim, batch=1)
 
     def layer_cost(
         self,
@@ -107,21 +103,15 @@ class CombineBlock:
             raise ConfigurationError(f"extra_macs must be >= 0, got {extra_macs}")
         per_node = self.node_cycles(in_dim, out_dim)
         waves = math.ceil(num_nodes / self.config.lanes) if num_nodes else 0
-        extra_cycles_total = math.ceil(extra_macs / self._array.macs_per_cycle)
+        extra_cycles_total = math.ceil(extra_macs / self._executor.macs_per_cycle)
         extra_cycles_serial = math.ceil(extra_cycles_total / self.config.lanes)
         latency_cycles = waves * per_node + extra_cycles_serial
         latency = LatencyReport(
             compute_ns=latency_cycles * self.config.cycle_ns
         )
         total_cycles = num_nodes * per_node + extra_cycles_total
-        breakdown = self._array.cycle_energy_breakdown_pj(
-            weight_refresh_cycles=self.config.weight_refresh_cycles
-        )
-        energy = EnergyReport(
-            laser_pj=total_cycles * breakdown["laser_pj"],
-            tuning_pj=total_cycles * breakdown["tuning_pj"],
-            dac_pj=total_cycles * breakdown["dac_pj"],
-            adc_pj=total_cycles * breakdown["adc_pj"],
+        energy = self._executor.energy_for_cycles(
+            total_cycles, weight_refresh_cycles=self.config.weight_refresh_cycles
         )
         return CombineCost(
             latency=latency, energy=energy, array_cycles=total_cycles

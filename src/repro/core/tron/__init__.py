@@ -5,7 +5,9 @@ Structure mirrors the paper's Figs. 4 and 5:
 - :mod:`repro.core.tron.config` — architectural parameters.
 - :mod:`repro.core.tron.attention_head` — the attention-head unit built
   from seven MR bank arrays, implementing the Q·K^T = (Q·W_K^T)·X^T
-  decomposition of eq. (3).
+  decomposition of eq. (3) on the shared :mod:`repro.core.engine`
+  matmul executor (``photonic_matmul`` now lives in the engine; the
+  import from ``attention_head`` remains as a deprecation alias).
 - :mod:`repro.core.tron.mha` — the MHA unit (H head units, concat +
   linear layer, coherent residual add, optical LayerNorm).
 - :mod:`repro.core.tron.feedforward` — the FF unit (two dense layers with
@@ -15,7 +17,7 @@ Structure mirrors the paper's Figs. 4 and 5:
 """
 
 from repro.core.tron.config import TRONConfig
-from repro.core.tron.attention_head import AttentionHeadUnit, photonic_matmul
+from repro.core.tron.attention_head import AttentionHeadUnit
 from repro.core.tron.mha import MHAUnit
 from repro.core.tron.feedforward import FeedForwardUnit
 from repro.core.tron.accelerator import TRON
@@ -28,7 +30,6 @@ from repro.core.tron.generation import (
 __all__ = [
     "TRONConfig",
     "AttentionHeadUnit",
-    "photonic_matmul",
     "MHAUnit",
     "FeedForwardUnit",
     "TRON",

@@ -1,25 +1,29 @@
-"""TRON top level: maps a transformer model and produces a RunReport.
+"""TRON top level: maps workloads onto the engine and produces RunReports.
 
 Latency composes per-layer MHA and FF block costs serially across the
 ``num_layers`` stack (conservative: no cross-layer pipelining), with
 weight streaming from HBM overlapped against compute and amortized over
 the configured batch.  Energy sums block energies, memory traffic,
 control and leakage.
+
+Workload dispatch: transformers run through the MHA + FF units; MLP
+workloads run their dense chain on the FF arrays (the FF unit *is* a
+two-layer MLP engine, so the general case just tiles more layers).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
-from repro.core.base import Accelerator
+from repro.core.base import Accelerator, Workload, WorkloadKind
+from repro.core.engine import MemoryModel, serial_waves
 from repro.core.reports import EnergyReport, LatencyReport, RunReport
 from repro.core.tron.config import TRONConfig
 from repro.core.tron.feedforward import FeedForwardUnit
 from repro.core.tron.mha import MHAUnit
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MappingError
 from repro.nn.counting import transformer_op_count
 from repro.nn.transformer import TransformerConfig, TransformerKind, TransformerModel
 
@@ -38,10 +42,12 @@ class TRON(Accelerator):
     config: TRONConfig = field(default_factory=TRONConfig)
     mha_unit: MHAUnit = field(init=False, repr=False)
     ff_unit: FeedForwardUnit = field(init=False, repr=False)
+    memory_model: MemoryModel = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.mha_unit = MHAUnit(config=self.config)
         self.ff_unit = FeedForwardUnit(config=self.config)
+        self.memory_model = MemoryModel(self.config.memory)
 
     @property
     def name(self) -> str:
@@ -54,6 +60,20 @@ class TRON(Accelerator):
             f"({cfg.array_rows}x{cfg.array_cols}), {cfg.num_ff_arrays} FF "
             f"arrays, {cfg.clock_ghz:.0f} GHz photonic clock, "
             f"{cfg.peak_gops / 1e3:.0f} TOPS peak"
+        )
+
+    # ------------------------------------------------------------------
+    # Workload dispatch
+    # ------------------------------------------------------------------
+
+    def _run_workload(self, workload: Workload) -> RunReport:
+        if workload.kind is WorkloadKind.TRANSFORMER:
+            return self.run_transformer(workload.model)
+        if workload.kind is WorkloadKind.MLP:
+            return self.run_mlp(workload)
+        raise MappingError(
+            f"TRON cannot execute {workload.kind.value!r} workload "
+            f"{workload.name!r}"
         )
 
     # ------------------------------------------------------------------
@@ -78,20 +98,11 @@ class TRON(Accelerator):
         # buffered against compute); activations bounce through the global
         # buffer between blocks.
         ops = transformer_op_count(model, bytes_per_value=max(cfg.bits // 8, 1))
-        weight_energy_pj, weight_latency_ns = cfg.memory.load_from_offchip(
-            ops.weight_bytes
-        )
-        act_bytes = ops.activation_bytes
-        act_energy_pj, act_latency_ns = cfg.memory.read_onchip(2 * act_bytes)
-        memory_energy = EnergyReport(
-            memory_pj=weight_energy_pj / cfg.batch + act_energy_pj
-        )
-        # Weight streaming overlaps compute; only the excess stalls.
-        overlapped_weight_ns = max(
-            weight_latency_ns / cfg.batch - compute_latency.total_ns, 0.0
-        )
-        memory_latency = LatencyReport(
-            memory_ns=overlapped_weight_ns + act_latency_ns
+        memory_energy, memory_latency = self.memory_model.weight_stream_cost(
+            weight_bytes=ops.weight_bytes,
+            activation_bounce_bytes=2 * ops.activation_bytes,
+            compute_ns=compute_latency.total_ns,
+            batch=cfg.batch,
         )
 
         latency = compute_latency + memory_latency
@@ -108,6 +119,51 @@ class TRON(Accelerator):
         return RunReport(
             platform=self.name,
             workload=model.name,
+            ops=ops,
+            latency=latency,
+            energy=energy,
+            bits_per_value=cfg.bits,
+        )
+
+    def run_mlp(self, workload: Workload) -> RunReport:
+        """Estimate one batched MLP inference on the FF arrays.
+
+        Each dense layer tiles over ``num_ff_arrays`` arrays exactly like
+        the transformer FF block; the SOA stage activates every hidden
+        element; weights stream from HBM once per batch.
+        """
+        cfg = self.config
+        executor = self.ff_unit.executor
+        cycle_ns = cfg.cycle_ns
+        samples = workload.samples
+        total_cycles = 0
+        soa_pj = 0.0
+        dims = list(workload.layer_dims)
+        for i, (d_in, d_out) in enumerate(dims):
+            total_cycles += executor.cycles_for(d_out, d_in, batch=samples)
+            if i < len(dims) - 1:  # hidden activations only
+                soa_pj += samples * d_out * cfg.activation.power_mw * cycle_ns
+        serial_cycles = serial_waves(total_cycles, cfg.num_ff_arrays)
+        compute_latency = LatencyReport(compute_ns=serial_cycles * cycle_ns)
+        compute_energy = executor.energy_for_cycles(
+            total_cycles, weight_refresh_cycles=cfg.weight_refresh_cycles
+        ) + EnergyReport(activation_pj=soa_pj)
+
+        ops = workload.op_count(bytes_per_value=max(cfg.bits // 8, 1))
+        memory_energy, memory_latency = self.memory_model.weight_stream_cost(
+            weight_bytes=ops.weight_bytes,
+            activation_bounce_bytes=2 * ops.activation_bytes,
+            compute_ns=compute_latency.total_ns,
+            batch=cfg.batch,
+        )
+        latency = compute_latency + memory_latency
+        static_pj = (
+            cfg.control.power_mw + cfg.memory.global_buffer.leakage_mw
+        ) * latency.total_ns
+        energy = compute_energy + memory_energy + EnergyReport(static_pj=static_pj)
+        return RunReport(
+            platform=self.name,
+            workload=workload.name,
             ops=ops,
             latency=latency,
             energy=energy,

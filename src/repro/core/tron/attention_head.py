@@ -17,66 +17,27 @@ double-buffer the X^T operand):
     digital:  P = softmax(scores)             (BPD -> ADC -> LUT)
     stage 4:  V^T = W_V @ X^T                 (d_k x S)
     stage 5:  C^T = V^T @ P^T                 (d_k x S)   [context head(X)]
+
+The matmul machinery itself lives in :mod:`repro.core.engine`; this
+module composes it into the attention datapath.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List
 
 import numpy as np
 
+from repro.core.engine import ArrayExecutor, PipelineStage, pipeline_latency_ns
+
+# Deprecated alias: ``photonic_matmul`` moved to ``repro.core.engine``
+# (its canonical home since the engine extraction); import it from there.
+from repro.core.engine import photonic_matmul  # noqa: F401
 from repro.core.reports import EnergyReport, LatencyReport
-from repro.core.scheduling import PipelineStage, pipeline_latency_ns
 from repro.core.tron.config import TRONConfig
 from repro.errors import ConfigurationError
 from repro.nn.ops import softmax as softmax_ref
-from repro.photonics.mrbank import MRBankArray
-
-
-def photonic_matmul(array: MRBankArray, weights: np.ndarray, inputs: np.ndarray) -> np.ndarray:
-    """W @ X computed by tiling onto a K x N MR bank array.
-
-    Splits ``weights`` into (array.rows x array.cols) tiles; partial tile
-    products accumulate electronically (the BPD output of each tile is one
-    partial sum).  Analog noise, if the array has a noise model, applies
-    per tile — matching how errors accumulate in hardware.
-
-    Args:
-        array: the MR bank array (its dims set the tile size).
-        weights: (M, K) matrix held by the MR banks.
-        inputs: (K,) vector or (K, B) matrix arriving on the waveguides.
-
-    Returns:
-        (M,) or (M, B) product.
-    """
-    weights = np.asarray(weights, dtype=float)
-    inputs = np.asarray(inputs, dtype=float)
-    if weights.ndim != 2:
-        raise ConfigurationError(f"weights must be 2-D, got shape {weights.shape}")
-    squeeze = inputs.ndim == 1
-    if squeeze:
-        inputs = inputs[:, None]
-    if inputs.shape[0] != weights.shape[1]:
-        raise ConfigurationError(
-            f"inner dims mismatch: weights {weights.shape}, inputs {inputs.shape}"
-        )
-    m, k = weights.shape
-    batch = inputs.shape[1]
-    out = np.zeros((m, batch))
-    for row_start in range(0, m, array.rows):
-        row_end = min(row_start + array.rows, m)
-        for col_start in range(0, k, array.cols):
-            col_end = min(col_start + array.cols, k)
-            tile = np.zeros((array.rows, array.cols))
-            tile[: row_end - row_start, : col_end - col_start] = weights[
-                row_start:row_end, col_start:col_end
-            ]
-            block = np.zeros((array.cols, batch))
-            block[: col_end - col_start, :] = inputs[col_start:col_end, :]
-            partial = array.matmul(tile, block)
-            out[row_start:row_end, :] += partial[: row_end - row_start, :]
-    return out[:, 0] if squeeze else out
 
 
 @dataclass(frozen=True)
@@ -103,19 +64,15 @@ class AttentionHeadUnit:
     """
 
     config: TRONConfig
-    _array: MRBankArray = field(init=False, repr=False)
+    _executor: ArrayExecutor = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self._array = MRBankArray(
-            rows=self.config.array_rows,
-            cols=self.config.array_cols,
-            design=self.config.design,
-            clock_ghz=self.config.clock_ghz,
-            dac=self.config.dac,
-            adc=self.config.adc,
-            noise=self.config.noise,
-            pcm=self.config.pcm,
-        )
+        self._executor = ArrayExecutor.from_config(self.config)
+
+    @property
+    def executor(self) -> ArrayExecutor:
+        """The unit's array executor (shared with the decode cost model)."""
+        return self._executor
 
     # ------------------------------------------------------------------
     # Functional model
@@ -147,18 +104,18 @@ class AttentionHeadUnit:
             raise ConfigurationError("W_Q, W_K, W_V must share one shape")
         x_t = x.T  # stored offline, per eq. (3)
         # Stage 1: Q^T = W_Q @ X^T.
-        q_t = photonic_matmul(self._array, w_q, x_t)
+        q_t = self._executor.matmul(w_q, x_t)
         # Stage 2: T^T = (W_K^T / sqrt(d_k)) @ Q^T.
-        t_t = photonic_matmul(self._array, w_k.T / np.sqrt(d_k), q_t)
+        t_t = self._executor.matmul(w_k.T / np.sqrt(d_k), q_t)
         # Stage 3: the arrays hold the offline-stored X operand and stream
         # the columns of T^T, producing X @ T^T = (T @ X^T)^T = scores^T.
-        scores = photonic_matmul(self._array, x, t_t).T
+        scores = self._executor.matmul(x, t_t).T
         # Digital softmax row-wise over keys.
         probs = softmax_ref(scores, axis=-1)
         # Stage 4: V^T = W_V @ X^T.
-        v_t = photonic_matmul(self._array, w_v, x_t)
+        v_t = self._executor.matmul(w_v, x_t)
         # Stage 5: C^T = V^T @ P^T.
-        context_t = photonic_matmul(self._array, v_t, probs.T)
+        context_t = self._executor.matmul(v_t, probs.T)
         return context_t.T
 
     # ------------------------------------------------------------------
@@ -167,7 +124,7 @@ class AttentionHeadUnit:
 
     def _stage_cycles_per_item(self, out_rows: int, inner: int) -> int:
         """Cycles to produce one output column of a stage."""
-        return self._array.cycles_for(out_rows, inner, batch=1)
+        return self._executor.cycles_for(out_rows, inner, batch=1)
 
     def head_cost(self, seq_len: int, d_model: int, d_k: int) -> HeadCost:
         """Cost of one head over a (seq_len, d_model) input.
@@ -195,18 +152,11 @@ class AttentionHeadUnit:
         softmax_latency = self.config.softmax.latency_ns(seq_len)  # one row
         stages.insert(3, PipelineStage("softmax", softmax_latency))
         compute_ns = pipeline_latency_ns(stages, seq_len)
-        breakdown = self._array.cycle_energy_breakdown_pj(
-            weight_refresh_cycles=self.config.weight_refresh_cycles
-        )
         softmax_pj = self.config.softmax.energy_pj(seq_len * seq_len)
         latency = LatencyReport(compute_ns=compute_ns)
-        energy = EnergyReport(
-            laser_pj=total_cycles * breakdown["laser_pj"],
-            tuning_pj=total_cycles * breakdown["tuning_pj"],
-            dac_pj=total_cycles * breakdown["dac_pj"],
-            adc_pj=total_cycles * breakdown["adc_pj"],
-            digital_pj=softmax_pj,
-        )
+        energy = self._executor.energy_for_cycles(
+            total_cycles, weight_refresh_cycles=self.config.weight_refresh_cycles
+        ) + EnergyReport(digital_pj=softmax_pj)
         return HeadCost(latency=latency, energy=energy, array_cycles=total_cycles)
 
     def reference_forward(

@@ -13,14 +13,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.engine import ArrayExecutor, serial_waves
 from repro.core.reports import EnergyReport, LatencyReport
-from repro.core.tron.attention_head import photonic_matmul
 from repro.core.tron.config import TRONConfig
 from repro.core.tron.mha import BlockCost
 from repro.errors import ConfigurationError
 from repro.nn.ops import layer_norm
 from repro.nn.transformer import TransformerEncoderLayer
-from repro.photonics.mrbank import MRBankArray
 
 
 @dataclass
@@ -32,19 +31,15 @@ class FeedForwardUnit:
     """
 
     config: TRONConfig
-    _array: MRBankArray = field(init=False, repr=False)
+    _executor: ArrayExecutor = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self._array = MRBankArray(
-            rows=self.config.array_rows,
-            cols=self.config.array_cols,
-            design=self.config.design,
-            clock_ghz=self.config.clock_ghz,
-            dac=self.config.dac,
-            adc=self.config.adc,
-            noise=self.config.noise,
-            pcm=self.config.pcm,
-        )
+        self._executor = ArrayExecutor.from_config(self.config)
+
+    @property
+    def executor(self) -> ArrayExecutor:
+        """The unit's array executor (shared with the MLP path)."""
+        return self._executor
 
     # ------------------------------------------------------------------
     # Functional model
@@ -61,7 +56,7 @@ class FeedForwardUnit:
             raise ConfigurationError(
                 f"expected input (S, {layer.d_model}), got {x.shape}"
             )
-        hidden = photonic_matmul(self._array, layer.w_ff1, x.T).T + layer.b_ff1
+        hidden = self._executor.matmul(layer.w_ff1, x.T).T + layer.b_ff1
         # The SOA realizes ReLU-family nonlinearities optically; GELU-
         # configured layers fall back to the digital LUT path, which is
         # functionally this same exact computation.
@@ -71,7 +66,7 @@ class FeedForwardUnit:
             from repro.nn.ops import gelu
 
             activated = gelu(hidden)
-        out = photonic_matmul(self._array, layer.w_ff2, activated.T).T + layer.b_ff2
+        out = self._executor.matmul(layer.w_ff2, activated.T).T + layer.b_ff2
         return layer_norm(x + out)
 
     # ------------------------------------------------------------------
@@ -89,13 +84,10 @@ class FeedForwardUnit:
             raise ConfigurationError("seq_len, d_model, d_ff must be >= 1")
         cycle_ns = self.config.cycle_ns
         arrays = self.config.num_ff_arrays
-        up_cycles = self._array.cycles_for(d_ff, d_model, seq_len)
-        down_cycles = self._array.cycles_for(d_model, d_ff, seq_len)
+        up_cycles = self._executor.cycles_for(d_ff, d_model, seq_len)
+        down_cycles = self._executor.cycles_for(d_model, d_ff, seq_len)
         total_cycles = up_cycles + down_cycles
-        serial_cycles = -(-total_cycles // arrays)
-        breakdown = self._array.cycle_energy_breakdown_pj(
-            weight_refresh_cycles=self.config.weight_refresh_cycles
-        )
+        serial_cycles = serial_waves(total_cycles, arrays)
         # SOA activation: one device per array row, charged per element.
         soa_pj = (
             seq_len * d_ff * self.config.activation.power_mw * cycle_ns
@@ -106,11 +98,7 @@ class FeedForwardUnit:
         latency = LatencyReport(
             compute_ns=serial_cycles * cycle_ns + residual_ns
         )
-        energy = EnergyReport(
-            laser_pj=total_cycles * breakdown["laser_pj"],
-            tuning_pj=total_cycles * breakdown["tuning_pj"] + ln_pj,
-            dac_pj=total_cycles * breakdown["dac_pj"],
-            adc_pj=total_cycles * breakdown["adc_pj"],
-            activation_pj=soa_pj,
-        )
+        energy = self._executor.energy_for_cycles(
+            total_cycles, weight_refresh_cycles=self.config.weight_refresh_cycles
+        ) + EnergyReport(tuning_pj=ln_pj, activation_pj=soa_pj)
         return BlockCost(latency=latency, energy=energy)

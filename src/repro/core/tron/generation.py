@@ -147,12 +147,12 @@ def run_generation(
     prefill = tron.run_transformer(prefill_config)
 
     head_unit = tron.mha_unit.head_unit
-    array = head_unit._array
+    array = head_unit.executor
     cycle_ns = cfg.cycle_ns
     d = model.d_model
     d_k = model.d_model // model.num_heads
     d_ff = model.d_ff
-    breakdown = array.cycle_energy_breakdown_pj(
+    breakdown = array.energy_breakdown_pj(
         weight_refresh_cycles=cfg.weight_refresh_cycles
     )
     cycle_pj = sum(breakdown.values())

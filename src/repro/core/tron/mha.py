@@ -14,13 +14,13 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.engine import ArrayExecutor, serial_waves
 from repro.core.reports import EnergyReport, LatencyReport
-from repro.core.tron.attention_head import AttentionHeadUnit, photonic_matmul
+from repro.core.tron.attention_head import AttentionHeadUnit
 from repro.core.tron.config import TRONConfig
 from repro.errors import ConfigurationError
 from repro.nn.attention import MultiHeadAttention
 from repro.nn.ops import layer_norm
-from repro.photonics.mrbank import MRBankArray
 from repro.photonics.summation import CoherentSummationUnit
 
 
@@ -42,21 +42,12 @@ class MHAUnit:
 
     config: TRONConfig
     head_unit: AttentionHeadUnit = field(init=False, repr=False)
-    _linear_array: MRBankArray = field(init=False, repr=False)
+    _linear_executor: ArrayExecutor = field(init=False, repr=False)
     _residual_adder: CoherentSummationUnit = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.head_unit = AttentionHeadUnit(config=self.config)
-        self._linear_array = MRBankArray(
-            rows=self.config.array_rows,
-            cols=self.config.array_cols,
-            design=self.config.design,
-            clock_ghz=self.config.clock_ghz,
-            dac=self.config.dac,
-            adc=self.config.adc,
-            noise=self.config.noise,
-            pcm=self.config.pcm,
-        )
+        self._linear_executor = ArrayExecutor.from_config(self.config)
         self._residual_adder = CoherentSummationUnit(
             fan_in=2, clock_ghz=self.config.clock_ghz
         )
@@ -89,7 +80,7 @@ class MHAUnit:
             head_outputs.append(self.head_unit.forward(x, w_q, w_k, w_v))
         concat = np.concatenate(head_outputs, axis=1)  # buffer & concatenate
         # Output linear layer, optical: (S, d) = (d x d W_O) @ concat^T.
-        projected = photonic_matmul(self._linear_array, mha.w_o, concat.T).T
+        projected = self._linear_executor.matmul(mha.w_o, concat.T).T
         # Residual add via coherent summation, then optical LayerNorm.
         summed = x + projected
         return layer_norm(summed)
@@ -109,25 +100,20 @@ class MHAUnit:
             raise ConfigurationError(f"need >= 1 head, got {num_heads}")
         d_k = d_model // num_heads
         head_cost = self.head_unit.head_cost(seq_len, d_model, d_k)
-        waves = -(-num_heads // self.config.num_head_units)
+        waves = serial_waves(num_heads, self.config.num_head_units)
         heads_latency = head_cost.latency.scaled(waves)
         heads_energy = head_cost.energy.scaled(num_heads)
 
         cycle_ns = self.config.cycle_ns
         # Linear layer: (d_model x d_model) @ (d_model x S) over the
         # available linear arrays (column-parallel split).
-        linear_cycles = self._linear_array.cycles_for(d_model, d_model, seq_len)
-        linear_cycles = -(-linear_cycles // self.config.num_linear_arrays)
-        breakdown = self._linear_array.cycle_energy_breakdown_pj(
-            weight_refresh_cycles=self.config.weight_refresh_cycles
-        )
+        linear_cycles = self._linear_executor.cycles_for(d_model, d_model, seq_len)
+        linear_cycles = serial_waves(linear_cycles, self.config.num_linear_arrays)
         linear_total_cycles = linear_cycles * self.config.num_linear_arrays
         linear_latency = LatencyReport(compute_ns=linear_cycles * cycle_ns)
-        linear_energy = EnergyReport(
-            laser_pj=linear_total_cycles * breakdown["laser_pj"],
-            tuning_pj=linear_total_cycles * breakdown["tuning_pj"],
-            dac_pj=linear_total_cycles * breakdown["dac_pj"],
-            adc_pj=linear_total_cycles * breakdown["adc_pj"],
+        linear_energy = self._linear_executor.energy_for_cycles(
+            linear_total_cycles,
+            weight_refresh_cycles=self.config.weight_refresh_cycles,
         )
 
         # Residual add: S columns through the coherent adder (d_model-wide

@@ -1,0 +1,277 @@
+"""Concrete workloads and the default registry.
+
+Every scenario the library evaluates — the Fig. 8/9 transformer set, the
+Fig. 10/11 GNN set, MLP serving batches, and mixed suites — is a
+:class:`repro.core.base.Workload` registered by name here, so the CLI
+(``python -m repro run <name>``), the sweep engine and the figure
+generators all resolve the same objects.
+
+Materialization is lazy and cached: a GNN workload synthesizes its graph
+on first use and shares it afterwards, which is what makes repeated
+design-space sweeps over one workload cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import Workload, WorkloadKind, register_workload
+from repro.errors import ConfigurationError
+from repro.graphs.datasets import get_dataset_stats, synthesize_dataset
+from repro.graphs.graph import CSRGraph
+from repro.nn.counting import OpCount, gnn_op_count, transformer_op_count
+from repro.nn.gnn import GNNConfig, GNNKind
+from repro.nn.models import MODEL_ZOO
+from repro.nn.transformer import TransformerConfig
+
+
+@dataclass(frozen=True)
+class TransformerWorkload(Workload):
+    """One full transformer inference at the model's sequence length."""
+
+    model: TransformerConfig
+
+    @property
+    def name(self) -> str:
+        return self.model.name
+
+    @property
+    def kind(self) -> WorkloadKind:
+        return WorkloadKind.TRANSFORMER
+
+    def op_count(self, bytes_per_value: int = 1) -> OpCount:
+        return transformer_op_count(self.model, bytes_per_value=bytes_per_value)
+
+    def describe(self) -> str:
+        m = self.model
+        return (
+            f"{m.name}: {m.num_layers} layers, d_model {m.d_model}, "
+            f"{m.num_heads} heads, seq {m.seq_len}"
+        )
+
+
+@dataclass
+class GNNWorkload(Workload):
+    """One full-graph GNN inference over a synthesized dataset replica.
+
+    The graph materializes lazily from the dataset statistics (graph
+    synthesis is the expensive part of a GNN evaluation) and is cached on
+    the workload, so every platform and every sweep point shares it.
+    """
+
+    model_config: GNNConfig
+    dataset: str
+    rng_seed: int = 7
+    _graph: Optional[CSRGraph] = field(default=None, repr=False)
+
+    @property
+    def name(self) -> str:
+        return self.model_config.name
+
+    @property
+    def kind(self) -> WorkloadKind:
+        return WorkloadKind.GNN
+
+    @property
+    def graph(self) -> CSRGraph:
+        """The synthesized graph (materialized once, then shared)."""
+        if self._graph is None:
+            stats = get_dataset_stats(self.dataset)
+            self._graph, _ = synthesize_dataset(
+                stats, rng=np.random.default_rng(self.rng_seed)
+            )
+        return self._graph
+
+    def materialize(self) -> None:
+        self.graph
+
+    def op_count(self, bytes_per_value: int = 1) -> OpCount:
+        return gnn_op_count(
+            self.model_config, self.graph, bytes_per_value=bytes_per_value
+        )
+
+    def describe(self) -> str:
+        # Describe from the published stats, not the graph — listing
+        # workloads must not trigger graph synthesis.
+        cfg = self.model_config
+        stats = get_dataset_stats(self.dataset)
+        return (
+            f"{cfg.name}: {cfg.kind.value} x {cfg.num_layers} layers on "
+            f"{self.dataset} ({stats.num_nodes} nodes, "
+            f"{2 * stats.num_edges} arcs)"
+        )
+
+
+@dataclass(frozen=True)
+class MLPWorkload(Workload):
+    """A batched dense MLP inference (the serving-style scenario).
+
+    Attributes:
+        mlp_name: workload name.
+        widths: layer widths input -> hidden... -> output.
+        samples: batch of inputs costed per inference.
+    """
+
+    mlp_name: str
+    widths: Tuple[int, ...]
+    samples: int = 1
+
+    def __post_init__(self) -> None:
+        if len(self.widths) < 2:
+            raise ConfigurationError(
+                f"an MLP needs >= 2 widths, got {self.widths}"
+            )
+        if any(w < 1 for w in self.widths):
+            raise ConfigurationError(f"widths must be >= 1, got {self.widths}")
+        if self.samples < 1:
+            raise ConfigurationError(f"samples must be >= 1, got {self.samples}")
+
+    @property
+    def name(self) -> str:
+        return self.mlp_name
+
+    @property
+    def kind(self) -> WorkloadKind:
+        return WorkloadKind.MLP
+
+    @property
+    def layer_dims(self) -> Tuple[Tuple[int, int], ...]:
+        """(in, out) dims per dense layer."""
+        return tuple(zip(self.widths[:-1], self.widths[1:]))
+
+    def op_count(self, bytes_per_value: int = 1) -> OpCount:
+        macs = sum(d_in * d_out for d_in, d_out in self.layer_dims)
+        hidden = sum(d_out for _, d_out in self.layer_dims[:-1])
+        weight_values = macs + sum(d_out for _, d_out in self.layer_dims)
+        activation_values = sum(self.widths)
+        return OpCount(
+            macs=self.samples * macs,
+            activations=self.samples * hidden,
+            weight_bytes=weight_values * bytes_per_value,
+            activation_bytes=self.samples * activation_values * bytes_per_value,
+        )
+
+    def describe(self) -> str:
+        arch = "-".join(str(w) for w in self.widths)
+        return f"{self.mlp_name}: MLP {arch}, batch {self.samples}"
+
+
+@dataclass(frozen=True)
+class WorkloadSuite(Workload):
+    """A mixed batch of workloads executed back to back (serving mix)."""
+
+    suite_name: str
+    members: Tuple[Workload, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ConfigurationError("a suite needs at least one member")
+
+    @property
+    def name(self) -> str:
+        return self.suite_name
+
+    @property
+    def kind(self) -> WorkloadKind:
+        return WorkloadKind.SUITE
+
+    def parts(self) -> Sequence[Workload]:
+        return self.members
+
+    def op_count(self, bytes_per_value: int = 1) -> OpCount:
+        total = OpCount()
+        for member in self.members:
+            total = total + member.op_count(bytes_per_value=bytes_per_value)
+        return total
+
+    def describe(self) -> str:
+        names = ", ".join(member.name for member in self.members)
+        return f"{self.suite_name}: suite of [{names}]"
+
+
+# ----------------------------------------------------------------------
+# Default registrations
+# ----------------------------------------------------------------------
+
+#: The (model kind, hidden width, dataset) GNN workloads of Figs. 10/11.
+GNN_WORKLOAD_SPECS: Tuple[Tuple[GNNKind, int, str], ...] = (
+    (GNNKind.GCN, 64, "cora"),
+    (GNNKind.GCN, 64, "citeseer"),
+    (GNNKind.GCN, 64, "pubmed"),
+    (GNNKind.SAGE, 64, "cora"),
+    (GNNKind.GIN, 64, "citeseer"),
+    (GNNKind.GAT, 64, "pubmed"),
+)
+
+
+def make_gnn_workload(
+    kind: GNNKind,
+    dataset: str,
+    hidden_dim: int = 64,
+    num_layers: int = 2,
+    rng_seed: int = 7,
+    name: Optional[str] = None,
+) -> GNNWorkload:
+    """A GNN workload over a dataset replica (figure naming convention)."""
+    stats = get_dataset_stats(dataset)
+    config = GNNConfig(
+        name=name or f"{kind.value.upper()}-{dataset}",
+        kind=kind,
+        num_layers=num_layers,
+        hidden_dim=hidden_dim,
+        in_dim=stats.feature_dim,
+        out_dim=stats.num_classes,
+        heads=2 if kind is GNNKind.GAT else 1,
+    )
+    return GNNWorkload(model_config=config, dataset=dataset, rng_seed=rng_seed)
+
+
+def _register_defaults() -> None:
+    for model_name, model in MODEL_ZOO.items():
+        register_workload(
+            model_name,
+            lambda model=model: TransformerWorkload(model=model),
+        )
+    for kind, hidden, dataset in GNN_WORKLOAD_SPECS:
+        wl_name = f"{kind.value.upper()}-{dataset}"
+        register_workload(
+            wl_name,
+            lambda kind=kind, dataset=dataset, hidden=hidden: make_gnn_workload(
+                kind, dataset, hidden_dim=hidden
+            ),
+        )
+    # The new scenarios: batched MLP serving and a mixed LLM suite.
+    register_workload(
+        "MLP-mnist",
+        lambda: MLPWorkload(
+            mlp_name="MLP-mnist", widths=(784, 512, 256, 10), samples=64
+        ),
+    )
+    register_workload(
+        "MLP-recsys",
+        lambda: MLPWorkload(
+            mlp_name="MLP-recsys",
+            widths=(1024, 2048, 1024, 512, 1),
+            samples=256,
+        ),
+    )
+    register_workload(
+        "LLM-serving-mix",
+        lambda: WorkloadSuite(
+            suite_name="LLM-serving-mix",
+            members=(
+                TransformerWorkload(model=MODEL_ZOO["BERT-base"]),
+                TransformerWorkload(model=MODEL_ZOO["DistilBERT"]),
+                TransformerWorkload(model=MODEL_ZOO["ViT-base"]),
+                MLPWorkload(
+                    mlp_name="MLP-rerank", widths=(768, 512, 1), samples=128
+                ),
+            ),
+        ),
+    )
+
+
+_register_defaults()

@@ -35,23 +35,23 @@ class TestRooflinePlatform:
         )
 
     def test_compute_bound_latency(self, platform, compute_bound_ops):
-        report = platform.run(compute_bound_ops, "wl")
+        report = platform.run_ops(compute_bound_ops, "wl")
         expected = compute_bound_ops.total_ops / 500.0
         assert report.latency_ns == pytest.approx(expected)
 
     def test_memory_bound_latency(self, platform, memory_bound_ops):
-        report = platform.run(memory_bound_ops, "wl")
+        report = platform.run_ops(memory_bound_ops, "wl")
         expected = memory_bound_ops.total_bytes / 50.0
         assert report.latency_ns == pytest.approx(expected)
 
     def test_effective_gops_bounded_by_utilization(
         self, platform, compute_bound_ops
     ):
-        report = platform.run(compute_bound_ops, "wl")
+        report = platform.run_ops(compute_bound_ops, "wl")
         assert report.gops <= platform.peak_gops * platform.compute_utilization
 
     def test_energy_includes_idle_floor(self, platform, memory_bound_ops):
-        report = platform.run(memory_bound_ops, "wl")
+        report = platform.run_ops(memory_bound_ops, "wl")
         assert report.energy.static_pj > 0.0
 
     def test_rejects_bad_utilization(self):
@@ -70,14 +70,14 @@ class TestReportedAccelerator:
         acc = ReportedAccelerator(
             platform_name="acc", effective_gops=100.0, power_w=10.0
         )
-        report = acc.run(compute_bound_ops, "wl")
+        report = acc.run_ops(compute_bound_ops, "wl")
         assert report.gops == pytest.approx(100.0)
 
     def test_energy_from_power(self, compute_bound_ops):
         acc = ReportedAccelerator(
             platform_name="acc", effective_gops=100.0, power_w=10.0
         )
-        report = acc.run(compute_bound_ops, "wl")
+        report = acc.run_ops(compute_bound_ops, "wl")
         assert report.energy_pj == pytest.approx(
             10.0 * 1e3 * report.latency_ns
         )
@@ -112,6 +112,6 @@ class TestBaselineSets:
 
     def test_all_platforms_runnable(self, compute_bound_ops):
         for platform in llm_baseline_platforms() + gnn_baseline_platforms():
-            report = platform.run(compute_bound_ops, "wl")
+            report = platform.run_ops(compute_bound_ops, "wl")
             assert report.latency_ns > 0.0
             assert report.energy_pj > 0.0

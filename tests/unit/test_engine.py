@@ -1,0 +1,192 @@
+"""Tests for the shared photonic execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    ArrayExecutor,
+    ArraySpec,
+    MemoryModel,
+    clear_physics_cache,
+    overlapped_stage_latency_ns,
+    photonic_matmul,
+    serial_waves,
+)
+from repro.core.ghost.config import GHOSTConfig
+from repro.core.tron.config import TRONConfig
+from repro.electronics.memory import MemorySystem
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def executor():
+    return ArrayExecutor(spec=ArraySpec(rows=16, cols=16))
+
+
+class TestArrayExecutor:
+    def test_matmul_matches_numpy(self, executor, rng):
+        w = rng.uniform(-1, 1, size=(20, 24))
+        x = rng.uniform(-1, 1, size=(24, 5))
+        assert np.allclose(executor.matmul(w, x), w @ x)
+
+    def test_matmul_vector_input(self, executor, rng):
+        w = rng.uniform(-1, 1, size=(8, 24))
+        x = rng.uniform(-1, 1, size=24)
+        out = executor.matmul(w, x)
+        assert out.shape == (8,)
+        assert np.allclose(out, w @ x)
+
+    def test_module_level_matmul_alias(self, executor, rng):
+        w = rng.uniform(-1, 1, size=(8, 8))
+        x = rng.uniform(-1, 1, size=8)
+        assert np.allclose(photonic_matmul(executor.array, w, x), w @ x)
+
+    def test_cycles_match_underlying_array(self, executor):
+        assert executor.cycles_for(20, 24, batch=5) == executor.array.cycles_for(
+            20, 24, batch=5
+        )
+
+    def test_spec_from_tron_and_ghost_configs_agree(self):
+        tron = TRONConfig()
+        ghost = GHOSTConfig()
+        spec_t = ArraySpec.from_config(tron)
+        spec_g = ArraySpec.from_config(ghost)
+        # Same geometry, clock and converters -> same physics signature.
+        assert spec_t == spec_g
+
+    def test_energy_breakdown_is_memoized_across_executors(self):
+        clear_physics_cache()
+        spec = ArraySpec(rows=8, cols=8)
+        a = ArrayExecutor(spec=spec)
+        b = ArrayExecutor(spec=spec)
+        first = a.energy_breakdown_pj(weight_refresh_cycles=4)
+        second = b.energy_breakdown_pj(weight_refresh_cycles=4)
+        assert first is second  # cache hit returns the shared curve
+
+    def test_energy_breakdown_matches_array(self, executor):
+        clear_physics_cache()
+        cached = executor.energy_breakdown_pj(weight_refresh_cycles=2)
+        direct = executor.array.cycle_energy_breakdown_pj(
+            weight_refresh_cycles=2
+        )
+        assert cached == pytest.approx(direct)
+
+    def test_energy_for_cycles_scales_linearly(self, executor):
+        one = executor.energy_for_cycles(1)
+        ten = executor.energy_for_cycles(10)
+        assert ten.total_pj == pytest.approx(10 * one.total_pj)
+
+    def test_energy_for_negative_cycles_rejected(self, executor):
+        with pytest.raises(ConfigurationError):
+            executor.energy_for_cycles(-1)
+
+
+class TestMemoryModel:
+    @pytest.fixture
+    def model(self):
+        return MemoryModel(MemorySystem())
+
+    def test_stream_matches_memory_system(self, model):
+        energy, latency = model.system.load_from_offchip(4096)
+        traffic = model.stream_offchip(4096)
+        assert traffic.energy_pj == pytest.approx(energy)
+        assert traffic.latency_ns == pytest.approx(latency)
+
+    def test_random_penalizes_burst(self, model):
+        burst = model.burst_offchip(4096)
+        rand = model.random_offchip(4096, penalty=4.0)
+        assert rand.energy_pj == pytest.approx(4.0 * burst.energy_pj)
+        assert rand.latency_ns == pytest.approx(4.0 * burst.latency_ns)
+
+    def test_random_rejects_sub_unity_penalty(self, model):
+        with pytest.raises(ConfigurationError):
+            model.random_offchip(4096, penalty=0.5)
+
+    def test_overlap_stall_clamps_at_zero(self, model):
+        assert model.overlap_stall_ns(10.0, 50.0) == 0.0
+        assert model.overlap_stall_ns(50.0, 10.0) == pytest.approx(40.0)
+
+    def test_weight_stream_amortizes_over_batch(self, model):
+        e1, _ = model.weight_stream_cost(
+            weight_bytes=1 << 20,
+            activation_bounce_bytes=0,
+            compute_ns=0.0,
+            batch=1,
+        )
+        e8, _ = model.weight_stream_cost(
+            weight_bytes=1 << 20,
+            activation_bounce_bytes=0,
+            compute_ns=0.0,
+            batch=8,
+        )
+        assert e8.memory_pj == pytest.approx(e1.memory_pj / 8)
+
+    def test_feature_sweep_blocked_cheaper_than_random(self, model):
+        blocked_e, blocked_l = model.feature_sweep_cost(
+            sweep_bytes=1 << 20,
+            index_bytes=0,
+            writeback_bytes=0,
+            blocked=True,
+        )
+        random_e, random_l = model.feature_sweep_cost(
+            sweep_bytes=1 << 20,
+            index_bytes=0,
+            writeback_bytes=0,
+            blocked=False,
+            random_access_penalty=4.0,
+        )
+        assert blocked_e.memory_pj < random_e.memory_pj
+        assert blocked_l.memory_ns < random_l.memory_ns
+
+
+class TestPipelineHelpers:
+    def test_overlapped_latency_is_bottleneck_plus_fill(self):
+        assert overlapped_stage_latency_ns([10.0, 4.0, 6.0]) == pytest.approx(
+            10.0 + 0.1 * 10.0
+        )
+
+    def test_overlapped_single_stage_is_itself(self):
+        assert overlapped_stage_latency_ns([7.0]) == pytest.approx(7.0)
+
+    def test_overlapped_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            overlapped_stage_latency_ns([])
+
+    def test_overlapped_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            overlapped_stage_latency_ns([1.0, -0.5])
+
+    def test_overlapped_rejects_bad_fill_fraction(self):
+        with pytest.raises(ConfigurationError):
+            overlapped_stage_latency_ns([1.0], fill_fraction=1.5)
+
+    def test_serial_waves(self):
+        assert serial_waves(0, 4) == 0
+        assert serial_waves(4, 4) == 1
+        assert serial_waves(5, 4) == 2
+
+    def test_serial_waves_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            serial_waves(-1, 4)
+        with pytest.raises(ConfigurationError):
+            serial_waves(4, 0)
+
+
+class TestAcceleratorParity:
+    """The engine-backed accelerators must reproduce the same physics as
+    instantiating the arrays directly (regression anchor for the lift)."""
+
+    def test_tron_and_ghost_share_matmul_primitive(self, rng):
+        from repro.core.ghost import GHOST, GHOSTConfig
+        from repro.core.tron.attention_head import AttentionHeadUnit
+
+        head = AttentionHeadUnit(
+            config=TRONConfig(array_rows=16, array_cols=16)
+        )
+        ghost = GHOST(GHOSTConfig(array_rows=16, array_cols=16, lanes=4))
+        w = rng.uniform(-1, 1, size=(12, 20))
+        x = rng.uniform(-1, 1, size=(20, 3))
+        lifted = head.executor.matmul(w, x)
+        combined = ghost.combine.executor.matmul(w, x)
+        assert np.allclose(lifted, combined)
+        assert np.allclose(lifted, w @ x)

@@ -39,6 +39,47 @@ class TestPipelineLatency:
             PipelineStage("a", -1.0)
 
 
+class TestPipelineEdgeCases:
+    def test_single_stage_pipeline_is_serial(self):
+        """One stage cannot overlap anything: latency = items x stage."""
+        stages = [PipelineStage("only", 4.0)]
+        assert pipeline_latency_ns(stages, 1) == pytest.approx(4.0)
+        assert pipeline_latency_ns(stages, 10) == pytest.approx(40.0)
+
+    def test_zero_latency_stage_is_free(self):
+        """A zero-latency stage adds neither fill nor steady-state time."""
+        with_free = [
+            PipelineStage("a", 2.0),
+            PipelineStage("free", 0.0),
+            PipelineStage("b", 3.0),
+        ]
+        without = [PipelineStage("a", 2.0), PipelineStage("b", 3.0)]
+        assert pipeline_latency_ns(with_free, 10) == pytest.approx(
+            pipeline_latency_ns(without, 10)
+        )
+
+    def test_all_zero_latency_stages(self):
+        stages = [PipelineStage("a", 0.0), PipelineStage("b", 0.0)]
+        assert pipeline_latency_ns(stages, 100) == 0.0
+
+    def test_zero_latency_stage_constructible(self):
+        assert PipelineStage("free", 0.0).latency_per_item_ns == 0.0
+
+    def test_latency_bounded_by_serial_and_bottleneck(self):
+        """Utilization bounds: pipelined latency is at least the
+        bottleneck's busy time and at most fully-serial execution."""
+        stages = [
+            PipelineStage("a", 1.0),
+            PipelineStage("b", 5.0),
+            PipelineStage("c", 2.0),
+        ]
+        items = 17
+        latency = pipeline_latency_ns(stages, items)
+        bottleneck_busy = 5.0 * items
+        serial = items * (1.0 + 5.0 + 2.0)
+        assert bottleneck_busy <= latency <= serial
+
+
 class TestImbalance:
     def test_balanced_is_one(self):
         assert lane_imbalance_factor([3.0, 3.0, 3.0]) == pytest.approx(1.0)
@@ -80,3 +121,17 @@ class TestBalancedAssignment:
     def test_factor_at_least_one(self):
         factor = balanced_assignment([5.0, 1.0, 1.0], lanes=2)
         assert factor >= 1.0
+
+    def test_factor_bounded_by_lane_count(self):
+        """max/mean never exceeds the lane count (one lane has all work)."""
+        work = [100.0] + [0.0] * 50
+        for lanes in (1, 2, 4, 8):
+            assert 1.0 <= balanced_assignment(work, lanes=lanes) <= lanes
+
+    def test_single_lane_is_always_balanced(self):
+        assert balanced_assignment([9.0, 1.0, 5.0], lanes=1) == pytest.approx(1.0)
+
+    def test_more_lanes_than_items(self):
+        factor = balanced_assignment([3.0, 3.0], lanes=8)
+        # Six lanes idle: max/mean = max / (sum/lanes) = 3 / (6/8) = 4.
+        assert factor == pytest.approx(4.0)

@@ -1,13 +1,18 @@
-"""Tests for the design-space sweep module and the CLI."""
+"""Tests for the design-space sweep engine and the CLI."""
 
 import pytest
 
 from repro.analysis.sweep import (
     SweepPoint,
+    SweepSpace,
+    combined_sweep,
     format_sweep,
+    ghost_sweep_space,
     pareto_frontier,
+    run_sweep,
     sweep_ghost,
     sweep_tron,
+    tron_sweep_space,
 )
 from repro.cli import build_parser, main
 from repro.core.reports import EnergyReport, LatencyReport, RunReport
@@ -52,6 +57,127 @@ class TestParetoFrontier:
     def test_rejects_empty(self):
         with pytest.raises(ConfigurationError):
             pareto_frontier([])
+
+    def test_duplicate_points_both_survive(self):
+        """Exact latency/energy duplicates do not dominate each other."""
+        points = [
+            _point("twin-a", 2.0, 3.0),
+            _point("twin-b", 2.0, 3.0),
+        ]
+        frontier = pareto_frontier(points)
+        assert {p.label for p in frontier} == {"twin-a", "twin-b"}
+
+    def test_duplicate_ties_break_by_label(self):
+        """Deterministic ordering among exact ties: label ascending."""
+        points = [
+            _point("zzz", 2.0, 3.0),
+            _point("aaa", 2.0, 3.0),
+            _point("mmm", 2.0, 3.0),
+        ]
+        frontier = pareto_frontier(points)
+        assert [p.label for p in frontier] == ["aaa", "mmm", "zzz"]
+
+    def test_same_latency_different_energy_keeps_cheaper(self):
+        points = [
+            _point("cheap", 2.0, 1.0),
+            _point("pricey", 2.0, 5.0),
+        ]
+        frontier = pareto_frontier(points)
+        assert [p.label for p in frontier] == ["cheap"]
+
+    def test_same_energy_ties_sorted_by_latency(self):
+        points = [
+            _point("slow", 9.0, 1.0),
+            _point("fast", 1.0, 1.0),
+        ]
+        frontier = pareto_frontier(points)
+        assert [p.label for p in frontier] == ["fast"]
+
+    def test_duplicate_dominated_pair_removed_together(self):
+        points = [
+            _point("best", 1.0, 1.0),
+            _point("dup-a", 3.0, 3.0),
+            _point("dup-b", 3.0, 3.0),
+        ]
+        frontier = pareto_frontier(points)
+        assert [p.label for p in frontier] == ["best"]
+
+
+class TestSweepEngine:
+    def test_enumeration_is_cartesian_and_ordered(self):
+        space = tron_sweep_space(
+            head_units=(4, 8), array_sizes=(32, 64), clocks_ghz=(5.0,)
+        )
+        settings = space.enumerate()
+        assert space.num_points == len(settings) == 4
+        assert settings[0] == {
+            "head_units": 4,
+            "array_size": 32,
+            "clock_ghz": 5.0,
+        }
+
+    def test_empty_knob_grid_rejected(self):
+        space = tron_sweep_space(head_units=())
+        with pytest.raises(ConfigurationError):
+            space.enumerate()
+
+    def test_parallel_and_sequential_agree(self):
+        space = tron_sweep_space(
+            head_units=(4, 8), array_sizes=(32,), clocks_ghz=(5.0,)
+        )
+        par = run_sweep(space, parallel=True)
+        seq = run_sweep(space, parallel=False)
+        assert [p.label for p in par] == [p.label for p in seq]
+        for a, b in zip(par, seq):
+            assert a.latency_ns == pytest.approx(b.latency_ns)
+            assert a.energy_pj == pytest.approx(b.energy_pj)
+
+    def test_naive_rejects_parallel_request(self):
+        space = tron_sweep_space(
+            head_units=(4,), array_sizes=(32,), clocks_ghz=(5.0,)
+        )
+        with pytest.raises(ConfigurationError):
+            run_sweep(space, parallel=True, memoize=False)
+
+    def test_memoized_matches_naive(self):
+        space = ghost_sweep_space(lanes=(8, 16), edge_units=(32,))
+        fast = run_sweep(space, memoize=True)
+        naive = run_sweep(space, memoize=False)
+        assert [p.label for p in fast] == [p.label for p in naive]
+        for a, b in zip(fast, naive):
+            assert a.latency_ns == pytest.approx(b.latency_ns)
+            assert a.energy_pj == pytest.approx(b.energy_pj)
+
+    def test_combined_sweep_covers_both_targets(self):
+        results = combined_sweep(
+            [
+                tron_sweep_space(
+                    head_units=(4,), array_sizes=(32,), clocks_ghz=(5.0,)
+                ),
+                ghost_sweep_space(lanes=(8,), edge_units=(16,)),
+            ]
+        )
+        assert set(results) == {"tron", "ghost"}
+        assert results["tron"][0].report.platform == "TRON"
+        assert results["ghost"][0].report.platform == "GHOST"
+
+    def test_custom_space_over_any_workload(self):
+        """The engine is workload-agnostic: any evaluate fn works."""
+        from repro.core.base import get_workload
+        from repro.core.tron import TRON, TRONConfig
+
+        space = SweepSpace(
+            name="mlp-batch",
+            knobs=SweepSpace.ordered_knobs({"ff_arrays": (4, 8)}),
+            build_accelerator=lambda knobs: TRON(
+                TRONConfig(num_ff_arrays=int(knobs["ff_arrays"]))
+            ),
+            build_workload=lambda: get_workload("MLP-mnist"),
+            label=lambda knobs: f"FF{knobs['ff_arrays']}",
+        )
+        points = run_sweep(space)
+        assert [p.label for p in points] == ["FF4", "FF8"]
+        assert all(p.report.workload == "MLP-mnist" for p in points)
 
 
 class TestSweeps:
@@ -105,6 +231,43 @@ class TestCLI:
         parser = build_parser()
         args = parser.parse_args(["sweep", "tron"])
         assert args.target == "tron"
+
+    def test_sweep_accepts_all_target(self):
+        args = build_parser().parse_args(["sweep", "all"])
+        assert args.target == "all"
+
+    def test_run_registered_workload(self, capsys):
+        assert main(["run", "MLP-mnist"]) == 0
+        out = capsys.readouterr().out
+        assert "MLP-mnist" in out and "TRON" in out
+
+    def test_run_auto_routes_gnn_to_ghost(self, capsys):
+        assert main(["run", "GCN-cora"]) == 0
+        out = capsys.readouterr().out
+        assert "GHOST" in out
+
+    def test_run_explicit_platform_override(self, capsys):
+        assert main(["run", "MLP-mnist", "--platform", "ghost"]) == 0
+        out = capsys.readouterr().out
+        assert "GHOST" in out
+
+    def test_run_suite(self, capsys):
+        assert main(["run", "LLM-serving-mix"]) == 0
+        out = capsys.readouterr().out
+        assert "LLM-serving-mix" in out
+
+    def test_run_unknown_workload_fails_cleanly(self):
+        with pytest.raises(ConfigurationError):
+            main(["run", "no-such-workload"])
+
+    def test_run_rejects_batch_on_ghost(self):
+        with pytest.raises(ConfigurationError, match="--batch"):
+            main(["run", "GCN-cora", "--batch", "8"])
+
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "BERT-base" in out and "GCN-cora" in out
 
     def test_unknown_model_fails_cleanly(self):
         with pytest.raises(Exception):
