@@ -1,13 +1,24 @@
-"""Analysis layer: metrics, figure data generation and claim checking.
+"""Analysis layer: metrics, figures, claims, sweeps and robustness.
 
 - :mod:`repro.analysis.metrics` — cross-platform comparison tables.
 - :mod:`repro.analysis.figures` — regenerates the data series behind the
   paper's Figs. 8-11.
 - :mod:`repro.analysis.claims` — evaluates the headline claims (>=10.2x
   throughput / >=3.8x energy efficiency overall; >=14x / >=8x for TRON).
+- :mod:`repro.analysis.sweep` — the workload-agnostic design-space sweep
+  engine (with an execution-corner axis).
+- :mod:`repro.analysis.robustness` — vectorized Monte-Carlo variation
+  analysis and the yield-aware Pareto frontier.
 """
 
 from repro.analysis.metrics import ComparisonTable, speedup_over_best_baseline
+from repro.analysis.robustness import (
+    MonteCarloResult,
+    RobustPoint,
+    monte_carlo_sweep,
+    run_monte_carlo,
+    yield_aware_pareto,
+)
 from repro.analysis.figures import (
     FigureData,
     fig8_llm_epb,
@@ -31,4 +42,9 @@ __all__ = [
     "GNN_WORKLOADS",
     "ClaimCheck",
     "check_headline_claims",
+    "MonteCarloResult",
+    "RobustPoint",
+    "monte_carlo_sweep",
+    "run_monte_carlo",
+    "yield_aware_pareto",
 ]

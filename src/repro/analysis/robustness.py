@@ -1,0 +1,489 @@
+"""Vectorized Monte-Carlo robustness analysis and yield-aware Pareto.
+
+The paper's conclusion names fabrication-process variation as the open
+challenge; this module turns the library into a variation-aware design
+tool.  :func:`run_monte_carlo` evaluates one accelerator configuration
+over N sampled dies and reports the **yield** plus the **latency,
+energy, throughput and tuning-power distributions**;
+:func:`monte_carlo_sweep` runs a whole design-space grid through it and
+:func:`yield_aware_pareto` keeps only the configurations a fab could
+actually ship (yield above threshold) before computing the
+latency-energy frontier.
+
+Two evaluation paths produce the same numbers:
+
+- **naive** (``vectorized=False``): N scalar runs — per sample, rebuild
+  the workload and accelerator, clear the physics caches, and cost the
+  die through ``Accelerator.run(workload, ctx=ctx.for_sample(i))``.
+  This is the baseline a user would write today, and what the
+  ``BENCH_montecarlo.json`` bench compares against.
+- **vectorized** (the default): the workload materializes once, every
+  die's ring errors / TED heater solves / yield gating evaluate in one
+  batched numpy pass per array geometry
+  (:func:`repro.core.engine.batch_context_physics`), samples collapse
+  into groups sharing a yield signature, and each group costs through
+  the ordinary run path exactly once per unknown (a zero-correction run
+  plus one unit-correction run per geometry — report energy is linear in
+  the standing correction power, so every sample in the group is an
+  exact affine combination).  Groups evaluate concurrently.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import Accelerator, Workload
+from repro.core.context import ExecutionContext, PinnedArrayPhysics
+from repro.core.engine import (
+    batch_context_physics,
+    clear_physics_cache,
+    context_physics,
+)
+from repro.core.reports import RunReport
+from repro.errors import ConfigurationError, YieldError
+
+#: Default yield threshold of the yield-aware Pareto frontier.
+DEFAULT_YIELD_THRESHOLD = 0.9
+
+
+# ----------------------------------------------------------------------
+# Result containers
+# ----------------------------------------------------------------------
+
+
+def _stats(values: np.ndarray) -> Dict[str, float]:
+    """mean / p5 / p50 / p95 of a metric over the operational samples."""
+    if len(values) == 0:
+        return {"mean": 0.0, "p5": 0.0, "p50": 0.0, "p95": 0.0}
+    return {
+        "mean": float(np.mean(values)),
+        "p5": float(np.percentile(values, 5)),
+        "p50": float(np.percentile(values, 50)),
+        "p95": float(np.percentile(values, 95)),
+    }
+
+
+@dataclass
+class MonteCarloResult:
+    """Distributions of one configuration over N sampled dies.
+
+    Attributes:
+        platform / workload: what was evaluated.
+        nominal: the nominal-corner report (the number the figures show).
+        operational: per-sample mask — the die has usable hardware.
+        fully_functional: per-sample mask — every ring correctable (the
+            classic bank-yield criterion; these dies meet nominal spec).
+        latency_ns / energy_pj / tuning_power_mw: per-sample metrics
+            (``nan`` where the die is dead).  Tuning power is the
+            standing variation-correction power of one array per
+            geometry.
+        samples: sample count N.
+        seed: base seed the dies derive from.
+    """
+
+    platform: str
+    workload: str
+    nominal: RunReport
+    operational: np.ndarray
+    fully_functional: np.ndarray
+    latency_ns: np.ndarray
+    energy_pj: np.ndarray
+    tuning_power_mw: np.ndarray
+    samples: int
+    seed: int
+
+    @property
+    def yield_fraction(self) -> float:
+        """Fraction of dies meeting nominal spec (no gated rows/cols)."""
+        return float(np.mean(self.fully_functional))
+
+    @property
+    def operational_fraction(self) -> float:
+        """Fraction of dies with any usable hardware at all."""
+        return float(np.mean(self.operational))
+
+    def _operational_values(self, values: np.ndarray) -> np.ndarray:
+        return values[self.operational]
+
+    @property
+    def mean_latency_ns(self) -> float:
+        """Mean latency over the operational dies (nan if none work)."""
+        values = self._operational_values(self.latency_ns)
+        return float(np.mean(values)) if len(values) else float("nan")
+
+    @property
+    def mean_energy_pj(self) -> float:
+        """Mean energy over the operational dies (nan if none work)."""
+        values = self._operational_values(self.energy_pj)
+        return float(np.mean(values)) if len(values) else float("nan")
+
+    @property
+    def gops(self) -> np.ndarray:
+        """Per-sample throughput (nan for dead dies)."""
+        return self.nominal.ops.total_ops / self.latency_ns
+
+    @property
+    def epb_pj(self) -> np.ndarray:
+        """Per-sample energy per bit (nan for dead dies)."""
+        bits = self.nominal.ops.total_ops * self.nominal.bits_per_value
+        return self.energy_pj / bits
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable summary (no per-sample arrays)."""
+        operational = self.operational
+        return {
+            "platform": self.platform,
+            "workload": self.workload,
+            "samples": self.samples,
+            "seed": self.seed,
+            "yield": self.yield_fraction,
+            "operational_fraction": self.operational_fraction,
+            "nominal": self.nominal.to_dict(),
+            "latency_ns": _stats(self.latency_ns[operational]),
+            "energy_pj": _stats(self.energy_pj[operational]),
+            "gops": _stats(self.gops[operational]),
+            "epb_pj": _stats(self.epb_pj[operational]),
+            "tuning_power_mw": _stats(self.tuning_power_mw[operational]),
+        }
+
+    def summary(self) -> str:
+        """Human-readable distribution table."""
+        lines = [
+            f"{self.platform} | {self.workload} | {self.samples} sampled dies "
+            f"(seed {self.seed})",
+            f"  yield: {100 * self.yield_fraction:.1f}% fully functional, "
+            f"{100 * self.operational_fraction:.1f}% operational",
+            f"  nominal: {self.nominal.latency_ns / 1e3:.2f} us, "
+            f"{self.nominal.energy_pj / 1e6:.2f} uJ",
+        ]
+        rows = (
+            ("latency (us)", self.latency_ns, 1e3),
+            ("energy (uJ)", self.energy_pj, 1e6),
+            ("GOPS", self.gops, 1.0),
+            ("tuning (mW)", self.tuning_power_mw, 1.0),
+        )
+        lines.append(
+            f"  {'metric':<14s} {'mean':>12s} {'p5':>12s} {'p50':>12s} "
+            f"{'p95':>12s}"
+        )
+        for label, values, scale in rows:
+            stats = _stats(values[self.operational] / scale)
+            lines.append(
+                f"  {label:<14s} {stats['mean']:>12.2f} {stats['p5']:>12.2f} "
+                f"{stats['p50']:>12.2f} {stats['p95']:>12.2f}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The Monte-Carlo engine
+# ----------------------------------------------------------------------
+
+
+def _unique_geometries(accelerator: Accelerator) -> List:
+    """The accelerator's distinct array geometries (one spec each)."""
+    specs = getattr(accelerator, "array_specs", None)
+    if specs is None:
+        raise ConfigurationError(
+            f"{accelerator.name} does not expose array_specs(); "
+            "Monte-Carlo robustness needs the photonic array geometries"
+        )
+    unique = {}
+    for spec in specs():
+        unique.setdefault((spec.rows, spec.cols), spec)
+    return list(unique.values())
+
+
+def run_monte_carlo(
+    make_accelerator: Callable[[], Accelerator],
+    make_workload: Callable[[], Workload],
+    context: ExecutionContext,
+    samples: int = 256,
+    vectorized: bool = True,
+    max_workers: Optional[int] = None,
+) -> MonteCarloResult:
+    """Evaluate one configuration over ``samples`` sampled dies.
+
+    Args:
+        make_accelerator: factory for the configuration under test.
+        make_workload: factory for the workload (materialized once on
+            the vectorized path, per sample on the naive path).
+        context: the sampling corner — its variation model, thermal
+            corner and tuner range define the die population; its seed
+            picks the population's first die.
+        samples: number of dies (N).
+        vectorized: batched engine (default) vs. the naive N-scalar-runs
+            baseline; both produce the same distributions.
+        max_workers: thread pool width of the vectorized group runs.
+    """
+    if samples < 1:
+        raise ConfigurationError(f"need >= 1 sample, got {samples}")
+    if context.pinned:
+        raise ConfigurationError(
+            "Monte-Carlo needs a sampling context (no pinned overrides)"
+        )
+    if vectorized:
+        return _run_vectorized(
+            make_accelerator, make_workload, context, samples, max_workers
+        )
+    return _run_naive(make_accelerator, make_workload, context, samples)
+
+
+def _result(
+    accelerator: Accelerator,
+    workload: Workload,
+    nominal: RunReport,
+    context: ExecutionContext,
+    operational: np.ndarray,
+    fully_functional: np.ndarray,
+    latency_ns: np.ndarray,
+    energy_pj: np.ndarray,
+    tuning_power_mw: np.ndarray,
+) -> MonteCarloResult:
+    return MonteCarloResult(
+        platform=accelerator.name,
+        workload=workload.name,
+        nominal=nominal,
+        operational=operational,
+        fully_functional=fully_functional,
+        latency_ns=latency_ns,
+        energy_pj=energy_pj,
+        tuning_power_mw=tuning_power_mw,
+        samples=len(operational),
+        seed=context.seed,
+    )
+
+
+def _run_naive(
+    make_accelerator, make_workload, context, samples
+) -> MonteCarloResult:
+    """The baseline: N scalar runs, nothing shared between samples."""
+    operational = np.zeros(samples, dtype=bool)
+    fully_functional = np.zeros(samples, dtype=bool)
+    latency_ns = np.full(samples, np.nan)
+    energy_pj = np.full(samples, np.nan)
+    tuning_power_mw = np.full(samples, np.nan)
+    for i in range(samples):
+        clear_physics_cache()
+        workload = make_workload()
+        accelerator = make_accelerator()
+        ctx = context.for_sample(i)
+        geometries = _unique_geometries(accelerator)
+        try:
+            report = accelerator.run(workload, ctx=ctx)
+        except YieldError:
+            continue
+        operational[i] = True
+        latency_ns[i] = report.latency_ns
+        energy_pj[i] = report.energy_pj
+        physics = [context_physics(spec, ctx) for spec in geometries]
+        fully_functional[i] = all(
+            p is None or p.ring_yield >= 1.0 for p in physics
+        )
+        tuning_power_mw[i] = sum(
+            p.correction_power_mw for p in physics if p is not None
+        )
+    clear_physics_cache()
+    workload = make_workload()
+    accelerator = make_accelerator()
+    nominal = accelerator.run(workload)
+    return _result(
+        accelerator,
+        workload,
+        nominal,
+        context,
+        operational,
+        fully_functional,
+        latency_ns,
+        energy_pj,
+        tuning_power_mw,
+    )
+
+
+def _run_vectorized(
+    make_accelerator, make_workload, context, samples, max_workers
+) -> MonteCarloResult:
+    """One batched physics pass + one run-path evaluation per unknown."""
+    workload = make_workload()
+    workload.materialize()  # once, shared by every sample
+    probe = make_accelerator()
+    geometries = _unique_geometries(probe)
+    nominal = probe.run(workload)
+
+    # One batched numpy pass per array geometry: every die's ring draws,
+    # folding, TED heater solves and yield gating at once.
+    batches = [
+        batch_context_physics(spec, context, samples) for spec in geometries
+    ]
+    operational = np.ones(samples, dtype=bool)
+    fully_functional = np.ones(samples, dtype=bool)
+    tuning_power_mw = np.zeros(samples)
+    for batch in batches:
+        operational &= batch.functional
+        fully_functional &= batch.fully_functional
+        tuning_power_mw += batch.correction_power_mw
+    tuning_power_mw[~operational] = np.nan
+
+    # Samples sharing a yield signature differ only in their standing
+    # correction power, which report energy is linear in — so each group
+    # costs through the run path once at zero correction plus once per
+    # geometry at unit correction.
+    signatures: Dict[Tuple, List[int]] = {}
+    for i in np.flatnonzero(operational):
+        signature = tuple(
+            (int(b.usable_rows[i]), int(b.usable_cols[i])) for b in batches
+        )
+        signatures.setdefault(signature, []).append(i)
+
+    latency_ns = np.full(samples, np.nan)
+    energy_pj = np.full(samples, np.nan)
+
+    def evaluate_group(item) -> None:
+        signature, indices = item
+        pinned = {
+            (spec.rows, spec.cols): PinnedArrayPhysics(rows, cols, 0.0)
+            for spec, (rows, cols) in zip(geometries, signature)
+        }
+        base = make_accelerator().run(
+            workload, ctx=context.with_pinned(pinned)
+        )
+        slopes = []
+        for spec, (rows, cols) in zip(geometries, signature):
+            unit_pinned = dict(pinned)
+            unit_pinned[(spec.rows, spec.cols)] = PinnedArrayPhysics(
+                rows, cols, 1.0
+            )
+            unit = make_accelerator().run(
+                workload, ctx=context.with_pinned(unit_pinned)
+            )
+            slopes.append(unit.energy_pj - base.energy_pj)
+        for i in indices:
+            latency_ns[i] = base.latency_ns
+            energy_pj[i] = base.energy_pj + sum(
+                slope * float(batch.correction_power_mw[i])
+                for slope, batch in zip(slopes, batches)
+            )
+
+    items = list(signatures.items())
+    if len(items) > 1:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            list(pool.map(evaluate_group, items))
+    else:
+        for item in items:
+            evaluate_group(item)
+
+    return _result(
+        probe,
+        workload,
+        nominal,
+        context,
+        operational,
+        fully_functional,
+        latency_ns,
+        energy_pj,
+        tuning_power_mw,
+    )
+
+
+# ----------------------------------------------------------------------
+# Yield-aware design-space analysis
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RobustPoint:
+    """One design point's Monte-Carlo outcome (sweep-compatible).
+
+    Exposes ``latency_ns`` / ``energy_pj`` as the operational-die means,
+    so :func:`repro.analysis.sweep.pareto_frontier` works on robust
+    points exactly as on nominal sweep points.
+    """
+
+    label: str
+    knobs: Dict
+    result: MonteCarloResult
+
+    @property
+    def yield_fraction(self) -> float:
+        return self.result.yield_fraction
+
+    @property
+    def latency_ns(self) -> float:
+        return self.result.mean_latency_ns
+
+    @property
+    def energy_pj(self) -> float:
+        return self.result.mean_energy_pj
+
+    def to_dict(self) -> Dict:
+        return {
+            "label": self.label,
+            "knobs": dict(self.knobs),
+            "yield": self.yield_fraction,
+            "mean_latency_ns": self.latency_ns,
+            "mean_energy_pj": self.energy_pj,
+        }
+
+
+def yield_aware_pareto(
+    points: Sequence[RobustPoint],
+    yield_threshold: float = DEFAULT_YIELD_THRESHOLD,
+) -> List[RobustPoint]:
+    """The latency-energy frontier over configurations a fab could ship.
+
+    A configuration only competes if at least ``yield_threshold`` of its
+    sampled dies are fully functional — and at least one die is
+    operational at all (a config with no working dies has no metrics to
+    compete with, even at ``yield_threshold=0``).  The survivors'
+    frontier uses the operational-die mean latency/energy.  A
+    fast-but-fragile design that dominates the nominal frontier is cut
+    here — the yield-aware frontier is the actionable one.
+    """
+    from repro.analysis.sweep import pareto_frontier
+
+    if not 0.0 <= yield_threshold <= 1.0:
+        raise ConfigurationError(
+            f"yield threshold must be in [0, 1], got {yield_threshold}"
+        )
+    survivors = [
+        p
+        for p in points
+        if p.yield_fraction >= yield_threshold
+        and p.result.operational_fraction > 0.0
+    ]
+    if not survivors:
+        return []
+    return pareto_frontier(survivors)
+
+
+def monte_carlo_sweep(
+    space,
+    context: ExecutionContext,
+    samples: int = 128,
+    max_workers: Optional[int] = None,
+) -> List[RobustPoint]:
+    """Monte-Carlo every knob setting of a sweep space at one corner.
+
+    The workload materializes once and is shared by every point and
+    every sample; each point runs the vectorized engine.
+    """
+    workload = space.build_workload()
+    workload.materialize()
+    points = []
+    for knobs in space.enumerate():
+        result = run_monte_carlo(
+            make_accelerator=lambda knobs=knobs: space.build_accelerator(knobs),
+            make_workload=lambda: workload,
+            context=context,
+            samples=samples,
+            vectorized=True,
+            max_workers=max_workers,
+        )
+        points.append(
+            RobustPoint(label=space.label(knobs), knobs=knobs, result=result)
+        )
+    return points

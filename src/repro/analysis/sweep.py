@@ -18,10 +18,11 @@ from __future__ import annotations
 
 import itertools
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.base import Accelerator, Workload
+from repro.core.context import ExecutionContext
 from repro.core.engine import clear_physics_cache
 from repro.core.ghost import GHOST, GHOSTConfig
 from repro.core.reports import RunReport
@@ -93,6 +94,10 @@ class SweepSpace:
         build_workload: materializes the reference workload (called once
             per sweep when memoizing; per point in the naive baseline).
         label: knob values -> human-readable point label.
+        corners: optional corner axis — named execution contexts every
+            knob setting is additionally evaluated at (see
+            :func:`with_corners`).  Empty = nominal-only, the classic
+            sweep.
     """
 
     name: str
@@ -100,6 +105,7 @@ class SweepSpace:
     build_accelerator: Callable[[Dict[str, Any]], Accelerator]
     build_workload: Callable[[], Workload]
     label: Callable[[Dict[str, Any]], str]
+    corners: Tuple[Tuple[str, Optional[ExecutionContext]], ...] = ()
 
     @staticmethod
     def ordered_knobs(
@@ -124,11 +130,47 @@ class SweepSpace:
 
     @property
     def num_points(self) -> int:
-        """Grid size."""
+        """Grid size (including the corner axis, when present)."""
         size = 1
         for _, values in self.knobs:
             size *= len(values)
-        return size
+        return size * max(1, len(self.corners))
+
+    def evaluations(self) -> List[Tuple[Dict[str, Any], str, Optional[ExecutionContext]]]:
+        """All (knobs, label, context) evaluations of this space.
+
+        Without corners this is the plain knob grid at the nominal
+        context; with corners every knob setting is repeated per corner,
+        the label gains an ``@corner`` suffix and the knob dict a
+        ``corner`` entry.
+        """
+        evaluations = []
+        for knobs in self.enumerate():
+            if not self.corners:
+                evaluations.append((knobs, self.label(knobs), None))
+                continue
+            for corner_name, ctx in self.corners:
+                corner_knobs = dict(knobs, corner=corner_name)
+                evaluations.append(
+                    (corner_knobs, f"{self.label(knobs)}@{corner_name}", ctx)
+                )
+        return evaluations
+
+
+def with_corners(
+    space: SweepSpace, corners: Mapping[str, Optional[ExecutionContext]]
+) -> SweepSpace:
+    """A sweep space extended with a corner axis.
+
+    Every knob setting is evaluated once per named execution context —
+    fabrication-process corners become one more swept dimension, so the
+    Pareto analysis sees nominal and corner behaviour side by side::
+
+        space = with_corners(tron_sweep_space(), standard_corners())
+    """
+    if not corners:
+        raise ConfigurationError("need at least one corner")
+    return replace(space, corners=tuple(corners.items()))
 
 
 def run_sweep(
@@ -147,7 +189,7 @@ def run_sweep(
     physics curves, **strictly sequentially** — requesting
     ``parallel=True`` with it is a contradiction and raises.
     """
-    settings = space.enumerate()
+    evaluations = space.evaluations()
 
     if not memoize:
         if parallel:
@@ -157,28 +199,27 @@ def run_sweep(
                 "per point)"
             )
         points = []
-        for knobs in settings:
+        for knobs, label, ctx in evaluations:
             clear_physics_cache()
             workload = space.build_workload()
-            report = space.build_accelerator(knobs).run(workload)
-            points.append(
-                SweepPoint(label=space.label(knobs), knobs=knobs, report=report)
-            )
+            report = space.build_accelerator(knobs).run(workload, ctx=ctx)
+            points.append(SweepPoint(label=label, knobs=knobs, report=report))
         return points
 
     workload = space.build_workload()
     workload.materialize()  # once, outside the worker pool
 
-    def evaluate(knobs: Dict[str, Any]) -> SweepPoint:
-        report = space.build_accelerator(knobs).run(workload)
-        return SweepPoint(label=space.label(knobs), knobs=knobs, report=report)
+    def evaluate(evaluation) -> SweepPoint:
+        knobs, label, ctx = evaluation
+        report = space.build_accelerator(knobs).run(workload, ctx=ctx)
+        return SweepPoint(label=label, knobs=knobs, report=report)
 
     if parallel is None:
         parallel = True
-    if parallel and len(settings) > 1:
+    if parallel and len(evaluations) > 1:
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(evaluate, settings))
-    return [evaluate(knobs) for knobs in settings]
+            return list(pool.map(evaluate, evaluations))
+    return [evaluate(evaluation) for evaluation in evaluations]
 
 
 def combined_sweep(

@@ -75,8 +75,10 @@ class RooflinePlatform(Accelerator):
         """Peak bandwidth derated by the access-pattern utilization."""
         return self.memory_bandwidth_gbps * self.bandwidth_utilization
 
-    def _run_workload(self, workload: Workload) -> RunReport:
+    def _run_workload(self, workload: Workload, ctx=None) -> RunReport:
         # Rooflines cost any workload family: only the op counts matter.
+        # Photonic execution contexts (variation samples, thermal corners)
+        # model MR physics, so electronic baselines ignore them.
         return self.run_ops(workload.op_count(bytes_per_value=1), workload.name)
 
     def run_ops(

@@ -47,7 +47,9 @@ class ReportedAccelerator(Accelerator):
     def name(self) -> str:
         return self.platform_name
 
-    def _run_workload(self, workload: Workload) -> RunReport:
+    def _run_workload(self, workload: Workload, ctx=None) -> RunReport:
+        # Reported numbers are nominal-silicon measurements; photonic
+        # execution contexts do not apply.
         return self.run_ops(workload.op_count(bytes_per_value=1), workload.name)
 
     def run_ops(

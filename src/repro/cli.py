@@ -5,20 +5,28 @@ Commands:
 - ``describe`` — print both accelerators' configurations.
 - ``claims`` — regenerate and check the paper's headline claims.
 - ``figures`` — print the regenerated Figs. 8-11 tables.
-- ``sweep tron|ghost|all`` — design-space sweep(s) with Pareto marking.
-- ``run <workload>`` — cost any registered workload on a platform.
+- ``sweep tron|ghost|all`` — design-space sweep(s) with Pareto marking
+  (``--corners`` adds the execution-corner axis).
+- ``run <workload>`` — cost any registered workload on a platform,
+  optionally at a named corner (``--corner slow-hot``).
 - ``workloads`` — list the registered workload names.
+- ``mc <workload>`` — Monte-Carlo variation analysis: yield and metric
+  distributions over N sampled dies.
+- ``corners`` — evaluate the standard corner grid on both accelerators.
 - ``run-llm <model>`` — cost one transformer inference on TRON.
 - ``run-gnn <kind> <dataset>`` — cost one GNN inference on GHOST.
+
+``--seed`` selects the fabricated die / synthesized graph replica;
+``--json`` switches ``run`` / ``sweep`` / ``mc`` / ``corners`` output to
+machine-readable JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
-
-import numpy as np
 
 
 def _print_report(report) -> None:
@@ -27,6 +35,29 @@ def _print_report(report) -> None:
     for key, pj in report.energy.as_dict().items():
         if pj > 0.0:
             print(f"  {key:<14s} {pj / 1e6:10.2f}")
+
+
+def _resolve_corner(name: str, seed: int):
+    """The ExecutionContext a named corner + seed denotes — the single
+    resolution rule shared by ``run``, ``sweep --corners`` and
+    ``corners``.  The nominal corner resolves to ``None`` (the
+    context-free path; a seed picks a die only where variation exists).
+    """
+    from dataclasses import replace
+
+    from repro.core.context import standard_corners
+
+    base = standard_corners()[name]
+    if base.is_nominal:
+        return None
+    return replace(base, seed=seed)
+
+
+def _context_from_args(args):
+    """The ExecutionContext selected by --corner/--seed."""
+    return _resolve_corner(
+        getattr(args, "corner", "nominal"), getattr(args, "seed", 0)
+    )
 
 
 def _cmd_describe(_args) -> int:
@@ -68,20 +99,45 @@ def _cmd_sweep(args) -> int:
         pareto_frontier,
         run_sweep,
         tron_sweep_space,
+        with_corners,
     )
+    from repro.core.context import standard_corners
 
     spaces = {
         "tron": (tron_sweep_space,),
         "ghost": (ghost_sweep_space,),
         "all": (tron_sweep_space, ghost_sweep_space),
     }[args.target]
+    output = {}
     for make_space in spaces:
         space = make_space()
+        if args.corners:
+            corners = {
+                name: _resolve_corner(name, args.seed)
+                for name in standard_corners()
+            }
+            space = with_corners(space, corners)
         points = run_sweep(space)
         frontier = pareto_frontier(points)
+        if args.json:
+            on_frontier = {id(p) for p in frontier}
+            output[space.name] = [
+                dict(
+                    label=p.label,
+                    knobs={k: str(v) for k, v in p.knobs.items()},
+                    latency_ns=p.latency_ns,
+                    energy_pj=p.energy_pj,
+                    gops=p.report.gops,
+                    pareto=id(p) in on_frontier,
+                )
+                for p in points
+            ]
+            continue
         print(f"--- {space.name} ---")
         print(format_sweep(points, frontier))
         print(f"\n{len(frontier)} Pareto-optimal of {len(points)} configs\n")
+    if args.json:
+        print(json.dumps(output, indent=2))
     return 0
 
 
@@ -94,29 +150,120 @@ def _cmd_workloads(_args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    from repro.core.base import WorkloadKind, get_workload
+def _pick_platform(args, workload):
+    from repro.core.base import WorkloadKind
     from repro.core.ghost import GHOST
     from repro.core.tron import TRON, TRONConfig
 
-    workload = get_workload(args.workload)
     platform = args.platform
     if platform == "auto":
         # GNN workloads map onto GHOST; everything else onto TRON (which
         # also covers suites that mix transformer and MLP members).
         platform = "ghost" if workload.kind is WorkloadKind.GNN else "tron"
     if platform == "ghost":
-        if args.batch != 1:
+        if getattr(args, "batch", 1) != 1:
             from repro.errors import ConfigurationError
 
             raise ConfigurationError(
                 "--batch only applies to TRON (GHOST costs full-graph "
                 "inferences); rerun without it or with --platform tron"
             )
-        accelerator = GHOST()
+        return GHOST()
+    return TRON(TRONConfig(batch=getattr(args, "batch", 1)))
+
+
+def _cmd_run(args) -> int:
+    from repro.core.base import get_workload
+
+    workload = get_workload(args.workload)
+    accelerator = _pick_platform(args, workload)
+    ctx = _context_from_args(args)
+    report = accelerator.run(workload, ctx=ctx)
+    if args.json:
+        payload = report.to_dict()
+        payload["corner"] = args.corner
+        payload["seed"] = args.seed
+        print(json.dumps(payload, indent=2))
     else:
-        accelerator = TRON(TRONConfig(batch=args.batch))
-    _print_report(accelerator.run(workload))
+        _print_report(report)
+    return 0
+
+
+def _cmd_mc(args) -> int:
+    from dataclasses import replace
+
+    from repro.analysis.robustness import run_monte_carlo
+    from repro.core.base import get_workload
+    from repro.core.context import standard_corners
+    from repro.photonics.variation import ProcessVariationModel
+
+    workload = get_workload(args.workload)
+    base = standard_corners()[args.corner]
+    if base.variation is None:
+        # Monte-Carlo over the nominal corner still needs a die
+        # population to sample from.
+        base = replace(base, variation=ProcessVariationModel())
+    ctx = replace(base, seed=args.seed, tuner_range_nm=args.tuner_range)
+    result = run_monte_carlo(
+        make_accelerator=lambda: _pick_platform(args, workload),
+        make_workload=lambda: workload,
+        context=ctx,
+        samples=args.samples,
+        vectorized=not args.naive,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.summary())
+    return 0
+
+
+def _cmd_corners(args) -> int:
+    from repro.core.base import get_workload
+    from repro.core.context import standard_corners
+    from repro.core.engine import context_physics
+    from repro.core.ghost import GHOST
+    from repro.core.tron import TRON
+
+    scenarios = (
+        (TRON(), get_workload("BERT-base")),
+        (GHOST(), get_workload("GCN-cora")),
+    )
+    rows = []
+    for name in standard_corners():
+        ctx = _resolve_corner(name, args.seed)
+        for accelerator, workload in scenarios:
+            report = accelerator.run(workload, ctx=ctx)
+            physics = context_physics(accelerator.array_specs()[0], ctx)
+            rows.append(
+                dict(
+                    corner=name,
+                    platform=accelerator.name,
+                    workload=workload.name,
+                    latency_ns=report.latency_ns,
+                    energy_pj=report.energy_pj,
+                    epb_pj=report.epb_pj,
+                    correction_power_mw=(
+                        physics.correction_power_mw if physics else 0.0
+                    ),
+                    ring_yield=physics.ring_yield if physics else 1.0,
+                )
+            )
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    print(
+        f"{'corner':>10s} {'platform':>8s} {'workload':<12s} "
+        f"{'latency(us)':>12s} {'energy(uJ)':>11s} {'pJ/bit':>8s} "
+        f"{'corr(mW)':>9s} {'yield':>6s}"
+    )
+    for row in rows:
+        print(
+            f"{row['corner']:>10s} {row['platform']:>8s} "
+            f"{row['workload']:<12s} {row['latency_ns'] / 1e3:>12.2f} "
+            f"{row['energy_pj'] / 1e6:>11.2f} {row['epb_pj']:>8.4f} "
+            f"{row['correction_power_mw']:>9.1f} {row['ring_yield']:>6.3f}"
+        )
     return 0
 
 
@@ -131,12 +278,14 @@ def _cmd_run_llm(args) -> int:
 
 
 def _cmd_run_gnn(args) -> int:
+    import numpy as np
+
     from repro.core.ghost import GHOST
     from repro.graphs.datasets import get_dataset_stats, synthesize_dataset
     from repro.nn.gnn import GNNKind, make_gnn
 
     stats = get_dataset_stats(args.dataset)
-    graph, _ = synthesize_dataset(stats, rng=np.random.default_rng(0))
+    graph, _ = synthesize_dataset(stats, rng=np.random.default_rng(args.seed))
     kind = GNNKind(args.kind)
     model = make_gnn(
         kind,
@@ -149,6 +298,19 @@ def _cmd_run_gnn(args) -> int:
     report = GHOST().run_gnn(model.config, graph)
     _print_report(report)
     return 0
+
+
+def _add_seed(parser) -> None:
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="die / replica selection seed (threads into the "
+        "ExecutionContext)",
+    )
+
+
+CORNER_NAMES = ("nominal", "typical", "slow-hot", "fast-cold")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,6 +328,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser("sweep", help="design-space sweep with Pareto")
     sweep.add_argument("target", choices=("tron", "ghost", "all"))
+    sweep.add_argument(
+        "--corners",
+        action="store_true",
+        help="add the standard execution-corner axis to the sweep",
+    )
+    sweep.add_argument("--json", action="store_true")
+    _add_seed(sweep)
 
     run = sub.add_parser("run", help="cost any registered workload")
     run.add_argument("workload", help="registered name, e.g. BERT-base, GCN-cora")
@@ -176,6 +345,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="target accelerator (auto picks by workload kind)",
     )
     run.add_argument("--batch", type=int, default=1)
+    run.add_argument(
+        "--corner",
+        choices=CORNER_NAMES,
+        default="nominal",
+        help="evaluate at a standard execution corner",
+    )
+    run.add_argument("--json", action="store_true")
+    _add_seed(run)
+
+    mc = sub.add_parser(
+        "mc", help="Monte-Carlo variation analysis of a workload"
+    )
+    mc.add_argument("workload", help="registered name, e.g. BERT-base")
+    mc.add_argument(
+        "--platform", choices=("auto", "tron", "ghost"), default="auto"
+    )
+    mc.add_argument("--samples", type=int, default=128)
+    mc.add_argument(
+        "--corner",
+        choices=CORNER_NAMES,
+        default="typical",
+        help="die population to sample (nominal falls back to the "
+        "typical variation statistics)",
+    )
+    mc.add_argument(
+        "--tuner-range",
+        type=float,
+        default=None,
+        help="TO tuner correction range in nm (dead rings beyond it); "
+        "default 0.55 x FSR",
+    )
+    mc.add_argument(
+        "--naive",
+        action="store_true",
+        help="run the N-scalar-runs baseline instead of the vectorized "
+        "engine (same numbers, benchmarking aid)",
+    )
+    mc.add_argument("--json", action="store_true")
+    _add_seed(mc)
+
+    corners = sub.add_parser(
+        "corners", help="evaluate the standard corner grid on TRON & GHOST"
+    )
+    corners.add_argument("--json", action="store_true")
+    _add_seed(corners)
 
     run_llm = sub.add_parser("run-llm", help="cost a transformer on TRON")
     run_llm.add_argument("model", help="model zoo name, e.g. BERT-base")
@@ -187,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_gnn.add_argument("kind", choices=[k.value for k in GNNKind])
     run_gnn.add_argument("dataset", help="dataset name, e.g. cora")
     run_gnn.add_argument("--hidden", type=int, default=64)
+    _add_seed(run_gnn)
 
     return parser
 
@@ -198,6 +413,8 @@ _HANDLERS = {
     "workloads": _cmd_workloads,
     "sweep": _cmd_sweep,
     "run": _cmd_run,
+    "mc": _cmd_mc,
+    "corners": _cmd_corners,
     "run-llm": _cmd_run_llm,
     "run-gnn": _cmd_run_gnn,
 }

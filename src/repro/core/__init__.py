@@ -20,6 +20,13 @@ from repro.core.base import (
     list_workloads,
     register_workload,
 )
+from repro.core.context import (
+    NOMINAL,
+    ExecutionContext,
+    PinnedArrayPhysics,
+    ThermalCorner,
+    standard_corners,
+)
 from repro.core.scheduling import PipelineStage, pipeline_latency_ns
 from repro.core.tron import TRON, TRONConfig
 from repro.core.ghost import GHOST, GHOSTConfig
@@ -34,6 +41,11 @@ __all__ = [
     "get_workload",
     "list_workloads",
     "register_workload",
+    "NOMINAL",
+    "ExecutionContext",
+    "PinnedArrayPhysics",
+    "ThermalCorner",
+    "standard_corners",
     "PipelineStage",
     "pipeline_latency_ns",
     "TRON",

@@ -8,8 +8,9 @@ Two contracts live here:
   figure generators can all resolve ``"BERT-base"`` or ``"GCN-cora"`` to
   the same object.
 - :class:`Accelerator` — a platform that can estimate the cost of running
-  a workload through the uniform ``run(workload) -> RunReport`` entry
-  point.  Platforms declare what they can execute by overriding
+  a workload through the uniform ``run(workload, ctx=...) -> RunReport``
+  entry point (``ctx`` selects the evaluation corner; ``None`` is the
+  nominal corner).  Platforms declare what they can execute by overriding
   ``_run_workload``; unsupported kinds raise :class:`MappingError`.
 """
 
@@ -17,8 +18,9 @@ from __future__ import annotations
 
 import abc
 from enum import Enum
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.core.context import ExecutionContext
 from repro.core.reports import RunReport
 from repro.errors import ConfigurationError, MappingError
 
@@ -155,26 +157,40 @@ class Accelerator(abc.ABC):
         """Human-readable one-line description (defaults to the name)."""
         return self.name
 
-    def run(self, workload: Workload) -> RunReport:
+    def run(
+        self,
+        workload: Workload,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> RunReport:
         """Cost one inference of ``workload`` on this platform.
 
         Args:
             workload: a :class:`Workload` instance (resolve names via
                 :func:`get_workload`).
+            ctx: the evaluation corner (process-variation sample, thermal
+                corner, analog noise, seed).  ``None`` — and any nominal
+                context — costs the nominal corner, bit-identical to the
+                context-free path.
 
         Returns:
             The platform's :class:`RunReport` for the workload.
 
         Raises:
             MappingError: if this platform cannot execute the workload.
+            YieldError: if the context's sampled die has no usable
+                hardware left after yield gating.
         """
         check_kind_contract(workload)
         if workload.kind is WorkloadKind.SUITE:
-            reports = [self.run(part) for part in workload.parts()]
+            reports = [self.run(part, ctx=ctx) for part in workload.parts()]
             return self._check_report(self._merge_reports(workload, reports))
-        return self._check_report(self._run_workload(workload))
+        return self._check_report(self._run_workload(workload, ctx))
 
-    def _run_workload(self, workload: Workload) -> RunReport:
+    def _run_workload(
+        self,
+        workload: Workload,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> RunReport:
         """Platform-specific execution; subclasses override."""
         raise MappingError(
             f"{self.name} cannot execute {workload.kind.value!r} workload "

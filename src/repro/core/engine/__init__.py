@@ -8,7 +8,11 @@ that substrate's single implementation:
   primitive and the tiled :class:`ArrayExecutor` (functional + cost
   paths, memoized device-physics curves).
 - :mod:`repro.core.engine.memory` — the :class:`MemoryModel` costing
-  streamed weights, burst/random feature traffic and buffer bounces.
+  streamed weights, burst/random feature traffic and buffer bounces
+  (thermal corners derate the HBM interface).
+- :mod:`repro.core.engine.corners` — per-context array physics:
+  variation sampling, TED correction power, ring-yield gating (scalar
+  and batched Monte-Carlo forms, memoized per corner).
 - :mod:`repro.core.engine.pipeline` — streaming-pipeline composition
   built on :mod:`repro.core.scheduling`.
 
@@ -17,6 +21,12 @@ analysis layer (figures, claims, sweeps) only ever sees the uniform
 ``Accelerator.run(workload)`` entry point of :mod:`repro.core.base`.
 """
 
+from repro.core.engine.corners import (
+    ArrayContextPhysics,
+    BatchContextPhysics,
+    batch_context_physics,
+    context_physics,
+)
 from repro.core.engine.matmul import (
     ArrayExecutor,
     ArraySpec,
@@ -32,12 +42,16 @@ from repro.core.engine.pipeline import (
 )
 
 __all__ = [
+    "ArrayContextPhysics",
     "ArrayExecutor",
     "ArraySpec",
+    "BatchContextPhysics",
     "MemoryModel",
     "PipelineStage",
     "Traffic",
+    "batch_context_physics",
     "clear_physics_cache",
+    "context_physics",
     "overlapped_stage_latency_ns",
     "photonic_matmul",
     "pipeline_latency_ns",

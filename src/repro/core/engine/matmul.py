@@ -20,11 +20,17 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.core.context import ExecutionContext
+from repro.core.engine.corners import (
+    ArrayContextPhysics,
+    clear_context_physics_cache,
+    context_physics,
+)
 from repro.core.reports import EnergyReport
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, YieldError
 from repro.photonics.converters import ADC, DAC
 from repro.photonics.microring import MicroringDesign
-from repro.photonics.mrbank import MRBankArray
+from repro.photonics.mrbank import MRBankArray, tile_cycles
 from repro.photonics.noise import AnalogNoiseModel
 from repro.photonics.pcm import PCMCell
 
@@ -111,14 +117,22 @@ class ArraySpec:
         )
 
 
-#: (spec, weight magnitude, refresh window) -> per-cycle energy breakdown.
-_BREAKDOWN_CACHE: Dict[Tuple[ArraySpec, float, int], Dict[str, float]] = {}
+#: (spec, weight magnitude, refresh window, context) -> per-cycle energy
+#: breakdown.  The context component keeps corners apart: a variation
+#: sample's correction tuning power never pollutes the nominal curve.
+#: Bounded so per-die loops (a fresh context per seed) churn through it
+#: instead of growing it.
+_BREAKDOWN_CACHE: Dict[
+    Tuple[ArraySpec, float, int, Optional[ExecutionContext]], Dict[str, float]
+] = {}
+_BREAKDOWN_CACHE_MAX_ENTRIES = 256
 
 
 def clear_physics_cache() -> None:
     """Drop memoized device-physics curves (benchmarks use this to time
     the unmemoized path)."""
     _BREAKDOWN_CACHE.clear()
+    clear_context_physics_cache()
 
 
 @dataclass
@@ -132,13 +146,23 @@ class ArrayExecutor:
     Attributes:
         spec: the array's physical signature.
         noise: analog noise model for the functional path (None = ideal).
+        ctx: execution context; a non-nominal context adds variation-
+            correction tuning power to every cycle and yield-gates the
+            usable array dimensions (``None`` = nominal corner).
     """
 
     spec: ArraySpec
     noise: Optional[AnalogNoiseModel] = None
+    ctx: Optional[ExecutionContext] = None
     array: MRBankArray = field(init=False, repr=False)
+    _physics: Optional[ArrayContextPhysics] = field(
+        init=False, repr=False, default=None
+    )
 
     def __post_init__(self) -> None:
+        if self.ctx is not None and self.ctx.noise is not None:
+            self.noise = self.ctx.noise
+        self._physics = context_physics(self.spec, self.ctx)
         self.array = MRBankArray(
             rows=self.spec.rows,
             cols=self.spec.cols,
@@ -153,7 +177,10 @@ class ArrayExecutor:
 
     @classmethod
     def from_config(
-        cls, config, weight_dacs_shared: int = 1
+        cls,
+        config,
+        weight_dacs_shared: int = 1,
+        ctx: Optional[ExecutionContext] = None,
     ) -> "ArrayExecutor":
         """Executor for a TRON- or GHOST-style config (shared attributes)."""
         return cls(
@@ -161,6 +188,7 @@ class ArrayExecutor:
                 config, weight_dacs_shared=weight_dacs_shared
             ),
             noise=config.noise,
+            ctx=ctx,
         )
 
     # ------------------------------------------------------------------
@@ -181,14 +209,41 @@ class ArrayExecutor:
         return 1.0 / self.spec.clock_ghz
 
     @property
+    def usable_rows(self) -> int:
+        """Array rows surviving the context's yield gating."""
+        return self._physics.usable_rows if self._physics else self.spec.rows
+
+    @property
+    def usable_cols(self) -> int:
+        """Array columns surviving the context's yield gating."""
+        return self._physics.usable_cols if self._physics else self.spec.cols
+
+    @property
     def macs_per_cycle(self) -> int:
-        """Multiply-accumulates completed each photonic cycle."""
-        return self.spec.rows * self.spec.cols
+        """Multiply-accumulates completed each photonic cycle (on the
+        yield-gated portion of the array)."""
+        return self.usable_rows * self.usable_cols
 
     def cycles_for(self, out_rows: int, inner: int, batch: int = 1) -> int:
         """Photonic cycles to tile a (out_rows x inner) @ (inner x batch)
-        matmul over this array."""
-        return self.array.cycles_for(out_rows, inner, batch=batch)
+        matmul over this array (its yield-gated dimensions, if a context
+        gated any rows or columns).
+
+        Raises:
+            YieldError: if the context's die has no usable hardware.
+        """
+        if self._physics is None:
+            return self.array.cycles_for(out_rows, inner, batch=batch)
+        if not self._physics.functional:
+            raise YieldError(
+                f"sampled die has no usable {self.spec.rows}x"
+                f"{self.spec.cols} array hardware "
+                f"({self._physics.usable_rows}x{self._physics.usable_cols}"
+                " usable)"
+            )
+        return tile_cycles(
+            out_rows, inner, batch, self.usable_rows, self.usable_cols
+        )
 
     def energy_breakdown_pj(
         self,
@@ -197,15 +252,31 @@ class ArrayExecutor:
     ) -> Dict[str, float]:
         """Memoized per-cycle laser / tuning / dac / adc energy split.
 
-        The breakdown depends only on the spec (not on the noise model),
-        so all executors with equal specs share one cached curve.
+        The breakdown depends on the spec and the execution context (not
+        on the noise model), so all executors with equal specs at the
+        same corner share one cached curve; a non-nominal context adds
+        its standing variation-correction power to the tuning term.
         """
-        key = (self.spec, average_weight_magnitude, weight_refresh_cycles)
+        ctx_key = self.ctx if self._physics is not None else None
+        key = (
+            self.spec,
+            average_weight_magnitude,
+            weight_refresh_cycles,
+            ctx_key,
+        )
         if key not in _BREAKDOWN_CACHE:
-            _BREAKDOWN_CACHE[key] = self.array.cycle_energy_breakdown_pj(
+            breakdown = self.array.cycle_energy_breakdown_pj(
                 average_weight_magnitude=average_weight_magnitude,
                 weight_refresh_cycles=weight_refresh_cycles,
             )
+            if self._physics is not None:
+                breakdown = dict(breakdown)
+                breakdown["tuning_pj"] += (
+                    self._physics.correction_power_mw * self.cycle_ns
+                )
+            while len(_BREAKDOWN_CACHE) >= _BREAKDOWN_CACHE_MAX_ENTRIES:
+                _BREAKDOWN_CACHE.pop(next(iter(_BREAKDOWN_CACHE)))
+            _BREAKDOWN_CACHE[key] = breakdown
         return _BREAKDOWN_CACHE[key]
 
     def energy_for_cycles(

@@ -17,8 +17,9 @@ and any future backend byte-for-byte comparable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import NamedTuple
+from typing import NamedTuple, Optional
 
+from repro.core.context import ExecutionContext
 from repro.core.reports import EnergyReport, LatencyReport
 from repro.electronics.memory import MemorySystem
 from repro.errors import ConfigurationError
@@ -33,9 +34,30 @@ class Traffic(NamedTuple):
 
 @dataclass(frozen=True)
 class MemoryModel:
-    """Traffic-pattern cost model over a :class:`MemorySystem`."""
+    """Traffic-pattern cost model over a :class:`MemorySystem`.
+
+    The model is context-keyed: a non-nominal thermal corner derates the
+    effective HBM bandwidth (hot DRAM spends more time refreshing), so
+    every off-chip latency stretches by ``1 / hbm_derate``.  A ``None``
+    context (or a nominal one) is bit-identical to the context-free
+    model.
+    """
 
     system: MemorySystem
+    context: Optional[ExecutionContext] = None
+
+    @property
+    def _offchip_latency_scale(self) -> float:
+        """Latency multiplier of off-chip transfers at this corner."""
+        if self.context is None or not self.context.affects_memory:
+            return 1.0
+        return 1.0 / self.context.thermal.hbm_derate
+
+    def _derated(self, energy_pj: float, latency_ns: float) -> Traffic:
+        scale = self._offchip_latency_scale
+        if scale == 1.0:
+            return Traffic(energy_pj, latency_ns)
+        return Traffic(energy_pj, latency_ns * scale)
 
     # ------------------------------------------------------------------
     # Primitive traffic patterns
@@ -44,11 +66,11 @@ class MemoryModel:
     def stream_offchip(self, num_bytes: int) -> Traffic:
         """HBM -> global buffer streaming (weights into residence)."""
         energy_pj, latency_ns = self.system.load_from_offchip(num_bytes)
-        return Traffic(energy_pj, latency_ns)
+        return self._derated(energy_pj, latency_ns)
 
     def burst_offchip(self, num_bytes: int) -> Traffic:
         """Sequential HBM burst at full aggregate bandwidth."""
-        return Traffic(
+        return self._derated(
             self.system.hbm.transfer_energy_pj(num_bytes),
             self.system.hbm.transfer_latency_ns(num_bytes),
         )

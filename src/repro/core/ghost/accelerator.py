@@ -11,13 +11,15 @@ penalty.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.base import Accelerator, Workload, WorkloadKind
+from repro.core.context import ExecutionContext
 from repro.core.engine import (
+    ArraySpec,
     MemoryModel,
     overlapped_stage_latency_ns,
     serial_waves,
@@ -43,6 +45,10 @@ from repro.nn.gnn import (
 )
 from repro.nn.ops import relu
 
+#: Context-bound clones retained per accelerator instance (a corner grid
+#: is small; die sweeps churn through the cache instead of growing it).
+_MAX_CONTEXT_CLONES = 8
+
 
 @dataclass
 class GHOST(Accelerator):
@@ -56,6 +62,7 @@ class GHOST(Accelerator):
     """
 
     config: GHOSTConfig = field(default_factory=GHOSTConfig)
+    ctx: Optional[ExecutionContext] = None
     aggregate: AggregateBlock = field(init=False, repr=False)
     combine: CombineBlock = field(init=False, repr=False)
     update: UpdateBlock = field(init=False, repr=False)
@@ -63,13 +70,37 @@ class GHOST(Accelerator):
 
     def __post_init__(self) -> None:
         self.aggregate = AggregateBlock(config=self.config)
-        self.combine = CombineBlock(config=self.config)
+        self.combine = CombineBlock(config=self.config, ctx=self.ctx)
         self.update = UpdateBlock(config=self.config)
-        self.memory_model = MemoryModel(self.config.memory)
+        self.memory_model = MemoryModel(self.config.memory, context=self.ctx)
+        self._context_clones: Dict[ExecutionContext, "GHOST"] = {}
 
     @property
     def name(self) -> str:
         return "GHOST"
+
+    def array_specs(self) -> List[ArraySpec]:
+        """The distinct MR bank array geometries this instance deploys
+        (the transform units are GHOST's only MR bank arrays)."""
+        return [
+            ArraySpec.from_config(
+                self.config, weight_dacs_shared=self.config.weight_dac_sharing
+            )
+        ]
+
+    def _bound(self, ctx: Optional[ExecutionContext]) -> "GHOST":
+        """This accelerator, bound to ``ctx`` (memoized per corner).
+
+        The clone cache is bounded: looping one instance over many dies
+        (distinct seeds) must not retain a block stack per die.
+        """
+        if ctx is None or ctx == self.ctx:
+            return self
+        if ctx not in self._context_clones:
+            while len(self._context_clones) >= _MAX_CONTEXT_CLONES:
+                self._context_clones.pop(next(iter(self._context_clones)))
+            self._context_clones[ctx] = replace(self, ctx=ctx)
+        return self._context_clones[ctx]
 
     def describe(self) -> str:
         cfg = self.config
@@ -83,16 +114,19 @@ class GHOST(Accelerator):
     # Workload dispatch
     # ------------------------------------------------------------------
 
-    def _run_workload(self, workload: Workload) -> RunReport:
-        from dataclasses import replace
-
+    def _run_workload(
+        self,
+        workload: Workload,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> RunReport:
+        engine = self._bound(ctx)
         if workload.kind is WorkloadKind.GNN:
-            report = self.run_gnn(workload.model_config, workload.graph)
+            report = engine.run_gnn(workload.model_config, workload.graph)
             # Figure tables key rows on the registry name, not the
             # graph-annotated label run_gnn produces for ad-hoc calls.
             return replace(report, workload=workload.name)
         if workload.kind is WorkloadKind.MLP:
-            return self.run_mlp(workload)
+            return engine.run_mlp(workload)
         raise MappingError(
             f"GHOST cannot execute {workload.kind.value!r} workload "
             f"{workload.name!r}"

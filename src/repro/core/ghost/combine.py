@@ -10,9 +10,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
+from repro.core.context import ExecutionContext
 from repro.core.engine import ArrayExecutor
 from repro.core.ghost.config import GHOSTConfig
 from repro.core.reports import EnergyReport, LatencyReport
@@ -33,11 +35,14 @@ class CombineBlock:
     """Functional + cost model of the combine (transform) stage."""
 
     config: GHOSTConfig
+    ctx: Optional[ExecutionContext] = None
     _executor: ArrayExecutor = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._executor = ArrayExecutor.from_config(
-            self.config, weight_dacs_shared=self.config.weight_dac_sharing
+            self.config,
+            weight_dacs_shared=self.config.weight_dac_sharing,
+            ctx=self.ctx,
         )
 
     @property

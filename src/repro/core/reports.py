@@ -178,3 +178,18 @@ class RunReport:
             f"{self.latency_ns / 1e6:9.3f} ms | {self.energy_pj / 1e6:10.2f} uJ | "
             f"{self.gops:10.1f} GOPS | {self.epb_pj:8.4f} pJ/bit"
         )
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (the CLI's ``--json`` output)."""
+        return {
+            "platform": self.platform,
+            "workload": self.workload,
+            "bits_per_value": self.bits_per_value,
+            "latency_ns": self.latency_ns,
+            "energy_pj": self.energy_pj,
+            "gops": self.gops,
+            "epb_pj": self.epb_pj,
+            "total_ops": self.ops.total_ops,
+            "latency_breakdown_ns": self.latency.as_dict(),
+            "energy_breakdown_pj": self.energy.as_dict(),
+        }

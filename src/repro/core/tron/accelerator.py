@@ -13,12 +13,14 @@ two-layer MLP engine, so the general case just tiles more layers).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.base import Accelerator, Workload, WorkloadKind
-from repro.core.engine import MemoryModel, serial_waves
+from repro.core.context import ExecutionContext
+from repro.core.engine import ArraySpec, MemoryModel, serial_waves
 from repro.core.reports import EnergyReport, LatencyReport, RunReport
 from repro.core.tron.config import TRONConfig
 from repro.core.tron.feedforward import FeedForwardUnit
@@ -26,6 +28,10 @@ from repro.core.tron.mha import MHAUnit
 from repro.errors import ConfigurationError, MappingError
 from repro.nn.counting import transformer_op_count
 from repro.nn.transformer import TransformerConfig, TransformerKind, TransformerModel
+
+#: Context-bound clones retained per accelerator instance (a corner grid
+#: is small; die sweeps churn through the cache instead of growing it).
+_MAX_CONTEXT_CLONES = 8
 
 
 @dataclass
@@ -37,21 +43,46 @@ class TRON(Accelerator):
         tron = TRON()
         report = tron.run_transformer(bert_base())
         print(report.summary())
+
+    A TRON instance is bound to one execution context (``ctx``, default
+    nominal); ``run(workload, ctx=...)`` transparently dispatches through
+    a context-bound clone, memoized per corner.
     """
 
     config: TRONConfig = field(default_factory=TRONConfig)
+    ctx: Optional[ExecutionContext] = None
     mha_unit: MHAUnit = field(init=False, repr=False)
     ff_unit: FeedForwardUnit = field(init=False, repr=False)
     memory_model: MemoryModel = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self.mha_unit = MHAUnit(config=self.config)
-        self.ff_unit = FeedForwardUnit(config=self.config)
-        self.memory_model = MemoryModel(self.config.memory)
+        self.mha_unit = MHAUnit(config=self.config, ctx=self.ctx)
+        self.ff_unit = FeedForwardUnit(config=self.config, ctx=self.ctx)
+        self.memory_model = MemoryModel(self.config.memory, context=self.ctx)
+        self._context_clones: Dict[ExecutionContext, "TRON"] = {}
 
     @property
     def name(self) -> str:
         return "TRON"
+
+    def array_specs(self) -> List[ArraySpec]:
+        """The distinct MR bank array geometries this instance deploys
+        (all TRON units share one array spec)."""
+        return [ArraySpec.from_config(self.config)]
+
+    def _bound(self, ctx: Optional[ExecutionContext]) -> "TRON":
+        """This accelerator, bound to ``ctx`` (memoized per corner).
+
+        The clone cache is bounded: looping one instance over many dies
+        (distinct seeds) must not retain a unit stack per die.
+        """
+        if ctx is None or ctx == self.ctx:
+            return self
+        if ctx not in self._context_clones:
+            while len(self._context_clones) >= _MAX_CONTEXT_CLONES:
+                self._context_clones.pop(next(iter(self._context_clones)))
+            self._context_clones[ctx] = replace(self, ctx=ctx)
+        return self._context_clones[ctx]
 
     def describe(self) -> str:
         cfg = self.config
@@ -66,11 +97,16 @@ class TRON(Accelerator):
     # Workload dispatch
     # ------------------------------------------------------------------
 
-    def _run_workload(self, workload: Workload) -> RunReport:
+    def _run_workload(
+        self,
+        workload: Workload,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> RunReport:
+        engine = self._bound(ctx)
         if workload.kind is WorkloadKind.TRANSFORMER:
-            return self.run_transformer(workload.model)
+            return engine.run_transformer(workload.model)
         if workload.kind is WorkloadKind.MLP:
-            return self.run_mlp(workload)
+            return engine.run_mlp(workload)
         raise MappingError(
             f"TRON cannot execute {workload.kind.value!r} workload "
             f"{workload.name!r}"

@@ -25,10 +25,11 @@ module composes it into the attention datapath.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
+from repro.core.context import ExecutionContext
 from repro.core.engine import ArrayExecutor, PipelineStage, pipeline_latency_ns
 
 # Deprecated alias: ``photonic_matmul`` moved to ``repro.core.engine``
@@ -61,13 +62,15 @@ class AttentionHeadUnit:
 
     Attributes:
         config: the owning TRON configuration.
+        ctx: execution context bound to the unit's arrays (None = nominal).
     """
 
     config: TRONConfig
+    ctx: Optional[ExecutionContext] = None
     _executor: ArrayExecutor = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self._executor = ArrayExecutor.from_config(self.config)
+        self._executor = ArrayExecutor.from_config(self.config, ctx=self.ctx)
 
     @property
     def executor(self) -> ArrayExecutor:

@@ -10,9 +10,11 @@ encoder-layer structure of Fig. 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
+from repro.core.context import ExecutionContext
 from repro.core.engine import ArrayExecutor, serial_waves
 from repro.core.reports import EnergyReport, LatencyReport
 from repro.core.tron.config import TRONConfig
@@ -28,13 +30,15 @@ class FeedForwardUnit:
 
     Attributes:
         config: the owning TRON configuration.
+        ctx: execution context bound to the unit's arrays (None = nominal).
     """
 
     config: TRONConfig
+    ctx: Optional[ExecutionContext] = None
     _executor: ArrayExecutor = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self._executor = ArrayExecutor.from_config(self.config)
+        self._executor = ArrayExecutor.from_config(self.config, ctx=self.ctx)
 
     @property
     def executor(self) -> ArrayExecutor:

@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.context import ExecutionContext
 from repro.core.engine import ArrayExecutor, serial_waves
 from repro.core.reports import EnergyReport, LatencyReport
 from repro.core.tron.attention_head import AttentionHeadUnit
@@ -38,16 +39,20 @@ class MHAUnit:
 
     Attributes:
         config: the owning TRON configuration.
+        ctx: execution context bound to the unit's arrays (None = nominal).
     """
 
     config: TRONConfig
+    ctx: Optional[ExecutionContext] = None
     head_unit: AttentionHeadUnit = field(init=False, repr=False)
     _linear_executor: ArrayExecutor = field(init=False, repr=False)
     _residual_adder: CoherentSummationUnit = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self.head_unit = AttentionHeadUnit(config=self.config)
-        self._linear_executor = ArrayExecutor.from_config(self.config)
+        self.head_unit = AttentionHeadUnit(config=self.config, ctx=self.ctx)
+        self._linear_executor = ArrayExecutor.from_config(
+            self.config, ctx=self.ctx
+        )
         self._residual_adder = CoherentSummationUnit(
             fan_in=2, clock_ghz=self.config.clock_ghz
         )

@@ -28,5 +28,10 @@ class MappingError(ReproError):
     """A workload cannot be mapped onto the requested hardware configuration."""
 
 
+class YieldError(MappingError):
+    """A fabricated instance (a process-variation sample) has no usable
+    hardware left after yield gating — the sampled die is non-functional."""
+
+
 class QuantizationError(ReproError):
     """Invalid quantization request (bit-width, scale, or range)."""

@@ -37,6 +37,24 @@ from repro.photonics.pcm import PCMCell
 from repro.photonics.tuning import HybridTuner
 
 
+def tile_cycles(
+    out_rows: int, inner: int, batch: int, rows: int, cols: int
+) -> int:
+    """Photonic cycles to tile a (out_rows x inner) @ (inner x batch)
+    matmul over a rows x cols array.
+
+    The single source of the tiling arithmetic — the nominal path
+    (:meth:`MRBankArray.cycles_for`) and the yield-gated context path
+    (:meth:`repro.core.engine.ArrayExecutor.cycles_for`) both call it,
+    so they cannot diverge.
+    """
+    if out_rows < 1 or inner < 1 or batch < 1:
+        raise ConfigurationError("matmul dimensions must be >= 1")
+    row_tiles = -(-out_rows // rows)
+    inner_tiles = -(-inner // cols)
+    return row_tiles * inner_tiles * batch
+
+
 @dataclass
 class MRBank:
     """One row of MRs imprinting a vector onto a WDM comb.
@@ -246,11 +264,7 @@ class MRBankArray:
     def cycles_for(self, out_rows: int, inner: int, batch: int = 1) -> int:
         """Photonic cycles to compute a (out_rows x inner) @ (inner x batch)
         matmul by tiling it over this array."""
-        if out_rows < 1 or inner < 1 or batch < 1:
-            raise ConfigurationError("matmul dimensions must be >= 1")
-        row_tiles = -(-out_rows // self.rows)
-        inner_tiles = -(-inner // self.cols)
-        return row_tiles * inner_tiles * batch
+        return tile_cycles(out_rows, inner, batch, self.rows, self.cols)
 
     def cycle_energy_breakdown_pj(
         self,

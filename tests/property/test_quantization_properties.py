@@ -40,10 +40,25 @@ class TestQuantizationInvariants:
     @settings(max_examples=100, deadline=None)
     def test_scale_equivariance(self, x, scale):
         """Quantizing c*x gives c times the dequantization of x (same
-        codes, scaled step) for positive c."""
+        codes, scaled step) for positive c.  Exception: a value that
+        projects onto a round-half tie may land one code to either side,
+        because float scaling perturbs which side of .5 the quotient
+        falls on (e.g. x=[50, 100] at c=0.109375 projects to 63.5).
+        Codes must match exactly everywhere else.
+        """
         base = quantize_symmetric(x)
         scaled = quantize_symmetric(x * scale)
-        assert np.array_equal(base.codes, scaled.codes)
+        diff = np.abs(base.codes - scaled.codes)
+        max_abs = np.max(np.abs(x))
+        if max_abs == 0.0:
+            assert np.all(diff == 0)
+            return
+        qmax = 2 ** (base.bits - 1) - 1
+        projection = x / max_abs * qmax
+        fraction = projection - np.floor(projection)
+        near_tie = np.abs(fraction - 0.5) < 1e-9
+        assert np.all(diff[~near_tie] == 0)
+        assert np.all(diff <= 1)
 
     @given(x=float_arrays)
     @settings(max_examples=100, deadline=None)

@@ -1,0 +1,238 @@
+"""Tests for the ExecutionContext threading through the run path."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    ExecutionContext,
+    GHOST,
+    PinnedArrayPhysics,
+    ThermalCorner,
+    TRON,
+    get_workload,
+    standard_corners,
+)
+from repro.core.engine import ArrayExecutor, ArraySpec, context_physics
+from repro.errors import ConfigurationError, YieldError
+from repro.photonics.variation import ProcessVariationModel
+
+VARIED = ExecutionContext(variation=ProcessVariationModel(), seed=3)
+
+
+class TestExecutionContext:
+    def test_hashable_and_frozen(self):
+        ctx = ExecutionContext()
+        assert hash(ctx) == hash(ExecutionContext())
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ctx.seed = 1
+
+    def test_noise_excluded_from_equality(self):
+        from repro.photonics.noise import AnalogNoiseModel
+
+        assert ExecutionContext(noise=AnalogNoiseModel()) == ExecutionContext()
+
+    def test_nominal_flags(self):
+        assert ExecutionContext().is_nominal
+        assert not VARIED.is_nominal
+        assert VARIED.affects_arrays
+        assert not VARIED.affects_memory
+        hot = ExecutionContext(
+            thermal=ThermalCorner(name="hot", ambient_delta_k=25.0)
+        )
+        assert hot.affects_arrays and not hot.affects_memory
+        derated = ExecutionContext(
+            thermal=ThermalCorner(name="derated", hbm_derate=0.8)
+        )
+        assert derated.affects_memory and not derated.affects_arrays
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionContext(seed=-1)
+        with pytest.raises(ConfigurationError):
+            ExecutionContext(tuner_range_nm=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermalCorner(drift_nm_per_k=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermalCorner(hbm_derate=1.5)
+        with pytest.raises(ConfigurationError):
+            PinnedArrayPhysics(-1, 4, 0.0)
+
+    def test_for_sample_is_deterministic_and_distinct(self):
+        assert VARIED.for_sample(0) == VARIED.for_sample(0)
+        assert VARIED.for_sample(0) != VARIED.for_sample(1)
+        assert VARIED.for_sample(0) != VARIED
+        with pytest.raises(ConfigurationError):
+            VARIED.for_sample(-1)
+
+    def test_pinned_lookup(self):
+        pinned = VARIED.with_pinned({(64, 64): PinnedArrayPhysics(60, 64, 5.0)})
+        assert pinned.pinned_for(64, 64).usable_rows == 60
+        assert pinned.pinned_for(32, 32) is None
+        assert pinned.variation is None  # pinned replaces sampling
+
+    def test_standard_corners_cover_grid(self):
+        corners = standard_corners()
+        assert set(corners) == {"nominal", "typical", "slow-hot", "fast-cold"}
+        assert corners["nominal"].is_nominal
+        assert corners["typical"].variation is not None
+        assert corners["slow-hot"].thermal.hbm_derate < 1.0
+
+
+class TestNominalIdentity:
+    """The acceptance bar: no context == nominal context == pre-refactor."""
+
+    # Exact values captured on the pre-refactor nominal path.
+    GOLDEN = {
+        "BERT-base": (774835.2, 10281700887.552002),
+        "GCN-cora": (9281.9390625, 173330078.57756248),
+        "MLP-mnist": (4655.278125, 25282826.438125),
+        "LLM-serving-mix": (1914952.8078124998, 21106301247.251812),
+    }
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_bit_identical_to_pre_refactor(self, name):
+        latency, energy = self.GOLDEN[name]
+        accelerator = GHOST() if name == "GCN-cora" else TRON()
+        report = accelerator.run(get_workload(name))
+        assert report.latency_ns == latency
+        assert report.energy_pj == energy
+        nominal = accelerator.run(get_workload(name), ctx=ExecutionContext())
+        assert nominal.latency_ns == latency
+        assert nominal.energy_pj == energy
+
+
+class TestContextEffects:
+    def test_variation_adds_tuning_energy(self):
+        workload = get_workload("MLP-mnist")
+        nominal = TRON().run(workload)
+        varied = TRON().run(workload, ctx=VARIED)
+        assert varied.energy.tuning_pj > nominal.energy.tuning_pj
+        assert varied.latency_ns == nominal.latency_ns  # full yield
+
+    def test_different_seeds_are_different_dies(self):
+        workload = get_workload("MLP-mnist")
+        a = TRON().run(workload, ctx=VARIED)
+        b = TRON().run(workload, ctx=dataclasses.replace(VARIED, seed=4))
+        assert a.energy_pj != b.energy_pj
+
+    def test_corner_cache_isolation(self):
+        """Corner A's physics never pollutes corner B or nominal."""
+        workload = get_workload("MLP-mnist")
+        fresh_nominal = TRON().run(workload)
+        tron = TRON()
+        varied = tron.run(workload, ctx=VARIED)
+        nominal_after = tron.run(workload)
+        assert nominal_after.energy_pj == fresh_nominal.energy_pj
+        varied_again = tron.run(workload, ctx=VARIED)
+        assert varied_again.energy_pj == varied.energy_pj
+
+    def test_ted_beats_naive_control(self):
+        spec = ArraySpec(rows=32, cols=32)
+        ted = context_physics(spec, VARIED)
+        naive = context_physics(
+            spec, dataclasses.replace(VARIED, use_ted=False)
+        )
+        assert 0.0 < ted.correction_power_mw < naive.correction_power_mw
+
+    def test_thermal_corner_alone_costs_power(self):
+        hot = ExecutionContext(
+            thermal=ThermalCorner(name="hot", ambient_delta_k=25.0)
+        )
+        physics = context_physics(ArraySpec(rows=16, cols=16), hot)
+        assert physics.correction_power_mw > 0.0
+        assert physics.ring_yield == 1.0
+
+    def test_hbm_derate_stretches_latency(self):
+        workload = get_workload("BERT-base")
+        nominal = TRON().run(workload)
+        derated = TRON().run(
+            workload,
+            ctx=ExecutionContext(
+                thermal=ThermalCorner(name="derated", hbm_derate=0.5)
+            ),
+        )
+        assert derated.latency_ns > nominal.latency_ns
+        assert derated.latency.memory_ns > nominal.latency.memory_ns
+
+    def test_ghost_context_threads_through(self):
+        workload = get_workload("GCN-cora")
+        nominal = GHOST().run(workload)
+        varied = GHOST().run(workload, ctx=VARIED)
+        assert varied.energy.tuning_pj > nominal.energy.tuning_pj
+
+    def test_baselines_ignore_contexts(self):
+        from repro.baselines.platforms import RooflinePlatform
+
+        platform = RooflinePlatform(
+            platform_name="cpu",
+            peak_gops=1000.0,
+            memory_bandwidth_gbps=100.0,
+            tdp_w=100.0,
+        )
+        workload = get_workload("MLP-mnist")
+        assert (
+            platform.run(workload, ctx=VARIED).energy_pj
+            == platform.run(workload).energy_pj
+        )
+
+
+class TestYieldGating:
+    def test_gated_executor_needs_more_cycles(self):
+        spec = ArraySpec(rows=64, cols=64)
+        nominal = ArrayExecutor(spec=spec)
+        pinned = ExecutionContext().with_pinned(
+            {(64, 64): PinnedArrayPhysics(40, 64, 0.0)}
+        )
+        gated = ArrayExecutor(spec=spec, ctx=pinned)
+        assert gated.usable_rows == 40
+        assert gated.macs_per_cycle < nominal.macs_per_cycle
+        assert gated.cycles_for(128, 128) > nominal.cycles_for(128, 128)
+
+    def test_dead_die_raises_yield_error(self):
+        dead = ExecutionContext().with_pinned(
+            {(64, 64): PinnedArrayPhysics(0, 64, 0.0)}
+        )
+        executor = ArrayExecutor(spec=ArraySpec(rows=64, cols=64), ctx=dead)
+        with pytest.raises(YieldError):
+            executor.cycles_for(64, 64)
+
+    def test_dead_die_fails_whole_run(self):
+        ctx = dataclasses.replace(VARIED, tuner_range_nm=1e-6)
+        with pytest.raises(YieldError):
+            TRON().run(get_workload("MLP-mnist"), ctx=ctx)
+
+    def test_tight_tuner_range_gates_rows(self):
+        ctx = dataclasses.replace(VARIED, seed=5, tuner_range_nm=6.0)
+        physics = context_physics(ArraySpec(rows=64, cols=64), ctx)
+        assert physics.usable_rows < 64
+        assert physics.ring_yield < 1.0
+        assert physics.functional
+
+    def test_per_die_loop_bounds_all_caches(self):
+        """Sweeping many dies on one instance must not grow the clone
+        cache or the engine's physics caches without bound."""
+        from repro.core.engine.corners import _PHYSICS_CACHE
+        from repro.core.engine.matmul import _BREAKDOWN_CACHE
+
+        from repro.core.engine.corners import _PHYSICS_CACHE_MAX_ENTRIES
+        from repro.core.engine.matmul import _BREAKDOWN_CACHE_MAX_ENTRIES
+
+        workload = get_workload("MLP-mnist")
+        tron = TRON()
+        for i in range(_PHYSICS_CACHE_MAX_ENTRIES + 20):
+            tron.run(workload, ctx=dataclasses.replace(VARIED, seed=20 + i))
+        assert len(tron._context_clones) <= 8
+        assert len(_BREAKDOWN_CACHE) <= _BREAKDOWN_CACHE_MAX_ENTRIES
+        assert len(_PHYSICS_CACHE) <= _PHYSICS_CACHE_MAX_ENTRIES
+
+    def test_correction_power_scales_breakdown(self):
+        spec = ArraySpec(rows=16, cols=16)
+        base = ArrayExecutor(spec=spec).energy_breakdown_pj()
+        pinned = ExecutionContext().with_pinned(
+            {(16, 16): PinnedArrayPhysics(16, 16, 100.0)}
+        )
+        boosted = ArrayExecutor(spec=spec, ctx=pinned).energy_breakdown_pj()
+        extra = boosted["tuning_pj"] - base["tuning_pj"]
+        assert extra == pytest.approx(100.0 * (1.0 / spec.clock_ghz))
+        assert boosted["laser_pj"] == base["laser_pj"]

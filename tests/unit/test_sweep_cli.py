@@ -1,5 +1,7 @@
 """Tests for the design-space sweep engine and the CLI."""
 
+import json
+
 import pytest
 
 from repro.analysis.sweep import (
@@ -13,11 +15,14 @@ from repro.analysis.sweep import (
     sweep_ghost,
     sweep_tron,
     tron_sweep_space,
+    with_corners,
 )
 from repro.cli import build_parser, main
+from repro.core.context import ExecutionContext, standard_corners
 from repro.core.reports import EnergyReport, LatencyReport, RunReport
 from repro.errors import ConfigurationError
 from repro.nn.counting import OpCount
+from repro.photonics.variation import ProcessVariationModel
 
 
 def _point(label, latency, energy):
@@ -180,6 +185,53 @@ class TestSweepEngine:
         assert all(p.report.workload == "MLP-mnist" for p in points)
 
 
+class TestCornerAxis:
+    def _space(self):
+        return tron_sweep_space(
+            head_units=(4,), array_sizes=(32,), clocks_ghz=(5.0,)
+        )
+
+    def test_corner_axis_multiplies_points(self):
+        space = with_corners(self._space(), standard_corners())
+        assert space.num_points == 4
+        points = run_sweep(space)
+        assert len(points) == 4
+        labels = {p.label for p in points}
+        assert "H4/A32/5.0GHz@nominal" in labels
+        assert "H4/A32/5.0GHz@slow-hot" in labels
+        assert all("corner" in p.knobs for p in points)
+
+    def test_corner_points_depart_nominal(self):
+        space = with_corners(
+            self._space(),
+            {
+                "nominal": None,
+                "typical": ExecutionContext(
+                    variation=ProcessVariationModel()
+                ),
+            },
+        )
+        by_corner = {p.knobs["corner"]: p for p in run_sweep(space)}
+        assert (
+            by_corner["typical"].energy_pj > by_corner["nominal"].energy_pj
+        )
+
+    def test_cornered_naive_matches_memoized(self):
+        space = with_corners(
+            self._space(),
+            {"typical": ExecutionContext(variation=ProcessVariationModel())},
+        )
+        fast = run_sweep(space, memoize=True)
+        naive = run_sweep(space, memoize=False)
+        assert [p.label for p in fast] == [p.label for p in naive]
+        for a, b in zip(fast, naive):
+            assert a.energy_pj == pytest.approx(b.energy_pj)
+
+    def test_rejects_empty_corner_map(self):
+        with pytest.raises(ConfigurationError):
+            with_corners(self._space(), {})
+
+
 class TestSweeps:
     def test_tron_sweep_covers_grid(self):
         points = sweep_tron(
@@ -276,3 +328,72 @@ class TestCLI:
     def test_parser_rejects_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+    def test_run_json_output(self, capsys):
+        assert main(["run", "MLP-mnist", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["platform"] == "TRON"
+        assert payload["corner"] == "nominal"
+        assert payload["latency_ns"] > 0.0
+
+    def test_run_at_corner_costs_more(self, capsys):
+        assert main(["run", "MLP-mnist", "--corner", "typical", "--json"]) == 0
+        typical = json.loads(capsys.readouterr().out)
+        assert main(["run", "MLP-mnist", "--json"]) == 0
+        nominal = json.loads(capsys.readouterr().out)
+        assert typical["energy_pj"] > nominal["energy_pj"]
+
+    def test_run_seed_selects_die(self, capsys):
+        args = ["run", "MLP-mnist", "--corner", "typical", "--json"]
+        assert main(args + ["--seed", "1"]) == 0
+        die_1 = json.loads(capsys.readouterr().out)
+        assert main(args + ["--seed", "2"]) == 0
+        die_2 = json.loads(capsys.readouterr().out)
+        assert die_1["energy_pj"] != die_2["energy_pj"]
+
+    def test_mc_command(self, capsys):
+        assert main(["mc", "MLP-mnist", "--samples", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "sampled dies" in out and "yield" in out
+
+    def test_mc_json_output(self, capsys):
+        assert main(
+            ["mc", "MLP-mnist", "--samples", "4", "--seed", "9", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["samples"] == 4
+        assert 0.0 <= payload["yield"] <= 1.0
+        assert payload["energy_pj"]["mean"] > 0.0
+
+    def test_mc_naive_flag_matches_vectorized(self, capsys):
+        args = ["mc", "MLP-mnist", "--samples", "4", "--json"]
+        assert main(args) == 0
+        vectorized = json.loads(capsys.readouterr().out)
+        assert main(args + ["--naive"]) == 0
+        naive = json.loads(capsys.readouterr().out)
+        assert naive["yield"] == vectorized["yield"]
+        assert naive["energy_pj"]["mean"] == pytest.approx(
+            vectorized["energy_pj"]["mean"]
+        )
+
+    def test_corners_command(self, capsys):
+        assert main(["corners"]) == 0
+        out = capsys.readouterr().out
+        assert "slow-hot" in out and "TRON" in out and "GHOST" in out
+
+    def test_corners_json(self, capsys):
+        assert main(["corners", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 8  # 4 corners x 2 platforms
+        nominal = [r for r in rows if r["corner"] == "nominal"]
+        assert all(r["correction_power_mw"] == 0.0 for r in nominal)
+
+    def test_run_gnn_seed_flag(self, capsys):
+        assert main(["run-gnn", "gcn", "cora", "--seed", "3"]) == 0
+        assert "gcn-cora" in capsys.readouterr().out
+
+    def test_sweep_parser_accepts_new_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "tron", "--corners", "--json", "--seed", "5"]
+        )
+        assert args.corners and args.json and args.seed == 5

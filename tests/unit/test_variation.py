@@ -58,6 +58,57 @@ class TestProcessVariationModel:
         with pytest.raises(ConfigurationError):
             ProcessVariationModel().sample_resonance_errors(0)
 
+    def test_full_correlation_means_identical_errors(self):
+        """rho = 1.0: every ring sees exactly the die-level component."""
+        model = ProcessVariationModel(intra_die_correlation=1.0)
+        errors = model.sample_resonance_errors(32, rng=np.random.default_rng(3))
+        assert np.allclose(errors, errors[0])
+        assert errors[0] != 0.0
+
+    def test_zero_correlation_has_no_shared_component(self):
+        """rho = 0.0: the per-ring draws are the whole error."""
+        model = ProcessVariationModel(intra_die_correlation=0.0)
+        rng = np.random.default_rng(4)
+        rng.normal(0.0, model.resonance_sigma_nm)  # the unused shared draw
+        expected = rng.normal(0.0, model.resonance_sigma_nm, 16)
+        errors = model.sample_resonance_errors(16, rng=np.random.default_rng(4))
+        assert np.allclose(errors, expected)
+
+    def test_zero_sigma_degenerate_draws(self):
+        """A perfect process yields exactly zero resonance error."""
+        model = ProcessVariationModel(width_sigma_nm=0.0, thickness_sigma_nm=0.0)
+        assert model.resonance_sigma_nm == 0.0
+        errors = model.sample_resonance_errors(64, rng=np.random.default_rng(5))
+        assert np.array_equal(errors, np.zeros(64))
+
+    def test_zero_sigma_impact_is_free(self):
+        impact = variation_impact(
+            MicroringDesign(),
+            bank_size=8,
+            model=ProcessVariationModel(
+                width_sigma_nm=0.0, thickness_sigma_nm=0.0
+            ),
+            trials=20,
+        )
+        assert impact.mean_correction_nm == 0.0
+        assert impact.mean_tuning_power_mw == 0.0
+        assert impact.bank_yield == 1.0
+
+    def test_seeded_sample_batches_reproduce(self):
+        """Identical generators reproduce identical sample batches."""
+        model = ProcessVariationModel()
+        a = [
+            model.sample_resonance_errors(16, rng=rng)
+            for rng in (np.random.default_rng(9),)
+        ][0]
+        b = [
+            model.sample_resonance_errors(16, rng=rng)
+            for rng in (np.random.default_rng(9),)
+        ][0]
+        assert np.array_equal(a, b)
+        c = model.sample_resonance_errors(16, rng=np.random.default_rng(10))
+        assert not np.array_equal(a, c)
+
 
 class TestVariationImpact:
     def test_impact_fields_sane(self):
