@@ -13,8 +13,9 @@ Quickstart::
     report = TRON().run_transformer(bert_base())
     print(report.summary())
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record.
+See README.md for the quickstart and the ``docs/`` suite
+(architecture, serving, CLI, variation-aware evaluation) for the full
+documentation.
 """
 
 from repro.core import (

@@ -219,6 +219,20 @@ def run_monte_carlo(
         vectorized: batched engine (default) vs. the naive N-scalar-runs
             baseline; both produce the same distributions.
         max_workers: thread pool width of the vectorized group runs.
+
+    Example:
+        >>> from repro.core import TRON, get_workload
+        >>> from repro.core.context import ExecutionContext
+        >>> from repro.photonics.variation import ProcessVariationModel
+        >>> result = run_monte_carlo(
+        ...     make_accelerator=TRON,
+        ...     make_workload=lambda: get_workload("MLP-mnist"),
+        ...     context=ExecutionContext(variation=ProcessVariationModel()),
+        ...     samples=4)
+        >>> result.samples
+        4
+        >>> 0.0 <= result.yield_fraction <= 1.0
+        True
     """
     if samples < 1:
         raise ConfigurationError(f"need >= 1 sample, got {samples}")
@@ -401,6 +415,19 @@ class RobustPoint:
     Exposes ``latency_ns`` / ``energy_pj`` as the operational-die means,
     so :func:`repro.analysis.sweep.pareto_frontier` works on robust
     points exactly as on nominal sweep points.
+
+    Example:
+        >>> from repro.core import TRON, get_workload
+        >>> from repro.core.context import ExecutionContext
+        >>> from repro.photonics.variation import ProcessVariationModel
+        >>> result = run_monte_carlo(
+        ...     make_accelerator=TRON,
+        ...     make_workload=lambda: get_workload("MLP-mnist"),
+        ...     context=ExecutionContext(variation=ProcessVariationModel()),
+        ...     samples=2)
+        >>> point = RobustPoint(label="demo", knobs={}, result=result)
+        >>> point.to_dict()["label"]
+        'demo'
     """
 
     label: str
@@ -442,6 +469,14 @@ def yield_aware_pareto(
     frontier uses the operational-die mean latency/energy.  A
     fast-but-fragile design that dominates the nominal frontier is cut
     here — the yield-aware frontier is the actionable one.
+
+    Example:
+        >>> yield_aware_pareto([])           # nothing survives nothing
+        []
+        >>> yield_aware_pareto([], yield_threshold=1.5)
+        Traceback (most recent call last):
+            ...
+        repro.errors.ConfigurationError: yield threshold must be in [0, 1], got 1.5
     """
     from repro.analysis.sweep import pareto_frontier
 
@@ -470,6 +505,19 @@ def monte_carlo_sweep(
 
     The workload materializes once and is shared by every point and
     every sample; each point runs the vectorized engine.
+
+    Example:
+        >>> from repro.analysis.sweep import tron_sweep_space
+        >>> from repro.core.context import ExecutionContext
+        >>> from repro.photonics.variation import ProcessVariationModel
+        >>> space = tron_sweep_space(
+        ...     head_units=(4,), array_sizes=(32,), clocks_ghz=(5.0,))
+        >>> points = monte_carlo_sweep(
+        ...     space,
+        ...     ExecutionContext(variation=ProcessVariationModel()),
+        ...     samples=2)
+        >>> len(points) == space.num_points
+        True
     """
     workload = space.build_workload()
     workload.materialize()

@@ -13,12 +13,17 @@ Commands:
 - ``mc <workload>`` — Monte-Carlo variation analysis: yield and metric
   distributions over N sampled dies.
 - ``corners`` — evaluate the standard corner grid on both accelerators.
+- ``serve`` — replay a JSON request trace through the batching/caching
+  serving engine (``--stats`` prints the fleet accounting).
+- ``gen-trace`` — synthesize a mixed LLM+GNN request trace.
 - ``run-llm <model>`` — cost one transformer inference on TRON.
 - ``run-gnn <kind> <dataset>`` — cost one GNN inference on GHOST.
 
 ``--seed`` selects the fabricated die / synthesized graph replica;
-``--json`` switches ``run`` / ``sweep`` / ``mc`` / ``corners`` output to
-machine-readable JSON.
+``--json`` switches ``run`` / ``sweep`` / ``mc`` / ``corners`` /
+``serve`` output to machine-readable JSON.  Every JSON payload is a
+schema-versioned envelope — ``{"schema": "repro.<command>/1",
+"context": {...}, ...}`` — documented in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -26,7 +31,26 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
+
+#: Version suffix of every ``--json`` envelope this build emits.
+JSON_SCHEMA_VERSION = 1
+
+
+def json_envelope(command: str, context: Dict, payload: Dict) -> Dict:
+    """The uniform machine-readable envelope of ``--json`` output.
+
+    Every JSON-emitting command wraps its payload as
+    ``{"schema": "repro.<command>/<version>", "context": {...}, ...}``
+    so consumers can dispatch on the schema tag and always know which
+    corner/seed (or trace) produced the numbers.  The schemas are
+    documented in ``docs/cli.md``.
+    """
+    return {
+        "schema": f"repro.{command}/{JSON_SCHEMA_VERSION}",
+        "context": context,
+        **payload,
+    }
 
 
 def _print_report(report) -> None:
@@ -38,19 +62,11 @@ def _print_report(report) -> None:
 
 
 def _resolve_corner(name: str, seed: int):
-    """The ExecutionContext a named corner + seed denotes — the single
-    resolution rule shared by ``run``, ``sweep --corners`` and
-    ``corners``.  The nominal corner resolves to ``None`` (the
-    context-free path; a seed picks a die only where variation exists).
-    """
-    from dataclasses import replace
+    """The ExecutionContext a named corner + seed denotes (the shared
+    rule lives in :func:`repro.core.context.resolve_corner`)."""
+    from repro.core.context import resolve_corner
 
-    from repro.core.context import standard_corners
-
-    base = standard_corners()[name]
-    if base.is_nominal:
-        return None
-    return replace(base, seed=seed)
+    return resolve_corner(name, seed)
 
 
 def _context_from_args(args):
@@ -137,7 +153,12 @@ def _cmd_sweep(args) -> int:
         print(format_sweep(points, frontier))
         print(f"\n{len(frontier)} Pareto-optimal of {len(points)} configs\n")
     if args.json:
-        print(json.dumps(output, indent=2))
+        envelope = json_envelope(
+            "sweep",
+            {"corners_axis": args.corners, "seed": args.seed},
+            {"spaces": output},
+        )
+        print(json.dumps(envelope, indent=2))
     return 0
 
 
@@ -180,10 +201,12 @@ def _cmd_run(args) -> int:
     ctx = _context_from_args(args)
     report = accelerator.run(workload, ctx=ctx)
     if args.json:
-        payload = report.to_dict()
-        payload["corner"] = args.corner
-        payload["seed"] = args.seed
-        print(json.dumps(payload, indent=2))
+        envelope = json_envelope(
+            "run",
+            {"corner": args.corner, "seed": args.seed},
+            report.to_dict(),
+        )
+        print(json.dumps(envelope, indent=2))
     else:
         _print_report(report)
     return 0
@@ -212,7 +235,12 @@ def _cmd_mc(args) -> int:
         vectorized=not args.naive,
     )
     if args.json:
-        print(json.dumps(result.to_dict(), indent=2))
+        envelope = json_envelope(
+            "mc",
+            {"corner": args.corner, "seed": args.seed},
+            result.to_dict(),
+        )
+        print(json.dumps(envelope, indent=2))
     else:
         print(result.summary())
     return 0
@@ -250,7 +278,10 @@ def _cmd_corners(args) -> int:
                 )
             )
     if args.json:
-        print(json.dumps(rows, indent=2))
+        envelope = json_envelope(
+            "corners", {"seed": args.seed}, {"rows": rows}
+        )
+        print(json.dumps(envelope, indent=2))
         return 0
     print(
         f"{'corner':>10s} {'platform':>8s} {'workload':<12s} "
@@ -264,6 +295,84 @@ def _cmd_corners(args) -> int:
             f"{row['energy_pj'] / 1e6:>11.2f} {row['epb_pj']:>8.4f} "
             f"{row['correction_power_mw']:>9.1f} {row['ring_yield']:>6.3f}"
         )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving import ServingEngine, load_trace
+
+    requests = load_trace(args.trace)
+    engine = ServingEngine(
+        cache_entries=args.cache_entries,
+        max_pending=args.window,
+        use_batched_physics=not args.no_batching,
+    )
+    with engine:
+        for _ in range(args.repeat):
+            for request in requests:
+                engine.submit(request)
+            engine.drain()
+
+    served = engine.stats.requests
+    stats = engine.stats.to_dict()
+    cache = engine.cache.stats.to_dict()
+    scheduler = engine.scheduler.stats.to_dict()
+    if args.json:
+        envelope = json_envelope(
+            "serve",
+            {
+                "trace": args.trace,
+                "repeat": args.repeat,
+                "window": args.window,
+            },
+            {
+                "stats": stats,
+                "cache": cache,
+                "scheduler": scheduler,
+            },
+        )
+        print(json.dumps(envelope, indent=2))
+        return 0 if stats["errors"] == 0 else 1
+    print(
+        f"served {served} requests in {stats['busy_s']:.2f} s "
+        f"({stats['throughput_rps']:.0f} req/s)"
+    )
+    if args.stats:
+        print(f"  cache hit rate   {100 * stats['hit_rate']:.1f}%")
+        print(f"  deduplicated     {stats['deduped']}")
+        print(f"  run-path evals   {scheduler['evaluated']}")
+        print(f"  request groups   {scheduler['groups']}")
+        print(f"  physics batches  {scheduler['physics_batches']}")
+        print(f"  batched dies     {scheduler['batched_dies']}")
+        print(f"  errors           {stats['errors']}")
+        print(
+            f"  latency mean/p95 {1e3 * stats['mean_latency_s']:.2f} / "
+            f"{1e3 * stats['p95_latency_s']:.2f} ms"
+        )
+        print(
+            f"  cache entries    {len(engine.cache)} "
+            f"(bound {engine.cache.max_entries}, "
+            f"{cache['evictions']} evicted)"
+        )
+    return 0 if stats["errors"] == 0 else 1
+
+
+def _cmd_gen_trace(args) -> int:
+    from repro.serving import generate_trace, save_trace
+
+    records = generate_trace(
+        num_requests=args.requests,
+        seed=args.seed,
+        catalog_size=args.catalog,
+        llm_fraction=args.llm_fraction,
+        skew=args.skew,
+    )
+    save_trace(records, args.output)
+    distinct = len({tuple(sorted(r.items())) for r in records})
+    print(
+        f"wrote {len(records)} requests ({distinct} distinct types) "
+        f"to {args.output}"
+    )
     return 0
 
 
@@ -391,6 +500,73 @@ def build_parser() -> argparse.ArgumentParser:
     corners.add_argument("--json", action="store_true")
     _add_seed(corners)
 
+    serve = sub.add_parser(
+        "serve",
+        help="replay a JSON request trace through the serving engine",
+    )
+    serve.add_argument(
+        "--trace", required=True, help="trace file (see repro gen-trace)"
+    )
+    serve.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cache/dedup/latency accounting after the replay",
+    )
+    serve.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="replay the trace N times (the cache stays warm between "
+        "replays)",
+    )
+    serve.add_argument(
+        "--window",
+        type=int,
+        default=64,
+        help="micro-batch window: requests coalesced per flush",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=1024,
+        help="report-cache bound (LRU eviction beyond it)",
+    )
+    serve.add_argument(
+        "--no-batching",
+        action="store_true",
+        help="disable the batched corner-physics path (same numbers; "
+        "benchmarking aid)",
+    )
+    serve.add_argument("--json", action="store_true")
+
+    gen_trace = sub.add_parser(
+        "gen-trace",
+        help="synthesize a mixed LLM+GNN request trace with repeat skew",
+    )
+    gen_trace.add_argument("output", help="trace file to write")
+    gen_trace.add_argument(
+        "--requests", type=int, default=1000, help="trace length"
+    )
+    gen_trace.add_argument(
+        "--catalog",
+        type=int,
+        default=48,
+        help="distinct request types in the traffic mix",
+    )
+    gen_trace.add_argument(
+        "--llm-fraction",
+        type=float,
+        default=0.7,
+        help="fraction of LLM/MLP (vs. GNN) request types",
+    )
+    gen_trace.add_argument(
+        "--skew",
+        type=float,
+        default=1.1,
+        help="Zipf popularity exponent of the request types",
+    )
+    _add_seed(gen_trace)
+
     run_llm = sub.add_parser("run-llm", help="cost a transformer on TRON")
     run_llm.add_argument("model", help="model zoo name, e.g. BERT-base")
     run_llm.add_argument("--batch", type=int, default=1)
@@ -415,6 +591,8 @@ _HANDLERS = {
     "run": _cmd_run,
     "mc": _cmd_mc,
     "corners": _cmd_corners,
+    "serve": _cmd_serve,
+    "gen-trace": _cmd_gen_trace,
     "run-llm": _cmd_run_llm,
     "run-gnn": _cmd_run_gnn,
 }

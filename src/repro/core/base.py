@@ -26,7 +26,14 @@ from repro.errors import ConfigurationError, MappingError
 
 
 class WorkloadKind(Enum):
-    """Coarse workload families an accelerator can declare support for."""
+    """Coarse workload families an accelerator can declare support for.
+
+    Example:
+        >>> WorkloadKind("gnn").name
+        'GNN'
+        >>> [k.value for k in WorkloadKind]
+        ['transformer', 'gnn', 'mlp', 'suite']
+    """
 
     TRANSFORMER = "transformer"
     GNN = "gnn"
@@ -40,6 +47,13 @@ class Workload(abc.ABC):
     Concrete workloads (``repro.workloads``) wrap a model configuration
     plus whatever input description the cost models need (sequence
     length, a synthesized graph, a batch of samples).
+
+    Example:
+        >>> workload = get_workload("MLP-mnist")
+        >>> workload.kind.value
+        'mlp'
+        >>> workload.parts() == (workload,)   # leaf: its own only part
+        True
     """
 
     @property
@@ -78,7 +92,15 @@ _WORKLOAD_INSTANCES: Dict[str, Workload] = {}
 
 
 def register_workload(name: str, factory: Callable[[], Workload]) -> None:
-    """Register a workload factory under a unique name."""
+    """Register a workload factory under a unique name.
+
+    Example:
+        >>> import repro.workloads  # default registrations
+        >>> register_workload("MLP-mnist", lambda: None)
+        Traceback (most recent call last):
+            ...
+        repro.errors.ConfigurationError: workload 'MLP-mnist' is already registered
+    """
     if name in _WORKLOAD_FACTORIES:
         raise ConfigurationError(f"workload {name!r} is already registered")
     _WORKLOAD_FACTORIES[name] = factory
@@ -86,6 +108,12 @@ def register_workload(name: str, factory: Callable[[], Workload]) -> None:
 
 def get_workload(name: str) -> Workload:
     """Resolve a registered workload by name (materializing it once).
+
+    Example:
+        >>> get_workload("MLP-mnist").describe()
+        'MLP-mnist: MLP 784-512-256-10, batch 64'
+        >>> get_workload("MLP-mnist") is get_workload("MLP-mnist")
+        True
 
     Raises:
         ConfigurationError: for unknown names (message lists valid ones).
@@ -104,7 +132,12 @@ def get_workload(name: str) -> Workload:
 
 
 def list_workloads() -> List[str]:
-    """Sorted names of all registered workloads."""
+    """Sorted names of all registered workloads.
+
+    Example:
+        >>> "BERT-base" in list_workloads()
+        True
+    """
     import repro.workloads  # noqa: F401  (registers on import)
 
     return sorted(_WORKLOAD_FACTORIES)
@@ -122,7 +155,12 @@ WORKLOAD_KIND_CONTRACTS: Dict[WorkloadKind, Sequence[str]] = {
 
 def check_kind_contract(workload: Workload) -> None:
     """Raise :class:`MappingError` if ``workload`` declares a kind whose
-    required attributes it does not provide."""
+    required attributes it does not provide.
+
+    Example:
+        >>> check_kind_contract(get_workload("MLP-mnist")) is None
+        True
+    """
     missing = [
         attr
         for attr in WORKLOAD_KIND_CONTRACTS.get(workload.kind, ())
@@ -140,12 +178,17 @@ class Accelerator(abc.ABC):
     """A platform that can estimate the cost of running a workload.
 
     Every platform — TRON, GHOST, roofline and reported baselines —
-    executes through the uniform entry point::
+    executes through the uniform entry point ``run(workload)``.  Suites
+    fan out to their parts and merge; leaf workloads dispatch to the
+    platform's ``_run_workload`` implementation.
 
-        report = accelerator.run(workload)
-
-    Suites fan out to their parts and merge; leaf workloads dispatch to
-    the platform's ``_run_workload`` implementation.
+    Example:
+        >>> from repro.core import TRON
+        >>> report = TRON().run(get_workload("MLP-mnist"))
+        >>> report.platform, report.workload
+        ('TRON', 'MLP-mnist')
+        >>> report.latency_ns > 0 and report.energy_pj > 0
+        True
     """
 
     @property

@@ -50,6 +50,11 @@ class ThermalCorner:
             resonance corrections into heater temperature targets.
         hbm_derate: fraction of nominal HBM bandwidth available at this
             corner (hot DRAM spends more time refreshing); 1.0 = nominal.
+
+    Example:
+        >>> corner = ThermalCorner(name="hot", ambient_delta_k=30.0)
+        >>> round(corner.resonance_offset_nm, 2)   # 30 K x 0.08 nm/K
+        2.4
     """
 
     name: str = "nominal"
@@ -86,6 +91,10 @@ class PinnedArrayPhysics:
         usable_rows / usable_cols: yield-gated array dimensions.
         correction_power_mw: standing variation-correction tuning power
             of the whole array (all banks).
+
+    Example:
+        >>> PinnedArrayPhysics(64, 64, 12.5).correction_power_mw
+        12.5
     """
 
     usable_rows: int
@@ -119,6 +128,16 @@ class ExecutionContext:
             equality/hashing because it never affects cost physics.
         pinned: explicit per-geometry physics overrides, keyed by
             ``(rows, cols)`` (see :class:`PinnedArrayPhysics`).
+
+    Example:
+        >>> ExecutionContext().is_nominal        # default = nominal
+        True
+        >>> from repro.photonics.variation import ProcessVariationModel
+        >>> ctx = ExecutionContext(variation=ProcessVariationModel(), seed=7)
+        >>> ctx.affects_arrays, ctx.is_nominal
+        (True, False)
+        >>> ctx.for_sample(0).seed != ctx.for_sample(1).seed   # two dies
+        True
     """
 
     variation: Optional[ProcessVariationModel] = None
@@ -197,6 +216,12 @@ def standard_corners() -> Dict[str, ExecutionContext]:
     - **typical** — the default process-variation statistics.
     - **slow-hot** — wide variation plus a +30 K ambient with HBM derate.
     - **fast-cold** — tight (well-controlled) process, cool ambient.
+
+    Example:
+        >>> sorted(standard_corners())
+        ['fast-cold', 'nominal', 'slow-hot', 'typical']
+        >>> standard_corners()["nominal"].is_nominal
+        True
     """
     return {
         "nominal": ExecutionContext(),
@@ -216,3 +241,31 @@ def standard_corners() -> Dict[str, ExecutionContext]:
             thermal=ThermalCorner(name="fast-cold", ambient_delta_k=-10.0),
         ),
     }
+
+
+def resolve_corner(name: str, seed: int = 0) -> Optional[ExecutionContext]:
+    """The :class:`ExecutionContext` a named corner plus a seed denotes.
+
+    This is the single resolution rule shared by the CLI
+    (``--corner``/``--seed``) and the serving trace loader.  The nominal
+    corner resolves to ``None`` — the context-free path — because a seed
+    only picks a die where process variation exists.
+
+    Example:
+        >>> resolve_corner("nominal", seed=7) is None
+        True
+        >>> resolve_corner("typical", seed=7).seed
+        7
+
+    Raises:
+        ConfigurationError: for unknown corner names.
+    """
+    corners = standard_corners()
+    if name not in corners:
+        raise ConfigurationError(
+            f"unknown corner {name!r}; known corners: {sorted(corners)}"
+        )
+    base = corners[name]
+    if base.is_nominal:
+        return None
+    return replace(base, seed=seed)

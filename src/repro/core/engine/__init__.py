@@ -25,6 +25,7 @@ from repro.core.engine.corners import (
     ArrayContextPhysics,
     BatchContextPhysics,
     batch_context_physics,
+    batch_context_physics_for,
     context_physics,
 )
 from repro.core.engine.matmul import (
@@ -50,6 +51,7 @@ __all__ = [
     "PipelineStage",
     "Traffic",
     "batch_context_physics",
+    "batch_context_physics_for",
     "clear_physics_cache",
     "context_physics",
     "overlapped_stage_latency_ns",

@@ -298,6 +298,12 @@ def context_physics(
     return _PHYSICS_CACHE[key]
 
 
+def _context_family(ctx: ExecutionContext) -> Tuple:
+    """The fields a batch of contexts must share (everything but the
+    seed): the same die population, thermal corner and tuner model."""
+    return (ctx.variation, ctx.thermal, ctx.use_ted, ctx.tuner_range_nm)
+
+
 def batch_context_physics(
     spec, ctx: ExecutionContext, samples: Optional[int]
 ) -> BatchContextPhysics:
@@ -315,13 +321,59 @@ def batch_context_physics(
         )
     if samples is not None and samples < 1:
         raise ConfigurationError(f"need >= 1 sample, got {samples}")
-    rows, cols = spec.rows, spec.cols
-    fsr = _design_fsr_nm(spec.design)
     contexts = (
         [ctx]
         if samples is None
         else [ctx.for_sample(i) for i in range(samples)]
     )
+    return batch_context_physics_for(spec, contexts)
+
+
+def batch_context_physics_for(
+    spec, contexts
+) -> BatchContextPhysics:
+    """Context physics of explicitly listed dies in one batched pass.
+
+    Where :func:`batch_context_physics` derives its die population from
+    one base context, this entry point takes the dies themselves — the
+    serving scheduler uses it to evaluate every distinct die appearing in
+    a request group at once instead of running N scalar physics solves.
+    Entry ``i`` of the result is the physics of ``contexts[i]``,
+    identical to what :func:`context_physics` computes for that context
+    alone.
+
+    Args:
+        spec: the array geometry (``rows``, ``cols``, ``design``).
+        contexts: the dies to evaluate; all must share the same
+            variation model, thermal corner, TED flag and tuner range
+            (i.e. differ only in seed), and carry no pinned overrides.
+
+    Raises:
+        ConfigurationError: on an empty batch, a pinned context, or
+            contexts drawn from different die populations.
+    """
+    contexts = list(contexts)
+    if not contexts:
+        raise ConfigurationError("need >= 1 context to batch")
+    base = contexts[0]
+    if base is None:
+        raise ConfigurationError("batched context physics needs a context")
+    family = _context_family(base)
+    for ctx in contexts:
+        if ctx is None or ctx.pinned:
+            raise ConfigurationError(
+                "batched context physics needs sampling contexts "
+                "(no pinned overrides)"
+            )
+        if _context_family(ctx) != family:
+            raise ConfigurationError(
+                "all contexts in one physics batch must share the same "
+                "variation model, thermal corner, TED flag and tuner "
+                "range (they may differ only in seed)"
+            )
+    ctx = base
+    rows, cols = spec.rows, spec.cols
+    fsr = _design_fsr_nm(spec.design)
     # The draws loop per die (each die has its own seeded generator, so
     # a scalar per-sample sweep sees the same dies); everything below is
     # one batched pass over all dies at once.

@@ -26,6 +26,13 @@ class EnergyReport:
     The categories follow the accelerators' physical structure so the
     benches can attribute wins: photonic compute (laser + tuning), domain
     conversion (DAC/ADC), memory traffic, and digital blocks.
+
+    Example:
+        >>> e = EnergyReport(laser_pj=1.0, dac_pj=2.0)
+        >>> e.total_pj
+        3.0
+        >>> (e + e).scaled(0.5).total_pj
+        3.0
     """
 
     laser_pj: float = 0.0
@@ -76,6 +83,13 @@ class LatencyReport:
     ``memory_ns`` the non-overlapped memory stalls, ``conversion_ns`` the
     non-pipelined DAC/ADC serialization, ``digital_ns`` softmax and other
     digital post-processing.
+
+    Example:
+        >>> lat = LatencyReport(compute_ns=10.0, memory_ns=5.0)
+        >>> lat.total_ns
+        15.0
+        >>> lat.scaled(2).as_dict()["compute_ns"]
+        20.0
     """
 
     compute_ns: float = 0.0
@@ -126,6 +140,18 @@ class RunReport:
         energy: energy breakdown.
         bits_per_value: operand precision (8 for the paper's operating
             point); sets the EPB denominator.
+
+    Example:
+        >>> from repro.nn.counting import OpCount
+        >>> report = RunReport(
+        ...     platform="demo", workload="w",
+        ...     ops=OpCount(macs=50),                  # 100 ops total
+        ...     latency=LatencyReport(compute_ns=10.0),
+        ...     energy=EnergyReport(laser_pj=800.0))
+        >>> report.gops                                # 100 ops / 10 ns
+        10.0
+        >>> report.epb_pj                              # 800 pJ / 800 bits
+        1.0
     """
 
     platform: str

@@ -24,6 +24,10 @@ class PipelineStage:
     Attributes:
         name: stage label (for reports).
         latency_per_item_ns: time one item occupies this stage.
+
+    Example:
+        >>> PipelineStage("dac", 0.2).latency_per_item_ns
+        0.2
     """
 
     name: str
@@ -41,6 +45,11 @@ def pipeline_latency_ns(stages: Sequence[PipelineStage], num_items: int) -> floa
 
     latency = sum(stage latencies)            # fill the pipe once
             + (num_items - 1) * max(stage)    # steady state at bottleneck
+
+    Example:
+        >>> stages = [PipelineStage("a", 1.0), PipelineStage("b", 3.0)]
+        >>> pipeline_latency_ns(stages, num_items=5)   # 4 + 4 * 3
+        16.0
     """
     if num_items < 1:
         raise ConfigurationError(f"need >= 1 item, got {num_items}")
@@ -56,6 +65,12 @@ def lane_imbalance_factor(work_per_lane: Sequence[float]) -> float:
 
     A step of V parallel lanes finishes when the most-loaded lane does, so
     latency inflates by this factor relative to the balanced ideal.
+
+    Example:
+        >>> lane_imbalance_factor([2.0, 2.0, 2.0])
+        1.0
+        >>> lane_imbalance_factor([4.0, 2.0])   # 4 / 3
+        1.3333333333333333
     """
     work = np.asarray(list(work_per_lane), dtype=float)
     if work.size == 0:
@@ -74,6 +89,10 @@ def balanced_assignment(work_items: Sequence[float], lanes: int) -> float:
     This is GHOST's workload-balancing optimization (Section V.D): sort
     vertices by degree and deal them to the least-loaded lane.  Returns
     the resulting max/mean factor (>= 1.0).
+
+    Example:
+        >>> balanced_assignment([3.0, 3.0, 2.0, 2.0, 1.0, 1.0], lanes=2)
+        1.0
     """
     if lanes < 1:
         raise ConfigurationError(f"need >= 1 lane, got {lanes}")

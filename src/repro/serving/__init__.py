@@ -1,0 +1,72 @@
+"""The batched serving subsystem (request -> report at fleet scale).
+
+The ROADMAP's north star is serving heavy cost-query traffic; this
+package is the layer that makes one-at-a-time ``Accelerator.run`` calls
+scale:
+
+- :mod:`repro.serving.request` — the :class:`ServeRequest` /
+  :class:`ServeResponse` contract.
+- :mod:`repro.serving.cache` — the bounded, stats-instrumented
+  :class:`ReportCache` keyed on the frozen
+  ``(workload, config-fingerprint, context)`` triple.
+- :mod:`repro.serving.scheduler` — the :class:`BatchingScheduler`:
+  coalesces request streams into per-(platform, context-family) groups,
+  deduplicates identical requests, and evaluates each group's dies
+  through one batched corner-physics pass.
+- :mod:`repro.serving.engine` — the :class:`ServingEngine` front-end:
+  synchronous batches plus ``concurrent.futures`` async submission,
+  with per-request latency and fleet-level hit-rate accounting.
+- :mod:`repro.serving.trace` — the JSON trace format and the mixed
+  LLM+GNN traffic generator behind ``repro serve`` / ``repro
+  gen-trace``.
+
+See ``docs/serving.md`` for cache keying rules, batching semantics and
+the trace format.
+"""
+
+from repro.serving.cache import (
+    CacheKey,
+    CacheStats,
+    ReportCache,
+    config_fingerprint,
+    normalize_context,
+)
+from repro.serving.engine import ServingEngine, ServingStats
+from repro.serving.request import (
+    PLATFORM_CHOICES,
+    ServeRequest,
+    ServeResponse,
+)
+from repro.serving.scheduler import (
+    BatchingScheduler,
+    SchedulerStats,
+    default_platform_catalog,
+)
+from repro.serving.trace import (
+    TRACE_SCHEMA,
+    generate_trace,
+    load_trace,
+    record_to_request,
+    save_trace,
+)
+
+__all__ = [
+    "BatchingScheduler",
+    "CacheKey",
+    "CacheStats",
+    "PLATFORM_CHOICES",
+    "ReportCache",
+    "SchedulerStats",
+    "ServeRequest",
+    "ServeResponse",
+    "ServingEngine",
+    "ServingStats",
+    "TRACE_SCHEMA",
+    "config_fingerprint",
+    "default_platform_catalog",
+    "generate_trace",
+    "load_trace",
+    "normalize_context",
+    "record_to_request",
+    "save_trace",
+]

@@ -1,0 +1,182 @@
+"""The bounded, stats-instrumented report cache of the serving layer.
+
+Cost reports are pure functions of the ``(workload, accelerator
+configuration, execution context)`` triple — the same request always
+produces the same :class:`~repro.core.reports.RunReport` — so the
+serving layer memoizes them.  The cache key freezes all three
+components:
+
+- the **workload name** (registry names are canonical);
+- a **configuration fingerprint** (:func:`config_fingerprint`) digesting
+  the accelerator's full configuration dataclass, so two platforms that
+  differ in any knob — batch, array geometry, converter energies —
+  never share an entry;
+- the **execution context**, normalized so that ``None`` and any
+  nominal context share one entry (they are bit-identical by
+  construction; see :func:`normalize_context`).
+
+Eviction is LRU under a hard entry bound, and every lookup is counted,
+so hit rates are first-class observables (``repro serve --stats``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.context import ExecutionContext
+from repro.core.reports import RunReport
+from repro.errors import ConfigurationError
+
+#: A frozen cache key: (workload name, config fingerprint, context).
+CacheKey = Tuple[str, str, Optional[ExecutionContext]]
+
+
+def config_fingerprint(config: object) -> str:
+    """A short stable digest of an accelerator configuration.
+
+    Configuration dataclasses nest only other dataclasses and scalars,
+    so their ``repr`` is a complete, deterministic serialization of
+    every knob — hashing it distinguishes any two configurations that
+    could produce different reports.
+
+    Example:
+        >>> from repro.core.tron import TRONConfig
+        >>> a = config_fingerprint(TRONConfig())
+        >>> a == config_fingerprint(TRONConfig())
+        True
+        >>> a == config_fingerprint(TRONConfig(batch=8))
+        False
+    """
+    digest = hashlib.sha256(repr(config).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def normalize_context(
+    ctx: Optional[ExecutionContext],
+) -> Optional[ExecutionContext]:
+    """The canonical cache-key form of an execution context.
+
+    ``None`` and every nominal context cost bit-identically, so they
+    normalize to ``None`` and share one cache entry; any other context
+    is its own key (contexts are frozen and hashable).
+
+    Example:
+        >>> from repro.core.context import NOMINAL, resolve_corner
+        >>> normalize_context(NOMINAL) is None
+        True
+        >>> normalize_context(resolve_corner("typical", 3)).seed
+        3
+    """
+    if ctx is None or ctx.is_nominal:
+        return None
+    return ctx
+
+
+@dataclass
+class CacheStats:
+    """Lookup accounting of one :class:`ReportCache`.
+
+    Attributes:
+        hits / misses: lookup outcomes since construction (or the last
+            ``reset``).
+        insertions: successful ``put`` calls.
+        evictions: entries dropped to enforce the bound.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-serializable form."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ReportCache:
+    """A bounded LRU cache of :class:`RunReport` keyed by request triple.
+
+    Thread-safe: the serving front-end flushes micro-batches from a
+    worker thread while ``submit`` calls keep arriving.
+
+    Example:
+        >>> cache = ReportCache(max_entries=2)
+        >>> cache.get(("w", "cfg", None)) is None   # cold
+        True
+        >>> from repro.core import TRON, get_workload
+        >>> report = TRON().run(get_workload("MLP-mnist"))
+        >>> cache.put(("w", "cfg", None), report)
+        >>> cache.get(("w", "cfg", None)) is report
+        True
+        >>> cache.stats.hits, cache.stats.misses
+        (1, 1)
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"cache needs >= 1 entry, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, RunReport]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        """Membership probe; does not count as a lookup or touch LRU."""
+        return key in self._entries
+
+    def get(self, key: CacheKey) -> Optional[RunReport]:
+        """The cached report for ``key``, or ``None`` (counted either way)."""
+        with self._lock:
+            report = self._entries.get(key)
+            if report is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return report
+
+    def put(self, key: CacheKey, report: RunReport) -> None:
+        """Insert (or refresh) an entry, evicting LRU past the bound."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = report
+            self.stats.insertions += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept; use ``reset_stats`` too)."""
+        with self._lock:
+            self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the lookup accounting."""
+        with self._lock:
+            self.stats = CacheStats()

@@ -30,7 +30,14 @@ from repro.nn.transformer import TransformerConfig
 
 @dataclass(frozen=True)
 class TransformerWorkload(Workload):
-    """One full transformer inference at the model's sequence length."""
+    """One full transformer inference at the model's sequence length.
+
+    Example:
+        >>> from repro.nn.models import MODEL_ZOO
+        >>> workload = TransformerWorkload(model=MODEL_ZOO["BERT-base"])
+        >>> workload.name, workload.kind.value
+        ('BERT-base', 'transformer')
+    """
 
     model: TransformerConfig
 
@@ -60,6 +67,11 @@ class GNNWorkload(Workload):
     The graph materializes lazily from the dataset statistics (graph
     synthesis is the expensive part of a GNN evaluation) and is cached on
     the workload, so every platform and every sweep point shares it.
+
+    Example:
+        >>> workload = make_gnn_workload(GNNKind.GCN, "cora")
+        >>> workload.name, workload.kind.value    # no graph synthesis yet
+        ('GCN-cora', 'gnn')
     """
 
     model_config: GNNConfig
@@ -113,6 +125,14 @@ class MLPWorkload(Workload):
         mlp_name: workload name.
         widths: layer widths input -> hidden... -> output.
         samples: batch of inputs costed per inference.
+
+    Example:
+        >>> workload = MLPWorkload(mlp_name="tiny", widths=(4, 3, 2),
+        ...                        samples=2)
+        >>> workload.layer_dims
+        ((4, 3), (3, 2))
+        >>> workload.op_count().macs     # 2 x (4*3 + 3*2)
+        36
     """
 
     mlp_name: str
@@ -161,7 +181,15 @@ class MLPWorkload(Workload):
 
 @dataclass(frozen=True)
 class WorkloadSuite(Workload):
-    """A mixed batch of workloads executed back to back (serving mix)."""
+    """A mixed batch of workloads executed back to back (serving mix).
+
+    Example:
+        >>> suite = WorkloadSuite(suite_name="pair", members=(
+        ...     MLPWorkload(mlp_name="a", widths=(4, 2)),
+        ...     MLPWorkload(mlp_name="b", widths=(4, 2))))
+        >>> len(suite.parts()), suite.op_count().macs   # 2 x 4*2
+        (2, 16)
+    """
 
     suite_name: str
     members: Tuple[Workload, ...]
@@ -215,7 +243,12 @@ def make_gnn_workload(
     rng_seed: int = 7,
     name: Optional[str] = None,
 ) -> GNNWorkload:
-    """A GNN workload over a dataset replica (figure naming convention)."""
+    """A GNN workload over a dataset replica (figure naming convention).
+
+    Example:
+        >>> make_gnn_workload(GNNKind.GAT, "pubmed").model_config.heads
+        2
+    """
     stats = get_dataset_stats(dataset)
     config = GNNConfig(
         name=name or f"{kind.value.upper()}-{dataset}",

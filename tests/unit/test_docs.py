@@ -1,0 +1,61 @@
+"""The documentation suite as tier-1 tests.
+
+Mirrors the CI docs job: every audited public-API module and every
+``docs/*.md`` page must carry runnable ``>>>`` examples that pass as
+doctests, and no intra-repo markdown link may dangle.
+"""
+
+import doctest
+import importlib
+import pathlib
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO / "tools"))
+
+from run_doctests import AUDITED_MODULES, doc_pages  # noqa: E402
+
+
+@pytest.mark.parametrize("name", AUDITED_MODULES)
+def test_module_doctests(name):
+    module = importlib.import_module(name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{name} has no doctest examples"
+    assert result.failed == 0
+
+
+@pytest.mark.parametrize(
+    "page", doc_pages(), ids=lambda p: p.relative_to(REPO).as_posix()
+)
+def test_doc_page_doctests(page):
+    assert page.exists()
+    result = doctest.testfile(
+        str(page), module_relative=False, verbose=False
+    )
+    assert result.failed == 0
+
+
+def test_docs_pages_exist():
+    names = {page.name for page in doc_pages()}
+    assert {
+        "architecture.md",
+        "serving.md",
+        "cli.md",
+        "variation.md",
+    } <= names
+
+
+def test_no_broken_intra_repo_links():
+    from check_docs_links import broken_links
+
+    assert broken_links() == []
+
+
+def test_readme_keeps_quickstart_short():
+    """The README quickstart section stays a 30-line skim."""
+    text = (REPO / "README.md").read_text()
+    assert "## Quickstart" in text and "## Documentation" in text
+    quickstart = text.split("## Quickstart", 1)[1].split("## ", 1)[0]
+    assert len(quickstart.strip().splitlines()) <= 30

@@ -332,8 +332,9 @@ class TestCLI:
     def test_run_json_output(self, capsys):
         assert main(["run", "MLP-mnist", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.run/1"
         assert payload["platform"] == "TRON"
-        assert payload["corner"] == "nominal"
+        assert payload["context"] == {"corner": "nominal", "seed": 0}
         assert payload["latency_ns"] > 0.0
 
     def test_run_at_corner_costs_more(self, capsys):
@@ -361,6 +362,8 @@ class TestCLI:
             ["mc", "MLP-mnist", "--samples", "4", "--seed", "9", "--json"]
         ) == 0
         payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.mc/1"
+        assert payload["context"] == {"corner": "typical", "seed": 9}
         assert payload["samples"] == 4
         assert 0.0 <= payload["yield"] <= 1.0
         assert payload["energy_pj"]["mean"] > 0.0
@@ -383,7 +386,9 @@ class TestCLI:
 
     def test_corners_json(self, capsys):
         assert main(["corners", "--json"]) == 0
-        rows = json.loads(capsys.readouterr().out)
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.corners/1"
+        rows = payload["rows"]
         assert len(rows) == 8  # 4 corners x 2 platforms
         nominal = [r for r in rows if r["corner"] == "nominal"]
         assert all(r["correction_power_mw"] == 0.0 for r in nominal)
@@ -397,3 +402,58 @@ class TestCLI:
             ["sweep", "tron", "--corners", "--json", "--seed", "5"]
         )
         assert args.corners and args.json and args.seed == 5
+
+
+class TestServeCLI:
+    def _write_trace(self, tmp_path, requests=24, catalog=6):
+        path = tmp_path / "trace.json"
+        assert main(
+            [
+                "gen-trace",
+                str(path),
+                "--requests",
+                str(requests),
+                "--catalog",
+                str(catalog),
+            ]
+        ) == 0
+        return path
+
+    def test_gen_trace_writes_valid_trace(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        out = capsys.readouterr().out
+        assert "24 requests" in out
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro.trace/1"
+        assert len(payload["requests"]) == 24
+
+    def test_serve_replays_trace(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        assert main(["serve", "--trace", str(path), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "served 24 requests" in out
+        assert "cache hit rate" in out
+
+    def test_serve_json_envelope_and_warm_replay(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        capsys.readouterr()  # drop the gen-trace confirmation line
+        assert main(
+            ["serve", "--trace", str(path), "--repeat", "2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.serve/1"
+        assert payload["context"]["repeat"] == 2
+        assert payload["stats"]["requests"] == 48
+        # The second replay is served entirely from the cache.
+        assert payload["stats"]["hit_rate"] >= 0.5
+        assert payload["stats"]["errors"] == 0
+
+    def test_serve_rejects_missing_trace(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["serve", "--trace", str(tmp_path / "nope.json")])
+
+    def test_serve_rejects_bad_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/9", "requests": []}))
+        with pytest.raises(ConfigurationError, match="schema"):
+            main(["serve", "--trace", str(path)])

@@ -1,0 +1,58 @@
+"""Fail on broken intra-repo links in docs/ and the README.
+
+Usage::
+
+    python tools/check_docs_links.py
+
+Scans every markdown link ``[text](target)`` in ``README.md`` and
+``docs/*.md``; external targets (``http(s)://``, ``mailto:``) and pure
+in-page anchors are skipped, everything else must resolve to an
+existing file relative to the page that links it (an optional
+``#anchor`` suffix is allowed and stripped).  Exits non-zero listing
+every broken link.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import List, Tuple
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: Markdown inline links; deliberately simple — no nested brackets.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Targets that are not intra-repo files.
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def pages() -> List[pathlib.Path]:
+    return [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+
+
+def broken_links() -> List[Tuple[pathlib.Path, str]]:
+    """(page, target) pairs whose targets do not resolve."""
+    broken = []
+    for page in pages():
+        for target in LINK_RE.findall(page.read_text()):
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not (page.parent / path).exists():
+                broken.append((page, target))
+    return broken
+
+
+def main() -> int:
+    broken = broken_links()
+    checked = len(pages())
+    for page, target in broken:
+        print(f"BROKEN  {page.relative_to(REPO)}: ({target})")
+    print(f"checked {checked} pages, {len(broken)} broken links")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
