@@ -5,9 +5,19 @@ accelerator ... were determined through detailed design-space analysis."
 This module replays that analysis with a single sweep engine: a
 :class:`SweepSpace` names the knob grid, how to build an accelerator at
 a point, and which workload to evaluate — the engine enumerates the
-cartesian product, evaluates points concurrently, and memoizes the
-expensive shared state (the materialized workload and the engine's
-device-physics curves) across points.
+cartesian product and evaluates every point through one of four
+strategies (see :func:`run_sweep`).
+
+The default **batched** strategy is the production path: the workload
+materializes once, every distinct array geometry's device physics is
+computed in one vectorized kernel call
+(:func:`repro.core.engine.prime_breakdown_cache`), points collapse into
+groups sharing a run-path signature — platform, full configuration and
+normalized execution context, exactly how
+:mod:`repro.analysis.robustness` groups Monte-Carlo dies — and each
+group costs through the run path once.  Reconstructed per-point reports
+are bit-identical to scalar runs because the kernels replicate the
+scalar operation order.
 
 The classic TRON and GHOST sweeps are thin wrappers
 (:func:`sweep_tron` / :func:`sweep_ghost`); any registered workload and
@@ -16,14 +26,15 @@ any config space sweeps the same way.
 
 from __future__ import annotations
 
+import importlib
 import itertools
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.base import Accelerator, Workload
 from repro.core.context import ExecutionContext
-from repro.core.engine import clear_physics_cache
+from repro.core.engine import clear_physics_cache, prime_breakdown_cache
 from repro.core.ghost import GHOST, GHOSTConfig
 from repro.core.reports import RunReport
 from repro.core.tron import TRON, TRONConfig
@@ -31,6 +42,9 @@ from repro.errors import ConfigurationError
 from repro.nn.gnn import GNNKind
 from repro.nn.models import bert_base
 from repro.workloads import TransformerWorkload, make_gnn_workload
+
+#: The sweep evaluation strategies of :func:`run_sweep`.
+STRATEGIES = ("batched", "serial", "threads")
 
 
 @dataclass(frozen=True)
@@ -173,20 +187,117 @@ def with_corners(
     return replace(space, corners=tuple(corners.items()))
 
 
+def _normalized_context(
+    ctx: Optional[ExecutionContext],
+) -> Optional[ExecutionContext]:
+    """``None`` and nominal contexts share one run-path signature (they
+    cost bit-identically by construction)."""
+    if ctx is None or ctx.is_nominal:
+        return None
+    return ctx
+
+
+def _physics_requests(accelerator: Accelerator) -> List[Tuple]:
+    """The nominal breakdown-cache keys this accelerator's run will hit.
+
+    Every unit costs with the default average weight magnitude; the
+    refresh windows in play are the config's weight-stationary window
+    and the un-amortized default.
+    """
+    specs = getattr(accelerator, "array_specs", None)
+    if specs is None:
+        return []
+    refresh = getattr(accelerator.config, "weight_refresh_cycles", 1)
+    requests = []
+    for spec in specs():
+        requests.append((spec, 0.5, refresh))
+        if refresh != 1:
+            requests.append((spec, 0.5, 1))
+    return requests
+
+
+def _run_batched(
+    space: SweepSpace, evaluations: List[Tuple]
+) -> List[SweepPoint]:
+    """The configuration-batched sweep path (see :func:`run_sweep`)."""
+    workload = space.build_workload()
+    workload.materialize()  # once, shared by every point
+
+    accelerators = [
+        space.build_accelerator(knobs) for knobs, _, _ in evaluations
+    ]
+    # One vectorized kernel call computes every distinct array
+    # geometry's device-physics curve before any point runs.
+    requests = []
+    for accelerator in accelerators:
+        requests.extend(_physics_requests(accelerator))
+    prime_breakdown_cache(requests)
+
+    # Group points by run-path signature — platform, configuration and
+    # normalized context — exactly how the Monte-Carlo engine groups
+    # dies by yield signature: each group costs through the run path
+    # once and every member reuses the report (requests differing only
+    # in label, e.g. duplicated corner axes, never re-run).
+    groups: Dict[Tuple, List[int]] = {}
+    signatures = []
+    for index, ((knobs, label, ctx), accelerator) in enumerate(
+        zip(evaluations, accelerators)
+    ):
+        signature = (
+            type(accelerator).__name__,
+            repr(accelerator.config),
+            _normalized_context(ctx),
+        )
+        signatures.append(signature)
+        groups.setdefault(signature, []).append(index)
+
+    reports: Dict[Tuple, RunReport] = {}
+    for signature, members in groups.items():
+        knobs, _, ctx = evaluations[members[0]]
+        reports[signature] = accelerators[members[0]].run(workload, ctx=ctx)
+    return [
+        SweepPoint(label=label, knobs=knobs, report=reports[signature])
+        for (knobs, label, _), signature in zip(evaluations, signatures)
+    ]
+
+
 def run_sweep(
     space: SweepSpace,
     parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
     memoize: bool = True,
+    strategy: Optional[str] = None,
 ) -> List[SweepPoint]:
     """Evaluate every point of a sweep space.
 
-    With ``memoize`` (the default) the workload materializes once and the
-    engine's device-physics curves persist across points; points then
-    evaluate concurrently (``parallel`` defaults to True).
+    Strategies (``strategy``; the executor-choice heuristic):
+
+    - ``"batched"`` — the default and the CPU-bound production path:
+      materialize the workload once, compute all device physics in one
+      vectorized kernel call, group points by run-path signature and
+      cost each group once.  Point evaluation is pure Python/numpy
+      compute, so **a thread pool cannot speed it up — the GIL
+      serializes it**; batching the math is what wins.
+    - ``"threads"`` — the legacy pool (also selected by
+      ``parallel=True``).  Kept *only* for I/O-ish paths: when the
+      physics caches are already warm (or the persistent disk cache
+      serves them), point evaluation degenerates to cache lookups and
+      numpy kernels that release the GIL, and overlapping points can
+      hide the remaining stalls.  Never the right choice for a cold
+      CPU-bound grid.
+    - ``"serial"`` — one plain scalar run per point (memoized state,
+      no grouping; also selected by ``parallel=False``); the reference
+      the batched path is tested against, and the path to use when
+      every point must own a distinct report object (batched grouping
+      shares one report across duplicate-signature points).
+    - For non-batchable spaces (factories that resist signature
+      grouping) on multi-core hosts, use
+      :func:`run_sweep_in_processes` — a ``ProcessPoolExecutor`` over
+      importable space factories sidesteps the GIL entirely.
+
     ``memoize=False`` is the naive baseline the benchmarks compare
-    against: every point re-materializes its workload and recomputes the
-    physics curves, **strictly sequentially** — requesting
+    against: every point re-materializes its workload and recomputes
+    the physics curves, **strictly sequentially** — requesting
     ``parallel=True`` with it is a contradiction and raises.
     """
     evaluations = space.evaluations()
@@ -206,6 +317,26 @@ def run_sweep(
             points.append(SweepPoint(label=label, knobs=knobs, report=report))
         return points
 
+    if strategy is None:
+        # Back-compat mapping: parallel=True is the legacy thread pool,
+        # parallel=False the legacy strict per-point serial loop (each
+        # point owns a distinct report object); only the unspecified
+        # default upgrades to the batched path.
+        if parallel is True:
+            strategy = "threads"
+        elif parallel is False:
+            strategy = "serial"
+        else:
+            strategy = "batched"
+    if strategy not in STRATEGIES:
+        raise ConfigurationError(
+            f"unknown sweep strategy {strategy!r}; pick one of {STRATEGIES} "
+            "(or run_sweep_in_processes for the multi-process fallback)"
+        )
+
+    if strategy == "batched":
+        return _run_batched(space, evaluations)
+
     workload = space.build_workload()
     workload.materialize()  # once, outside the worker pool
 
@@ -214,12 +345,87 @@ def run_sweep(
         report = space.build_accelerator(knobs).run(workload, ctx=ctx)
         return SweepPoint(label=label, knobs=knobs, report=report)
 
-    if parallel is None:
-        parallel = True
-    if parallel and len(evaluations) > 1:
+    if strategy == "threads" and len(evaluations) > 1:
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             return list(pool.map(evaluate, evaluations))
     return [evaluate(evaluation) for evaluation in evaluations]
+
+
+def _resolve_space_factory(factory) -> Callable[..., SweepSpace]:
+    """A space factory from a callable or an ``"module:attr"`` string."""
+    if callable(factory):
+        return factory
+    if isinstance(factory, str) and ":" in factory:
+        module_name, attr = factory.split(":", 1)
+        return getattr(importlib.import_module(module_name), attr)
+    raise ConfigurationError(
+        "space factory must be a callable or 'module:attribute' string, "
+        f"got {factory!r}"
+    )
+
+
+def _process_chunk(payload) -> List[Tuple]:
+    """Worker: rebuild the space in-process and run one index chunk."""
+    factory, kwargs, indices = payload
+    space = _resolve_space_factory(factory)(**kwargs)
+    evaluations = space.evaluations()
+    chunk = [evaluations[i] for i in indices]
+    points = _run_batched(space, chunk)
+    return [
+        (index, point.label, point.knobs, point.report)
+        for index, point in zip(indices, points)
+    ]
+
+
+def run_sweep_in_processes(
+    space_factory,
+    factory_kwargs: Optional[Mapping[str, Any]] = None,
+    max_workers: int = 2,
+) -> List[SweepPoint]:
+    """Evaluate a sweep space across worker *processes*.
+
+    The GIL-free fallback for grids the batched path cannot help (e.g.
+    custom spaces whose points share no run-path structure) on
+    multi-core hosts.  Because worker processes cannot receive closures,
+    the space is named by a picklable **factory** — a module-level
+    callable or an ``"module:attribute"`` string — plus keyword
+    arguments, and each worker rebuilds it locally and evaluates an
+    index chunk through the batched path.  Results are returned in grid
+    order and are bit-identical to an in-process sweep (same code, same
+    inputs).
+
+    Example:
+        >>> points = run_sweep_in_processes(
+        ...     "repro.analysis.sweep:tron_sweep_space",
+        ...     {"head_units": (4,), "array_sizes": (32, 64),
+        ...      "clocks_ghz": (5.0,)},
+        ...     max_workers=2)
+        >>> [p.label for p in points]
+        ['H4/A32/5.0GHz', 'H4/A64/5.0GHz']
+    """
+    if max_workers < 1:
+        raise ConfigurationError(f"need >= 1 worker, got {max_workers}")
+    factory = space_factory
+    kwargs = dict(factory_kwargs or {})
+    # Validate eagerly in the parent (workers would fail opaquely).
+    space = _resolve_space_factory(factory)(**kwargs)
+    num_points = len(space.evaluations())
+    chunk_count = min(max_workers, num_points)
+    chunks = [
+        list(range(start, num_points, chunk_count))
+        for start in range(chunk_count)
+    ]
+    payloads = [(factory, kwargs, indices) for indices in chunks]
+    results: List[Optional[SweepPoint]] = [None] * num_points
+    if chunk_count == 1:
+        chunk_results = [_process_chunk(payloads[0])]
+    else:
+        with ProcessPoolExecutor(max_workers=chunk_count) as pool:
+            chunk_results = list(pool.map(_process_chunk, payloads))
+    for chunk in chunk_results:
+        for index, label, knobs, report in chunk:
+            results[index] = SweepPoint(label=label, knobs=knobs, report=report)
+    return list(results)
 
 
 def combined_sweep(
@@ -227,11 +433,16 @@ def combined_sweep(
     parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
     memoize: bool = True,
+    strategy: Optional[str] = None,
 ) -> Dict[str, List[SweepPoint]]:
     """Run several sweep spaces, sharing the memoized engine state."""
     return {
         space.name: run_sweep(
-            space, parallel=parallel, max_workers=max_workers, memoize=memoize
+            space,
+            parallel=parallel,
+            max_workers=max_workers,
+            memoize=memoize,
+            strategy=strategy,
         )
         for space in spaces
     }

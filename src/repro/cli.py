@@ -15,6 +15,8 @@ Commands:
 - ``corners`` — evaluate the standard corner grid on both accelerators.
 - ``serve`` — replay a JSON request trace through the batching/caching
   serving engine (``--stats`` prints the fleet accounting).
+- ``cache`` — inspect or clear the persistent physics cache
+  (``repro cache --clear``; see docs/performance.md).
 - ``gen-trace`` — synthesize a mixed LLM+GNN request trace.
 - ``run-llm <model>`` — cost one transformer inference on TRON.
 - ``run-gnn <kind> <dataset>`` — cost one GNN inference on GHOST.
@@ -76,6 +78,19 @@ def _context_from_args(args):
     )
 
 
+def _enable_disk_cache():
+    """Attach the persistent physics cache for this CLI invocation.
+
+    Repeated sweeps and serving cold-starts then skip device-physics
+    recomputation across processes.  ``REPRO_DISK_CACHE=0`` opts out
+    and ``REPRO_CACHE_DIR`` relocates the directory; see
+    ``repro cache`` and docs/performance.md.
+    """
+    from repro.core.engine import configure_disk_cache
+
+    return configure_disk_cache()
+
+
 def _cmd_describe(_args) -> int:
     from repro.core.ghost import GHOST
     from repro.core.tron import TRON
@@ -118,7 +133,9 @@ def _cmd_sweep(args) -> int:
         with_corners,
     )
     from repro.core.context import standard_corners
+    from repro.core.engine import physics_cache_stats
 
+    _enable_disk_cache()
     spaces = {
         "tron": (tron_sweep_space,),
         "ghost": (ghost_sweep_space,),
@@ -156,7 +173,7 @@ def _cmd_sweep(args) -> int:
         envelope = json_envelope(
             "sweep",
             {"corners_axis": args.corners, "seed": args.seed},
-            {"spaces": output},
+            {"spaces": output, "physics_cache": physics_cache_stats()},
         )
         print(json.dumps(envelope, indent=2))
     return 0
@@ -193,9 +210,32 @@ def _pick_platform(args, workload):
     return TRON(TRONConfig(batch=getattr(args, "batch", 1)))
 
 
+def _cmd_cache(args) -> int:
+    from repro.core.engine import configure_disk_cache
+
+    cache = configure_disk_cache()
+    if cache is None:
+        print("persistent physics cache disabled (REPRO_DISK_CACHE=0)")
+        return 0
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {cache.path}")
+        return 0
+    entries = len(cache)
+    if args.json:
+        envelope = json_envelope(
+            "cache", {}, {"path": str(cache.path), "entries": entries}
+        )
+        print(json.dumps(envelope, indent=2))
+    else:
+        print(f"persistent physics cache: {cache.path} ({entries} entries)")
+    return 0
+
+
 def _cmd_run(args) -> int:
     from repro.core.base import get_workload
 
+    _enable_disk_cache()
     workload = get_workload(args.workload)
     accelerator = _pick_platform(args, workload)
     ctx = _context_from_args(args)
@@ -220,6 +260,7 @@ def _cmd_mc(args) -> int:
     from repro.core.context import standard_corners
     from repro.photonics.variation import ProcessVariationModel
 
+    _enable_disk_cache()
     workload = get_workload(args.workload)
     base = standard_corners()[args.corner]
     if base.variation is None:
@@ -299,8 +340,10 @@ def _cmd_corners(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from repro.core.engine import physics_cache_stats
     from repro.serving import ServingEngine, load_trace
 
+    _enable_disk_cache()
     requests = load_trace(args.trace)
     engine = ServingEngine(
         cache_entries=args.cache_entries,
@@ -317,6 +360,7 @@ def _cmd_serve(args) -> int:
     stats = engine.stats.to_dict()
     cache = engine.cache.stats.to_dict()
     scheduler = engine.scheduler.stats.to_dict()
+    physics = physics_cache_stats()
     if args.json:
         envelope = json_envelope(
             "serve",
@@ -329,6 +373,7 @@ def _cmd_serve(args) -> int:
                 "stats": stats,
                 "cache": cache,
                 "scheduler": scheduler,
+                "physics_cache": physics,
             },
         )
         print(json.dumps(envelope, indent=2))
@@ -353,6 +398,19 @@ def _cmd_serve(args) -> int:
             f"  cache entries    {len(engine.cache)} "
             f"(bound {engine.cache.max_entries}, "
             f"{cache['evictions']} evicted)"
+        )
+        breakdown = physics["breakdown"]
+        context = physics["context_physics"]
+        disk = physics["disk"]
+        print(
+            f"  physics memo     {100 * breakdown['hit_rate']:.1f}% "
+            f"breakdown hits, {100 * context['hit_rate']:.1f}% context "
+            f"hits ({breakdown['evictions'] + context['evictions']} "
+            "evicted)"
+        )
+        print(
+            f"  physics disk     {disk['hits']} hits / "
+            f"{disk['misses']} misses, {disk['writes']} writes"
         )
     return 0 if stats["errors"] == 0 else 1
 
@@ -500,6 +558,17 @@ def build_parser() -> argparse.ArgumentParser:
     corners.add_argument("--json", action="store_true")
     _add_seed(corners)
 
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the persistent physics cache",
+    )
+    cache.add_argument(
+        "--clear",
+        action="store_true",
+        help="delete every cached physics record",
+    )
+    cache.add_argument("--json", action="store_true")
+
     serve = sub.add_parser(
         "serve",
         help="replay a JSON request trace through the serving engine",
@@ -591,6 +660,7 @@ _HANDLERS = {
     "run": _cmd_run,
     "mc": _cmd_mc,
     "corners": _cmd_corners,
+    "cache": _cmd_cache,
     "serve": _cmd_serve,
     "gen-trace": _cmd_gen_trace,
     "run-llm": _cmd_run_llm,

@@ -27,13 +27,25 @@ from repro.core.engine.corners import (
     batch_context_physics,
     batch_context_physics_for,
     context_physics,
+    context_physics_cache_stats,
+)
+from repro.core.engine.diskcache import (
+    PhysicsDiskCache,
+    active_disk_cache,
+    configure_disk_cache,
+    default_cache_dir,
+    disk_cache_stats,
+    fingerprint,
 )
 from repro.core.engine.matmul import (
     ArrayExecutor,
     ArraySpec,
+    breakdown_cache_stats,
     clear_physics_cache,
     photonic_matmul,
+    prime_breakdown_cache,
 )
+from repro.core.engine.memo import LRUMemo, MemoStats
 from repro.core.engine.memory import MemoryModel, Traffic
 from repro.core.engine.pipeline import (
     PipelineStage,
@@ -42,20 +54,45 @@ from repro.core.engine.pipeline import (
     serial_waves,
 )
 
+
+def physics_cache_stats() -> dict:
+    """One dict aggregating every physics-cache observable.
+
+    The in-process memos (device-physics curves, per-context physics)
+    plus the persistent disk cache — what ``repro sweep --json`` and
+    ``repro serve --stats`` surface.
+    """
+    stats = {"breakdown": breakdown_cache_stats()}
+    stats.update(context_physics_cache_stats())
+    stats["disk"] = disk_cache_stats()
+    return stats
+
 __all__ = [
     "ArrayContextPhysics",
     "ArrayExecutor",
     "ArraySpec",
     "BatchContextPhysics",
+    "LRUMemo",
+    "MemoStats",
     "MemoryModel",
+    "PhysicsDiskCache",
     "PipelineStage",
     "Traffic",
+    "active_disk_cache",
     "batch_context_physics",
     "batch_context_physics_for",
+    "breakdown_cache_stats",
     "clear_physics_cache",
+    "configure_disk_cache",
     "context_physics",
+    "context_physics_cache_stats",
+    "default_cache_dir",
+    "disk_cache_stats",
+    "fingerprint",
     "overlapped_stage_latency_ns",
     "photonic_matmul",
+    "physics_cache_stats",
     "pipeline_latency_ns",
+    "prime_breakdown_cache",
     "serial_waves",
 ]

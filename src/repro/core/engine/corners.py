@@ -33,8 +33,10 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.core.context import ExecutionContext
+from repro.core.engine.diskcache import active_disk_cache
+from repro.core.engine.memo import LRUMemo
 from repro.errors import ConfigurationError
-from repro.photonics.microring import Microring, MicroringDesign
+from repro.photonics.microring import MicroringDesign, design_working_point
 from repro.photonics.thermal import ThermalGrid
 
 #: Default tuner range as a fraction of the FSR when the context does not
@@ -109,15 +111,14 @@ class BatchContextPhysics:
         )
 
 
-#: (rows, cols, design, context) -> scalar physics record.  Bounded so
-#: per-die loops (a fresh context per seed) churn through it instead of
-#: growing it.
-_PHYSICS_CACHE: Dict[Tuple, Optional[ArrayContextPhysics]] = {}
-_PHYSICS_CACHE_MAX_ENTRIES = 256
+#: (rows, cols, design, context) -> scalar physics record.  LRU-bounded
+#: (with eviction counters) so per-die loops (a fresh context per seed)
+#: churn through it instead of growing it.
+_PHYSICS_CACHE: LRUMemo = LRUMemo(max_entries=256)
 #: cols -> inverse thermal coupling matrix of a bank of heaters.
-_COUPLING_INVERSE_CACHE: Dict[int, np.ndarray] = {}
+_COUPLING_INVERSE_CACHE: LRUMemo = LRUMemo(max_entries=64)
 #: design -> FSR at 1550 nm.
-_FSR_CACHE: Dict[MicroringDesign, float] = {}
+_FSR_CACHE: LRUMemo = LRUMemo(max_entries=64)
 
 
 def clear_context_physics_cache() -> None:
@@ -128,24 +129,37 @@ def clear_context_physics_cache() -> None:
     _FSR_CACHE.clear()
 
 
+def context_physics_cache_stats() -> Dict[str, Dict[str, float]]:
+    """Hit/miss/eviction counters of the per-context physics memos."""
+    return {
+        "context_physics": _PHYSICS_CACHE.stats.to_dict(),
+        "coupling_inverse": _COUPLING_INVERSE_CACHE.stats.to_dict(),
+        "design_fsr": _FSR_CACHE.stats.to_dict(),
+    }
+
+
 def _design_fsr_nm(design: MicroringDesign) -> float:
-    if design not in _FSR_CACHE:
-        _FSR_CACHE[design] = Microring.at_wavelength(design, 1550.0).fsr_nm
-    return _FSR_CACHE[design]
+    """FSR at 1550 nm, via the shared photonics working-point kernel."""
+    fsr = _FSR_CACHE.get(design)
+    if fsr is None:
+        fsr = float(design_working_point(design).fsr_nm)
+        _FSR_CACHE.put(design, fsr)
+    return fsr
 
 
 def _coupling_inverse(cols: int) -> np.ndarray:
     """Inverse thermal coupling matrix of a bank of ``cols`` heaters
     (float32, matching the batched physics pipeline)."""
-    if cols not in _COUPLING_INVERSE_CACHE:
+    inverse = _COUPLING_INVERSE_CACHE.get(cols)
+    if inverse is None:
         grid = ThermalGrid(num_heaters=cols)
         inverse = np.linalg.inv(grid.coupling_matrix()).astype(np.float32)
         # The exponential distance decay leaves far-neighbour entries in
         # the float32 subnormal range; flush them to zero — physically
         # negligible, and subnormal operands stall the batched matmul.
         inverse[np.abs(inverse) < np.finfo(np.float32).tiny] = 0.0
-        _COUPLING_INVERSE_CACHE[cols] = inverse
-    return _COUPLING_INVERSE_CACHE[cols]
+        _COUPLING_INVERSE_CACHE.put(cols, inverse)
+    return inverse
 
 
 def _fold_errors_nm_inplace(
@@ -290,12 +304,38 @@ def context_physics(
             else 0.0,
         )
     key = (spec.rows, spec.cols, spec.design, ctx)
-    if key not in _PHYSICS_CACHE:
-        batch = batch_context_physics(spec, ctx, samples=None)
-        while len(_PHYSICS_CACHE) >= _PHYSICS_CACHE_MAX_ENTRIES:
-            _PHYSICS_CACHE.pop(next(iter(_PHYSICS_CACHE)))
-        _PHYSICS_CACHE[key] = batch.sample(0)
-    return _PHYSICS_CACHE[key]
+    cached = _PHYSICS_CACHE.get(key)
+    if cached is not None:
+        return cached
+    disk = active_disk_cache()
+    disk_key = (spec.rows, spec.cols, repr(spec.design), repr(ctx))
+    if disk is not None:
+        persisted = disk.get("context-physics", disk_key)
+        if persisted is not None:
+            physics = ArrayContextPhysics(
+                usable_rows=int(persisted["usable_rows"]),
+                usable_cols=int(persisted["usable_cols"]),
+                correction_power_mw=persisted["correction_power_mw"],
+                ring_yield=persisted["ring_yield"],
+                mean_correction_nm=persisted["mean_correction_nm"],
+            )
+            _PHYSICS_CACHE.put(key, physics)
+            return physics
+    physics = batch_context_physics(spec, ctx, samples=None).sample(0)
+    _PHYSICS_CACHE.put(key, physics)
+    if disk is not None:
+        disk.put(
+            "context-physics",
+            disk_key,
+            {
+                "usable_rows": physics.usable_rows,
+                "usable_cols": physics.usable_cols,
+                "correction_power_mw": physics.correction_power_mw,
+                "ring_yield": physics.ring_yield,
+                "mean_correction_nm": physics.mean_correction_nm,
+            },
+        )
+    return physics
 
 
 def _context_family(ctx: ExecutionContext) -> Tuple:

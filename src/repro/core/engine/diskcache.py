@@ -1,0 +1,237 @@
+"""The persistent on-disk physics cache.
+
+Device-physics curves and per-``(geometry, context)`` variation physics
+are pure functions of frozen dataclasses, so their values survive
+process boundaries: a CLI sweep tonight and a serving cold-start
+tomorrow recompute exactly what a previous process already solved.
+This module persists those solves as tiny JSON records keyed by the
+same fingerprint scheme as the serving layer's report cache
+(:func:`fingerprint`, a short SHA-256 digest of the key's ``repr`` —
+configuration dataclasses nest only dataclasses and scalars, so their
+``repr`` is a complete deterministic serialization).
+
+Design points:
+
+- **Opt-in per process.**  The library default is *disabled* so unit
+  tests and benchmarks stay hermetic; the CLI enables it for ``sweep``
+  / ``serve`` / ``run`` / ``mc`` (``REPRO_DISK_CACHE=0`` opts out, and
+  ``repro cache --clear`` empties it).
+- **Exact round-trip.**  Payloads are flat ``{str: float}`` dicts and
+  JSON serializes floats with ``repr`` semantics, so a cached physics
+  value is bit-identical to the freshly computed one.
+- **Versioned keys.**  :data:`PHYSICS_SCHEMA_VERSION` participates in
+  every fingerprint; bumping it when kernel math changes orphans stale
+  entries instead of serving wrong numbers.
+- **Corruption-tolerant.**  An unreadable or mismatching entry counts
+  as a miss (and an ``error``), never an exception on the hot path.
+
+Example:
+    >>> import tempfile
+    >>> cache = PhysicsDiskCache(tempfile.mkdtemp())
+    >>> cache.get("breakdown", ("spec", 0.5)) is None
+    True
+    >>> cache.put("breakdown", ("spec", 0.5), {"laser_pj": 1.25})
+    >>> cache.get("breakdown", ("spec", 0.5))
+    {'laser_pj': 1.25}
+    >>> cache.clear()
+    1
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+#: Bump when kernel math changes: stale cache entries from an older
+#: physics implementation must miss, not serve outdated numbers.
+PHYSICS_SCHEMA_VERSION = 1
+
+#: Environment variable naming the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling persistence entirely (``0`` / ``off``).
+CACHE_ENABLE_ENV = "REPRO_DISK_CACHE"
+
+
+def fingerprint(key: object) -> str:
+    """A short stable digest of any repr-deterministic key.
+
+    The exact scheme of :func:`repro.serving.cache.config_fingerprint`
+    (which delegates here): SHA-256 over ``repr`` and keep 16 hex
+    chars.  Frozen dataclasses, tuples and scalars all qualify.
+
+    Example:
+        >>> fingerprint(("spec", 1)) == fingerprint(("spec", 1))
+        True
+        >>> fingerprint(("spec", 1)) == fingerprint(("spec", 2))
+        False
+    """
+    digest = hashlib.sha256(repr(key).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The cache directory (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``)."""
+    root = os.environ.get(CACHE_DIR_ENV)
+    if root:
+        return pathlib.Path(root).expanduser()
+    return pathlib.Path("~/.cache/repro/physics").expanduser()
+
+
+@dataclass
+class DiskCacheStats:
+    """Lookup accounting of one :class:`PhysicsDiskCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-serializable form."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "errors": self.errors,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PhysicsDiskCache:
+    """One JSON file per cached physics record, under one directory.
+
+    Entries are written atomically (temp file + rename) so concurrent
+    sweep processes sharing a cache directory never observe torn
+    records, and each record stores its full key ``repr`` so a
+    fingerprint collision reads as a miss rather than wrong physics.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = pathlib.Path(path)
+        self.stats = DiskCacheStats()
+        self._lock = threading.Lock()
+        self.path.mkdir(parents=True, exist_ok=True)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.path.glob("*.json"))
+
+    def _entry_path(self, kind: str, key: object) -> pathlib.Path:
+        full_key = (PHYSICS_SCHEMA_VERSION, kind, key)
+        return self.path / f"{kind}-{fingerprint(full_key)}.json"
+
+    def get(self, kind: str, key: object) -> Optional[Dict[str, float]]:
+        """The cached payload for ``(kind, key)``, or ``None``."""
+        entry = self._entry_path(kind, key)
+        with self._lock:
+            try:
+                record = json.loads(entry.read_text())
+            except FileNotFoundError:
+                self.stats.misses += 1
+                return None
+            except (OSError, ValueError):
+                self.stats.misses += 1
+                self.stats.errors += 1
+                return None
+            if (
+                record.get("schema") != PHYSICS_SCHEMA_VERSION
+                or record.get("key") != repr(key)
+            ):
+                self.stats.misses += 1
+                self.stats.errors += 1
+                return None
+            self.stats.hits += 1
+            return record["value"]
+
+    def put(self, kind: str, key: object, value: Dict[str, float]) -> None:
+        """Persist a payload atomically; I/O failures are non-fatal."""
+        entry = self._entry_path(kind, key)
+        record = {
+            "schema": PHYSICS_SCHEMA_VERSION,
+            "kind": kind,
+            "key": repr(key),
+            "value": value,
+        }
+        with self._lock:
+            try:
+                fd, tmp = tempfile.mkstemp(
+                    dir=self.path, suffix=".tmp", prefix=entry.stem
+                )
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(record, handle)
+                os.replace(tmp, entry)
+                self.stats.writes += 1
+            except OSError:
+                self.stats.errors += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        with self._lock:
+            for entry in self.path.glob("*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    self.stats.errors += 1
+        return removed
+
+
+#: The process-wide cache handle; ``None`` = persistence disabled.
+_DISK_CACHE: Optional[PhysicsDiskCache] = None
+
+
+def configure_disk_cache(
+    path=None, enabled: bool = True
+) -> Optional[PhysicsDiskCache]:
+    """Enable (or disable) cross-process physics persistence.
+
+    Args:
+        path: cache directory; defaults to :func:`default_cache_dir`.
+        enabled: ``False`` detaches the cache (in-process memos keep
+            working).  ``REPRO_DISK_CACHE=0`` in the environment forces
+            disabled regardless.
+
+    Returns:
+        The active cache handle, or ``None`` when disabled.
+    """
+    global _DISK_CACHE
+    if not enabled or os.environ.get(CACHE_ENABLE_ENV, "1").lower() in (
+        "0",
+        "off",
+        "false",
+    ):
+        _DISK_CACHE = None
+        return None
+    _DISK_CACHE = PhysicsDiskCache(path if path is not None else default_cache_dir())
+    return _DISK_CACHE
+
+
+def active_disk_cache() -> Optional[PhysicsDiskCache]:
+    """The configured cache handle (``None`` = persistence disabled)."""
+    return _DISK_CACHE
+
+
+def disk_cache_stats() -> Dict[str, float]:
+    """Stats of the active cache (all-zero when disabled)."""
+    if _DISK_CACHE is None:
+        return DiskCacheStats().to_dict()
+    return _DISK_CACHE.stats.to_dict()

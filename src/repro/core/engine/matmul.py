@@ -16,7 +16,7 @@ recompute the microring tuning / laser working point.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,13 +26,21 @@ from repro.core.engine.corners import (
     clear_context_physics_cache,
     context_physics,
 )
+from repro.core.engine.diskcache import active_disk_cache
+from repro.core.engine.memo import LRUMemo
 from repro.core.reports import EnergyReport
 from repro.errors import ConfigurationError, YieldError
 from repro.photonics.converters import ADC, DAC
+from repro.photonics.devices import VCSEL
 from repro.photonics.microring import MicroringDesign
-from repro.photonics.mrbank import MRBankArray, tile_cycles
+from repro.photonics.mrbank import (
+    MRBankArray,
+    cycle_energy_breakdown_kernel,
+    tile_cycles,
+)
 from repro.photonics.noise import AnalogNoiseModel
 from repro.photonics.pcm import PCMCell
+from repro.photonics.tuning import HybridTuner
 
 
 def photonic_matmul(
@@ -120,19 +128,151 @@ class ArraySpec:
 #: (spec, weight magnitude, refresh window, context) -> per-cycle energy
 #: breakdown.  The context component keeps corners apart: a variation
 #: sample's correction tuning power never pollutes the nominal curve.
-#: Bounded so per-die loops (a fresh context per seed) churn through it
-#: instead of growing it.
-_BREAKDOWN_CACHE: Dict[
-    Tuple[ArraySpec, float, int, Optional[ExecutionContext]], Dict[str, float]
-] = {}
-_BREAKDOWN_CACHE_MAX_ENTRIES = 256
+#: LRU-bounded (with eviction counters) so per-die loops — a fresh
+#: context per seed — churn through it instead of growing it.
+_BREAKDOWN_CACHE: LRUMemo = LRUMemo(max_entries=256)
 
 
 def clear_physics_cache() -> None:
     """Drop memoized device-physics curves (benchmarks use this to time
-    the unmemoized path)."""
+    the unmemoized path).  The persistent disk cache, when enabled, is
+    deliberately untouched — ``repro cache --clear`` owns that."""
     _BREAKDOWN_CACHE.clear()
     clear_context_physics_cache()
+
+
+def breakdown_cache_stats() -> Dict[str, float]:
+    """Hit/miss/eviction counters of the in-process breakdown memo."""
+    return _BREAKDOWN_CACHE.stats.to_dict()
+
+
+def _nominal_breakdown(
+    spec: ArraySpec,
+    array: MRBankArray,
+    average_weight_magnitude: float,
+    weight_refresh_cycles: int,
+) -> Dict[str, float]:
+    """The context-free per-cycle breakdown of one spec (memo + disk)."""
+    key = (spec, average_weight_magnitude, weight_refresh_cycles, None)
+    cached = _BREAKDOWN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    disk = active_disk_cache()
+    disk_key = (repr(spec), average_weight_magnitude, weight_refresh_cycles)
+    if disk is not None:
+        persisted = disk.get("breakdown", disk_key)
+        if persisted is not None:
+            _BREAKDOWN_CACHE.put(key, persisted)
+            return persisted
+    breakdown = array.cycle_energy_breakdown_pj(
+        average_weight_magnitude=average_weight_magnitude,
+        weight_refresh_cycles=weight_refresh_cycles,
+    )
+    _BREAKDOWN_CACHE.put(key, breakdown)
+    if disk is not None:
+        disk.put("breakdown", disk_key, breakdown)
+    return breakdown
+
+
+def prime_breakdown_cache(
+    requests: Iterable[Tuple[ArraySpec, float, int]]
+) -> int:
+    """Batch-compute nominal energy breakdowns for many specs at once.
+
+    The sweep engine's physics pass: ``requests`` is an iterable of
+    ``(spec, average_weight_magnitude, weight_refresh_cycles)``
+    triples; specs sharing device models (ring design, converters — the
+    transcendental-heavy inputs) are grouped and costed in **one**
+    vectorized :func:`~repro.photonics.mrbank.cycle_energy_breakdown_kernel`
+    call per group, then inserted into the in-process memo (and the
+    disk cache, when enabled).  The kernel replicates the scalar
+    operation order, so a primed entry is bit-identical to what
+    :meth:`ArrayExecutor.energy_breakdown_pj` would have computed
+    lazily.
+
+    Specs with PCM weight cells cost through the scalar path (their
+    program energy is a per-cell model call, not worth batching).
+
+    Returns:
+        The number of newly primed entries.
+    """
+    requests = list(requests)
+    # A production grid can name more distinct geometries than the
+    # serving-sized default bound; grow the memo to fit (capped) so the
+    # priming loop cannot evict its own freshly primed entries before
+    # the points run.
+    distinct = len({(spec, mag, refresh) for spec, mag, refresh in requests})
+    _BREAKDOWN_CACHE.max_entries = min(
+        max(_BREAKDOWN_CACHE.max_entries, distinct + 64), 16384
+    )
+    groups: Dict[Tuple, list] = {}
+    seen = set()
+    primed = 0
+    disk = active_disk_cache()
+    for spec, magnitude, refresh in requests:
+        key = (spec, magnitude, refresh, None)
+        if key in seen or key in _BREAKDOWN_CACHE:
+            continue
+        seen.add(key)
+        if disk is not None:
+            persisted = disk.get("breakdown", (repr(spec), magnitude, refresh))
+            if persisted is not None:
+                _BREAKDOWN_CACHE.put(key, persisted)
+                primed += 1
+                continue
+        if spec.pcm is not None:
+            group_key = ("pcm", spec, magnitude, refresh)
+        else:
+            group_key = (spec.design, spec.dac, spec.adc, magnitude)
+        groups.setdefault(group_key, []).append((spec, magnitude, refresh))
+    for group_key, members in groups.items():
+        if group_key[0] == "pcm":
+            spec, magnitude, refresh = members[0]
+            array = MRBankArray(
+                rows=spec.rows,
+                cols=spec.cols,
+                design=spec.design,
+                clock_ghz=spec.clock_ghz,
+                dac=spec.dac,
+                adc=spec.adc,
+                weight_dacs_shared=spec.weight_dacs_shared,
+                pcm=spec.pcm,
+            )
+            _nominal_breakdown(spec, array, magnitude, refresh)
+            primed += 1
+            continue
+        design, dac, adc, magnitude = group_key
+        rows = np.array([spec.rows for spec, _, _ in members])
+        cols = np.array([spec.cols for spec, _, _ in members])
+        clocks = np.array([spec.clock_ghz for spec, _, _ in members])
+        shared = np.array([spec.weight_dacs_shared for spec, _, _ in members])
+        refreshes = np.array([refresh for _, _, refresh in members])
+        batched = cycle_energy_breakdown_kernel(
+            rows,
+            cols,
+            clocks,
+            design=design,
+            dac=dac,
+            adc=adc,
+            vcsel=VCSEL(),
+            tuner=HybridTuner(),
+            weight_dacs_shared=shared,
+            average_weight_magnitude=magnitude,
+            weight_refresh_cycles=refreshes,
+        )
+        for i, (spec, _, refresh) in enumerate(members):
+            breakdown = {
+                name: float(values[i]) for name, values in batched.items()
+            }
+            _BREAKDOWN_CACHE.put((spec, magnitude, refresh, None), breakdown)
+            if disk is not None:
+                disk.put(
+                    "breakdown",
+                    (repr(spec), magnitude, refresh),
+                    breakdown,
+                )
+            primed += 1
+    return primed
 
 
 @dataclass
@@ -256,28 +396,41 @@ class ArrayExecutor:
         on the noise model), so all executors with equal specs at the
         same corner share one cached curve; a non-nominal context adds
         its standing variation-correction power to the tuning term.
+
+        The context-free base curve is memoized (and persisted to the
+        disk cache when enabled); corner curves derive from it by
+        adding the corner's correction power, so a die sweep never
+        recomputes the transcendental-heavy device physics per die.
         """
-        ctx_key = self.ctx if self._physics is not None else None
+        if self._physics is None:
+            return _nominal_breakdown(
+                self.spec,
+                self.array,
+                average_weight_magnitude,
+                weight_refresh_cycles,
+            )
         key = (
             self.spec,
             average_weight_magnitude,
             weight_refresh_cycles,
-            ctx_key,
+            self.ctx,
         )
-        if key not in _BREAKDOWN_CACHE:
-            breakdown = self.array.cycle_energy_breakdown_pj(
-                average_weight_magnitude=average_weight_magnitude,
-                weight_refresh_cycles=weight_refresh_cycles,
+        cached = _BREAKDOWN_CACHE.get(key)
+        if cached is not None:
+            return cached
+        breakdown = dict(
+            _nominal_breakdown(
+                self.spec,
+                self.array,
+                average_weight_magnitude,
+                weight_refresh_cycles,
             )
-            if self._physics is not None:
-                breakdown = dict(breakdown)
-                breakdown["tuning_pj"] += (
-                    self._physics.correction_power_mw * self.cycle_ns
-                )
-            while len(_BREAKDOWN_CACHE) >= _BREAKDOWN_CACHE_MAX_ENTRIES:
-                _BREAKDOWN_CACHE.pop(next(iter(_BREAKDOWN_CACHE)))
-            _BREAKDOWN_CACHE[key] = breakdown
-        return _BREAKDOWN_CACHE[key]
+        )
+        breakdown["tuning_pj"] += (
+            self._physics.correction_power_mw * self.cycle_ns
+        )
+        _BREAKDOWN_CACHE.put(key, breakdown)
+        return breakdown
 
     def energy_for_cycles(
         self,

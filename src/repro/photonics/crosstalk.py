@@ -28,16 +28,75 @@ from repro.errors import ConfigurationError, DesignSpaceError
 from repro.units import linear_to_db
 
 
-def lorentzian_tail(detuning_nm: float, fwhm_nm: float) -> float:
+def lorentzian_tail(detuning_nm, fwhm_nm):
     """Power pickup of a Lorentzian resonance at a given detuning.
 
     L(d) = 1 / (1 + (2 d / FWHM)^2); equals 1 on resonance, 0.5 at d =
-    FWHM/2.
+    FWHM/2.  Accepts scalars or broadcastable arrays (the batched
+    crosstalk kernel evaluates whole plan batches through it).
     """
-    if fwhm_nm <= 0.0:
+    if np.any(np.asarray(fwhm_nm) <= 0.0):
         raise ConfigurationError(f"FWHM must be > 0 nm, got {fwhm_nm}")
     x = 2.0 * detuning_nm / fwhm_nm
     return 1.0 / (1.0 + x * x)
+
+
+def heterodyne_crosstalk_kernel(
+    channel_spacing_nm,
+    q_factor,
+    wavelength_nm=1550.0,
+    num_channels=2,
+    fsr_nm=None,
+):
+    """Worst-case heterodyne crosstalk ratios for a batch of channel plans.
+
+    The vectorized form of :func:`heterodyne_crosstalk_ratio`: every
+    argument may be an array (broadcast together), so a design-space
+    sweep over channel counts / spacings / Q factors evaluates in one
+    call.  The per-plan accumulation walks channels in the same order as
+    the scalar loop, so each element is bit-identical to the scalar
+    function — only the plans are batched, never the summation order.
+
+    Returns:
+        Crosstalk power / signal power array of the broadcast shape.
+    """
+    spacing = np.asarray(channel_spacing_nm, dtype=float)
+    q = np.asarray(q_factor, dtype=float)
+    wavelength = np.asarray(wavelength_nm, dtype=float)
+    channels = np.asarray(num_channels)
+    if np.any(spacing <= 0.0):
+        raise ConfigurationError("channel spacing must be > 0 nm")
+    if np.any(q <= 0.0):
+        raise ConfigurationError("Q must be > 0")
+    if np.any(channels < 1):
+        raise ConfigurationError("need >= 1 channel")
+    fwhm = wavelength / q
+    centre = (channels - 1) // 2
+    shape = np.broadcast_shapes(
+        spacing.shape,
+        fwhm.shape,
+        channels.shape,
+        () if fsr_nm is None else np.asarray(fsr_nm, dtype=float).shape,
+    )
+    total = np.zeros(shape)
+    max_channels = int(channels.max())
+    for ch in range(max_channels):
+        active = (ch < channels) & (ch != centre)
+        if not np.any(active):
+            continue
+        detuning = np.abs(ch - centre) * spacing
+        total += np.where(active, lorentzian_tail(detuning, fwhm), 0.0)
+    if fsr_nm is not None:
+        fsr = np.asarray(fsr_nm, dtype=float)
+        if np.any(fsr <= 0.0):
+            raise ConfigurationError("FSR must be > 0 nm")
+        for ch in range(max_channels):
+            detuning = np.abs(fsr - np.abs(ch - centre) * spacing)
+            active = (ch < channels) & (detuning > 0.0)
+            if not np.any(active):
+                continue
+            total += np.where(active, lorentzian_tail(detuning, fwhm), 0.0)
+    return total
 
 
 def heterodyne_crosstalk_ratio(
@@ -52,35 +111,21 @@ def heterodyne_crosstalk_ratio(
     Sums the Lorentzian tails of all other channels as seen by the centre
     channel of an ``num_channels``-wide WDM comb (the centre channel has
     the most neighbours and is the worst case).  If ``fsr_nm`` is given,
-    one aliased comb replica an FSR away is included as well.
+    one aliased comb replica an FSR away is included as well.  Thin
+    scalar wrapper over :func:`heterodyne_crosstalk_kernel`.
 
     Returns:
         Crosstalk power / signal power (linear ratio, >= 0).
     """
-    if channel_spacing_nm <= 0.0:
-        raise ConfigurationError(
-            f"channel spacing must be > 0 nm, got {channel_spacing_nm}"
+    return float(
+        heterodyne_crosstalk_kernel(
+            channel_spacing_nm,
+            q_factor,
+            wavelength_nm=wavelength_nm,
+            num_channels=num_channels,
+            fsr_nm=fsr_nm,
         )
-    if q_factor <= 0.0:
-        raise ConfigurationError(f"Q must be > 0, got {q_factor}")
-    if num_channels < 1:
-        raise ConfigurationError(f"need >= 1 channel, got {num_channels}")
-    fwhm_nm = wavelength_nm / q_factor
-    centre = (num_channels - 1) // 2
-    total = 0.0
-    for ch in range(num_channels):
-        if ch == centre:
-            continue
-        detuning = abs(ch - centre) * channel_spacing_nm
-        total += lorentzian_tail(detuning, fwhm_nm)
-    if fsr_nm is not None:
-        if fsr_nm <= 0.0:
-            raise ConfigurationError(f"FSR must be > 0 nm, got {fsr_nm}")
-        for ch in range(num_channels):
-            detuning = abs(fsr_nm - abs(ch - centre) * channel_spacing_nm)
-            if detuning > 0.0:
-                total += lorentzian_tail(detuning, fwhm_nm)
-    return total
+    )
 
 
 def homodyne_crosstalk_ratio(

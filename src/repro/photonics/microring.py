@@ -77,6 +77,214 @@ def free_spectral_range_nm(radius_um: float, n_group: float, wavelength_nm: floa
     return wavelength_nm**2 / (n_group * circumference_nm)
 
 
+# ----------------------------------------------------------------------
+# Vectorized kernels (shared by the scalar device model and the batched
+# sweep / Monte-Carlo engines)
+# ----------------------------------------------------------------------
+
+
+def _pow10(exponent):
+    """``10 ** exponent`` elementwise, bit-identical to Python's ``**``.
+
+    ``np.power`` and CPython's ``float.__pow__`` disagree in the last
+    ULP on this platform, so the batched kernels evaluate the one power
+    term per element through Python — design batches are small (one
+    entry per distinct ring design), so this costs nothing measurable
+    while keeping batched results bit-identical to the scalar path.
+    """
+    exponent = np.asarray(exponent, dtype=float)
+    if exponent.ndim == 0:
+        return np.float64(10.0 ** float(exponent))
+    flat = np.array([10.0 ** float(e) for e in exponent.ravel()])
+    return flat.reshape(exponent.shape)
+
+
+@dataclass(frozen=True)
+class RingWorkingPoint:
+    """The batched working point of one or more microring designs.
+
+    All fields are numpy arrays of a common broadcast shape (0-d for a
+    single design).  This is what the cost models actually consume: the
+    resonance placement, linewidth and achievable transmission window
+    of each design, from which imprint shifts and tuning powers follow
+    without any further transcendental math.
+
+    Attributes:
+        order: resonance order ``m`` closest to the target wavelength.
+        resonance_nm: nominal resonant wavelength.
+        fsr_nm: free spectral range at the nominal resonance.
+        fwhm_nm: full width at half maximum of the resonance dip.
+        min_transmission: through-port dip floor ``T_min``.
+        max_transmission: through-port transmission at half-FSR
+            detuning ``T_max`` (the usable imprint maximum).
+    """
+
+    order: np.ndarray
+    resonance_nm: np.ndarray
+    fsr_nm: np.ndarray
+    fwhm_nm: np.ndarray
+    min_transmission: np.ndarray
+    max_transmission: np.ndarray
+
+
+def ring_working_point_kernel(
+    radius_um,
+    n_eff=DEFAULT_N_EFF,
+    n_group=DEFAULT_N_GROUP,
+    self_coupling=0.985,
+    drop_coupling=0.985,
+    loss_db_per_cm=2.0,
+    target_wavelength_nm: float = 1550.0,
+) -> RingWorkingPoint:
+    """Working points of a whole batch of ring designs in one pass.
+
+    The vectorized form of ``Microring.at_wavelength(design, target)``
+    followed by the ``fsr_nm`` / ``fwhm_nm`` / ``min_through_transmission``
+    / ``transmission_at_max_detuning`` property chain: every design
+    parameter may be an array and the results broadcast.  Each
+    arithmetic step replicates the scalar path's operation order, so a
+    single-design call is bit-identical to the :class:`Microring`
+    instance path — the engine's physics caches rely on this.
+    """
+    radius_um = np.asarray(radius_um, dtype=float)
+    if np.any(radius_um <= 0.0):
+        raise ConfigurationError("ring radius must be > 0 um")
+    n_eff = np.asarray(n_eff, dtype=float)
+    n_group = np.asarray(n_group, dtype=float)
+    r1 = np.asarray(self_coupling, dtype=float)
+    r2 = np.asarray(drop_coupling, dtype=float)
+    loss_db_per_cm = np.asarray(loss_db_per_cm, dtype=float)
+
+    circumference_nm = 2.0 * math.pi * radius_um * 1e3
+    order = np.maximum(np.round(circumference_nm * n_eff / target_wavelength_nm), 1.0)
+    resonance_nm = circumference_nm * n_eff / order
+    fsr_nm = resonance_nm**2 / (n_group * circumference_nm)
+
+    circumference_cm = 2.0 * math.pi * radius_um * 1e-4
+    loss_db = loss_db_per_cm * circumference_cm
+    amplitude = _pow10(-loss_db / 20.0)
+
+    rra = r1 * r2 * amplitude
+    fwhm_nm = (
+        (1.0 - rra)
+        * resonance_nm**2
+        / (math.pi * n_group * circumference_nm * np.sqrt(rra))
+    )
+    min_transmission = ((r2 * amplitude - r1) / (1.0 - r1 * r2 * amplitude)) ** 2
+
+    # T_max: through transmission at half-FSR detuning, replicating the
+    # phase expansion of Microring.round_trip_phase term by term.
+    detuning_nm = resonance_nm + 0.5 * fsr_nm - resonance_nm
+    dphi_dlam = -2.0 * math.pi * n_group * circumference_nm / resonance_nm**2
+    phi = 2.0 * math.pi * order + dphi_dlam * detuning_nm
+    cos_phi = np.cos(phi)
+    numerator = (r2 * amplitude) ** 2 - 2.0 * r1 * r2 * amplitude * cos_phi + r1**2
+    denominator = 1.0 - 2.0 * r1 * r2 * amplitude * cos_phi + (r1 * r2 * amplitude) ** 2
+    max_transmission = numerator / denominator
+
+    return RingWorkingPoint(
+        order=order,
+        resonance_nm=resonance_nm,
+        fsr_nm=fsr_nm,
+        fwhm_nm=fwhm_nm,
+        min_transmission=min_transmission,
+        max_transmission=max_transmission,
+    )
+
+
+def design_working_point(
+    design: "MicroringDesign", target_wavelength_nm: float = 1550.0
+) -> RingWorkingPoint:
+    """The (0-d) working point of one :class:`MicroringDesign`."""
+    return ring_working_point_kernel(
+        design.radius_um,
+        n_eff=design.n_eff,
+        n_group=design.n_group,
+        self_coupling=design.self_coupling,
+        drop_coupling=design.drop_coupling,
+        loss_db_per_cm=design.loss_db_per_cm,
+        target_wavelength_nm=target_wavelength_nm,
+    )
+
+
+def through_transmission_kernel(
+    wavelength_nm,
+    radius_um,
+    n_eff=DEFAULT_N_EFF,
+    n_group=DEFAULT_N_GROUP,
+    self_coupling=0.985,
+    drop_coupling=0.985,
+    loss_db_per_cm=2.0,
+    delta_lambda_nm=0.0,
+    target_wavelength_nm: float = 1550.0,
+):
+    """Through-port power transmission, batched over probe wavelengths
+    AND ring designs simultaneously.
+
+    The vectorized form of :meth:`Microring.through_transmission` for a
+    ring created with :meth:`Microring.at_wavelength`: every argument
+    may be an array and the results broadcast (e.g. a column of
+    wavelengths against a row of radii yields the full transmission
+    surface in one call).  Bit-identical per element to the scalar
+    instance path.
+    """
+    working = ring_working_point_kernel(
+        radius_um,
+        n_eff=n_eff,
+        n_group=n_group,
+        self_coupling=self_coupling,
+        drop_coupling=drop_coupling,
+        loss_db_per_cm=loss_db_per_cm,
+        target_wavelength_nm=target_wavelength_nm,
+    )
+    wavelength_nm = np.asarray(wavelength_nm, dtype=float)
+    delta_lambda_nm = np.asarray(delta_lambda_nm, dtype=float)
+    r1 = np.asarray(self_coupling, dtype=float)
+    r2 = np.asarray(drop_coupling, dtype=float)
+    radius_um = np.asarray(radius_um, dtype=float)
+    circumference_cm = 2.0 * math.pi * radius_um * 1e-4
+    loss_db = np.asarray(loss_db_per_cm, dtype=float) * circumference_cm
+    amplitude = _pow10(-loss_db / 20.0)
+
+    circumference_nm = 2.0 * math.pi * radius_um * 1e3
+    detuning_nm = wavelength_nm - (working.resonance_nm + delta_lambda_nm)
+    dphi_dlam = (
+        -2.0
+        * math.pi
+        * np.asarray(n_group, dtype=float)
+        * circumference_nm
+        / working.resonance_nm**2
+    )
+    phi = 2.0 * math.pi * working.order + dphi_dlam * detuning_nm
+    cos_phi = np.cos(phi)
+    numerator = (r2 * amplitude) ** 2 - 2.0 * r1 * r2 * amplitude * cos_phi + r1**2
+    denominator = 1.0 - 2.0 * r1 * r2 * amplitude * cos_phi + (r1 * r2 * amplitude) ** 2
+    return numerator / denominator
+
+
+def imprint_shift_kernel(values, working: RingWorkingPoint, full_scale: float = 1.0):
+    """Resonance shifts (nm) imprinting normalized values, batched.
+
+    The vectorized form of :meth:`Microring.imprint` over any broadcast
+    combination of values and ring working points, replicating the
+    scalar path's clamp and Lorentzian inversion step by step.
+    """
+    if full_scale <= 0.0:
+        raise ConfigurationError(f"full_scale must be > 0, got {full_scale}")
+    values = np.asarray(values, dtype=float)
+    if np.any(values < 0.0) or np.any(values > full_scale):
+        raise ConfigurationError(
+            f"imprint values outside range [0, {full_scale}]"
+        )
+    t_min = working.min_transmission
+    t_max = working.max_transmission
+    target = t_min + (values / full_scale) * (t_max - t_min)
+    target = np.where(target >= 1.0, 1.0 - 1e-9, target)
+    t = np.maximum(target, t_min)
+    ratio = (t - t_min) / (1.0 - t)
+    return 0.5 * working.fwhm_nm * np.sqrt(ratio)
+
+
 @dataclass(frozen=True)
 class MicroringDesign:
     """Static design parameters of a microring resonator.

@@ -31,10 +31,117 @@ from repro.errors import ConfigurationError
 from repro.photonics.converters import ADC, DAC
 from repro.photonics.crosstalk import ChannelPlan
 from repro.photonics.devices import BalancedPhotodetector, Photodetector, VCSEL
-from repro.photonics.microring import Microring, MicroringDesign
+from repro.photonics.microring import (
+    Microring,
+    MicroringDesign,
+    design_working_point,
+    imprint_shift_kernel,
+)
 from repro.photonics.noise import AnalogNoiseModel
 from repro.photonics.pcm import PCMCell
-from repro.photonics.tuning import HybridTuner
+from repro.photonics.tuning import HybridTuner, hold_power_mw_kernel
+
+
+def cycle_energy_breakdown_kernel(
+    rows,
+    cols,
+    clock_ghz,
+    design: MicroringDesign = None,
+    dac: DAC = None,
+    adc: ADC = None,
+    vcsel: VCSEL = None,
+    tuner: HybridTuner = None,
+    weight_dacs_shared=1,
+    average_weight_magnitude: float = 0.5,
+    weight_refresh_cycles=1,
+    weight_program_energy_pj=None,
+) -> dict:
+    """Per-cycle energy breakdowns of a whole batch of array geometries.
+
+    The configuration-batched form of
+    :meth:`MRBankArray.cycle_energy_breakdown_pj`: ``rows`` / ``cols`` /
+    ``clock_ghz`` / ``weight_dacs_shared`` / ``weight_refresh_cycles``
+    may all be arrays (broadcast together), while the device models
+    (``design``, converters, laser, tuner) are shared by the batch — a
+    design-space sweep groups its specs by device models and costs each
+    group in one call.  Returns ``{"laser_pj", "tuning_pj", "dac_pj",
+    "adc_pj"}`` with array values of the broadcast shape.
+
+    ``weight_program_energy_pj`` models PCM-held weights: when given
+    (array, pJ per refresh burst for the whole array), the weight-DAC
+    refresh term is replaced by the amortized program energy and only
+    the input bank's MRs need active tuning.
+
+    Every step replicates the scalar method's operation order, so a
+    one-element batch is bit-identical to the scalar path — the sweep
+    engine's batched physics priming depends on this.
+    """
+    design = design if design is not None else MicroringDesign()
+    dac = dac if dac is not None else DAC()
+    adc = adc if adc is not None else ADC()
+    vcsel = vcsel if vcsel is not None else VCSEL()
+    tuner = tuner if tuner is not None else HybridTuner()
+    if not 0.0 <= average_weight_magnitude <= 1.0:
+        raise ConfigurationError(
+            "average weight magnitude must be in [0, 1], got "
+            f"{average_weight_magnitude}"
+        )
+    rows = np.asarray(rows)
+    cols = np.asarray(cols)
+    clock_ghz = np.asarray(clock_ghz, dtype=float)
+    weight_dacs_shared = np.asarray(weight_dacs_shared)
+    weight_refresh_cycles = np.asarray(weight_refresh_cycles)
+    if np.any(rows < 1) or np.any(cols < 1):
+        raise ConfigurationError("array dimensions must be >= 1")
+    if np.any(clock_ghz <= 0.0):
+        raise ConfigurationError("clock must be > 0 GHz")
+    if np.any(weight_dacs_shared < 1):
+        raise ConfigurationError("weight DAC sharing factor must be >= 1")
+    if np.any(weight_refresh_cycles < 1):
+        raise ConfigurationError("weight refresh interval must be >= 1 cycle")
+
+    cycle_ns = 1.0 / clock_ghz
+    # Converters (elementwise over the spec batch).
+    input_dac_pj = cols * dac.energy_per_conversion_pj
+    if weight_program_energy_pj is not None:
+        weight_dac_pj = (
+            np.asarray(weight_program_energy_pj, dtype=float)
+            / weight_refresh_cycles
+        )
+    else:
+        weight_groups = -(-rows // weight_dacs_shared)
+        weight_dac_pj = (
+            weight_groups
+            * cols
+            * dac.energy_per_conversion_pj
+            / weight_refresh_cycles
+        )
+    adc_pj = rows * adc.energy_per_conversion_pj
+    # Tuning: the imprint shift and per-MR hold power are per-design
+    # quantities — one working-point solve serves the whole batch.
+    working = design_working_point(design)
+    shift_nm = imprint_shift_kernel(average_weight_magnitude, working)
+    per_mr_power = hold_power_mw_kernel(
+        shift_nm,
+        eo_max_shift_nm=tuner.eo.max_shift_nm,
+        eo_power_mw=tuner.eo.power_mw,
+        to_efficiency_nm_per_mw=tuner.to.efficiency_nm_per_mw,
+        ted_power_factor=tuner.to.ted_power_factor,
+    )
+    if weight_program_energy_pj is not None:
+        tuned_mrs = cols
+    else:
+        tuned_mrs = cols + rows * cols
+    tuning_pj = per_mr_power * tuned_mrs * cycle_ns
+    # Laser: one VCSEL per column at mid-scale power.
+    vcsel_power = vcsel.electrical_power_mw(0.5 * vcsel.max_power_mw)
+    laser_pj = vcsel_power * cols * cycle_ns
+    return {
+        "laser_pj": laser_pj,
+        "tuning_pj": tuning_pj,
+        "dac_pj": input_dac_pj + weight_dac_pj,
+        "adc_pj": adc_pj,
+    }
 
 
 def tile_cycles(
@@ -285,54 +392,30 @@ class MRBankArray:
                 dataflows (a tile reused across a whole sequence or vertex
                 block) amortize the weight-conversion energy by this factor.
         """
-        if not 0.0 <= average_weight_magnitude <= 1.0:
-            raise ConfigurationError(
-                "average weight magnitude must be in [0, 1], got "
-                f"{average_weight_magnitude}"
-            )
         if weight_refresh_cycles < 1:
             raise ConfigurationError(
                 "weight refresh interval must be >= 1 cycle, got "
                 f"{weight_refresh_cycles}"
             )
-        cycle_ns = self.cycle_ns
-        # Converters: cols input DACs fire every cycle; rows ADCs fire every
-        # cycle; weight DACs re-imprint once per refresh window per row group
-        # — unless PCM cells hold the weights, in which case the refresh is
-        # an amortized write burst instead.
-        input_dac_pj = self.cols * self.dac.energy_per_conversion_pj
-        if self.pcm is not None:
-            weight_dac_pj = (
-                self.pcm.program_energy_pj(self.rows * self.cols)
-                / weight_refresh_cycles
-            )
-        else:
-            weight_groups = -(-self.rows // self.weight_dacs_shared)
-            weight_dac_pj = (
-                weight_groups
-                * self.cols
-                * self.dac.energy_per_conversion_pj
-                / weight_refresh_cycles
-            )
-        adc_pj = self.rows * self.adc.energy_per_conversion_pj
-        # Tuning hold power for every MR holding a value this cycle; PCM
-        # weight cells hold state with zero static power, so only the input
-        # bank's MRs need active tuning in that case.
-        shift_nm = self._bank.imprint_shifts_nm(
-            np.array([average_weight_magnitude])
-        )[0]
-        per_mr_power = self._bank.tuner.average_hold_power_mw([shift_nm])
-        tuned_mrs = self.cols if self.pcm is not None else self.num_mrs
-        tuning_pj = per_mr_power * tuned_mrs * cycle_ns
-        # Laser: one VCSEL per column at mid-scale power.
-        vcsel_power = self.vcsel.electrical_power_mw(0.5 * self.vcsel.max_power_mw)
-        laser_pj = vcsel_power * self.cols * cycle_ns
-        return {
-            "laser_pj": laser_pj,
-            "tuning_pj": tuning_pj,
-            "dac_pj": input_dac_pj + weight_dac_pj,
-            "adc_pj": adc_pj,
-        }
+        breakdown = cycle_energy_breakdown_kernel(
+            self.rows,
+            self.cols,
+            self.clock_ghz,
+            design=self.design,
+            dac=self.dac,
+            adc=self.adc,
+            vcsel=self.vcsel,
+            tuner=self._bank.tuner,
+            weight_dacs_shared=self.weight_dacs_shared,
+            average_weight_magnitude=average_weight_magnitude,
+            weight_refresh_cycles=weight_refresh_cycles,
+            weight_program_energy_pj=(
+                None
+                if self.pcm is None
+                else self.pcm.program_energy_pj(self.rows * self.cols)
+            ),
+        )
+        return {key: float(value) for key, value in breakdown.items()}
 
     def cycle_energy_pj(
         self,

@@ -18,7 +18,40 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+import numpy as np
+
 from repro.errors import ConfigurationError
+
+
+def hold_power_mw_kernel(
+    shifts_nm,
+    eo_max_shift_nm: float = 0.6,
+    eo_power_mw: float = 0.004,
+    to_efficiency_nm_per_mw: float = 0.25,
+    ted_power_factor: float = 1.0,
+):
+    """Vectorized hybrid-tuner hold power for an array of resonance shifts.
+
+    The batched form of :meth:`HybridTuner.average_hold_power_mw`'s
+    per-shift policy: shifts within the EO range cost the constant EO
+    hold power; larger shifts engage the TO heater for the coarse part
+    (``|shift| - eo_max``) plus the EO fine tuner.  Accepts any array
+    shape (broadcasting over design-parameter arrays as well as shift
+    arrays) and returns the per-shift hold powers in mW with the
+    broadcast shape.
+
+    Every arithmetic step mirrors the scalar policy exactly, so a
+    one-element batch is bit-identical to the scalar path — the sweep
+    engine relies on this to reconstruct reports that match scalar runs.
+    """
+    magnitude = np.abs(np.asarray(shifts_nm, dtype=float))
+    eo_max = np.asarray(eo_max_shift_nm, dtype=float)
+    coarse = magnitude - eo_max
+    to_power = (
+        np.abs(coarse) / to_efficiency_nm_per_mw * ted_power_factor
+        + eo_power_mw
+    )
+    return np.where(magnitude <= eo_max, eo_power_mw, to_power)
 
 
 class TuningMechanism(Enum):
@@ -210,19 +243,24 @@ class HybridTuner:
         """Mean holding power over a sequence of requested shifts.
 
         Architecture models call this with the distribution of weight
-        shifts a bank will hold during steady-state inference.
+        shifts a bank will hold during steady-state inference.  The
+        per-shift policy is the shared :func:`hold_power_mw_kernel`;
+        the accumulation stays sequential so the mean is bit-identical
+        to the historical per-shift loop.
         """
         shifts = list(shifts_nm)
         if not shifts:
             return 0.0
+        powers = hold_power_mw_kernel(
+            shifts,
+            eo_max_shift_nm=self.eo.max_shift_nm,
+            eo_power_mw=self.eo.power_mw,
+            to_efficiency_nm_per_mw=self.to.efficiency_nm_per_mw,
+            ted_power_factor=self.to.ted_power_factor,
+        )
         total = 0.0
-        for shift in shifts:
-            magnitude = abs(shift)
-            if self.eo.can_reach(magnitude):
-                total += self.eo.power_mw
-            else:
-                coarse = magnitude - self.eo.max_shift_nm
-                total += self.to.power_for_shift_mw(coarse) + self.eo.power_mw
+        for power in powers:
+            total += float(power)
         return total / len(shifts)
 
     def reset_counters(self) -> None:

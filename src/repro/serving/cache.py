@@ -21,13 +21,13 @@ so hit rates are first-class observables (``repro serve --stats``).
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.core.context import ExecutionContext
+from repro.core.engine.diskcache import fingerprint
 from repro.core.reports import RunReport
 from repro.errors import ConfigurationError
 
@@ -41,7 +41,9 @@ def config_fingerprint(config: object) -> str:
     Configuration dataclasses nest only other dataclasses and scalars,
     so their ``repr`` is a complete, deterministic serialization of
     every knob — hashing it distinguishes any two configurations that
-    could produce different reports.
+    could produce different reports.  The scheme is shared with the
+    engine's persistent physics cache
+    (:func:`repro.core.engine.diskcache.fingerprint`).
 
     Example:
         >>> from repro.core.tron import TRONConfig
@@ -51,8 +53,7 @@ def config_fingerprint(config: object) -> str:
         >>> a == config_fingerprint(TRONConfig(batch=8))
         False
     """
-    digest = hashlib.sha256(repr(config).encode("utf-8"))
-    return digest.hexdigest()[:16]
+    return fingerprint(config)
 
 
 def normalize_context(

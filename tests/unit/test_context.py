@@ -215,16 +215,16 @@ class TestYieldGating:
         from repro.core.engine.corners import _PHYSICS_CACHE
         from repro.core.engine.matmul import _BREAKDOWN_CACHE
 
-        from repro.core.engine.corners import _PHYSICS_CACHE_MAX_ENTRIES
-        from repro.core.engine.matmul import _BREAKDOWN_CACHE_MAX_ENTRIES
-
         workload = get_workload("MLP-mnist")
         tron = TRON()
-        for i in range(_PHYSICS_CACHE_MAX_ENTRIES + 20):
+        evictions_before = _PHYSICS_CACHE.stats.evictions
+        for i in range(_PHYSICS_CACHE.max_entries + 20):
             tron.run(workload, ctx=dataclasses.replace(VARIED, seed=20 + i))
         assert len(tron._context_clones) <= 8
-        assert len(_BREAKDOWN_CACHE) <= _BREAKDOWN_CACHE_MAX_ENTRIES
-        assert len(_PHYSICS_CACHE) <= _PHYSICS_CACHE_MAX_ENTRIES
+        assert len(_BREAKDOWN_CACHE) <= _BREAKDOWN_CACHE.max_entries
+        assert len(_PHYSICS_CACHE) <= _PHYSICS_CACHE.max_entries
+        # The LRU discipline is observable: the overflow evicted entries.
+        assert _PHYSICS_CACHE.stats.evictions > evictions_before
 
     def test_correction_power_scales_breakdown(self):
         spec = ArraySpec(rows=16, cols=16)

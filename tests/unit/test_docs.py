@@ -44,6 +44,7 @@ def test_docs_pages_exist():
         "serving.md",
         "cli.md",
         "variation.md",
+        "performance.md",
     } <= names
 
 

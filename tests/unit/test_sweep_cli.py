@@ -185,6 +185,110 @@ class TestSweepEngine:
         assert all(p.report.workload == "MLP-mnist" for p in points)
 
 
+class TestSweepStrategies:
+    """The batched engine is an exact reorganization of scalar runs."""
+
+    def _spaces(self):
+        return [
+            tron_sweep_space(
+                head_units=(4, 8), array_sizes=(32, 64), clocks_ghz=(2.5, 5.0)
+            ),
+            ghost_sweep_space(lanes=(8, 16), edge_units=(16, 32)),
+        ]
+
+    def test_batched_is_bit_identical_to_serial_and_naive(self):
+        for space in self._spaces():
+            batched = run_sweep(space, strategy="batched")
+            serial = run_sweep(space, strategy="serial")
+            naive = run_sweep(space, memoize=False)
+            assert [p.label for p in batched] == [p.label for p in serial]
+            for a, b, c in zip(batched, serial, naive):
+                assert a.report.latency_ns == b.report.latency_ns
+                assert a.report.energy_pj == b.report.energy_pj
+                assert a.report.latency_ns == c.report.latency_ns
+                assert a.report.energy_pj == c.report.energy_pj
+
+    def test_batched_is_the_default_strategy(self):
+        space = tron_sweep_space(
+            head_units=(4,), array_sizes=(32,), clocks_ghz=(5.0,)
+        )
+        default = run_sweep(space)
+        batched = run_sweep(space, strategy="batched")
+        assert default[0].report.energy_pj == batched[0].report.energy_pj
+
+    def test_unknown_strategy_rejected(self):
+        space = tron_sweep_space(
+            head_units=(4,), array_sizes=(32,), clocks_ghz=(5.0,)
+        )
+        with pytest.raises(ConfigurationError):
+            run_sweep(space, strategy="gpu")
+
+    def test_batched_groups_duplicate_signatures(self):
+        """Points sharing platform + config + normalized context cost
+        through the run path once and share one report object."""
+        from repro.core.context import ExecutionContext
+
+        space = with_corners(
+            tron_sweep_space(
+                head_units=(4,), array_sizes=(32,), clocks_ghz=(5.0,)
+            ),
+            {"none": None, "nominal": ExecutionContext()},
+        )
+        points = run_sweep(space, strategy="batched")
+        assert len(points) == 2
+        # None and a nominal context share a run-path signature.
+        assert points[0].report is points[1].report
+
+    def test_batched_primes_physics_before_running(self):
+        from repro.core.engine import breakdown_cache_stats, clear_physics_cache
+
+        clear_physics_cache()
+        space = tron_sweep_space(
+            head_units=(4,), array_sizes=(32, 64), clocks_ghz=(2.5, 5.0)
+        )
+        before = breakdown_cache_stats()["insertions"]
+        run_sweep(space, strategy="batched")
+        stats = breakdown_cache_stats()
+        # All four geometries were inserted by the vectorized primer.
+        assert stats["insertions"] - before >= 4
+
+    def test_cornered_batched_matches_naive(self):
+        space = with_corners(
+            tron_sweep_space(
+                head_units=(4,), array_sizes=(32,), clocks_ghz=(5.0,)
+            ),
+            {"typical": ExecutionContext(variation=ProcessVariationModel())},
+        )
+        batched = run_sweep(space, strategy="batched")
+        naive = run_sweep(space, memoize=False)
+        for a, b in zip(batched, naive):
+            assert a.report.latency_ns == b.report.latency_ns
+            assert a.report.energy_pj == b.report.energy_pj
+
+    def test_process_fallback_matches_batched(self):
+        from repro.analysis.sweep import run_sweep_in_processes
+
+        kwargs = {
+            "head_units": (4, 8),
+            "array_sizes": (32,),
+            "clocks_ghz": (5.0,),
+        }
+        in_process = run_sweep(tron_sweep_space(**kwargs))
+        across = run_sweep_in_processes(
+            "repro.analysis.sweep:tron_sweep_space", kwargs, max_workers=2
+        )
+        assert [p.label for p in across] == [p.label for p in in_process]
+        for a, b in zip(across, in_process):
+            assert a.report.latency_ns == b.report.latency_ns
+            assert a.report.energy_pj == b.report.energy_pj
+
+    def test_process_fallback_rejects_bad_factory(self):
+        from repro.analysis.sweep import run_sweep_in_processes
+
+        with pytest.raises(ConfigurationError):
+            run_sweep_in_processes("not-a-factory-path")
+
+
 class TestCornerAxis:
     def _space(self):
         return tron_sweep_space(

@@ -1,0 +1,75 @@
+"""Profile the sweep hot paths: cProfile top-20 over a small grid.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_hotpaths.py [--naive] [--top N]
+
+Runs a small combined TRON + GHOST sweep through the batched engine
+(or the naive sequential baseline with ``--naive``) under cProfile and
+prints the top functions by cumulative time.  This is the first tool to
+reach for when a sweep regression lands: the historical GHOST
+per-vertex aggregation loop, for example, showed up here as ~50k
+``node_cycles`` calls before it was vectorized (see
+docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pathlib
+import pstats
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+
+def profile_sweep(naive: bool = False, top: int = 20) -> pstats.Stats:
+    """Profile a small combined sweep; returns the collected stats."""
+    from repro.analysis.sweep import (
+        ghost_sweep_space,
+        run_sweep,
+        tron_sweep_space,
+    )
+    from repro.core.engine import clear_physics_cache
+
+    spaces = [
+        tron_sweep_space(
+            head_units=(4, 8), array_sizes=(32, 64), clocks_ghz=(2.5, 5.0)
+        ),
+        ghost_sweep_space(lanes=(8, 16), edge_units=(16, 32)),
+    ]
+    clear_physics_cache()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for space in spaces:
+        if naive:
+            run_sweep(space, memoize=False, parallel=False)
+        else:
+            run_sweep(space, strategy="batched")
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    stats.print_stats(top)
+    return stats
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--naive",
+        action="store_true",
+        help="profile the naive sequential baseline instead",
+    )
+    parser.add_argument(
+        "--top", type=int, default=20, help="how many rows to print"
+    )
+    args = parser.parse_args()
+    profile_sweep(naive=args.naive, top=args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

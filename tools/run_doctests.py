@@ -32,6 +32,8 @@ AUDITED_MODULES = (
     "repro.core.reports",
     "repro.core.context",
     "repro.core.scheduling",
+    "repro.core.engine.diskcache",
+    "repro.core.engine.memo",
     "repro.analysis.robustness",
     "repro.workloads",
     "repro.serving.cache",
