@@ -1,0 +1,123 @@
+"""The configuration-batched sweep engine vs. naive per-point re-evaluation.
+
+The production-scale complement of ``bench_engine_sweep``: a >= 500
+point combined TRON + GHOST knob grid evaluated through the batched
+strategy (one workload materialization, one vectorized device-physics
+kernel call, signature-grouped run-path evaluation) against the naive
+sequential baseline (per-point workload rebuild + physics recompute).
+The batched reports must be **bit-identical** to scalar runs — every
+Pareto-frontier point is re-evaluated naively and compared exactly —
+and the speedup must reach 30x, the number ``run_sweep_bench.py``
+records in BENCH_sweep.json.
+"""
+
+import time
+
+from repro.analysis.sweep import (
+    ghost_sweep_space,
+    pareto_frontier,
+    run_sweep,
+    tron_sweep_space,
+)
+from repro.core.engine import clear_physics_cache
+
+
+def production_spaces(quick: bool = False):
+    """The benchmark grid: >= 500 combined points (8 in quick mode)."""
+    if quick:
+        return [
+            tron_sweep_space(
+                head_units=(4, 8), array_sizes=(32, 64), clocks_ghz=(5.0,)
+            ),
+            ghost_sweep_space(lanes=(8, 16), edge_units=(16, 32)),
+        ]
+    return [
+        tron_sweep_space(
+            head_units=(2, 3, 4, 6, 8, 12, 16, 24),
+            array_sizes=(16, 24, 32, 48, 64, 96, 128, 160),
+            clocks_ghz=(1.25, 2.5, 4.0, 5.0),
+        ),
+        ghost_sweep_space(
+            lanes=(4, 6, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56, 64, 80, 96, 128),
+            edge_units=(4, 6, 8, 12, 16, 20, 24, 28, 32, 48, 64, 96, 128, 160, 192, 256),
+        ),
+    ]
+
+
+def _evaluate_point_naively(space, point):
+    """One fresh scalar evaluation of a sweep point (cold caches)."""
+    clear_physics_cache()
+    workload = space.build_workload()
+    knobs = {k: v for k, v in point.knobs.items() if k != "corner"}
+    return space.build_accelerator(knobs).run(workload, ctx=None)
+
+
+def measure_batched_sweep(quick: bool = False):
+    """Benchmark record of the batched sweep vs. the naive baseline.
+
+    Returns a dict with wall times, the speedup, the per-space frontier
+    labels and the number of batched-vs-scalar mismatches over every
+    frontier point (which must be 0).
+    """
+    spaces = production_spaces(quick=quick)
+
+    clear_physics_cache()
+    t0 = time.perf_counter()
+    naive = {
+        space.name: run_sweep(space, memoize=False, parallel=False)
+        for space in spaces
+    }
+    naive_s = time.perf_counter() - t0
+
+    clear_physics_cache()
+    t0 = time.perf_counter()
+    batched = {
+        space.name: run_sweep(space, strategy="batched") for space in spaces
+    }
+    batched_s = time.perf_counter() - t0
+
+    num_points = sum(len(points) for points in batched.values())
+    frontiers = {}
+    mismatches = 0
+    frontier_points = 0
+    for space in spaces:
+        batched_frontier = pareto_frontier(batched[space.name])
+        naive_frontier = pareto_frontier(naive[space.name])
+        assert [p.label for p in batched_frontier] == [
+            p.label for p in naive_frontier
+        ], f"{space.name}: frontier drift between batched and naive sweeps"
+        frontiers[space.name] = [p.label for p in batched_frontier]
+        # Bit-exact reconstruction check: every frontier point re-costed
+        # through a fresh scalar run must match the batched report.
+        for point in batched_frontier:
+            frontier_points += 1
+            scalar = _evaluate_point_naively(space, point)
+            if (
+                scalar.latency_ns != point.report.latency_ns
+                or scalar.energy_pj != point.report.energy_pj
+            ):
+                mismatches += 1
+    return {
+        "bench": "combined TRON+GHOST batched design-space sweep",
+        "points": num_points,
+        "batched_wall_s": round(batched_s, 4),
+        "naive_sequential_wall_s": round(naive_s, 4),
+        "speedup": round(naive_s / batched_s, 2),
+        "points_per_sec": round(num_points / batched_s, 1),
+        "frontier_points_checked": frontier_points,
+        "frontier_mismatches": mismatches,
+        "pareto_frontiers": frontiers,
+    }
+
+
+def test_batched_sweep_speedup(run_once):
+    record = run_once(measure_batched_sweep, quick=True)
+    print()
+    print(
+        f"quick grid: {record['points']} points, "
+        f"{record['speedup']:.1f}x vs naive"
+    )
+    assert record["frontier_mismatches"] == 0
+    # The quick grid is tiny (8 points), so the batched advantage is
+    # bounded by the per-point workload rebuild it amortizes away.
+    assert record["speedup"] >= 2.0

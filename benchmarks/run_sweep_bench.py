@@ -1,0 +1,56 @@
+"""Emit BENCH_sweep.json: batched sweep speedup at production grid scale.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_sweep_bench.py [output.json] [--quick]
+
+Records the >= 500 point combined TRON + GHOST design-space sweep
+through the configuration-batched engine (one workload
+materialization, one vectorized device-physics kernel call,
+signature-grouped run-path evaluation) against the naive sequential
+per-point baseline.  Every Pareto-frontier point is re-evaluated
+through a fresh scalar run and compared bit-exactly; any mismatch
+fails the bench.  ``--quick`` runs an 8-point smoke grid (the CI
+gate) with a relaxed speedup floor.
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from bench_sweep_batched import measure_batched_sweep  # noqa: E402
+
+
+def main() -> int:
+    argv = [a for a in sys.argv[1:]]
+    quick = "--quick" in argv
+    argv = [a for a in argv if a != "--quick"]
+    out_path = pathlib.Path(
+        argv[0]
+        if argv
+        else pathlib.Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+    )
+    record = measure_batched_sweep(quick=quick)
+    if quick:
+        record["bench"] += " (quick smoke grid)"
+    print(json.dumps(record, indent=2))
+    if quick:
+        # CI gate: batched == scalar is the deterministic invariant; a
+        # wall-clock ratio on an 8-point grid would flake on shared
+        # runners, so the speedup floor applies to the full bench only.
+        return 0 if record["frontier_mismatches"] == 0 else 1
+    ok = (
+        record["frontier_mismatches"] == 0
+        and record["speedup"] >= 30.0
+        and record["points"] >= 500
+    )
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
