@@ -1,0 +1,58 @@
+"""Spec-driven experiments: the declarative front door.
+
+Usage::
+
+    PYTHONPATH=src python examples/spec_driven.py
+
+Loads a shipped ``repro.spec/1`` experiment spec, runs it through the
+:class:`repro.api.Session` facade, then builds the same experiment in
+Python and shows the two are the same object — same fingerprint, same
+numbers.  See docs/api.md for the full spec format.
+"""
+
+import pathlib
+
+from repro.api import (
+    ContextSpec,
+    ExperimentSpec,
+    PlatformSpec,
+    Session,
+    load_spec,
+)
+
+SPECS = pathlib.Path(__file__).parent / "specs"
+
+
+def main():
+    session = Session()
+
+    # --- 1. run a checked-in spec file -------------------------------
+    spec = load_spec(SPECS / "run_bert_typical.json")
+    result = session.execute(spec)
+    print(f"spec {spec.fingerprint()} -> {result.report.summary()}")
+
+    # --- 2. the same experiment, built in Python ---------------------
+    programmatic = ExperimentSpec(
+        platform=PlatformSpec(name="tron", overrides={"batch": 8}),
+        workload="BERT-base",
+        context=ContextSpec(corner="typical", seed=3),
+    )
+    assert programmatic == spec
+    assert programmatic.fingerprint() == spec.fingerprint()
+
+    # --- 3. results own their machine-readable envelopes -------------
+    envelope = result.envelope()
+    print(
+        f"envelope {envelope['schema']} (build {envelope['repro_version']}) "
+        f"epb={envelope['epb_pj']:.4f} pJ/bit"
+    )
+
+    # --- 4. direct Session calls are the same path -------------------
+    direct = session.run("BERT-base", platform="tron", batch=8,
+                         corner="typical", seed=3)
+    assert direct.envelope() == envelope
+    print("spec-driven and direct Session runs are bit-identical")
+
+
+if __name__ == "__main__":
+    main()

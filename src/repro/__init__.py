@@ -7,17 +7,19 @@ accelerator and the GHOST GNN accelerator, the full analog-photonic and
 electronic substrate they rest on, the workloads, and the baseline
 platform models needed to regenerate the paper's evaluation figures.
 
-Quickstart::
+Quickstart — the declarative experiment API::
 
-    from repro import TRON, GHOST, bert_base
-    report = TRON().run_transformer(bert_base())
-    print(report.summary())
+    from repro.api import Session
 
-See README.md for the quickstart and the ``docs/`` suite
-(architecture, serving, CLI, variation-aware evaluation) for the full
+    session = Session()
+    print(session.run("BERT-base").report.summary())
+
+See README.md for the quickstart and the ``docs/`` suite (api,
+architecture, serving, CLI, variation-aware evaluation) for the full
 documentation.
 """
 
+from repro._version import __version__
 from repro.core import (
     GHOST,
     GHOSTConfig,
@@ -46,8 +48,14 @@ from repro.analysis import (
     fig10_gnn_epb,
     fig11_gnn_gops,
 )
-
-__version__ = "1.0.0"
+from repro.api import (
+    AnalysisSpec,
+    ContextSpec,
+    ExperimentSpec,
+    PlatformSpec,
+    Session,
+    load_spec,
+)
 
 __all__ = [
     "TRON",
@@ -72,5 +80,11 @@ __all__ = [
     "fig9_llm_gops",
     "fig10_gnn_epb",
     "fig11_gnn_gops",
+    "Session",
+    "ExperimentSpec",
+    "PlatformSpec",
+    "ContextSpec",
+    "AnalysisSpec",
+    "load_spec",
     "__version__",
 ]

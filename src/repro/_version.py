@@ -1,0 +1,17 @@
+"""The single source of the library version.
+
+Lives in its own leaf module (instead of ``repro/__init__``) so the
+``repro.api`` layer can embed the version in JSON envelopes and spec
+fingerprints without importing the full package — and so
+``python -m repro --version`` stays cheap.
+
+Example:
+    >>> from repro._version import __version__
+    >>> __version__.count(".")
+    2
+"""
+
+#: Library version: embedded in every ``--json`` envelope
+#: (``repro_version``) and in every :class:`repro.api.ExperimentSpec`
+#: fingerprint, so cached artifacts name the build that produced them.
+__version__ = "1.1.0"

@@ -1,0 +1,322 @@
+"""Machine-checkable JSON Schemas of every versioned interchange format.
+
+One schema per tag:
+
+- the ``--json`` envelopes — ``repro.run/1``, ``repro.sweep/1``,
+  ``repro.mc/1``, ``repro.corners/1``, ``repro.serve/1``,
+  ``repro.cache/1``;
+- the declarative spec format ``repro.spec/1``;
+- the serving trace format ``repro.trace/1``.
+
+:func:`schema_for` looks a schema up by tag, and
+:func:`validate_payload` dispatches on a payload's own ``schema`` field
+and validates it (requires the optional ``jsonschema`` package — the CI
+schema job installs it; the library itself never imports it at module
+scope).
+
+Example:
+    >>> schema_for("repro.run/1")["properties"]["schema"]["const"]
+    'repro.run/1'
+    >>> sorted(SCHEMAS)[:3]
+    ['repro.cache/1', 'repro.corners/1', 'repro.mc/1']
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import ConfigurationError
+
+_NUMBER = {"type": "number"}
+_NON_NEGATIVE_INT = {"type": "integer", "minimum": 0}
+_POSITIVE_INT = {"type": "integer", "minimum": 1}
+_STRING = {"type": "string"}
+_BOOL = {"type": "boolean"}
+
+#: A float-valued breakdown dict (category -> value).
+_BREAKDOWN = {"type": "object", "additionalProperties": _NUMBER}
+
+#: The distribution stats blocks of the mc payload.
+_STATS_BLOCK = {
+    "type": "object",
+    "properties": {
+        "mean": _NUMBER,
+        "p5": _NUMBER,
+        "p50": _NUMBER,
+        "p95": _NUMBER,
+    },
+    "required": ["mean", "p5", "p50", "p95"],
+}
+
+#: A serialized RunReport (the ``run`` payload; embedded by ``mc``).
+_RUN_REPORT = {
+    "type": "object",
+    "properties": {
+        "platform": _STRING,
+        "workload": _STRING,
+        "bits_per_value": _POSITIVE_INT,
+        "latency_ns": _NUMBER,
+        "energy_pj": _NUMBER,
+        "gops": _NUMBER,
+        "epb_pj": _NUMBER,
+        "total_ops": _NON_NEGATIVE_INT,
+        "latency_breakdown_ns": _BREAKDOWN,
+        "energy_breakdown_pj": _BREAKDOWN,
+    },
+    "required": [
+        "platform",
+        "workload",
+        "bits_per_value",
+        "latency_ns",
+        "energy_pj",
+        "gops",
+        "epb_pj",
+        "total_ops",
+        "latency_breakdown_ns",
+        "energy_breakdown_pj",
+    ],
+}
+
+
+def _envelope(
+    command: str,
+    context_properties: Dict[str, Any],
+    payload_properties: Dict[str, Any],
+    required: list,
+) -> Dict[str, Any]:
+    """The shared envelope shape of one ``--json`` command schema."""
+    return {
+        "$schema": "http://json-schema.org/draft-07/schema#",
+        "type": "object",
+        "properties": {
+            "schema": {"const": f"repro.{command}/1"},
+            "repro_version": _STRING,
+            "context": {
+                "type": "object",
+                "properties": context_properties,
+                "required": sorted(context_properties),
+            },
+            **payload_properties,
+        },
+        "required": ["schema", "repro_version", "context", *required],
+    }
+
+
+SCHEMAS: Dict[str, Dict[str, Any]] = {
+    "repro.run/1": _envelope(
+        "run",
+        {"corner": _STRING, "seed": _NON_NEGATIVE_INT},
+        dict(_RUN_REPORT["properties"]),
+        list(_RUN_REPORT["required"]),
+    ),
+    "repro.mc/1": _envelope(
+        "mc",
+        {"corner": _STRING, "seed": _NON_NEGATIVE_INT},
+        {
+            "platform": _STRING,
+            "workload": _STRING,
+            "samples": _POSITIVE_INT,
+            "seed": _NON_NEGATIVE_INT,
+            "yield": _NUMBER,
+            "operational_fraction": _NUMBER,
+            "nominal": _RUN_REPORT,
+            "latency_ns": _STATS_BLOCK,
+            "energy_pj": _STATS_BLOCK,
+            "gops": _STATS_BLOCK,
+            "epb_pj": _STATS_BLOCK,
+            "tuning_power_mw": _STATS_BLOCK,
+        },
+        [
+            "platform",
+            "workload",
+            "samples",
+            "yield",
+            "operational_fraction",
+            "nominal",
+            "latency_ns",
+            "energy_pj",
+        ],
+    ),
+    "repro.corners/1": _envelope(
+        "corners",
+        {"seed": _NON_NEGATIVE_INT},
+        {
+            "rows": {
+                "type": "array",
+                "items": {
+                    "type": "object",
+                    "properties": {
+                        "corner": _STRING,
+                        "platform": _STRING,
+                        "workload": _STRING,
+                        "latency_ns": _NUMBER,
+                        "energy_pj": _NUMBER,
+                        "epb_pj": _NUMBER,
+                        "correction_power_mw": _NUMBER,
+                        "ring_yield": _NUMBER,
+                    },
+                    "required": [
+                        "corner",
+                        "platform",
+                        "workload",
+                        "latency_ns",
+                        "energy_pj",
+                        "epb_pj",
+                        "correction_power_mw",
+                        "ring_yield",
+                    ],
+                },
+            }
+        },
+        ["rows"],
+    ),
+    "repro.sweep/1": _envelope(
+        "sweep",
+        {"corners_axis": _BOOL, "seed": _NON_NEGATIVE_INT},
+        {
+            "spaces": {
+                "type": "object",
+                "additionalProperties": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "properties": {
+                            "label": _STRING,
+                            "knobs": {
+                                "type": "object",
+                                "additionalProperties": _STRING,
+                            },
+                            "latency_ns": _NUMBER,
+                            "energy_pj": _NUMBER,
+                            "gops": _NUMBER,
+                            "pareto": _BOOL,
+                        },
+                        "required": [
+                            "label",
+                            "knobs",
+                            "latency_ns",
+                            "energy_pj",
+                            "gops",
+                            "pareto",
+                        ],
+                    },
+                },
+            },
+            "physics_cache": {"type": "object"},
+        },
+        ["spaces", "physics_cache"],
+    ),
+    "repro.serve/1": _envelope(
+        "serve",
+        {"trace": _STRING, "repeat": _POSITIVE_INT, "window": _POSITIVE_INT},
+        {
+            "stats": {"type": "object"},
+            "cache": {"type": "object"},
+            "scheduler": {"type": "object"},
+            "physics_cache": {"type": "object"},
+        },
+        ["stats", "cache", "scheduler", "physics_cache"],
+    ),
+    "repro.cache/1": _envelope(
+        "cache",
+        {},
+        {
+            "path": _STRING,
+            "entries": _NON_NEGATIVE_INT,
+        },
+        ["path", "entries"],
+    ),
+    "repro.spec/1": {
+        "$schema": "http://json-schema.org/draft-07/schema#",
+        "type": "object",
+        "properties": {
+            "schema": {"const": "repro.spec/1"},
+            "platform": {
+                "type": "object",
+                "properties": {
+                    "name": _STRING,
+                    "overrides": {"type": "object"},
+                },
+                "additionalProperties": False,
+            },
+            "workload": {"type": ["string", "null"]},
+            "context": {
+                "type": "object",
+                "properties": {
+                    "corner": _STRING,
+                    "seed": _NON_NEGATIVE_INT,
+                    "tuner_range_nm": {
+                        "type": ["number", "null"],
+                        "exclusiveMinimum": 0,
+                    },
+                },
+                "additionalProperties": False,
+            },
+            "analysis": {
+                "type": "object",
+                "properties": {
+                    "kind": {
+                        "enum": ["run", "sweep", "mc", "corners", "serve"]
+                    },
+                    "samples": _POSITIVE_INT,
+                    "vectorized": _BOOL,
+                    "corners_axis": _BOOL,
+                    "trace": {"type": ["string", "null"]},
+                    "repeat": _POSITIVE_INT,
+                    "window": _POSITIVE_INT,
+                    "cache_entries": _POSITIVE_INT,
+                    "batched_physics": _BOOL,
+                },
+                "additionalProperties": False,
+            },
+        },
+        "required": ["schema"],
+        "additionalProperties": False,
+    },
+    "repro.trace/1": {
+        "$schema": "http://json-schema.org/draft-07/schema#",
+        "type": "object",
+        "properties": {
+            "schema": {"const": "repro.trace/1"},
+            "requests": {"type": "array", "items": {"type": "object"}},
+        },
+        "required": ["schema", "requests"],
+    },
+}
+
+
+def schema_for(tag: str) -> Dict[str, Any]:
+    """The JSON Schema registered for an interchange tag.
+
+    Example:
+        >>> schema_for("repro.spec/1")["properties"]["schema"]["const"]
+        'repro.spec/1'
+    """
+    if tag not in SCHEMAS:
+        raise ConfigurationError(
+            f"no schema registered for {tag!r}; known tags: "
+            f"{sorted(SCHEMAS)}"
+        )
+    return SCHEMAS[tag]
+
+
+def validate_payload(payload: Dict[str, Any]) -> str:
+    """Validate a payload against the schema its own tag names.
+
+    Returns the tag on success; raises ``jsonschema.ValidationError``
+    on mismatch (and :class:`~repro.errors.ConfigurationError` if the
+    payload carries no known tag or ``jsonschema`` is unavailable).
+    """
+    try:
+        import jsonschema
+    except ImportError:  # pragma: no cover - env without jsonschema
+        raise ConfigurationError(
+            "payload validation needs the optional 'jsonschema' package"
+        ) from None
+    tag = payload.get("schema") if isinstance(payload, dict) else None
+    if not isinstance(tag, str):
+        raise ConfigurationError(
+            f"payload carries no schema tag: {str(payload)[:120]}"
+        )
+    jsonschema.validate(payload, schema_for(tag))
+    return tag

@@ -1,0 +1,556 @@
+"""The :class:`Session` facade: one object, every evaluation path.
+
+A Session is the single programmatic entry point to the library — the
+CLI subcommands are thin argument-parsing adapters over it, and the
+serving engine's spec intake routes through the same conversions.  It
+exposes:
+
+- :meth:`Session.run` — cost one workload on one platform at a corner.
+- :meth:`Session.sweep` — the design-space sweeps with Pareto analysis.
+- :meth:`Session.monte_carlo` — Monte-Carlo yield/variation analysis.
+- :meth:`Session.corners` — the standard corner grid.
+- :meth:`Session.serve` — replay a request trace through the batching
+  serving engine.
+- :meth:`Session.execute` — dispatch a declarative
+  :class:`~repro.api.spec.ExperimentSpec` to whichever of the above its
+  analysis block names.
+
+All entry points return typed result objects
+(:mod:`repro.api.results`) that own both the schema-versioned JSON
+envelope and the human-readable rendering, so callers never rebuild
+either.  Numbers are bit-identical to the corresponding CLI
+invocations — the Session *is* the CLI's implementation.
+
+Example:
+    >>> session = Session()
+    >>> result = session.run("MLP-mnist")
+    >>> result.report.platform, result.report.workload
+    ('TRON', 'MLP-mnist')
+    >>> session.run("GCN-cora").report.platform    # auto-routing
+    'GHOST'
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.api.results import (
+    CacheResult,
+    CornersResult,
+    MonteCarloRunResult,
+    RunResult,
+    ServeResult,
+    SweepResult,
+    TraceResult,
+)
+from repro.api.spec import ExperimentSpec
+from repro.errors import ConfigurationError
+
+
+def _reject_unused_spec_fields(spec: ExperimentSpec) -> None:
+    """Fail loudly on spec fields the declared analysis cannot honor.
+
+    A sweep cannot apply platform overrides (the classic spaces own
+    their configurations), ``corners``/``serve`` take no workload or
+    platform at all, and so on — accepting such a spec would silently
+    evaluate a different experiment than it declares.
+    """
+    kind = spec.analysis.kind
+    problems = []
+    if kind in ("sweep", "corners", "serve"):
+        if spec.platform.overrides:
+            problems.append("platform.overrides")
+        if spec.workload is not None:
+            problems.append("workload")
+        if spec.context.tuner_range_nm is not None:
+            problems.append("context.tuner_range_nm")
+        if spec.context.corner != "nominal":
+            # sweep's corner axis is analysis.corners_axis (the whole
+            # grid); corners/serve define their own corner handling.
+            problems.append("context.corner")
+    if kind in ("corners", "serve") and spec.platform.name != "auto":
+        problems.append("platform.name")
+    if kind == "serve" and spec.context != type(spec.context)():
+        problems.append("context")
+    if problems:
+        raise ConfigurationError(
+            f"a {kind!r} spec cannot honor {problems}; remove the "
+            "field(s) or change the analysis kind"
+        )
+
+
+class Session:
+    """A configured handle on the library's evaluation paths.
+
+    Args:
+        disk_cache: attach the persistent physics cache for this
+            process (what the CLI does for ``run``/``sweep``/``mc``/
+            ``serve``).  ``REPRO_DISK_CACHE=0`` still opts out and
+            ``REPRO_CACHE_DIR`` still relocates the directory.
+    """
+
+    def __init__(self, disk_cache: bool = False) -> None:
+        self.disk_cache = disk_cache
+        if disk_cache:
+            from repro.core.engine import configure_disk_cache
+
+            configure_disk_cache()
+
+    # ------------------------------------------------------------------
+    # Single runs
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        workload,
+        platform: str = "auto",
+        batch: Optional[int] = None,
+        corner: str = "nominal",
+        seed: int = 0,
+        overrides: Optional[Mapping[str, Any]] = None,
+        tuner_range_nm: Optional[float] = None,
+    ) -> RunResult:
+        """Cost one workload on one platform at a named corner.
+
+        Args:
+            workload: a registered workload name or a
+                :class:`~repro.core.base.Workload` instance.
+            platform: a registered platform name, or ``"auto"`` (GNN
+                workloads route to GHOST, everything else to TRON).
+            batch: inferences sharing one weight-streaming pass —
+                folded into the TRON configuration; GHOST costs
+                full-graph inferences and rejects ``batch > 1``.
+            corner: standard corner name (see
+                :func:`repro.core.context.standard_corners`).
+            seed: die-selection seed where variation exists.
+            overrides: sparse platform-config overrides (validated).
+            tuner_range_nm: TO tuner correction range override.
+        """
+        from repro.api.registry import get_platform, resolve_platform
+        from repro.api.spec import ContextSpec
+        from repro.core.base import Workload, get_workload
+
+        if not isinstance(workload, Workload):
+            workload = get_workload(workload)
+        resolved = resolve_platform(platform, workload.kind)
+        merged: Dict[str, Any] = dict(overrides or {})
+        if batch is not None and batch != 1:
+            if resolved == "ghost":
+                raise ConfigurationError(
+                    "--batch only applies to TRON (GHOST costs full-graph "
+                    "inferences); rerun without it or with --platform tron"
+                )
+            merged["batch"] = batch
+        accelerator = get_platform(resolved, overrides=merged or None)
+        ctx = ContextSpec(
+            corner=corner, seed=seed, tuner_range_nm=tuner_range_nm
+        ).resolve()
+        report = accelerator.run(workload, ctx=ctx)
+        return RunResult(report=report, corner=corner, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Design-space sweeps
+    # ------------------------------------------------------------------
+
+    def sweep(
+        self,
+        target: str = "all",
+        corners: bool = False,
+        seed: int = 0,
+        strategy: Optional[str] = None,
+    ) -> SweepResult:
+        """Run the classic design-space sweep(s) with Pareto marking.
+
+        Args:
+            target: ``"tron"``, ``"ghost"``, or ``"all"``.
+            corners: add the standard execution-corner axis.
+            seed: die-selection seed of the corner axis.
+            strategy: sweep evaluation strategy override (see
+                :func:`repro.analysis.sweep.run_sweep`).
+        """
+        from repro.analysis.sweep import (
+            ghost_sweep_space,
+            pareto_frontier,
+            run_sweep,
+            tron_sweep_space,
+            with_corners,
+        )
+        from repro.core.context import resolve_corner, standard_corners
+        from repro.core.engine import physics_cache_stats
+
+        spaces = {
+            "tron": (tron_sweep_space,),
+            "ghost": (ghost_sweep_space,),
+            "all": (tron_sweep_space, ghost_sweep_space),
+        }
+        if target not in spaces:
+            raise ConfigurationError(
+                f"unknown sweep target {target!r}; "
+                f"pick one of {sorted(spaces)}"
+            )
+        points: Dict[str, List] = {}
+        frontiers: Dict[str, List] = {}
+        for make_space in spaces[target]:
+            space = make_space()
+            if corners:
+                corner_map = {
+                    name: resolve_corner(name, seed)
+                    for name in standard_corners()
+                }
+                space = with_corners(space, corner_map)
+            space_points = run_sweep(space, strategy=strategy)
+            points[space.name] = space_points
+            frontiers[space.name] = pareto_frontier(space_points)
+        return SweepResult(
+            points=points,
+            frontiers=frontiers,
+            corners_axis=corners,
+            seed=seed,
+            physics_cache=physics_cache_stats(),
+        )
+
+    # ------------------------------------------------------------------
+    # Variation analysis
+    # ------------------------------------------------------------------
+
+    def monte_carlo(
+        self,
+        workload,
+        platform: str = "auto",
+        samples: int = 128,
+        corner: str = "typical",
+        seed: int = 0,
+        tuner_range_nm: Optional[float] = None,
+        vectorized: bool = True,
+        overrides: Optional[Mapping[str, Any]] = None,
+    ) -> MonteCarloRunResult:
+        """Monte-Carlo variation analysis over ``samples`` sampled dies.
+
+        The sampling population is the named corner's variation
+        statistics; the nominal corner falls back to the typical
+        statistics (a die population must exist to sample from).
+        """
+        from dataclasses import replace
+
+        from repro.analysis.robustness import run_monte_carlo
+        from repro.api.registry import get_platform, resolve_platform
+        from repro.core.base import Workload, get_workload
+        from repro.core.context import standard_corners
+        from repro.photonics.variation import ProcessVariationModel
+
+        if not isinstance(workload, Workload):
+            workload = get_workload(workload)
+        resolved = resolve_platform(platform, workload.kind)
+        corners = standard_corners()
+        if corner not in corners:
+            raise ConfigurationError(
+                f"unknown corner {corner!r}; known corners: "
+                f"{sorted(corners)}"
+            )
+        base = corners[corner]
+        if base.variation is None:
+            # Monte-Carlo over the nominal corner still needs a die
+            # population to sample from.
+            base = replace(base, variation=ProcessVariationModel())
+        ctx = replace(base, seed=seed, tuner_range_nm=tuner_range_nm)
+        result = run_monte_carlo(
+            make_accelerator=lambda: get_platform(
+                resolved, overrides=dict(overrides) if overrides else None
+            ),
+            make_workload=lambda: workload,
+            context=ctx,
+            samples=samples,
+            vectorized=vectorized,
+        )
+        return MonteCarloRunResult(result=result, corner=corner, seed=seed)
+
+    def corners(self, seed: int = 0) -> CornersResult:
+        """Evaluate the standard corner grid on the stock scenarios
+        (BERT-base on TRON, GCN-cora on GHOST)."""
+        from repro.api.registry import get_platform
+        from repro.core.base import get_workload
+        from repro.core.context import resolve_corner, standard_corners
+        from repro.core.engine import context_physics
+
+        scenarios = (
+            (get_platform("tron"), get_workload("BERT-base")),
+            (get_platform("ghost"), get_workload("GCN-cora")),
+        )
+        rows = []
+        for name in standard_corners():
+            ctx = resolve_corner(name, seed)
+            for accelerator, workload in scenarios:
+                report = accelerator.run(workload, ctx=ctx)
+                physics = context_physics(accelerator.array_specs()[0], ctx)
+                rows.append(
+                    dict(
+                        corner=name,
+                        platform=accelerator.name,
+                        workload=workload.name,
+                        latency_ns=report.latency_ns,
+                        energy_pj=report.energy_pj,
+                        epb_pj=report.epb_pj,
+                        correction_power_mw=(
+                            physics.correction_power_mw if physics else 0.0
+                        ),
+                        ring_yield=physics.ring_yield if physics else 1.0,
+                    )
+                )
+        return CornersResult(rows=rows, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def serve(
+        self,
+        trace: Optional[str] = None,
+        requests: Optional[Sequence] = None,
+        repeat: int = 1,
+        window: int = 64,
+        cache_entries: int = 1024,
+        batched_physics: bool = True,
+    ) -> ServeResult:
+        """Replay a request stream through the batching serving engine.
+
+        Args:
+            trace: a trace file path (see ``repro gen-trace`` and
+                :mod:`repro.serving.trace`); mutually exclusive with
+                ``requests``.
+            requests: an in-memory request sequence — each element a
+                :class:`~repro.serving.request.ServeRequest`, a trace
+                record dict, or a run-kind :class:`ExperimentSpec`.
+            repeat: replay the stream N times (the cache stays warm).
+            window: micro-batch window (requests coalesced per flush).
+            cache_entries: report-cache bound (LRU beyond it).
+            batched_physics: batched corner-physics path (disable for
+                the scalar benchmarking baseline; same numbers).
+        """
+        from repro.core.engine import physics_cache_stats
+        from repro.serving import ServingEngine, load_trace
+        from repro.serving.request import ServeRequest
+        from repro.serving.trace import record_to_request
+
+        if (trace is None) == (requests is None):
+            raise ConfigurationError(
+                "serve needs exactly one of a trace path or a request "
+                "sequence"
+            )
+        if trace is not None:
+            stream = load_trace(trace)
+            label = str(trace)
+        else:
+            stream = []
+            for item in requests:
+                if isinstance(item, ServeRequest):
+                    stream.append(item)
+                elif isinstance(item, ExperimentSpec):
+                    stream.append(ServeRequest.from_spec(item))
+                elif isinstance(item, Mapping):
+                    stream.append(record_to_request(dict(item)))
+                else:
+                    raise ConfigurationError(
+                        f"cannot serve {item!r}; pass ServeRequests, "
+                        "trace records, or run-kind ExperimentSpecs"
+                    )
+            label = f"<{len(stream)} in-memory requests>"
+        engine = ServingEngine(
+            cache_entries=cache_entries,
+            max_pending=window,
+            use_batched_physics=batched_physics,
+        )
+        with engine:
+            for _ in range(repeat):
+                for request in stream:
+                    engine.submit(request)
+                engine.drain()
+        return ServeResult(
+            trace=label,
+            repeat=repeat,
+            window=window,
+            served=engine.stats.requests,
+            stats=engine.stats.to_dict(),
+            cache=engine.cache.stats.to_dict(),
+            scheduler=engine.scheduler.stats.to_dict(),
+            physics_cache=physics_cache_stats(),
+            cache_len=len(engine.cache),
+            cache_bound=engine.cache.max_entries,
+        )
+
+    def generate_trace(
+        self,
+        output: Optional[str] = None,
+        requests: int = 1000,
+        seed: int = 0,
+        catalog: int = 48,
+        llm_fraction: float = 0.7,
+        skew: float = 1.1,
+    ) -> TraceResult:
+        """Synthesize a mixed LLM+GNN request trace (optionally saved)."""
+        from repro.serving import generate_trace, save_trace
+
+        records = generate_trace(
+            num_requests=requests,
+            seed=seed,
+            catalog_size=catalog,
+            llm_fraction=llm_fraction,
+            skew=skew,
+        )
+        if output is not None:
+            save_trace(records, output)
+        return TraceResult(records=records, output=output)
+
+    # ------------------------------------------------------------------
+    # Spec dispatch
+    # ------------------------------------------------------------------
+
+    def execute(self, spec: ExperimentSpec):
+        """Run whatever a declarative spec describes.
+
+        Dispatches on ``spec.analysis.kind`` to the matching entry
+        point; the returned result is the same type (and bit-identical
+        numbers) as calling that entry point directly.
+
+        Example:
+            >>> from repro.api.spec import ExperimentSpec
+            >>> spec = ExperimentSpec(workload="MLP-mnist")
+            >>> Session().execute(spec).report.workload
+            'MLP-mnist'
+        """
+        kind = spec.analysis.kind
+        _reject_unused_spec_fields(spec)
+        if kind == "run":
+            if not spec.workload:
+                raise ConfigurationError("a run spec needs a workload")
+            return self.run(
+                spec.workload,
+                platform=spec.platform.name,
+                corner=spec.context.corner,
+                seed=spec.context.seed,
+                overrides=spec.platform.overrides,
+                tuner_range_nm=spec.context.tuner_range_nm,
+            )
+        if kind == "sweep":
+            target = "all" if spec.platform.name == "auto" else spec.platform.name
+            return self.sweep(
+                target=target,
+                corners=spec.analysis.corners_axis,
+                seed=spec.context.seed,
+            )
+        if kind == "mc":
+            if not spec.workload:
+                raise ConfigurationError("an mc spec needs a workload")
+            return self.monte_carlo(
+                spec.workload,
+                platform=spec.platform.name,
+                samples=spec.analysis.samples,
+                corner=spec.context.corner,
+                seed=spec.context.seed,
+                tuner_range_nm=spec.context.tuner_range_nm,
+                vectorized=spec.analysis.vectorized,
+                overrides=spec.platform.overrides,
+            )
+        if kind == "corners":
+            return self.corners(seed=spec.context.seed)
+        if kind == "serve":
+            if not spec.analysis.trace:
+                raise ConfigurationError("a serve spec needs a trace path")
+            return self.serve(
+                trace=spec.analysis.trace,
+                repeat=spec.analysis.repeat,
+                window=spec.analysis.window,
+                cache_entries=spec.analysis.cache_entries,
+                batched_physics=spec.analysis.batched_physics,
+            )
+        raise ConfigurationError(  # pragma: no cover - spec validates kind
+            f"unknown analysis kind {kind!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection + housekeeping
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Both photonic accelerators' configuration summaries."""
+        from repro.api.registry import get_platform
+
+        return "\n".join(
+            get_platform(name).describe() for name in ("tron", "ghost")
+        )
+
+    def workloads(self) -> List[str]:
+        """Sorted registered workload names."""
+        from repro.core.base import list_workloads
+
+        return list_workloads()
+
+    def describe_workload(self, name: str) -> str:
+        """One workload's ``[kind] description`` listing line."""
+        from repro.core.base import get_workload
+
+        workload = get_workload(name)
+        return f"[{workload.kind.value:<11s}] {workload.describe()}"
+
+    def gnn_workload(
+        self,
+        kind: str,
+        dataset: str,
+        hidden_dim: int = 64,
+        rng_seed: int = 0,
+        name: Optional[str] = None,
+    ):
+        """An ad-hoc GNN workload over a synthesized dataset replica
+        (the deprecated ``run-gnn`` CLI path builds through this)."""
+        from repro.nn.gnn import GNNKind
+        from repro.workloads import make_gnn_workload
+
+        return make_gnn_workload(
+            GNNKind(kind),
+            dataset,
+            hidden_dim=hidden_dim,
+            rng_seed=rng_seed,
+            name=name,
+        )
+
+    def claims(self) -> List:
+        """The paper's headline-claim checks (regenerated)."""
+        from repro.analysis.claims import check_headline_claims
+
+        return check_headline_claims()
+
+    def figures(self) -> List:
+        """The regenerated Figs. 8-11 tables."""
+        from repro.analysis.figures import (
+            fig8_llm_epb,
+            fig9_llm_gops,
+            fig10_gnn_epb,
+            fig11_gnn_gops,
+        )
+
+        return [
+            fn()
+            for fn in (fig8_llm_epb, fig9_llm_gops, fig10_gnn_epb, fig11_gnn_gops)
+        ]
+
+    def cache_info(self) -> CacheResult:
+        """State of the persistent physics cache."""
+        from repro.core.engine import configure_disk_cache
+
+        cache = configure_disk_cache()
+        if cache is None:
+            return CacheResult(enabled=False)
+        return CacheResult(
+            enabled=True, path=str(cache.path), entries=len(cache)
+        )
+
+    def clear_cache(self) -> CacheResult:
+        """Empty the persistent physics cache."""
+        from repro.core.engine import configure_disk_cache
+
+        cache = configure_disk_cache()
+        if cache is None:
+            return CacheResult(enabled=False)
+        removed = cache.clear()
+        return CacheResult(
+            enabled=True, path=str(cache.path), entries=0, cleared=removed
+        )

@@ -1,5 +1,10 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every subcommand is a thin adapter over the programmatic API
+(:class:`repro.api.Session`): the handlers below only parse arguments,
+call the matching Session entry point, and print the returned result
+object — all platform/analysis construction lives behind the facade.
+
 Commands:
 
 - ``describe`` — print both accelerators' configurations.
@@ -18,14 +23,19 @@ Commands:
 - ``cache`` — inspect or clear the persistent physics cache
   (``repro cache --clear``; see docs/performance.md).
 - ``gen-trace`` — synthesize a mixed LLM+GNN request trace.
-- ``run-llm <model>`` — cost one transformer inference on TRON.
-- ``run-gnn <kind> <dataset>`` — cost one GNN inference on GHOST.
+- ``run-llm <model>`` — deprecated alias of ``run --platform tron``.
+- ``run-gnn <kind> <dataset>`` — deprecated; builds the GNN workload
+  and routes through the same ``run`` path.
 
-``--seed`` selects the fabricated die / synthesized graph replica;
-``--json`` switches ``run`` / ``sweep`` / ``mc`` / ``corners`` /
-``serve`` output to machine-readable JSON.  Every JSON payload is a
-schema-versioned envelope — ``{"schema": "repro.<command>/1",
-"context": {...}, ...}`` — documented in ``docs/cli.md``.
+``run`` / ``sweep`` / ``mc`` / ``serve`` also accept a declarative
+experiment spec (``--spec file.{json,toml}``, format ``repro.spec/1``;
+see docs/api.md) instead of flags.  ``--seed`` selects the fabricated
+die / synthesized graph replica; ``--json`` switches output to
+machine-readable JSON.  Every JSON payload is a schema-versioned
+envelope — ``{"schema": "repro.<command>/1", "repro_version": "...",
+"context": {...}, ...}`` — documented in ``docs/cli.md`` and
+machine-checkable via :mod:`repro.api.schemas`.  ``repro --version``
+prints the library version embedded in those envelopes.
 """
 
 from __future__ import annotations
@@ -33,438 +43,259 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-#: Version suffix of every ``--json`` envelope this build emits.
-JSON_SCHEMA_VERSION = 1
+from repro._version import __version__
+
+# Re-exported here for backwards compatibility: the envelope builder
+# now lives with the typed result objects in repro.api.results.
+from repro.api.results import JSON_SCHEMA_VERSION, json_envelope  # noqa: F401
 
 
-def json_envelope(command: str, context: Dict, payload: Dict) -> Dict:
-    """The uniform machine-readable envelope of ``--json`` output.
+def _session(disk_cache: bool = True):
+    """The Session behind this invocation (CLI runs attach the
+    persistent physics cache unless ``REPRO_DISK_CACHE=0``)."""
+    from repro.api import Session
 
-    Every JSON-emitting command wraps its payload as
-    ``{"schema": "repro.<command>/<version>", "context": {...}, ...}``
-    so consumers can dispatch on the schema tag and always know which
-    corner/seed (or trace) produced the numbers.  The schemas are
-    documented in ``docs/cli.md``.
+    return Session(disk_cache=disk_cache)
+
+
+def _load_spec(args, expected_kind: str, **flag_defaults):
+    """Load ``--spec`` input, checking it matches the subcommand and
+    that no conflicting flags/positionals were passed alongside it —
+    the spec is the whole experiment; silently ignoring an explicit
+    flag would run a different experiment than the command line reads.
+
+    ``flag_defaults`` maps each argparse attribute that the spec
+    supersedes to its parser default.
     """
-    return {
-        "schema": f"repro.{command}/{JSON_SCHEMA_VERSION}",
-        "context": context,
-        **payload,
-    }
+    from repro.api import load_spec
+    from repro.errors import ConfigurationError
+
+    conflicting = sorted(
+        name.replace("_", "-")
+        for name, default in flag_defaults.items()
+        if getattr(args, name) != default
+    )
+    if conflicting:
+        raise ConfigurationError(
+            f"--spec replaces the experiment flags; drop {conflicting} "
+            "or edit the spec file instead"
+        )
+    spec = load_spec(args.spec)
+    if spec.analysis.kind != expected_kind:
+        raise ConfigurationError(
+            f"{args.spec}: spec declares analysis kind "
+            f"{spec.analysis.kind!r}; run it with "
+            f"'repro {spec.analysis.kind} --spec {args.spec}'"
+        )
+    return spec
 
 
-def _print_report(report) -> None:
-    print(report.summary())
-    print("energy breakdown (uJ):")
-    for key, pj in report.energy.as_dict().items():
-        if pj > 0.0:
-            print(f"  {key:<14s} {pj / 1e6:10.2f}")
+def _emit(result, args) -> None:
+    """Print a result object the way the flags ask for."""
+    if getattr(args, "json", False):
+        print(json.dumps(result.envelope(), indent=2))
+    else:
+        print(result.format())
 
 
-def _resolve_corner(name: str, seed: int):
-    """The ExecutionContext a named corner + seed denotes (the shared
-    rule lives in :func:`repro.core.context.resolve_corner`)."""
-    from repro.core.context import resolve_corner
-
-    return resolve_corner(name, seed)
-
-
-def _context_from_args(args):
-    """The ExecutionContext selected by --corner/--seed."""
-    return _resolve_corner(
-        getattr(args, "corner", "nominal"), getattr(args, "seed", 0)
+def _deprecated(old: str, new: str) -> None:
+    print(
+        f"note: '{old}' is deprecated; use '{new}' instead",
+        file=sys.stderr,
     )
 
 
-def _enable_disk_cache():
-    """Attach the persistent physics cache for this CLI invocation.
-
-    Repeated sweeps and serving cold-starts then skip device-physics
-    recomputation across processes.  ``REPRO_DISK_CACHE=0`` opts out
-    and ``REPRO_CACHE_DIR`` relocates the directory; see
-    ``repro cache`` and docs/performance.md.
-    """
-    from repro.core.engine import configure_disk_cache
-
-    return configure_disk_cache()
-
-
 def _cmd_describe(_args) -> int:
-    from repro.core.ghost import GHOST
-    from repro.core.tron import TRON
-
-    print(TRON().describe())
-    print(GHOST().describe())
+    print(_session(disk_cache=False).describe())
     return 0
 
 
 def _cmd_claims(_args) -> int:
-    from repro.analysis.claims import check_headline_claims
-
-    checks = check_headline_claims()
+    checks = _session(disk_cache=False).claims()
     for check in checks:
         print(check.format())
     return 0 if all(check.holds for check in checks) else 1
 
 
 def _cmd_figures(_args) -> int:
-    from repro.analysis.figures import (
-        fig8_llm_epb,
-        fig9_llm_gops,
-        fig10_gnn_epb,
-        fig11_gnn_gops,
-    )
-
-    for fn in (fig8_llm_epb, fig9_llm_gops, fig10_gnn_epb, fig11_gnn_gops):
-        print(fn().format())
+    for figure in _session(disk_cache=False).figures():
+        print(figure.format())
         print()
     return 0
 
 
-def _cmd_sweep(args) -> int:
-    from repro.analysis.sweep import (
-        format_sweep,
-        ghost_sweep_space,
-        pareto_frontier,
-        run_sweep,
-        tron_sweep_space,
-        with_corners,
-    )
-    from repro.core.context import standard_corners
-    from repro.core.engine import physics_cache_stats
-
-    _enable_disk_cache()
-    spaces = {
-        "tron": (tron_sweep_space,),
-        "ghost": (ghost_sweep_space,),
-        "all": (tron_sweep_space, ghost_sweep_space),
-    }[args.target]
-    output = {}
-    for make_space in spaces:
-        space = make_space()
-        if args.corners:
-            corners = {
-                name: _resolve_corner(name, args.seed)
-                for name in standard_corners()
-            }
-            space = with_corners(space, corners)
-        points = run_sweep(space)
-        frontier = pareto_frontier(points)
-        if args.json:
-            on_frontier = {id(p) for p in frontier}
-            output[space.name] = [
-                dict(
-                    label=p.label,
-                    knobs={k: str(v) for k, v in p.knobs.items()},
-                    latency_ns=p.latency_ns,
-                    energy_pj=p.energy_pj,
-                    gops=p.report.gops,
-                    pareto=id(p) in on_frontier,
-                )
-                for p in points
-            ]
-            continue
-        print(f"--- {space.name} ---")
-        print(format_sweep(points, frontier))
-        print(f"\n{len(frontier)} Pareto-optimal of {len(points)} configs\n")
-    if args.json:
-        envelope = json_envelope(
-            "sweep",
-            {"corners_axis": args.corners, "seed": args.seed},
-            {"spaces": output, "physics_cache": physics_cache_stats()},
-        )
-        print(json.dumps(envelope, indent=2))
-    return 0
-
-
 def _cmd_workloads(_args) -> int:
-    from repro.core.base import get_workload, list_workloads
-
-    for name in list_workloads():
-        workload = get_workload(name)
-        print(f"{name:<20s} [{workload.kind.value:<11s}] {workload.describe()}")
+    session = _session(disk_cache=False)
+    for name in session.workloads():
+        print(f"{name:<20s} {session.describe_workload(name)}")
     return 0
 
 
-def _pick_platform(args, workload):
-    from repro.core.base import WorkloadKind
-    from repro.core.ghost import GHOST
-    from repro.core.tron import TRON, TRONConfig
-
-    platform = args.platform
-    if platform == "auto":
-        # GNN workloads map onto GHOST; everything else onto TRON (which
-        # also covers suites that mix transformer and MLP members).
-        platform = "ghost" if workload.kind is WorkloadKind.GNN else "tron"
-    if platform == "ghost":
-        if getattr(args, "batch", 1) != 1:
-            from repro.errors import ConfigurationError
-
-            raise ConfigurationError(
-                "--batch only applies to TRON (GHOST costs full-graph "
-                "inferences); rerun without it or with --platform tron"
-            )
-        return GHOST()
-    return TRON(TRONConfig(batch=getattr(args, "batch", 1)))
-
-
-def _cmd_cache(args) -> int:
-    from repro.core.engine import configure_disk_cache
-
-    cache = configure_disk_cache()
-    if cache is None:
-        print("persistent physics cache disabled (REPRO_DISK_CACHE=0)")
-        return 0
-    if args.clear:
-        removed = cache.clear()
-        print(f"cleared {removed} entries from {cache.path}")
-        return 0
-    entries = len(cache)
-    if args.json:
-        envelope = json_envelope(
-            "cache", {}, {"path": str(cache.path), "entries": entries}
+def _cmd_sweep(args) -> int:
+    session = _session()
+    if args.spec:
+        result = session.execute(
+            _load_spec(args, "sweep", target=None, corners=False, seed=0)
         )
-        print(json.dumps(envelope, indent=2))
     else:
-        print(f"persistent physics cache: {cache.path} ({entries} entries)")
+        if args.target is None:
+            raise _missing("sweep", "a target (tron|ghost|all)")
+        result = session.sweep(
+            target=args.target, corners=args.corners, seed=args.seed
+        )
+    _emit(result, args)
     return 0
 
 
 def _cmd_run(args) -> int:
-    from repro.core.base import get_workload
-
-    _enable_disk_cache()
-    workload = get_workload(args.workload)
-    accelerator = _pick_platform(args, workload)
-    ctx = _context_from_args(args)
-    report = accelerator.run(workload, ctx=ctx)
-    if args.json:
-        envelope = json_envelope(
-            "run",
-            {"corner": args.corner, "seed": args.seed},
-            report.to_dict(),
+    session = _session()
+    if args.spec:
+        result = session.execute(
+            _load_spec(
+                args,
+                "run",
+                workload=None,
+                platform="auto",
+                batch=1,
+                corner="nominal",
+                seed=0,
+            )
         )
-        print(json.dumps(envelope, indent=2))
     else:
-        _print_report(report)
+        if args.workload is None:
+            raise _missing("run", "a workload name")
+        result = session.run(
+            args.workload,
+            platform=args.platform,
+            batch=args.batch,
+            corner=args.corner,
+            seed=args.seed,
+        )
+    _emit(result, args)
     return 0
 
 
 def _cmd_mc(args) -> int:
-    from dataclasses import replace
-
-    from repro.analysis.robustness import run_monte_carlo
-    from repro.core.base import get_workload
-    from repro.core.context import standard_corners
-    from repro.photonics.variation import ProcessVariationModel
-
-    _enable_disk_cache()
-    workload = get_workload(args.workload)
-    base = standard_corners()[args.corner]
-    if base.variation is None:
-        # Monte-Carlo over the nominal corner still needs a die
-        # population to sample from.
-        base = replace(base, variation=ProcessVariationModel())
-    ctx = replace(base, seed=args.seed, tuner_range_nm=args.tuner_range)
-    result = run_monte_carlo(
-        make_accelerator=lambda: _pick_platform(args, workload),
-        make_workload=lambda: workload,
-        context=ctx,
-        samples=args.samples,
-        vectorized=not args.naive,
-    )
-    if args.json:
-        envelope = json_envelope(
-            "mc",
-            {"corner": args.corner, "seed": args.seed},
-            result.to_dict(),
+    session = _session()
+    if args.spec:
+        result = session.execute(
+            _load_spec(
+                args,
+                "mc",
+                workload=None,
+                platform="auto",
+                samples=128,
+                corner="typical",
+                seed=0,
+                tuner_range=None,
+                naive=False,
+            )
         )
-        print(json.dumps(envelope, indent=2))
     else:
-        print(result.summary())
+        if args.workload is None:
+            raise _missing("mc", "a workload name")
+        result = session.monte_carlo(
+            args.workload,
+            platform=args.platform,
+            samples=args.samples,
+            corner=args.corner,
+            seed=args.seed,
+            tuner_range_nm=args.tuner_range,
+            vectorized=not args.naive,
+        )
+    _emit(result, args)
     return 0
 
 
 def _cmd_corners(args) -> int:
-    from repro.core.base import get_workload
-    from repro.core.context import standard_corners
-    from repro.core.engine import context_physics
-    from repro.core.ghost import GHOST
-    from repro.core.tron import TRON
+    result = _session(disk_cache=False).corners(seed=args.seed)
+    _emit(result, args)
+    return 0
 
-    scenarios = (
-        (TRON(), get_workload("BERT-base")),
-        (GHOST(), get_workload("GCN-cora")),
-    )
-    rows = []
-    for name in standard_corners():
-        ctx = _resolve_corner(name, args.seed)
-        for accelerator, workload in scenarios:
-            report = accelerator.run(workload, ctx=ctx)
-            physics = context_physics(accelerator.array_specs()[0], ctx)
-            rows.append(
-                dict(
-                    corner=name,
-                    platform=accelerator.name,
-                    workload=workload.name,
-                    latency_ns=report.latency_ns,
-                    energy_pj=report.energy_pj,
-                    epb_pj=report.epb_pj,
-                    correction_power_mw=(
-                        physics.correction_power_mw if physics else 0.0
-                    ),
-                    ring_yield=physics.ring_yield if physics else 1.0,
-                )
-            )
-    if args.json:
-        envelope = json_envelope(
-            "corners", {"seed": args.seed}, {"rows": rows}
-        )
-        print(json.dumps(envelope, indent=2))
-        return 0
-    print(
-        f"{'corner':>10s} {'platform':>8s} {'workload':<12s} "
-        f"{'latency(us)':>12s} {'energy(uJ)':>11s} {'pJ/bit':>8s} "
-        f"{'corr(mW)':>9s} {'yield':>6s}"
-    )
-    for row in rows:
-        print(
-            f"{row['corner']:>10s} {row['platform']:>8s} "
-            f"{row['workload']:<12s} {row['latency_ns'] / 1e3:>12.2f} "
-            f"{row['energy_pj'] / 1e6:>11.2f} {row['epb_pj']:>8.4f} "
-            f"{row['correction_power_mw']:>9.1f} {row['ring_yield']:>6.3f}"
-        )
+
+def _cmd_cache(args) -> int:
+    session = _session()
+    result = session.clear_cache() if args.clear else session.cache_info()
+    if args.json and result.enabled and not args.clear:
+        print(json.dumps(result.envelope(), indent=2))
+    else:
+        print(result.format())
     return 0
 
 
 def _cmd_serve(args) -> int:
-    from repro.core.engine import physics_cache_stats
-    from repro.serving import ServingEngine, load_trace
-
-    _enable_disk_cache()
-    requests = load_trace(args.trace)
-    engine = ServingEngine(
-        cache_entries=args.cache_entries,
-        max_pending=args.window,
-        use_batched_physics=not args.no_batching,
-    )
-    with engine:
-        for _ in range(args.repeat):
-            for request in requests:
-                engine.submit(request)
-            engine.drain()
-
-    served = engine.stats.requests
-    stats = engine.stats.to_dict()
-    cache = engine.cache.stats.to_dict()
-    scheduler = engine.scheduler.stats.to_dict()
-    physics = physics_cache_stats()
+    session = _session()
+    if args.spec:
+        result = session.execute(
+            _load_spec(
+                args,
+                "serve",
+                trace=None,
+                repeat=1,
+                window=64,
+                cache_entries=1024,
+                no_batching=False,
+            )
+        )
+    else:
+        if args.trace is None:
+            raise _missing("serve", "a --trace file")
+        result = session.serve(
+            trace=args.trace,
+            repeat=args.repeat,
+            window=args.window,
+            cache_entries=args.cache_entries,
+            batched_physics=not args.no_batching,
+        )
     if args.json:
-        envelope = json_envelope(
-            "serve",
-            {
-                "trace": args.trace,
-                "repeat": args.repeat,
-                "window": args.window,
-            },
-            {
-                "stats": stats,
-                "cache": cache,
-                "scheduler": scheduler,
-                "physics_cache": physics,
-            },
-        )
-        print(json.dumps(envelope, indent=2))
-        return 0 if stats["errors"] == 0 else 1
-    print(
-        f"served {served} requests in {stats['busy_s']:.2f} s "
-        f"({stats['throughput_rps']:.0f} req/s)"
-    )
-    if args.stats:
-        print(f"  cache hit rate   {100 * stats['hit_rate']:.1f}%")
-        print(f"  deduplicated     {stats['deduped']}")
-        print(f"  run-path evals   {scheduler['evaluated']}")
-        print(f"  request groups   {scheduler['groups']}")
-        print(f"  physics batches  {scheduler['physics_batches']}")
-        print(f"  batched dies     {scheduler['batched_dies']}")
-        print(f"  errors           {stats['errors']}")
-        print(
-            f"  latency mean/p95 {1e3 * stats['mean_latency_s']:.2f} / "
-            f"{1e3 * stats['p95_latency_s']:.2f} ms"
-        )
-        print(
-            f"  cache entries    {len(engine.cache)} "
-            f"(bound {engine.cache.max_entries}, "
-            f"{cache['evictions']} evicted)"
-        )
-        breakdown = physics["breakdown"]
-        context = physics["context_physics"]
-        disk = physics["disk"]
-        print(
-            f"  physics memo     {100 * breakdown['hit_rate']:.1f}% "
-            f"breakdown hits, {100 * context['hit_rate']:.1f}% context "
-            f"hits ({breakdown['evictions'] + context['evictions']} "
-            "evicted)"
-        )
-        print(
-            f"  physics disk     {disk['hits']} hits / "
-            f"{disk['misses']} misses, {disk['writes']} writes"
-        )
-    return 0 if stats["errors"] == 0 else 1
+        print(json.dumps(result.envelope(), indent=2))
+    else:
+        print(result.format(detailed=args.stats))
+    return 0 if result.ok else 1
 
 
 def _cmd_gen_trace(args) -> int:
-    from repro.serving import generate_trace, save_trace
-
-    records = generate_trace(
-        num_requests=args.requests,
+    result = _session(disk_cache=False).generate_trace(
+        output=args.output,
+        requests=args.requests,
         seed=args.seed,
-        catalog_size=args.catalog,
+        catalog=args.catalog,
         llm_fraction=args.llm_fraction,
         skew=args.skew,
     )
-    save_trace(records, args.output)
-    distinct = len({tuple(sorted(r.items())) for r in records})
-    print(
-        f"wrote {len(records)} requests ({distinct} distinct types) "
-        f"to {args.output}"
-    )
+    print(result.format())
     return 0
 
 
 def _cmd_run_llm(args) -> int:
-    from repro.core.tron import TRON, TRONConfig
-    from repro.nn.models import get_model_config
-
-    model = get_model_config(args.model)
-    report = TRON(TRONConfig(batch=args.batch)).run_transformer(model)
-    _print_report(report)
+    _deprecated("run-llm", f"run {args.model} --platform tron")
+    result = _session().run(args.model, platform="tron", batch=args.batch)
+    print(result.format())
     return 0
 
 
 def _cmd_run_gnn(args) -> int:
-    import numpy as np
-
-    from repro.core.ghost import GHOST
-    from repro.graphs.datasets import get_dataset_stats, synthesize_dataset
-    from repro.nn.gnn import GNNKind, make_gnn
-
-    stats = get_dataset_stats(args.dataset)
-    graph, _ = synthesize_dataset(stats, rng=np.random.default_rng(args.seed))
-    kind = GNNKind(args.kind)
-    model = make_gnn(
-        kind,
-        in_dim=stats.feature_dim,
-        out_dim=stats.num_classes,
+    _deprecated(
+        "run-gnn", f"run {args.kind.upper()}-{args.dataset} --platform ghost"
+    )
+    session = _session()
+    workload = session.gnn_workload(
+        args.kind,
+        args.dataset,
         hidden_dim=args.hidden,
-        heads=2 if kind is GNNKind.GAT else 1,
+        rng_seed=args.seed,
         name=f"{args.kind}-{args.dataset}",
     )
-    report = GHOST().run_gnn(model.config, graph)
-    _print_report(report)
+    print(session.run(workload, platform="ghost").format())
     return 0
+
+
+def _missing(command: str, what: str):
+    from repro.errors import ConfigurationError
+
+    return ConfigurationError(f"'{command}' needs {what} or --spec FILE")
 
 
 def _add_seed(parser) -> None:
@@ -477,6 +308,15 @@ def _add_seed(parser) -> None:
     )
 
 
+def _add_spec(parser) -> None:
+    parser.add_argument(
+        "--spec",
+        metavar="FILE",
+        help="run a declarative experiment spec (repro.spec/1, "
+        ".json or .toml) instead of flags; see docs/api.md",
+    )
+
+
 CORNER_NAMES = ("nominal", "typical", "slow-hot", "fast-cold")
 
 
@@ -486,6 +326,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Silicon-photonic accelerator simulators (TRON & GHOST)",
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
+        help="print the library version and exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("describe", help="print accelerator configurations")
@@ -494,7 +340,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("workloads", help="list registered workloads")
 
     sweep = sub.add_parser("sweep", help="design-space sweep with Pareto")
-    sweep.add_argument("target", choices=("tron", "ghost", "all"))
+    sweep.add_argument(
+        "target", nargs="?", choices=("tron", "ghost", "all"), default=None
+    )
     sweep.add_argument(
         "--corners",
         action="store_true",
@@ -502,9 +350,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--json", action="store_true")
     _add_seed(sweep)
+    _add_spec(sweep)
 
     run = sub.add_parser("run", help="cost any registered workload")
-    run.add_argument("workload", help="registered name, e.g. BERT-base, GCN-cora")
+    run.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        help="registered name, e.g. BERT-base, GCN-cora",
+    )
     run.add_argument(
         "--platform",
         choices=("auto", "tron", "ghost"),
@@ -520,11 +374,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--json", action="store_true")
     _add_seed(run)
+    _add_spec(run)
 
     mc = sub.add_parser(
         "mc", help="Monte-Carlo variation analysis of a workload"
     )
-    mc.add_argument("workload", help="registered name, e.g. BERT-base")
+    mc.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        help="registered name, e.g. BERT-base",
+    )
     mc.add_argument(
         "--platform", choices=("auto", "tron", "ghost"), default="auto"
     )
@@ -551,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mc.add_argument("--json", action="store_true")
     _add_seed(mc)
+    _add_spec(mc)
 
     corners = sub.add_parser(
         "corners", help="evaluate the standard corner grid on TRON & GHOST"
@@ -574,7 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a JSON request trace through the serving engine",
     )
     serve.add_argument(
-        "--trace", required=True, help="trace file (see repro gen-trace)"
+        "--trace", help="trace file (see repro gen-trace)"
     )
     serve.add_argument(
         "--stats",
@@ -607,6 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
         "benchmarking aid)",
     )
     serve.add_argument("--json", action="store_true")
+    _add_spec(serve)
 
     gen_trace = sub.add_parser(
         "gen-trace",
@@ -636,13 +498,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_seed(gen_trace)
 
-    run_llm = sub.add_parser("run-llm", help="cost a transformer on TRON")
+    run_llm = sub.add_parser(
+        "run-llm",
+        help="[deprecated] cost a transformer on TRON (use 'run')",
+    )
     run_llm.add_argument("model", help="model zoo name, e.g. BERT-base")
     run_llm.add_argument("--batch", type=int, default=1)
 
     from repro.nn.gnn import GNNKind
 
-    run_gnn = sub.add_parser("run-gnn", help="cost a GNN on GHOST")
+    run_gnn = sub.add_parser(
+        "run-gnn", help="[deprecated] cost a GNN on GHOST (use 'run')"
+    )
     run_gnn.add_argument("kind", choices=[k.value for k in GNNKind])
     run_gnn.add_argument("dataset", help="dataset name, e.g. cora")
     run_gnn.add_argument("--hidden", type=int, default=64)

@@ -25,8 +25,9 @@ leaves every cost bit-identical to the nominal, context-free path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
+from repro.core.serialization import config_from_dict, config_to_dict
 from repro.errors import ConfigurationError
 from repro.photonics.noise import AnalogNoiseModel
 from repro.photonics.variation import ProcessVariationModel
@@ -191,6 +192,36 @@ class ExecutionContext:
             variation=None,
             pinned=tuple(sorted(entries.items())),
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The context (variation, thermal, seed, ...) as plain dicts.
+
+        Example:
+            >>> ExecutionContext(seed=7).to_dict()["seed"]
+            7
+        """
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionContext":
+        """Reconstruct a context from :meth:`to_dict` output.
+
+        Missing fields keep their defaults; unknown fields and
+        out-of-range values raise
+        :class:`~repro.errors.ConfigurationError` with the offending
+        path.
+
+        Example:
+            >>> ctx = ExecutionContext(
+            ...     variation=ProcessVariationModel(), seed=3)
+            >>> ExecutionContext.from_dict(ctx.to_dict()) == ctx
+            True
+            >>> ExecutionContext.from_dict({"seeed": 3})
+            Traceback (most recent call last):
+                ...
+            repro.errors.ConfigurationError: ExecutionContext: unknown field(s) ['seeed']; valid fields: ['noise', 'pinned', 'seed', 'thermal', 'tuner_range_nm', 'use_ted', 'variation']
+        """
+        return config_from_dict(cls, data)
 
     def for_sample(self, index: int) -> "ExecutionContext":
         """The context of Monte-Carlo sample ``index`` (a distinct die).

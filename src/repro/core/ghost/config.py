@@ -12,8 +12,9 @@ layer weights, so one DAC bank can drive all transform arrays).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Dict, Mapping, Optional
 
+from repro.core.serialization import config_from_dict, config_to_dict
 from repro.electronics.digital import ControlUnit, SoftmaxLUT
 from repro.electronics.memory import HBMChannel, MemorySystem, SRAMBuffer
 from repro.errors import ConfigurationError
@@ -117,6 +118,33 @@ class GHOSTConfig:
             raise ConfigurationError(
                 f"weight DAC sharing must be >= 1, got {self.weight_dac_sharing}"
             )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Every knob (nested device models included) as plain dicts.
+
+        Example:
+            >>> GHOSTConfig(lanes=8).to_dict()["lanes"]
+            8
+        """
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GHOSTConfig":
+        """Reconstruct a configuration from :meth:`to_dict` output.
+
+        Missing fields keep their defaults; unknown fields and
+        out-of-range values raise
+        :class:`~repro.errors.ConfigurationError` with the offending
+        path.
+
+        Example:
+            >>> GHOSTConfig.from_dict({"edge_units": 64}).edge_units
+            64
+            >>> cfg = GHOSTConfig(lanes=32)
+            >>> GHOSTConfig.from_dict(cfg.to_dict()) == cfg
+            True
+        """
+        return config_from_dict(cls, data)
 
     @property
     def cycle_ns(self) -> float:

@@ -11,8 +11,9 @@ the FF unit, and a 5 GHz photonic clock matched to the converter rate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Dict, Mapping, Optional
 
+from repro.core.serialization import config_from_dict, config_to_dict
 from repro.electronics.digital import ControlUnit, SoftmaxLUT
 from repro.electronics.memory import MemorySystem
 from repro.errors import ConfigurationError
@@ -98,6 +99,33 @@ class TRONConfig:
             raise ConfigurationError(f"need >= 2 bits, got {self.bits}")
         if self.batch < 1:
             raise ConfigurationError(f"batch must be >= 1, got {self.batch}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Every knob (nested device models included) as plain dicts.
+
+        Example:
+            >>> TRONConfig(batch=8).to_dict()["batch"]
+            8
+        """
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TRONConfig":
+        """Reconstruct a configuration from :meth:`to_dict` output.
+
+        Missing fields keep their defaults; unknown fields and
+        out-of-range values raise
+        :class:`~repro.errors.ConfigurationError` with the offending
+        path.
+
+        Example:
+            >>> TRONConfig.from_dict({"clock_ghz": 2.5}).clock_ghz
+            2.5
+            >>> cfg = TRONConfig(num_head_units=8)
+            >>> TRONConfig.from_dict(cfg.to_dict()) == cfg
+            True
+        """
+        return config_from_dict(cls, data)
 
     @property
     def cycle_ns(self) -> float:

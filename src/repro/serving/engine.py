@@ -178,9 +178,28 @@ class ServingEngine:
         self._absorb(responses, time.perf_counter() - start)
         return responses
 
+    def serve_specs(self, specs: Sequence) -> List[ServeResponse]:
+        """Cost a sequence of run-kind :class:`~repro.api.ExperimentSpec`
+        documents (or their dict forms) as one micro-batch.
+
+        Example:
+            >>> from repro.api import ExperimentSpec
+            >>> engine = ServingEngine()
+            >>> spec = ExperimentSpec(workload="MLP-mnist")
+            >>> engine.serve_specs([spec])[0].report.platform
+            'TRON'
+        """
+        return self.serve([ServeRequest.from_spec(spec) for spec in specs])
+
     # ------------------------------------------------------------------
     # Asynchronous path
     # ------------------------------------------------------------------
+
+    def submit_spec(self, spec) -> "Future[ServeResponse]":
+        """Enqueue the request a run-kind spec denotes (see
+        :meth:`ServeRequest.from_spec <repro.serving.request.
+        ServeRequest.from_spec>`)."""
+        return self.submit(ServeRequest.from_spec(spec))
 
     def submit(self, request: ServeRequest) -> "Future[ServeResponse]":
         """Enqueue one request; flushes automatically at ``max_pending``."""

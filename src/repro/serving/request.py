@@ -70,6 +70,49 @@ class ServeRequest:
             return self.platform
         return "ghost" if kind is WorkloadKind.GNN else "tron"
 
+    @classmethod
+    def from_spec(cls, spec) -> "ServeRequest":
+        """The request a run-kind :class:`~repro.api.ExperimentSpec`
+        (or its dict form) denotes.
+
+        The spec's context block resolves through the shared corner
+        rule; its platform overrides may name only ``batch`` — the one
+        knob the serving catalog parameterizes (anything else would
+        silently serve a different platform than the spec describes).
+
+        Example:
+            >>> from repro.api import ExperimentSpec, PlatformSpec
+            >>> spec = ExperimentSpec(
+            ...     platform=PlatformSpec("tron", {"batch": 8}),
+            ...     workload="BERT-base")
+            >>> request = ServeRequest.from_spec(spec)
+            >>> request.workload, request.batch
+            ('BERT-base', 8)
+        """
+        from repro.api.spec import ExperimentSpec
+
+        if isinstance(spec, dict):
+            spec = ExperimentSpec.from_dict(spec)
+        if spec.analysis.kind != "run":
+            raise ConfigurationError(
+                "only run-kind specs serve as requests; got analysis "
+                f"kind {spec.analysis.kind!r}"
+            )
+        if not spec.workload:
+            raise ConfigurationError("a serveable spec needs a workload")
+        extra = sorted(set(spec.platform.overrides) - {"batch"})
+        if extra:
+            raise ConfigurationError(
+                f"serving requests support only the 'batch' platform "
+                f"override, got {extra}"
+            )
+        return cls(
+            workload=spec.workload,
+            platform=spec.platform.name,
+            ctx=spec.context.resolve(),
+            batch=int(spec.platform.overrides.get("batch", 1)),
+        )
+
 
 @dataclass
 class ServeResponse:

@@ -76,13 +76,22 @@ BATCH_WEIGHTS = {1: 0.5, 8: 0.3, 32: 0.2}
 def record_to_request(record: Dict) -> ServeRequest:
     """A trace record (plain dict) as a :class:`ServeRequest`.
 
+    A record is either the flat trace form below, or an embedded
+    run-kind ``repro.spec/1`` document (recognized by its ``schema``
+    field) — declarative specs serve directly.
+
     Example:
         >>> record_to_request({"workload": "BERT-base"}).batch
         1
         >>> record_to_request({"workload": "GCN-cora", "corner": "typical",
         ...                    "seed": 3}).ctx.seed
         3
+        >>> record_to_request({"schema": "repro.spec/1",
+        ...                    "workload": "BERT-base"}).workload
+        'BERT-base'
     """
+    if "schema" in record:
+        return ServeRequest.from_spec(record)
     if "workload" not in record:
         raise ConfigurationError(f"trace record lacks a workload: {record}")
     known = {"workload", "platform", "corner", "seed", "batch"}

@@ -77,7 +77,10 @@ class GNNWorkload(Workload):
     model_config: GNNConfig
     dataset: str
     rng_seed: int = 7
-    _graph: Optional[CSRGraph] = field(default=None, repr=False)
+    # The cached graph is derived state: excluded from repr (so
+    # config/spec fingerprints never see it) *and* from comparison (so
+    # workload identity is stable before vs. after materialization).
+    _graph: Optional[CSRGraph] = field(default=None, repr=False, compare=False)
 
     @property
     def name(self) -> str:

@@ -1,0 +1,519 @@
+"""Tests for the declarative experiment API: registry, specs, Session.
+
+The acceptance bar of the api layer: a sweep/mc/run/serve driven from a
+serialized ``ExperimentSpec`` via ``Session`` must be **bit-identical**
+to the equivalent CLI invocation — same reports, same frontiers, same
+envelopes, same cache fingerprints.
+"""
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.api import (
+    AnalysisSpec,
+    ContextSpec,
+    ExperimentSpec,
+    PlatformSpec,
+    Session,
+    get_platform,
+    get_platform_info,
+    list_platforms,
+    load_spec,
+    register_platform,
+    resolve_platform,
+    schema_for,
+)
+from repro.cli import main
+from repro.core.base import WorkloadKind, get_workload
+from repro.core.context import ExecutionContext
+from repro.core.ghost import GHOSTConfig
+from repro.core.tron import TRONConfig
+from repro.errors import ConfigurationError
+from repro.photonics.variation import ProcessVariationModel
+
+
+# ----------------------------------------------------------------------
+# Platform registry
+# ----------------------------------------------------------------------
+
+
+class TestPlatformRegistry:
+    def test_stock_platforms_registered(self):
+        names = list_platforms()
+        assert "tron" in names and "ghost" in names
+        assert "V100 GPU" in names  # baselines unified behind the API
+
+    def test_get_platform_builds_defaults(self):
+        assert get_platform("tron").name == "TRON"
+        assert get_platform("ghost").name == "GHOST"
+
+    def test_overrides_equal_hand_built_config(self):
+        accelerator = get_platform("tron", overrides={"batch": 8})
+        assert accelerator.config == TRONConfig(batch=8)
+
+    def test_nested_overrides(self):
+        accelerator = get_platform(
+            "ghost", overrides={"memory": {"hbm": {"channels": 8}}}
+        )
+        assert accelerator.config.memory.hbm.channels == 8
+
+    def test_unknown_platform_lists_known(self):
+        with pytest.raises(ConfigurationError, match="known platforms"):
+            get_platform("warp-drive")
+
+    def test_unknown_override_key_names_path(self):
+        with pytest.raises(ConfigurationError, match="batsh"):
+            get_platform("tron", overrides={"batsh": 8})
+
+    def test_out_of_range_override_fails(self):
+        with pytest.raises(ConfigurationError, match="clock"):
+            get_platform("tron", overrides={"clock_ghz": -1.0})
+
+    def test_baseline_platform_rejects_overrides(self):
+        with pytest.raises(ConfigurationError, match="no configuration"):
+            get_platform("V100 GPU", overrides={"batch": 2})
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_platform("tron", lambda config=None: None)
+
+    def test_auto_routing(self):
+        assert resolve_platform("auto", WorkloadKind.GNN) == "ghost"
+        assert resolve_platform("auto", WorkloadKind.TRANSFORMER) == "tron"
+
+    def test_info_configurable_flag(self):
+        assert get_platform_info("tron").configurable
+        assert not get_platform_info("V100 GPU").configurable
+
+
+# ----------------------------------------------------------------------
+# Config serialization
+# ----------------------------------------------------------------------
+
+
+class TestConfigSerialization:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            TRONConfig(),
+            TRONConfig(batch=8, clock_ghz=2.5),
+            GHOSTConfig(),
+            GHOSTConfig(lanes=32, use_balancing=False),
+        ],
+    )
+    def test_round_trip_identity(self, config):
+        assert type(config).from_dict(config.to_dict()) == config
+
+    def test_round_trip_survives_json(self):
+        config = TRONConfig(clock_ghz=2.5)
+        text = json.dumps(config.to_dict())
+        assert TRONConfig.from_dict(json.loads(text)) == config
+
+    def test_unknown_field_error_lists_valid_fields(self):
+        with pytest.raises(ConfigurationError) as exc:
+            TRONConfig.from_dict({"num_heads": 4})
+        assert "num_heads" in str(exc.value)
+        assert "num_head_units" in str(exc.value)  # the valid spelling
+
+    def test_nested_unknown_field_names_path(self):
+        with pytest.raises(ConfigurationError, match="memory.hbm"):
+            GHOSTConfig.from_dict({"memory": {"hbm": {"chanels": 4}}})
+
+    def test_type_mismatch_is_helpful(self):
+        with pytest.raises(ConfigurationError, match="integer"):
+            TRONConfig.from_dict({"batch": "eight"})
+
+    def test_context_round_trip(self):
+        ctx = ExecutionContext(
+            variation=ProcessVariationModel(width_sigma_nm=3.0), seed=5
+        )
+        assert ExecutionContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_context_unknown_field(self):
+        with pytest.raises(ConfigurationError, match="seeed"):
+            ExecutionContext.from_dict({"seeed": 3})
+
+
+# ----------------------------------------------------------------------
+# ExperimentSpec round-trips
+# ----------------------------------------------------------------------
+
+
+def _rich_spec():
+    return ExperimentSpec(
+        platform=PlatformSpec(name="tron", overrides={"batch": 8}),
+        workload="BERT-base",
+        context=ContextSpec(corner="typical", seed=3),
+        analysis=AnalysisSpec(kind="run"),
+    )
+
+
+class TestExperimentSpec:
+    def test_dict_spec_dict_identity(self):
+        spec = _rich_spec()
+        data = spec.to_dict()
+        assert ExperimentSpec.from_dict(data).to_dict() == data
+
+    def test_json_round_trip(self):
+        spec = _rich_spec()
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_toml_round_trip(self):
+        pytest.importorskip("tomllib")
+        spec = _rich_spec()
+        assert ExperimentSpec.from_toml(spec.to_toml()) == spec
+
+    def test_minimal_spec_defaults(self):
+        spec = ExperimentSpec.from_dict(
+            {"schema": "repro.spec/1", "workload": "MLP-mnist"}
+        )
+        assert spec.platform.name == "auto"
+        assert spec.analysis.kind == "run"
+        assert spec.context.corner == "nominal"
+
+    def test_schema_tag_required(self):
+        with pytest.raises(ConfigurationError, match="schema"):
+            ExperimentSpec.from_dict({"workload": "MLP-mnist"})
+
+    def test_unknown_block_rejected(self):
+        with pytest.raises(ConfigurationError, match="extras"):
+            ExperimentSpec.from_dict(
+                {"schema": "repro.spec/1", "extras": {}}
+            )
+
+    def test_unknown_analysis_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="teleport"):
+            AnalysisSpec(kind="teleport")
+
+    def test_file_round_trip_both_formats(self, tmp_path):
+        spec = _rich_spec()
+        json_path = tmp_path / "spec.json"
+        spec.save(json_path)
+        assert load_spec(json_path) == spec
+        pytest.importorskip("tomllib")
+        toml_path = tmp_path / "spec.toml"
+        spec.save(toml_path)
+        assert load_spec(toml_path) == spec
+
+    def test_fingerprint_stable_and_distinct(self):
+        spec = _rich_spec()
+        assert spec.fingerprint() == _rich_spec().fingerprint()
+        other = ExperimentSpec(workload="MLP-mnist")
+        assert spec.fingerprint() != other.fingerprint()
+
+    def test_fingerprint_embeds_version(self, monkeypatch):
+        before = _rich_spec().fingerprint()
+        import repro.api.spec as spec_module
+
+        monkeypatch.setattr(spec_module, "__version__", "0.0.0-test")
+        assert _rich_spec().fingerprint() != before
+
+    def test_spec_matches_registered_schema(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        jsonschema.validate(_rich_spec().to_dict(), schema_for("repro.spec/1"))
+
+    def test_minimal_hand_written_spec_matches_schema(self):
+        """Everything from_dict accepts, the schema accepts too."""
+        jsonschema = pytest.importorskip("jsonschema")
+        minimal = {"schema": "repro.spec/1", "platform": {},
+                   "workload": "BERT-base"}
+        assert ExperimentSpec.from_dict(minimal).platform.name == "auto"
+        jsonschema.validate(minimal, schema_for("repro.spec/1"))
+
+    def test_specs_are_hashable(self):
+        assert hash(_rich_spec()) == hash(_rich_spec())
+        assert len({_rich_spec(), _rich_spec()}) == 1
+
+    def test_nominal_corner_rejects_tuner_range(self):
+        spec = ContextSpec(corner="nominal", tuner_range_nm=0.5)
+        with pytest.raises(ConfigurationError, match="tuner_range_nm"):
+            spec.resolve()
+
+    def test_execute_rejects_fields_the_kind_cannot_honor(self):
+        sweep_with_overrides = ExperimentSpec(
+            platform=PlatformSpec("tron", {"clock_ghz": 2.5}),
+            analysis=AnalysisSpec(kind="sweep"),
+        )
+        with pytest.raises(ConfigurationError, match="overrides"):
+            Session().execute(sweep_with_overrides)
+        corners_with_workload = ExperimentSpec(
+            workload="BERT-base",
+            analysis=AnalysisSpec(kind="corners"),
+        )
+        with pytest.raises(ConfigurationError, match="workload"):
+            Session().execute(corners_with_workload)
+
+
+# ----------------------------------------------------------------------
+# Session vs. CLI bit-identity
+# ----------------------------------------------------------------------
+
+
+def _cli_json(capsys, argv):
+    assert main(argv) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+class TestSessionCliEquivalence:
+    def test_run_spec_bit_identical_to_cli(self, capsys, tmp_path):
+        spec = ExperimentSpec(
+            workload="MLP-mnist",
+            context=ContextSpec(corner="typical", seed=3),
+        )
+        path = tmp_path / "run.json"
+        spec.save(path)
+        cli = _cli_json(
+            capsys,
+            ["run", "MLP-mnist", "--corner", "typical", "--seed", "3",
+             "--json"],
+        )
+        via_spec_file = _cli_json(capsys, ["run", "--spec", str(path), "--json"])
+        via_session = Session().execute(spec).envelope()
+        assert via_session == cli
+        assert via_spec_file == cli
+
+    def test_mc_spec_bit_identical_to_cli(self, capsys, tmp_path):
+        spec = ExperimentSpec(
+            workload="MLP-mnist",
+            context=ContextSpec(corner="typical", seed=9),
+            analysis=AnalysisSpec(kind="mc", samples=4),
+        )
+        path = tmp_path / "mc.json"
+        spec.save(path)
+        cli = _cli_json(
+            capsys,
+            ["mc", "MLP-mnist", "--samples", "4", "--seed", "9", "--json"],
+        )
+        via_spec_file = _cli_json(capsys, ["mc", "--spec", str(path), "--json"])
+        via_session = Session().execute(spec).envelope()
+        assert via_session == cli
+        assert via_spec_file == cli
+
+    def test_run_envelope_carries_version(self, capsys):
+        payload = _cli_json(capsys, ["run", "MLP-mnist", "--json"])
+        assert payload["repro_version"] == __version__
+
+    def test_batch_folds_into_tron_config(self):
+        result = Session().run("MLP-mnist", batch=8)
+        direct = get_platform("tron", overrides={"batch": 8}).run(
+            get_workload("MLP-mnist")
+        )
+        assert result.report.energy_pj == direct.energy_pj
+
+    def test_ghost_rejects_batch(self):
+        with pytest.raises(ConfigurationError, match="--batch"):
+            Session().run("GCN-cora", batch=8)
+
+    def test_spec_kind_must_match_subcommand(self, tmp_path):
+        path = tmp_path / "mc.json"
+        ExperimentSpec(
+            workload="MLP-mnist", analysis=AnalysisSpec(kind="mc", samples=4)
+        ).save(path)
+        with pytest.raises(ConfigurationError, match="analysis kind"):
+            main(["run", "--spec", str(path)])
+
+    def test_run_without_workload_or_spec_fails(self):
+        with pytest.raises(ConfigurationError, match="--spec"):
+            main(["run"])
+
+    def test_spec_conflicts_with_explicit_flags(self, tmp_path):
+        path = tmp_path / "run.json"
+        ExperimentSpec(workload="MLP-mnist").save(path)
+        with pytest.raises(ConfigurationError, match="corner"):
+            main(["run", "--spec", str(path), "--corner", "typical"])
+        with pytest.raises(ConfigurationError, match="workload"):
+            main(["run", "GCN-cora", "--spec", str(path)])
+
+    def test_sweep_spec_matches_direct_sweep(self):
+        spec = ExperimentSpec(
+            platform=PlatformSpec(name="tron"),
+            analysis=AnalysisSpec(kind="sweep"),
+        )
+        via_spec = Session().execute(spec)
+        direct = Session().sweep(target="tron")
+        assert [p.label for p in via_spec.points["tron"]] == [
+            p.label for p in direct.points["tron"]
+        ]
+        spec_frontier = [
+            (p.label, p.latency_ns, p.energy_pj)
+            for p in via_spec.frontiers["tron"]
+        ]
+        direct_frontier = [
+            (p.label, p.latency_ns, p.energy_pj)
+            for p in direct.frontiers["tron"]
+        ]
+        assert spec_frontier == direct_frontier
+
+    def test_serve_spec_bit_identical_to_cli(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["gen-trace", str(trace), "--requests", "12", "--catalog", "4"]
+        ) == 0
+        capsys.readouterr()
+        cli = _cli_json(capsys, ["serve", "--trace", str(trace), "--json"])
+        spec = ExperimentSpec(
+            analysis=AnalysisSpec(kind="serve", trace=str(trace))
+        )
+        path = tmp_path / "serve.json"
+        spec.save(path)
+        via_spec_file = _cli_json(
+            capsys, ["serve", "--spec", str(path), "--json"]
+        )
+        # Timing-derived stats differ run to run; the numeric outcome
+        # of every request must not.
+        for payload in (cli, via_spec_file):
+            del payload["stats"]["busy_s"]
+            del payload["stats"]["throughput_rps"]
+            del payload["stats"]["mean_latency_s"]
+            del payload["stats"]["p95_latency_s"]
+            del payload["physics_cache"]
+        assert via_spec_file["stats"] == cli["stats"]
+        assert via_spec_file["scheduler"] == cli["scheduler"]
+        assert via_spec_file["context"] == cli["context"]
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Serving accepts specs directly
+# ----------------------------------------------------------------------
+
+
+class TestServingSpecs:
+    def test_request_from_spec(self):
+        from repro.serving.request import ServeRequest
+
+        spec = ExperimentSpec(
+            platform=PlatformSpec("tron", {"batch": 8}),
+            workload="BERT-base",
+            context=ContextSpec(corner="typical", seed=2),
+        )
+        request = ServeRequest.from_spec(spec)
+        assert request.workload == "BERT-base"
+        assert request.batch == 8
+        assert request.ctx.seed == 2
+
+    def test_request_from_spec_rejects_non_run(self):
+        from repro.serving.request import ServeRequest
+
+        spec = ExperimentSpec(
+            workload="BERT-base",
+            analysis=AnalysisSpec(kind="mc", samples=4),
+        )
+        with pytest.raises(ConfigurationError, match="run-kind"):
+            ServeRequest.from_spec(spec)
+
+    def test_request_from_spec_rejects_other_overrides(self):
+        from repro.serving.request import ServeRequest
+
+        spec = ExperimentSpec(
+            platform=PlatformSpec("tron", {"clock_ghz": 2.5}),
+            workload="BERT-base",
+        )
+        with pytest.raises(ConfigurationError, match="batch"):
+            ServeRequest.from_spec(spec)
+
+    def test_engine_serves_specs(self):
+        from repro.serving import ServingEngine
+
+        spec = ExperimentSpec(workload="MLP-mnist")
+        with ServingEngine() as engine:
+            responses = engine.serve_specs([spec, spec])
+            future = engine.submit_spec(spec)
+            engine.drain()
+        assert responses[0].report.platform == "TRON"
+        assert responses[1].deduped
+        assert future.result().cached
+
+    def test_trace_record_may_embed_spec(self):
+        from repro.serving.trace import record_to_request
+
+        record = {
+            "schema": "repro.spec/1",
+            "workload": "GCN-cora",
+            "context": {"corner": "typical", "seed": 1},
+        }
+        request = record_to_request(record)
+        assert request.workload == "GCN-cora"
+        assert request.ctx.seed == 1
+
+    def test_spec_request_equals_flat_record(self):
+        """A spec-embedded record and the flat trace form of the same
+        request coalesce onto one cache entry."""
+        from repro.serving.trace import record_to_request
+
+        flat = record_to_request(
+            {"workload": "MLP-mnist", "corner": "typical", "seed": 1}
+        )
+        embedded = record_to_request(
+            {
+                "schema": "repro.spec/1",
+                "workload": "MLP-mnist",
+                "context": {"corner": "typical", "seed": 1},
+            }
+        )
+        assert flat == embedded
+
+
+# ----------------------------------------------------------------------
+# Workload identity (spec/cache fingerprint stability)
+# ----------------------------------------------------------------------
+
+
+class TestWorkloadIdentity:
+    def test_gnn_workload_equality_stable_across_materialization(self):
+        from repro.workloads import make_gnn_workload
+        from repro.nn.gnn import GNNKind
+
+        a = make_gnn_workload(GNNKind.GCN, "cora")
+        b = make_gnn_workload(GNNKind.GCN, "cora")
+        assert a == b
+        a.materialize()  # synthesizes and caches the graph on `a` only
+        assert a == b
+
+    def test_gnn_workload_repr_stable_across_materialization(self):
+        from repro.workloads import make_gnn_workload
+        from repro.nn.gnn import GNNKind
+
+        workload = make_gnn_workload(GNNKind.GCN, "cora")
+        before = repr(workload)
+        workload.materialize()
+        assert repr(workload) == before
+
+
+# ----------------------------------------------------------------------
+# Envelope schemas
+# ----------------------------------------------------------------------
+
+
+class TestEnvelopeSchemas:
+    def test_run_envelope_validates(self, capsys):
+        jsonschema = pytest.importorskip("jsonschema")
+        from repro.api.schemas import validate_payload
+
+        payload = _cli_json(capsys, ["run", "MLP-mnist", "--json"])
+        assert validate_payload(payload) == "repro.run/1"
+
+    def test_corners_envelope_validates(self, capsys):
+        jsonschema = pytest.importorskip("jsonschema")
+        from repro.api.schemas import validate_payload
+
+        payload = _cli_json(capsys, ["corners", "--json"])
+        assert validate_payload(payload) == "repro.corners/1"
+
+    def test_untagged_payload_rejected(self):
+        pytest.importorskip("jsonschema")
+        from repro.api.schemas import validate_payload
+
+        with pytest.raises(ConfigurationError, match="schema tag"):
+            validate_payload({"latency_ns": 1.0})
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ConfigurationError, match="no schema"):
+            schema_for("repro.unknown/9")

@@ -1,0 +1,125 @@
+"""Validate every ``--json`` CLI envelope and shipped spec against the
+registered JSON Schemas.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_schemas.py
+
+What it checks (this is what the CI ``schemas`` job runs):
+
+1. Every JSON-emitting subcommand's actual output parses and validates
+   against its ``repro.<cmd>/1`` schema (:mod:`repro.api.schemas`).
+2. Every spec shipped under ``examples/specs/`` loads, validates
+   against ``repro.spec/1``, and round-trips (file → spec → dict →
+   spec) without loss.
+3. A generated trace validates against ``repro.trace/1``.
+
+Requires the optional ``jsonschema`` package.  Exits non-zero on any
+failure.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+import pathlib
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+# Stay hermetic: never touch (or create) the user's persistent cache.
+os.environ.setdefault("REPRO_CACHE_DIR", tempfile.mkdtemp(prefix="repro-ci-"))
+
+from repro.api import load_spec, validate_payload  # noqa: E402
+from repro.api.schemas import schema_for  # noqa: E402
+from repro.cli import main  # noqa: E402
+
+
+def run_cli_json(argv: list) -> dict:
+    """Run one CLI invocation in-process and parse its JSON output."""
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(argv)
+    if code != 0:
+        raise RuntimeError(f"{argv} exited {code}")
+    return json.loads(buffer.getvalue())
+
+
+def check(label: str, fn) -> bool:
+    try:
+        detail = fn()
+    except Exception as exc:  # noqa: BLE001 - report and fail the job
+        print(f"  FAIL  {label}: {type(exc).__name__}: {exc}")
+        return False
+    print(f"    ok  {label}{f' ({detail})' if detail else ''}")
+    return True
+
+
+def main_check() -> int:
+    import jsonschema  # hard requirement of this tool, not the library
+
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="repro-schemas-"))
+    trace_path = tmp / "trace.json"
+
+    def gen_trace():
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = main(
+                ["gen-trace", str(trace_path), "--requests", "24",
+                 "--catalog", "6"]
+            )
+        assert code == 0
+        payload = json.loads(trace_path.read_text())
+        return validate_payload(payload)
+
+    commands = [
+        ("run --json", ["run", "MLP-mnist", "--json"]),
+        (
+            "run --corner typical --json",
+            ["run", "MLP-mnist", "--corner", "typical", "--seed", "1",
+             "--json"],
+        ),
+        ("mc --json", ["mc", "MLP-mnist", "--samples", "4", "--json"]),
+        ("corners --json", ["corners", "--json"]),
+        ("cache --json", ["cache", "--json"]),
+        ("sweep ghost --json", ["sweep", "ghost", "--json"]),
+        (
+            "serve --json",
+            ["serve", "--trace", str(trace_path), "--repeat", "2", "--json"],
+        ),
+    ]
+
+    failures = 0
+    if not check("gen-trace (repro.trace/1)", gen_trace):
+        failures += 1
+    for label, argv in commands:
+        if not check(label, lambda argv=argv: validate_payload(run_cli_json(argv))):
+            failures += 1
+
+    spec_files = sorted((REPO / "examples" / "specs").iterdir())
+    if not spec_files:
+        print("  FAIL  no example specs shipped under examples/specs/")
+        failures += 1
+    for path in spec_files:
+        def check_spec(path=path):
+            spec = load_spec(path)
+            jsonschema.validate(spec.to_dict(), schema_for("repro.spec/1"))
+            assert type(spec).from_dict(spec.to_dict()) == spec
+            return spec.fingerprint()
+
+        if not check(f"spec {path.name}", check_spec):
+            failures += 1
+
+    if failures:
+        print(f"{failures} schema check(s) failed")
+        return 1
+    print("all schema checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main_check())

@@ -28,10 +28,12 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 #: examples (the PR-3 docstring audit covers core, robustness and
 #: workloads; serving shipped with examples from day one).
 AUDITED_MODULES = (
+    "repro._version",
     "repro.core.base",
     "repro.core.reports",
     "repro.core.context",
     "repro.core.scheduling",
+    "repro.core.serialization",
     "repro.core.engine.diskcache",
     "repro.core.engine.memo",
     "repro.analysis.robustness",
@@ -40,6 +42,11 @@ AUDITED_MODULES = (
     "repro.serving.request",
     "repro.serving.engine",
     "repro.serving.trace",
+    "repro.api.registry",
+    "repro.api.spec",
+    "repro.api.session",
+    "repro.api.results",
+    "repro.api.schemas",
 )
 
 
