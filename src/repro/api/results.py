@@ -100,6 +100,9 @@ class SweepResult:
         corners_axis: whether the standard-corner axis was swept.
         seed: die-selection seed of the corner axis.
         physics_cache: engine memo/disk cache counters after the sweep.
+        evaluation: space name → evaluation-strategy stats (strategy
+            name, point/group counts, materialized reports, scalar
+            fallbacks — :class:`repro.core.engine.SoAStats`).
     """
 
     points: "Dict[str, List]"
@@ -107,6 +110,7 @@ class SweepResult:
     corners_axis: bool = False
     seed: int = 0
     physics_cache: Dict[str, Any] = field(default_factory=dict)
+    evaluation: Dict[str, Any] = field(default_factory=dict)
 
     def envelope(self) -> Dict[str, Any]:
         """The ``repro.sweep/1`` JSON envelope."""
@@ -127,7 +131,11 @@ class SweepResult:
         return json_envelope(
             "sweep",
             {"corners_axis": self.corners_axis, "seed": self.seed},
-            {"spaces": spaces, "physics_cache": self.physics_cache},
+            {
+                "spaces": spaces,
+                "physics_cache": self.physics_cache,
+                "evaluation": self.evaluation,
+            },
         )
 
     def format(self) -> str:

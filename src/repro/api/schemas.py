@@ -48,6 +48,26 @@ _STATS_BLOCK = {
     "required": ["mean", "p5", "p50", "p95"],
 }
 
+#: Array-resident evaluation stats (``repro.core.engine.SoAStats``):
+#: which strategy ran and how much work it collapsed.
+_SOA_STATS = {
+    "type": "object",
+    "properties": {
+        "strategy": _STRING,
+        "points": _NON_NEGATIVE_INT,
+        "groups": _NON_NEGATIVE_INT,
+        "materialized_reports": _NON_NEGATIVE_INT,
+        "fallback_points": _NON_NEGATIVE_INT,
+    },
+    "required": [
+        "strategy",
+        "points",
+        "groups",
+        "materialized_reports",
+        "fallback_points",
+    ],
+}
+
 #: A serialized RunReport (the ``run`` payload; embedded by ``mc``).
 _RUN_REPORT = {
     "type": "object",
@@ -125,6 +145,7 @@ SCHEMAS: Dict[str, Dict[str, Any]] = {
             "gops": _STATS_BLOCK,
             "epb_pj": _STATS_BLOCK,
             "tuning_power_mw": _STATS_BLOCK,
+            "evaluation": _SOA_STATS,
         },
         [
             "platform",
@@ -135,6 +156,7 @@ SCHEMAS: Dict[str, Dict[str, Any]] = {
             "nominal",
             "latency_ns",
             "energy_pj",
+            "evaluation",
         ],
     ),
     "repro.corners/1": _envelope(
@@ -203,8 +225,12 @@ SCHEMAS: Dict[str, Dict[str, Any]] = {
                 },
             },
             "physics_cache": {"type": "object"},
+            "evaluation": {
+                "type": "object",
+                "additionalProperties": _SOA_STATS,
+            },
         },
-        ["spaces", "physics_cache"],
+        ["spaces", "physics_cache", "evaluation"],
     ),
     "repro.serve/1": _envelope(
         "serve",

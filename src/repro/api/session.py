@@ -171,7 +171,7 @@ class Session:
         from repro.analysis.sweep import (
             ghost_sweep_space,
             pareto_frontier,
-            run_sweep,
+            run_sweep_with_stats,
             tron_sweep_space,
             with_corners,
         )
@@ -190,6 +190,7 @@ class Session:
             )
         points: Dict[str, List] = {}
         frontiers: Dict[str, List] = {}
+        evaluation: Dict[str, Dict[str, Any]] = {}
         for make_space in spaces[target]:
             space = make_space()
             if corners:
@@ -198,15 +199,19 @@ class Session:
                     for name in standard_corners()
                 }
                 space = with_corners(space, corner_map)
-            space_points = run_sweep(space, strategy=strategy)
+            space_points, stats = run_sweep_with_stats(
+                space, strategy=strategy
+            )
             points[space.name] = space_points
             frontiers[space.name] = pareto_frontier(space_points)
+            evaluation[space.name] = stats.to_dict()
         return SweepResult(
             points=points,
             frontiers=frontiers,
             corners_axis=corners,
             seed=seed,
             physics_cache=physics_cache_stats(),
+            evaluation=evaluation,
         )
 
     # ------------------------------------------------------------------
@@ -223,12 +228,17 @@ class Session:
         tuner_range_nm: Optional[float] = None,
         vectorized: bool = True,
         overrides: Optional[Mapping[str, Any]] = None,
+        strategy: Optional[str] = None,
     ) -> MonteCarloRunResult:
         """Monte-Carlo variation analysis over ``samples`` sampled dies.
 
         The sampling population is the named corner's variation
         statistics; the nominal corner falls back to the typical
         statistics (a die population must exist to sample from).
+        ``strategy`` picks the evaluation engine explicitly
+        (``"soa"``/``"grouped"``/``"naive"``, see
+        :func:`repro.analysis.robustness.run_monte_carlo`); when left
+        ``None`` it resolves from ``vectorized``.
         """
         from dataclasses import replace
 
@@ -261,6 +271,7 @@ class Session:
             context=ctx,
             samples=samples,
             vectorized=vectorized,
+            strategy=strategy,
         )
         return MonteCarloRunResult(result=result, corner=corner, seed=seed)
 

@@ -137,13 +137,23 @@ def _cmd_sweep(args) -> int:
     session = _session()
     if args.spec:
         result = session.execute(
-            _load_spec(args, "sweep", target=None, corners=False, seed=0)
+            _load_spec(
+                args,
+                "sweep",
+                target=None,
+                corners=False,
+                seed=0,
+                strategy=None,
+            )
         )
     else:
         if args.target is None:
             raise _missing("sweep", "a target (tron|ghost|all)")
         result = session.sweep(
-            target=args.target, corners=args.corners, seed=args.seed
+            target=args.target,
+            corners=args.corners,
+            seed=args.seed,
+            strategy=args.strategy,
         )
     _emit(result, args)
     return 0
@@ -191,6 +201,7 @@ def _cmd_mc(args) -> int:
                 seed=0,
                 tuner_range=None,
                 naive=False,
+                strategy=None,
             )
         )
     else:
@@ -204,6 +215,7 @@ def _cmd_mc(args) -> int:
             seed=args.seed,
             tuner_range_nm=args.tuner_range,
             vectorized=not args.naive,
+            strategy=args.strategy,
         )
     _emit(result, args)
     return 0
@@ -348,6 +360,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="add the standard execution-corner axis to the sweep",
     )
+    sweep.add_argument(
+        "--strategy",
+        choices=("soa", "batched", "serial", "threads"),
+        default=None,
+        help="sweep evaluation strategy (default: soa, the "
+        "array-resident path; batched is the scalar oracle)",
+    )
     sweep.add_argument("--json", action="store_true")
     _add_seed(sweep)
     _add_spec(sweep)
@@ -408,6 +427,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the N-scalar-runs baseline instead of the vectorized "
         "engine (same numbers, benchmarking aid)",
+    )
+    mc.add_argument(
+        "--strategy",
+        choices=("soa", "grouped", "naive"),
+        default=None,
+        help="Monte-Carlo evaluation strategy (default: soa, the "
+        "array-resident path; overrides --naive when given)",
     )
     mc.add_argument("--json", action="store_true")
     _add_seed(mc)

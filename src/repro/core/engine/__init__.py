@@ -42,8 +42,17 @@ from repro.core.engine.matmul import (
     ArraySpec,
     breakdown_cache_stats,
     clear_physics_cache,
+    nominal_breakdown_pj,
     photonic_matmul,
     prime_breakdown_cache,
+)
+from repro.core.engine.soa import (
+    ColumnEnergy,
+    ColumnLatency,
+    SoAStats,
+    pareto_mask,
+    register_soa_evaluator,
+    soa_evaluator,
 )
 from repro.core.engine.memo import LRUMemo, MemoStats
 from repro.core.engine.memory import MemoryModel, Traffic
@@ -72,11 +81,14 @@ __all__ = [
     "ArrayExecutor",
     "ArraySpec",
     "BatchContextPhysics",
+    "ColumnEnergy",
+    "ColumnLatency",
     "LRUMemo",
     "MemoStats",
     "MemoryModel",
     "PhysicsDiskCache",
     "PipelineStage",
+    "SoAStats",
     "Traffic",
     "active_disk_cache",
     "batch_context_physics",
@@ -89,10 +101,14 @@ __all__ = [
     "default_cache_dir",
     "disk_cache_stats",
     "fingerprint",
+    "nominal_breakdown_pj",
     "overlapped_stage_latency_ns",
+    "pareto_mask",
     "photonic_matmul",
     "physics_cache_stats",
     "pipeline_latency_ns",
     "prime_breakdown_cache",
+    "register_soa_evaluator",
     "serial_waves",
+    "soa_evaluator",
 ]

@@ -275,6 +275,48 @@ def prime_breakdown_cache(
     return primed
 
 
+def nominal_breakdown_pj(
+    spec: ArraySpec,
+    average_weight_magnitude: float = 0.5,
+    weight_refresh_cycles: int = 1,
+) -> Dict[str, float]:
+    """The context-free per-cycle breakdown of ``spec``, without
+    constructing an executor.
+
+    This is the array-resident (SoA) evaluators' entry point: they read
+    one breakdown per distinct spec and broadcast it across a column of
+    points, so the per-point ~100 us :class:`ArrayExecutor` construction
+    never happens.  Backed by the same memo / disk cache as the executor
+    path, and primed through :func:`prime_breakdown_cache` so the values
+    are bit-identical to the scalar path's.
+    """
+    key = (spec, average_weight_magnitude, weight_refresh_cycles, None)
+    cached = _BREAKDOWN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    prime_breakdown_cache(
+        [(spec, average_weight_magnitude, weight_refresh_cycles)]
+    )
+    cached = _BREAKDOWN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    # Unreachable in practice (priming always fills the memo), kept as a
+    # safety net for cache-eviction races.
+    array = MRBankArray(
+        rows=spec.rows,
+        cols=spec.cols,
+        design=spec.design,
+        clock_ghz=spec.clock_ghz,
+        dac=spec.dac,
+        adc=spec.adc,
+        weight_dacs_shared=spec.weight_dacs_shared,
+        pcm=spec.pcm,
+    )
+    return _nominal_breakdown(
+        spec, array, average_weight_magnitude, weight_refresh_cycles
+    )
+
+
 @dataclass
 class ArrayExecutor:
     """A tiled matmul executor over one MR bank array geometry.

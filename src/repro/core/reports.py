@@ -13,7 +13,9 @@ definitions across platforms:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.nn.counting import OpCount
@@ -219,3 +221,117 @@ class RunReport:
             "latency_breakdown_ns": self.latency.as_dict(),
             "energy_breakdown_pj": self.energy.as_dict(),
         }
+
+
+#: Breakdown field names in declaration order.  The stacked containers
+#: below chain their total reductions in exactly this order so the float
+#: results match the scalar ``total_pj`` / ``total_ns`` sums bit for bit.
+ENERGY_FIELDS: Tuple[str, ...] = tuple(f.name for f in fields(EnergyReport))
+LATENCY_FIELDS: Tuple[str, ...] = tuple(f.name for f in fields(LatencyReport))
+
+
+@dataclass
+class StackedRunReports:
+    """Column-stacked run reports for a whole batch of evaluation points.
+
+    This is the array-resident counterpart of a ``List[RunReport]``: each
+    breakdown field is one float64 column of length ``n`` instead of an
+    attribute on ``n`` frozen report objects.  The sweep and Monte-Carlo
+    engines reduce these columns directly (Pareto masks, yield statistics)
+    and only :meth:`materialize` scalar :class:`RunReport` objects for the
+    few points that survive the reduction (e.g. the frontier).
+
+    Invariant: ``stack.materialize(i)`` is bit-identical to the
+    :class:`RunReport` the scalar path produces for point ``i`` — the
+    evaluators that build these columns replicate the scalar accumulation
+    order exactly, and the total reductions below chain fields in
+    declaration order just like ``EnergyReport.total_pj``.
+
+    Attributes:
+        platform: platform name, shared by every point.
+        workload: workload name, shared by every point.
+        ops: per-point op counts (usually a few shared objects).
+        latency: per-field latency columns, keyed by ``LATENCY_FIELDS``.
+        energy: per-field energy columns, keyed by ``ENERGY_FIELDS``.
+        bits_per_value: per-point operand precision.
+        groups: number of distinct evaluation groups the producing
+            evaluator collapsed the batch into (an efficiency stat).
+    """
+
+    platform: str
+    workload: str
+    ops: Sequence[OpCount]
+    latency: Dict[str, np.ndarray]
+    energy: Dict[str, np.ndarray]
+    bits_per_value: Sequence[int]
+    groups: int = 0
+    _latency_total: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
+    _energy_total: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        n = len(self.ops)
+        if len(self.bits_per_value) != n:
+            raise ConfigurationError(
+                f"bits_per_value has {len(self.bits_per_value)} entries "
+                f"for {n} points"
+            )
+        for name in LATENCY_FIELDS:
+            if len(self.latency[name]) != n:
+                raise ConfigurationError(
+                    f"latency column {name} has {len(self.latency[name])} "
+                    f"entries for {n} points"
+                )
+        for name in ENERGY_FIELDS:
+            if len(self.energy[name]) != n:
+                raise ConfigurationError(
+                    f"energy column {name} has {len(self.energy[name])} "
+                    f"entries for {n} points"
+                )
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def latency_ns(self) -> np.ndarray:
+        """Per-point total latency (same chained sum as ``total_ns``)."""
+        if self._latency_total is None:
+            total: object = 0
+            for name in LATENCY_FIELDS:
+                total = total + self.latency[name]
+            self._latency_total = np.asarray(total, dtype=float)
+        return self._latency_total
+
+    @property
+    def energy_pj(self) -> np.ndarray:
+        """Per-point total energy (same chained sum as ``total_pj``)."""
+        if self._energy_total is None:
+            total: object = 0
+            for name in ENERGY_FIELDS:
+                total = total + self.energy[name]
+            self._energy_total = np.asarray(total, dtype=float)
+        return self._energy_total
+
+    def materialize(self, index: int) -> RunReport:
+        """The scalar :class:`RunReport` for one point of the stack."""
+        latency = LatencyReport(
+            **{name: float(self.latency[name][index]) for name in LATENCY_FIELDS}
+        )
+        energy = EnergyReport(
+            **{name: float(self.energy[name][index]) for name in ENERGY_FIELDS}
+        )
+        return RunReport(
+            platform=self.platform,
+            workload=self.workload,
+            ops=self.ops[index],
+            latency=latency,
+            energy=energy,
+            bits_per_value=int(self.bits_per_value[index]),
+        )
+
+    def materialize_all(self) -> List[RunReport]:
+        """Scalar reports for every point (the compatibility boundary)."""
+        return [self.materialize(i) for i in range(len(self))]

@@ -1,0 +1,334 @@
+"""Array-resident (structure-of-arrays) TRON cost evaluators.
+
+These evaluate a whole batch of TRON configurations x execution contexts
+against one workload as NumPy columns, transcribing the scalar cost path
+(:mod:`repro.core.tron.accelerator`, :mod:`~repro.core.tron.mha`,
+:mod:`~repro.core.tron.attention_head`, :mod:`~repro.core.tron.feedforward`)
+operation for operation: the same integer ceiling divisions, the same
+left-associative float accumulation order, the same memoized physics
+values.  A materialized point is therefore bit-identical to
+``TRON(config).run(workload, ctx=ctx)`` — the parity suite enforces it.
+
+Per-point work is limited to cheap integer tiling columns; everything
+transcendental or object-shaped (device physics breakdowns, memory
+traffic, softmax LUT curves, the residual adder) is computed once per
+distinct group and broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import WorkloadKind
+from repro.core.context import ExecutionContext
+from repro.core.engine.matmul import ArraySpec
+from repro.core.engine.soa import (
+    ColumnEnergy,
+    ColumnLatency,
+    breakdown_columns,
+    ceil_div,
+    energy_for_cycles_columns,
+    group_indices,
+    register_soa_evaluator,
+    resolve_array_physics,
+    weight_stream_columns,
+)
+from repro.core.reports import StackedRunReports
+from repro.core.tron.config import TRONConfig
+from repro.errors import ConfigurationError
+from repro.nn.counting import OpCount, transformer_op_count
+from repro.nn.transformer import TransformerKind
+from repro.photonics.summation import CoherentSummationUnit
+
+
+class _TronColumns:
+    """Per-point knob columns plus grouped physics for a TRON batch."""
+
+    def __init__(
+        self,
+        configs: Sequence[TRONConfig],
+        contexts: Sequence[Optional[ExecutionContext]],
+    ) -> None:
+        self.configs = configs
+        self.n = len(configs)
+        self.specs = [ArraySpec.from_config(cfg) for cfg in configs]
+        self.usable_rows, self.usable_cols, correction = resolve_array_physics(
+            self.specs, contexts
+        )
+        self.cycle_ns = np.array([cfg.cycle_ns for cfg in configs])
+        self.head_units = np.array(
+            [cfg.num_head_units for cfg in configs], dtype=np.int64
+        )
+        self.linear_arrays = np.array(
+            [cfg.num_linear_arrays for cfg in configs], dtype=np.int64
+        )
+        self.ff_arrays = np.array(
+            [cfg.num_ff_arrays for cfg in configs], dtype=np.int64
+        )
+        self.batch = np.array([cfg.batch for cfg in configs], dtype=np.int64)
+        self.activation_power = np.array(
+            [cfg.activation.power_mw for cfg in configs]
+        )
+        self.bits = [cfg.bits for cfg in configs]
+        self.static_mw = np.array(
+            [
+                cfg.control.power_mw + cfg.memory.global_buffer.leakage_mw
+                for cfg in configs
+            ]
+        )
+        self.breakdown = breakdown_columns(
+            self.specs,
+            [cfg.weight_refresh_cycles for cfg in configs],
+            correction,
+            self.cycle_ns,
+        )
+        self.groups = len(set(zip(self.specs, contexts)))
+
+    def tile_cycles(self, out_rows: int, inner: int) -> np.ndarray:
+        """Per-point cycles for one (out_rows x inner) output column
+        (``ArrayExecutor.cycles_for`` with batch=1)."""
+        if out_rows < 1 or inner < 1:
+            raise ConfigurationError(
+                f"matmul dims must be >= 1, got {out_rows}x{inner}"
+            )
+        return ceil_div(out_rows, self.usable_rows) * ceil_div(
+            inner, self.usable_cols
+        )
+
+    def ops_per_point(self, count) -> Tuple[list, int]:
+        """Per-point op counts (one shared object per distinct precision)."""
+        ops_list: list = [None] * self.n
+        groups = group_indices(self.bits)
+        for bits, indices in groups.items():
+            ops = count(bits)
+            for i in indices:
+                ops_list[i] = ops
+        return ops_list, len(groups)
+
+
+def _softmax_columns(
+    cols: _TronColumns, latency_items: int, energy_elements: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Softmax LUT latency / energy, once per distinct LUT config."""
+    latency = np.empty(cols.n)
+    energy = np.empty(cols.n)
+    for lut, indices in group_indices(
+        [cfg.softmax for cfg in cols.configs]
+    ).items():
+        latency[indices] = lut.latency_ns(latency_items)
+        energy[indices] = lut.energy_pj(energy_elements)
+    return latency, energy
+
+
+def _head_cost_columns(
+    cols: _TronColumns, seq_len: int, d_model: int, d_k: int
+) -> Tuple[np.ndarray, ColumnEnergy]:
+    """``AttentionHeadUnit.head_cost`` as columns."""
+    stage_dims = [
+        (d_k, d_model),       # q_proj
+        (d_model, d_k),       # k_mix
+        (seq_len, d_model),   # scores
+        (d_k, d_model),       # v_proj
+        (d_k, seq_len),       # context
+    ]
+    stage_latencies = []
+    total_cycles = np.zeros(cols.n, dtype=np.int64)
+    for out_rows, inner in stage_dims:
+        cycles = cols.tile_cycles(out_rows, inner)
+        total_cycles = total_cycles + cycles * seq_len
+        stage_latencies.append(cycles * cols.cycle_ns)
+    softmax_latency, softmax_pj = _softmax_columns(
+        cols, seq_len, seq_len * seq_len
+    )
+    stage_latencies.insert(3, softmax_latency)
+    fill: object = 0
+    for latency in stage_latencies:
+        fill = fill + latency
+    bottleneck = stage_latencies[0]
+    for latency in stage_latencies[1:]:
+        bottleneck = np.maximum(bottleneck, latency)
+    compute_ns = fill + (seq_len - 1) * bottleneck
+    energy = energy_for_cycles_columns(
+        total_cycles, cols.breakdown
+    ) + ColumnEnergy(digital_pj=softmax_pj)
+    return compute_ns, energy
+
+
+def _residual_adder_columns(cols: _TronColumns) -> np.ndarray:
+    """Per-operation coherent-adder energy, once per distinct clock."""
+    adder_pj = np.empty(cols.n)
+    for clock_ghz, indices in group_indices(
+        [cfg.clock_ghz for cfg in cols.configs]
+    ).items():
+        adder = CoherentSummationUnit(fan_in=2, clock_ghz=clock_ghz)
+        adder_pj[indices] = adder.operation_energy_pj(active_arms=2)
+    return adder_pj
+
+
+def _mha_block_columns(
+    cols: _TronColumns, seq_len: int, d_model: int, num_heads: int
+) -> Tuple[ColumnLatency, ColumnEnergy]:
+    """``MHAUnit.block_cost`` as columns."""
+    if num_heads < 1:
+        raise ConfigurationError(f"need >= 1 head, got {num_heads}")
+    d_k = d_model // num_heads
+    head_compute, head_energy = _head_cost_columns(cols, seq_len, d_model, d_k)
+    waves = ceil_div(num_heads, cols.head_units)
+    heads_latency = ColumnLatency(compute_ns=head_compute).scaled(waves)
+    heads_energy = head_energy.scaled(num_heads)
+
+    linear_cycles = cols.tile_cycles(d_model, d_model) * seq_len
+    linear_cycles = ceil_div(linear_cycles, cols.linear_arrays)
+    linear_total_cycles = linear_cycles * cols.linear_arrays
+    linear_latency = ColumnLatency(compute_ns=linear_cycles * cols.cycle_ns)
+    linear_energy = energy_for_cycles_columns(
+        linear_total_cycles, cols.breakdown
+    )
+
+    residual_latency = ColumnLatency(
+        compute_ns=2 * seq_len * cols.cycle_ns
+    )
+    add_pj = seq_len * _residual_adder_columns(cols)
+    ln_pj = seq_len * d_model * 0.05
+    residual_energy = ColumnEnergy(laser_pj=add_pj, tuning_pj=ln_pj)
+
+    latency = heads_latency + linear_latency + residual_latency
+    energy = heads_energy + linear_energy + residual_energy
+    return latency, energy
+
+
+def _ff_block_columns(
+    cols: _TronColumns, seq_len: int, d_model: int, d_ff: int
+) -> Tuple[ColumnLatency, ColumnEnergy]:
+    """``FeedForwardUnit.block_cost`` as columns."""
+    up_cycles = cols.tile_cycles(d_ff, d_model) * seq_len
+    down_cycles = cols.tile_cycles(d_model, d_ff) * seq_len
+    total_cycles = up_cycles + down_cycles
+    serial_cycles = ceil_div(total_cycles, cols.ff_arrays)
+    soa_pj = seq_len * d_ff * cols.activation_power * cols.cycle_ns
+    residual_ns = 2 * seq_len * cols.cycle_ns
+    ln_pj = seq_len * d_model * 0.05
+    latency = ColumnLatency(
+        compute_ns=serial_cycles * cols.cycle_ns + residual_ns
+    )
+    energy = energy_for_cycles_columns(
+        total_cycles, cols.breakdown
+    ) + ColumnEnergy(tuning_pj=ln_pj, activation_pj=soa_pj)
+    return latency, energy
+
+
+def _finish(
+    cols: _TronColumns,
+    contexts: Sequence[Optional[ExecutionContext]],
+    ops_list: Sequence[OpCount],
+    compute_latency: ColumnLatency,
+    compute_energy: ColumnEnergy,
+) -> Tuple[ColumnLatency, ColumnEnergy]:
+    """The shared memory + static tail of both TRON run paths."""
+    memory_energy, memory_latency = weight_stream_columns(
+        [cfg.memory for cfg in cols.configs],
+        contexts,
+        ops_list,
+        cols.bits,
+        compute_latency.total,
+        cols.batch,
+    )
+    latency = compute_latency + memory_latency
+    static_pj = cols.static_mw * latency.total
+    energy = compute_energy + memory_energy + ColumnEnergy(static_pj=static_pj)
+    return latency, energy
+
+
+def evaluate_transformer(
+    configs: Sequence[TRONConfig],
+    contexts: Sequence[Optional[ExecutionContext]],
+    workload,
+) -> StackedRunReports:
+    """``TRON.run_transformer`` over a whole configuration batch."""
+    model = workload.model
+    if model.seq_len < 1:
+        raise ConfigurationError("model sequence length must be >= 1")
+    cols = _TronColumns(configs, contexts)
+
+    mha_latency, mha_energy = _mha_block_columns(
+        cols, model.seq_len, model.d_model, model.num_heads
+    )
+    ff_latency, ff_energy = _ff_block_columns(
+        cols, model.seq_len, model.d_model, model.d_ff
+    )
+    layer_latency = mha_latency + ff_latency
+    layer_energy = mha_energy + ff_energy
+    compute_latency = layer_latency.scaled(model.num_layers)
+    compute_energy = layer_energy.scaled(model.num_layers)
+
+    ops_list, _ = cols.ops_per_point(
+        lambda bits: transformer_op_count(
+            model, bytes_per_value=max(bits // 8, 1)
+        )
+    )
+    latency, energy = _finish(
+        cols, contexts, ops_list, compute_latency, compute_energy
+    )
+
+    if model.kind is TransformerKind.VISION:
+        head_latency, head_energy = _ff_block_columns(
+            cols, 1, model.d_model, model.d_ff
+        )
+        latency = latency + head_latency
+        energy = energy + head_energy
+
+    return StackedRunReports(
+        platform="TRON",
+        workload=model.name,
+        ops=ops_list,
+        latency=latency.as_arrays(cols.n),
+        energy=energy.as_arrays(cols.n),
+        bits_per_value=cols.bits,
+        groups=cols.groups,
+    )
+
+
+def evaluate_mlp(
+    configs: Sequence[TRONConfig],
+    contexts: Sequence[Optional[ExecutionContext]],
+    workload,
+) -> StackedRunReports:
+    """``TRON.run_mlp`` over a whole configuration batch."""
+    cols = _TronColumns(configs, contexts)
+    samples = workload.samples
+    dims = list(workload.layer_dims)
+    total_cycles = np.zeros(cols.n, dtype=np.int64)
+    soa_pj: object = 0.0
+    for i, (d_in, d_out) in enumerate(dims):
+        total_cycles = total_cycles + cols.tile_cycles(d_out, d_in) * samples
+        if i < len(dims) - 1:  # hidden activations only
+            soa_pj = soa_pj + (
+                samples * d_out * cols.activation_power * cols.cycle_ns
+            )
+    serial_cycles = ceil_div(total_cycles, cols.ff_arrays)
+    compute_latency = ColumnLatency(compute_ns=serial_cycles * cols.cycle_ns)
+    compute_energy = energy_for_cycles_columns(
+        total_cycles, cols.breakdown
+    ) + ColumnEnergy(activation_pj=soa_pj)
+
+    ops_list, _ = cols.ops_per_point(
+        lambda bits: workload.op_count(bytes_per_value=max(bits // 8, 1))
+    )
+    latency, energy = _finish(
+        cols, contexts, ops_list, compute_latency, compute_energy
+    )
+    return StackedRunReports(
+        platform="TRON",
+        workload=workload.name,
+        ops=ops_list,
+        latency=latency.as_arrays(cols.n),
+        energy=energy.as_arrays(cols.n),
+        bits_per_value=cols.bits,
+        groups=cols.groups,
+    )
+
+
+register_soa_evaluator("TRON", WorkloadKind.TRANSFORMER, evaluate_transformer)
+register_soa_evaluator("TRON", WorkloadKind.MLP, evaluate_mlp)

@@ -1,0 +1,247 @@
+"""Bit-exactness of the array-resident (SoA) evaluation path.
+
+The structure-of-arrays engine's contract is that it is *invisible* in
+the numbers: every stacked column, every materialized report and every
+frontier must be bit-identical to what the scalar oracle produces —
+``Accelerator.run`` point by point for sweeps, the per-signature replay
+loop for Monte-Carlo.  These tests drive randomized configurations,
+corners and seeds through both paths and compare exactly (``==`` on the
+report dicts, never ``allclose``), including the degenerate shapes the
+engine must survive: 1-point tensors, non-contiguous column views, and
+populations where every die is yield-gated.
+"""
+
+import random
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+import repro.workloads  # noqa: F401  (registers the default workloads)
+from repro.analysis.robustness import run_monte_carlo
+from repro.analysis.sweep import (
+    ghost_sweep_space,
+    pareto_frontier,
+    run_sweep,
+    run_sweep_soa,
+    tron_sweep_space,
+    with_corners,
+)
+from repro.core import ExecutionContext, GHOST, GHOSTConfig, TRON, TRONConfig
+from repro.core.base import get_workload
+from repro.core.context import resolve_corner, standard_corners
+from repro.core.engine import clear_physics_cache, soa_evaluator
+from repro.core.reports import StackedRunReports
+from repro.photonics.variation import ProcessVariationModel
+
+
+def _random_tron_configs(rng, n):
+    return [
+        TRONConfig(
+            num_head_units=rng.choice((1, 2, 4, 8, 12)),
+            array_rows=rng.choice((16, 32, 64, 128)),
+            array_cols=rng.choice((16, 32, 64, 128)),
+            clock_ghz=rng.choice((1.25, 2.5, 5.0)),
+            batch=rng.choice((1, 2, 8)),
+        )
+        for _ in range(n)
+    ]
+
+
+def _random_ghost_configs(rng, n):
+    return [
+        GHOSTConfig(
+            lanes=rng.choice((2, 4, 16, 64)),
+            edge_units=rng.choice((4, 8, 32, 128)),
+            use_balancing=rng.choice((True, False)),
+            use_partitioning=rng.choice((True, False)),
+        )
+        for _ in range(n)
+    ]
+
+
+def _random_contexts(rng, n):
+    corners = standard_corners()
+    pool = [None] + [corners[name] for name in sorted(corners)]
+    return [rng.choice(pool) for _ in range(n)]
+
+
+def _assert_stack_matches_scalar(stacked, configs, contexts, make, workload):
+    for i, (config, ctx) in enumerate(zip(configs, contexts)):
+        want = make(config).run(workload, ctx=ctx).to_dict()
+        assert stacked.materialize(i).to_dict() == want, f"point {i}"
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_tron_random_configs_bit_identical(seed):
+    rng = random.Random(seed)
+    configs = _random_tron_configs(rng, 10)
+    contexts = _random_contexts(rng, 10)
+    workload = get_workload(rng.choice(("BERT-base", "ViT-base", "MLP-mnist")))
+    evaluator = soa_evaluator("TRON", workload.kind)
+    stacked = evaluator(configs, contexts, workload)
+    _assert_stack_matches_scalar(stacked, configs, contexts, TRON, workload)
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_ghost_random_configs_bit_identical(seed):
+    rng = random.Random(seed)
+    configs = _random_ghost_configs(rng, 8)
+    contexts = _random_contexts(rng, 8)
+    workload = get_workload(
+        rng.choice(("GCN-cora", "GAT-pubmed", "GRAPHSAGE-cora", "MLP-recsys"))
+    )
+    evaluator = soa_evaluator("GHOST", workload.kind)
+    stacked = evaluator(configs, contexts, workload)
+    _assert_stack_matches_scalar(stacked, configs, contexts, GHOST, workload)
+
+
+def test_one_point_tensor_bit_identical():
+    workload = get_workload("BERT-base")
+    config = TRONConfig(num_head_units=3, array_rows=48, array_cols=96)
+    ctx = resolve_corner("slow-hot", seed=11)
+    evaluator = soa_evaluator("TRON", workload.kind)
+    stacked = evaluator([config], [ctx], workload)
+    assert len(stacked) == 1
+    assert stacked.latency_ns.shape == (1,)
+    want = TRON(config).run(workload, ctx=ctx).to_dict()
+    assert stacked.materialize(0).to_dict() == want
+
+
+def test_non_contiguous_column_views_materialize_identically():
+    """Strided (non-contiguous) column views keep the exact numbers."""
+    rng = random.Random(5)
+    configs = _random_tron_configs(rng, 8)
+    workload = get_workload("DistilBERT")
+    evaluator = soa_evaluator("TRON", workload.kind)
+    stacked = evaluator(configs, [None] * len(configs), workload)
+
+    view = StackedRunReports(
+        platform=stacked.platform,
+        workload=stacked.workload,
+        ops=stacked.ops[::2],
+        latency={k: v[::2] for k, v in stacked.latency.items()},
+        energy={k: v[::2] for k, v in stacked.energy.items()},
+        bits_per_value=stacked.bits_per_value[::2],
+        groups=stacked.groups,
+    )
+    assert any(
+        not column.flags["C_CONTIGUOUS"] for column in view.latency.values()
+    )
+    direct = evaluator(configs[::2], [None] * len(configs[::2]), workload)
+    assert np.array_equal(view.latency_ns, direct.latency_ns)
+    assert np.array_equal(view.energy_pj, direct.energy_pj)
+    for i in range(len(view)):
+        assert view.materialize(i).to_dict() == direct.materialize(i).to_dict()
+
+
+def _assert_same_points(soa_points, batched_points):
+    assert len(soa_points) == len(batched_points)
+    for soa_point, batched_point in zip(soa_points, batched_points):
+        assert soa_point.label == batched_point.label
+        assert soa_point.knobs == batched_point.knobs
+        assert soa_point.report.to_dict() == batched_point.report.to_dict()
+
+
+@pytest.mark.parametrize("corners_axis", [False, True])
+def test_sweep_soa_matches_batched_oracle(corners_axis):
+    for space in (
+        tron_sweep_space(
+            head_units=(2, 8), array_sizes=(32, 96), clocks_ghz=(2.5, 5.0)
+        ),
+        ghost_sweep_space(lanes=(4, 32), edge_units=(8, 64)),
+    ):
+        if corners_axis:
+            corner_map = {
+                name: resolve_corner(name, seed=3)
+                for name in standard_corners()
+            }
+            space = with_corners(space, corner_map)
+        clear_physics_cache()
+        soa_points = run_sweep(space, strategy="soa")
+        clear_physics_cache()
+        batched_points = run_sweep(space, strategy="batched")
+        _assert_same_points(soa_points, batched_points)
+        soa_frontier = pareto_frontier(soa_points)
+        batched_frontier = pareto_frontier(batched_points)
+        _assert_same_points(soa_frontier, batched_frontier)
+
+
+def test_lazy_frontier_matches_and_materializes_only_frontier():
+    space = tron_sweep_space(
+        head_units=(2, 4, 8), array_sizes=(32, 64), clocks_ghz=(2.5, 5.0)
+    )
+    result = run_sweep_soa(space)
+    frontier = result.frontier()
+    oracle = pareto_frontier(run_sweep(space, strategy="batched"))
+    _assert_same_points(frontier, oracle)
+    # Laziness: only the frontier (plus nothing else) materialized.
+    assert result.stats.materialized_reports == len(frontier)
+    assert result.stats.points == len(result) == 12
+
+
+def test_mc_soa_bit_identical_to_grouped_across_many_signatures():
+    # tuner_range_nm=5.0 lands the sampled dies on many distinct yield
+    # signatures (rich per-signature replay), the case the stacked MC
+    # path collapses into one evaluation.
+    context = ExecutionContext(
+        variation=ProcessVariationModel(), seed=7, tuner_range_nm=5.0
+    )
+    soa = run_monte_carlo(
+        TRON, lambda: get_workload("BERT-base"), context,
+        samples=48, strategy="soa",
+    )
+    grouped = run_monte_carlo(
+        TRON, lambda: get_workload("BERT-base"), context,
+        samples=48, strategy="grouped",
+    )
+    assert soa.evaluation["strategy"] == "soa"
+    assert soa.evaluation["groups"] > 1
+    assert grouped.evaluation["strategy"] == "grouped"
+    assert np.array_equal(soa.operational, grouped.operational)
+    assert np.array_equal(soa.fully_functional, grouped.fully_functional)
+    assert np.array_equal(soa.latency_ns, grouped.latency_ns, equal_nan=True)
+    assert np.array_equal(soa.energy_pj, grouped.energy_pj, equal_nan=True)
+
+
+def test_mc_all_yield_gated_population():
+    # A tuner range this tight kills every sampled die: the stacked
+    # path must report the same all-NaN distributions and zero yield as
+    # the naive scalar loop, without evaluating any group.
+    context = ExecutionContext(
+        variation=ProcessVariationModel(), seed=7, tuner_range_nm=0.25
+    )
+    soa = run_monte_carlo(
+        TRON, lambda: get_workload("MLP-mnist"), context,
+        samples=16, strategy="soa",
+    )
+    naive = run_monte_carlo(
+        TRON, lambda: get_workload("MLP-mnist"), context,
+        samples=16, strategy="naive",
+    )
+    assert not soa.operational.any()
+    assert soa.yield_fraction == 0.0
+    assert np.isnan(soa.latency_ns).all() and np.isnan(soa.energy_pj).all()
+    assert soa.evaluation["groups"] == 0
+    assert soa.evaluation["fallback_points"] == 0
+    assert np.array_equal(soa.operational, naive.operational)
+    assert np.array_equal(soa.latency_ns, naive.latency_ns, equal_nan=True)
+    assert np.array_equal(soa.energy_pj, naive.energy_pj, equal_nan=True)
+
+
+def test_pinned_context_parity_with_scalar():
+    # Pinned per-geometry physics (the serving engine's fast path) must
+    # flow through the stacked evaluator exactly like the scalar one.
+    from repro.core.context import PinnedArrayPhysics
+
+    base = resolve_corner("typical", seed=2)
+    config = TRONConfig(num_head_units=2, array_rows=64, array_cols=64)
+    ctx = base.with_pinned(
+        {(64, 64): PinnedArrayPhysics(62, 63, 2.5)}
+    )
+    workload = get_workload("MLP-mnist")
+    evaluator = soa_evaluator("TRON", workload.kind)
+    stacked = evaluator([config, config], [ctx, base], workload)
+    _assert_stack_matches_scalar(
+        stacked, [config, config], [ctx, base], TRON, workload
+    )

@@ -84,9 +84,18 @@ def main_check() -> int:
              "--json"],
         ),
         ("mc --json", ["mc", "MLP-mnist", "--samples", "4", "--json"]),
+        (
+            "mc --strategy grouped --json",
+            ["mc", "MLP-mnist", "--samples", "4", "--strategy", "grouped",
+             "--json"],
+        ),
         ("corners --json", ["corners", "--json"]),
         ("cache --json", ["cache", "--json"]),
         ("sweep ghost --json", ["sweep", "ghost", "--json"]),
+        (
+            "sweep ghost --strategy batched --json",
+            ["sweep", "ghost", "--strategy", "batched", "--json"],
+        ),
         (
             "serve --json",
             ["serve", "--trace", str(trace_path), "--repeat", "2", "--json"],
