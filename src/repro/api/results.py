@@ -219,8 +219,13 @@ class ServeResult:
         repeat / window: replay parameters.
         served: requests resolved.
         stats / cache / scheduler / physics_cache: the engine's
-            accounting dicts.
+            accounting dicts (fleet runs: summed over workers, with
+            throughput and latency percentiles measured open-loop at
+            the fleet front door).
         cache_len / cache_bound: report-cache occupancy after the run.
+        fleet: the fleet-tier accounting block (worker count, shard
+            load spread, admission/shed counters, per-run open-loop
+            results) — ``None`` for in-process serving.
     """
 
     trace: str
@@ -233,6 +238,7 @@ class ServeResult:
     physics_cache: Dict[str, Any]
     cache_len: int = 0
     cache_bound: int = 0
+    fleet: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -241,15 +247,18 @@ class ServeResult:
 
     def envelope(self) -> Dict[str, Any]:
         """The ``repro.serve/1`` JSON envelope."""
+        payload = {
+            "stats": self.stats,
+            "cache": self.cache,
+            "scheduler": self.scheduler,
+            "physics_cache": self.physics_cache,
+        }
+        if self.fleet is not None:
+            payload["fleet"] = self.fleet
         return json_envelope(
             "serve",
             {"trace": self.trace, "repeat": self.repeat, "window": self.window},
-            {
-                "stats": self.stats,
-                "cache": self.cache,
-                "scheduler": self.scheduler,
-                "physics_cache": self.physics_cache,
-            },
+            payload,
         )
 
     def format(self, detailed: bool = False) -> str:
@@ -259,6 +268,27 @@ class ServeResult:
             f"served {self.served} requests in {stats['busy_s']:.2f} s "
             f"({stats['throughput_rps']:.0f} req/s)"
         ]
+        if self.fleet is not None:
+            admission = self.fleet.get("admission", {})
+            lines[0] = (
+                f"served {self.served} requests over "
+                f"{self.fleet['workers']} workers "
+                f"({stats['throughput_rps']:.0f} req/s aggregate, "
+                f"{admission.get('shed_queue', 0) + admission.get('shed_quota', 0)} shed)"
+            )
+            # Percentiles are measured at the fleet front door either
+            # way; only an arrival schedule makes them "open-loop".
+            kind = (
+                "open-loop"
+                if self.fleet.get("arrivals")
+                else "submit-to-completion"
+            )
+            lines.append(
+                f"  {kind} p50/p95/p99 "
+                f"{1e3 * stats['p50_latency_s']:.2f} / "
+                f"{1e3 * stats['p95_latency_s']:.2f} / "
+                f"{1e3 * stats['p99_latency_s']:.2f} ms"
+            )
         if detailed:
             physics = self.physics_cache
             breakdown = physics["breakdown"]

@@ -98,6 +98,134 @@ _RUN_REPORT = {
 }
 
 
+#: The serving-engine accounting block (``ServingStats.to_dict``) —
+#: fleet runs emit the same shape with fleet-wide counters and
+#: open-loop (arrival-to-completion) latency percentiles.
+_SERVE_STATS = {
+    "type": "object",
+    "properties": {
+        "requests": _NON_NEGATIVE_INT,
+        "errors": _NON_NEGATIVE_INT,
+        "cache_hits": _NON_NEGATIVE_INT,
+        "deduped": _NON_NEGATIVE_INT,
+        "flushes": _NON_NEGATIVE_INT,
+        "busy_s": _NUMBER,
+        "hit_rate": _NUMBER,
+        "throughput_rps": _NUMBER,
+        "mean_latency_s": _NUMBER,
+        "p50_latency_s": _NUMBER,
+        "p95_latency_s": _NUMBER,
+        "p99_latency_s": _NUMBER,
+    },
+    "required": [
+        "requests",
+        "errors",
+        "cache_hits",
+        "deduped",
+        "flushes",
+        "busy_s",
+        "hit_rate",
+        "throughput_rps",
+        "mean_latency_s",
+        "p50_latency_s",
+        "p95_latency_s",
+        "p99_latency_s",
+    ],
+}
+
+#: The open-loop latency quantile block
+#: (``repro.serving.arrivals.latency_quantiles``).
+_LATENCY_QUANTILES = {
+    "type": "object",
+    "properties": {
+        "mean_latency_s": _NUMBER,
+        "p50_latency_s": _NUMBER,
+        "p95_latency_s": _NUMBER,
+        "p99_latency_s": _NUMBER,
+    },
+    "required": [
+        "mean_latency_s",
+        "p50_latency_s",
+        "p95_latency_s",
+        "p99_latency_s",
+    ],
+}
+
+#: The fleet-tier block of a ``--workers N`` serve run: worker count,
+#: shard load spread, admission/shed accounting, per-repeat open-loop
+#: results.
+_FLEET_BLOCK = {
+    "type": "object",
+    "properties": {
+        "workers": _POSITIVE_INT,
+        "granularity": {"enum": ["type", "config"]},
+        "completed": _NON_NEGATIVE_INT,
+        "wall_s": _NUMBER,
+        "throughput_rps": _NUMBER,
+        "open_loop_latency": _LATENCY_QUANTILES,
+        "admission": {
+            "type": "object",
+            "properties": {
+                "submitted": _NON_NEGATIVE_INT,
+                "admitted": _NON_NEGATIVE_INT,
+                "shed_queue": _NON_NEGATIVE_INT,
+                "shed_quota": _NON_NEGATIVE_INT,
+                "shed_rate": _NUMBER,
+            },
+            "required": [
+                "submitted",
+                "admitted",
+                "shed_queue",
+                "shed_quota",
+                "shed_rate",
+            ],
+        },
+        "shard_requests": {
+            "type": "array",
+            "items": _NON_NEGATIVE_INT,
+        },
+        "worker_stats": {"type": "array", "items": {"type": "object"}},
+        "arrivals": {"type": ["string", "null"]},
+        "open_loop": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "properties": {
+                    "arrivals": _STRING,
+                    "offered_rps": _NUMBER,
+                    "submitted": _NON_NEGATIVE_INT,
+                    "completed": _NON_NEGATIVE_INT,
+                    "shed": _NON_NEGATIVE_INT,
+                    "errors": _NON_NEGATIVE_INT,
+                    "duration_s": _NUMBER,
+                    "throughput_rps": _NUMBER,
+                    **_LATENCY_QUANTILES["properties"],
+                },
+                "required": [
+                    "arrivals",
+                    "offered_rps",
+                    "submitted",
+                    "completed",
+                    "shed",
+                    "errors",
+                    "duration_s",
+                    "throughput_rps",
+                    *_LATENCY_QUANTILES["required"],
+                ],
+            },
+        },
+    },
+    "required": [
+        "workers",
+        "granularity",
+        "completed",
+        "throughput_rps",
+        "admission",
+        "shard_requests",
+    ],
+}
+
+
 def _envelope(
     command: str,
     context_properties: Dict[str, Any],
@@ -236,10 +364,11 @@ SCHEMAS: Dict[str, Dict[str, Any]] = {
         "serve",
         {"trace": _STRING, "repeat": _POSITIVE_INT, "window": _POSITIVE_INT},
         {
-            "stats": {"type": "object"},
+            "stats": _SERVE_STATS,
             "cache": {"type": "object"},
             "scheduler": {"type": "object"},
             "physics_cache": {"type": "object"},
+            "fleet": _FLEET_BLOCK,
         },
         ["stats", "cache", "scheduler", "physics_cache"],
     ),
@@ -292,6 +421,8 @@ SCHEMAS: Dict[str, Dict[str, Any]] = {
                     "window": _POSITIVE_INT,
                     "cache_entries": _POSITIVE_INT,
                     "batched_physics": _BOOL,
+                    "workers": _NON_NEGATIVE_INT,
+                    "arrivals": {"type": ["string", "null"]},
                 },
                 "additionalProperties": False,
             },

@@ -321,6 +321,12 @@ class Session:
         window: int = 64,
         cache_entries: int = 1024,
         batched_physics: bool = True,
+        workers: int = 0,
+        arrivals: Optional[str] = None,
+        max_queue: int = 256,
+        tenant_rate: Optional[float] = None,
+        granularity: str = "type",
+        seed: int = 0,
     ) -> ServeResult:
         """Replay a request stream through the batching serving engine.
 
@@ -336,6 +342,18 @@ class Session:
             cache_entries: report-cache bound (LRU beyond it).
             batched_physics: batched corner-physics path (disable for
                 the scalar benchmarking baseline; same numbers).
+            workers: ``0`` serves in process; ``>= 1`` shards the
+                stream over that many worker processes
+                (:class:`~repro.serving.fleet.ServingFleet`).
+            arrivals: open-loop arrival spec (``poisson:RATE``,
+                ``bursty:RATE[:BURSTINESS]``, ``uniform:RATE``) — fleet
+                mode only; ``None`` replays closed-loop.
+            max_queue: fleet per-shard in-flight bound (admission
+                control sheds beyond it).
+            tenant_rate: fleet per-tenant token-bucket rate (req/s).
+            granularity: fleet shard-key granularity (``"type"`` or
+                ``"config"``).
+            seed: arrival-schedule seed (fleet open loop).
         """
         from repro.core.engine import physics_cache_stats
         from repro.serving import ServingEngine, load_trace
@@ -346,6 +364,10 @@ class Session:
             raise ConfigurationError(
                 "serve needs exactly one of a trace path or a request "
                 "sequence"
+            )
+        if arrivals is not None and not workers:
+            raise ConfigurationError(
+                "open-loop arrivals need a worker fleet; pass workers >= 1"
             )
         if trace is not None:
             stream = load_trace(trace)
@@ -365,6 +387,21 @@ class Session:
                         "trace records, or run-kind ExperimentSpecs"
                     )
             label = f"<{len(stream)} in-memory requests>"
+        if workers:
+            return self._serve_fleet(
+                stream,
+                label,
+                repeat=repeat,
+                window=window,
+                cache_entries=cache_entries,
+                batched_physics=batched_physics,
+                workers=workers,
+                arrivals=arrivals,
+                max_queue=max_queue,
+                tenant_rate=tenant_rate,
+                granularity=granularity,
+                seed=seed,
+            )
         engine = ServingEngine(
             cache_entries=cache_entries,
             max_pending=window,
@@ -386,6 +423,74 @@ class Session:
             physics_cache=physics_cache_stats(),
             cache_len=len(engine.cache),
             cache_bound=engine.cache.max_entries,
+        )
+
+    def _serve_fleet(
+        self,
+        stream: Sequence,
+        label: str,
+        repeat: int,
+        window: int,
+        cache_entries: int,
+        batched_physics: bool,
+        workers: int,
+        arrivals: Optional[str],
+        max_queue: int,
+        tenant_rate: Optional[float],
+        granularity: str,
+        seed: int,
+    ) -> ServeResult:
+        """The fleet arm of :meth:`serve`: shard ``stream`` over worker
+        processes, open-loop when an arrival spec is given."""
+        from repro.serving import ServingFleet, parse_arrivals
+        from repro.serving.fleet import merge_counters
+
+        process = parse_arrivals(arrivals) if arrivals else None
+        fleet = ServingFleet(
+            workers=workers,
+            window=window,
+            cache_entries=cache_entries,
+            use_batched_physics=batched_physics,
+            max_queue=max_queue,
+            tenant_rate_rps=tenant_rate,
+            granularity=granularity,
+        )
+        open_loop = []
+        with fleet:
+            for round_index in range(repeat):
+                if process is None:
+                    fleet.serve(stream)
+                else:
+                    result = fleet.run_open_loop(
+                        stream, process, seed=seed + round_index
+                    )
+                    open_loop.append(result.to_dict())
+        worker_stats = [
+            fleet.worker_stats.get(i, {}) for i in range(workers)
+        ]
+        cache = merge_counters([w.get("cache", {}) for w in worker_stats])
+        fleet_block = fleet.fleet_stats()
+        fleet_block["arrivals"] = arrivals
+        fleet_block["open_loop"] = open_loop
+        stats = fleet.aggregate_stats()
+        return ServeResult(
+            trace=label,
+            repeat=repeat,
+            window=window,
+            served=stats["requests"],
+            stats=stats,
+            cache=cache,
+            scheduler=merge_counters(
+                [w.get("scheduler", {}) for w in worker_stats]
+            ),
+            physics_cache=merge_counters(
+                [w.get("physics_cache", {}) for w in worker_stats]
+            ),
+            cache_len=int(
+                cache.get("insertions", 0) - cache.get("evictions", 0)
+            ),
+            cache_bound=cache_entries * workers,
+            fleet=fleet_block,
         )
 
     def generate_trace(
@@ -472,6 +577,8 @@ class Session:
                 window=spec.analysis.window,
                 cache_entries=spec.analysis.cache_entries,
                 batched_physics=spec.analysis.batched_physics,
+                workers=spec.analysis.workers,
+                arrivals=spec.analysis.arrivals,
             )
         raise ConfigurationError(  # pragma: no cover - spec validates kind
             f"unknown analysis kind {kind!r}"

@@ -210,6 +210,10 @@ class AnalysisSpec:
             (``serve``).
         cache_entries: report-cache bound (``serve``).
         batched_physics: batched corner-physics path (``serve``).
+        workers: worker-process count of the sharded fleet tier; ``0``
+            serves in process (``serve``).
+        arrivals: open-loop arrival spec, e.g. ``"poisson:5000"`` or
+            ``"bursty:2000:16"`` — needs ``workers >= 1`` (``serve``).
 
     Example:
         >>> AnalysisSpec(kind="mc", samples=64).samples
@@ -229,6 +233,8 @@ class AnalysisSpec:
     window: int = 64
     cache_entries: int = 1024
     batched_physics: bool = True
+    workers: int = 0
+    arrivals: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ANALYSIS_KINDS:
@@ -241,6 +247,21 @@ class AnalysisSpec:
                 raise ConfigurationError(
                     f"analysis.{name} must be >= 1, "
                     f"got {getattr(self, name)}"
+                )
+        if self.workers < 0:
+            raise ConfigurationError(
+                f"analysis.workers must be >= 0, got {self.workers}"
+            )
+        if self.arrivals is not None:
+            # Fail at spec construction, not mid-serve: the arrival
+            # spec must parse and the fleet tier must be requested.
+            from repro.serving.arrivals import parse_arrivals
+
+            parse_arrivals(self.arrivals)
+            if self.workers < 1:
+                raise ConfigurationError(
+                    "analysis.arrivals needs analysis.workers >= 1 "
+                    "(open-loop load runs on the fleet tier)"
                 )
 
     def to_dict(self) -> Dict[str, Any]:

@@ -19,7 +19,9 @@ Commands:
   distributions over N sampled dies.
 - ``corners`` — evaluate the standard corner grid on both accelerators.
 - ``serve`` — replay a JSON request trace through the batching/caching
-  serving engine (``--stats`` prints the fleet accounting).
+  serving engine (``--stats`` prints the fleet accounting);
+  ``--workers N`` shards it over worker processes and ``--arrivals
+  poisson:RATE`` drives open-loop offered load with admission control.
 - ``cache`` — inspect or clear the persistent physics cache
   (``repro cache --clear``; see docs/performance.md).
 - ``gen-trace`` — synthesize a mixed LLM+GNN request trace.
@@ -249,6 +251,8 @@ def _cmd_serve(args) -> int:
                 window=64,
                 cache_entries=1024,
                 no_batching=False,
+                workers=0,
+                arrivals=None,
             )
         )
     else:
@@ -260,6 +264,10 @@ def _cmd_serve(args) -> int:
             window=args.window,
             cache_entries=args.cache_entries,
             batched_physics=not args.no_batching,
+            workers=args.workers,
+            arrivals=args.arrivals,
+            max_queue=args.max_queue,
+            tenant_rate=args.tenant_rate,
         )
     if args.json:
         print(json.dumps(result.envelope(), indent=2))
@@ -492,6 +500,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the batched corner-physics path (same numbers; "
         "benchmarking aid)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard the trace over N worker processes (0 = in-process)",
+    )
+    serve.add_argument(
+        "--arrivals",
+        default=None,
+        metavar="KIND:RATE[:BURST]",
+        help="open-loop offered load, e.g. poisson:5000 or "
+        "bursty:2000:16 (needs --workers)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="fleet per-shard in-flight bound; admission control sheds "
+        "beyond it",
+    )
+    serve.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=None,
+        help="fleet per-tenant token-bucket quota (req/s)",
     )
     serve.add_argument("--json", action="store_true")
     _add_spec(serve)

@@ -19,11 +19,33 @@ scale:
 - :mod:`repro.serving.trace` — the JSON trace format and the mixed
   LLM+GNN traffic generator behind ``repro serve`` / ``repro
   gen-trace``.
+- :mod:`repro.serving.arrivals` — open-loop arrival processes
+  (uniform / Poisson / bursty) for honest offered-load generation.
+- :mod:`repro.serving.admission` — bounded queues and per-tenant
+  token-bucket quotas; past saturation the tier sheds explicitly.
+- :mod:`repro.serving.shard` — stable request -> shard hashing and the
+  plain-document wire codec of the fleet tier.
+- :mod:`repro.serving.fleet` — the :class:`ServingFleet`: N sharded
+  worker processes (each a private ``ServingEngine``) behind one
+  admission-controlled front door, with an open-loop load runner.
 
-See ``docs/serving.md`` for cache keying rules, batching semantics and
-the trace format.
+See ``docs/serving.md`` for cache keying rules, batching semantics,
+the trace format and the fleet tier.
 """
 
+from repro.serving.admission import (
+    SHED_QUEUE,
+    SHED_QUOTA,
+    AdmissionController,
+    AdmissionStats,
+    TokenBucket,
+)
+from repro.serving.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    latency_quantiles,
+    parse_arrivals,
+)
 from repro.serving.cache import (
     CacheKey,
     CacheStats,
@@ -32,6 +54,7 @@ from repro.serving.cache import (
     normalize_context,
 )
 from repro.serving.engine import ServingEngine, ServingStats
+from repro.serving.fleet import FleetResponse, OpenLoopResult, ServingFleet
 from repro.serving.request import (
     PLATFORM_CHOICES,
     ServeRequest,
@@ -42,6 +65,12 @@ from repro.serving.scheduler import (
     SchedulerStats,
     default_platform_catalog,
 )
+from repro.serving.shard import (
+    GRANULARITIES,
+    ShardRouter,
+    request_to_wire,
+    wire_to_request,
+)
 from repro.serving.trace import (
     TRACE_SCHEMA,
     generate_trace,
@@ -51,22 +80,38 @@ from repro.serving.trace import (
 )
 
 __all__ = [
+    "ARRIVAL_KINDS",
+    "AdmissionController",
+    "AdmissionStats",
+    "ArrivalProcess",
     "BatchingScheduler",
     "CacheKey",
     "CacheStats",
+    "FleetResponse",
+    "GRANULARITIES",
+    "OpenLoopResult",
     "PLATFORM_CHOICES",
     "ReportCache",
+    "SHED_QUEUE",
+    "SHED_QUOTA",
     "SchedulerStats",
     "ServeRequest",
     "ServeResponse",
     "ServingEngine",
+    "ServingFleet",
     "ServingStats",
+    "ShardRouter",
     "TRACE_SCHEMA",
+    "TokenBucket",
     "config_fingerprint",
     "default_platform_catalog",
     "generate_trace",
+    "latency_quantiles",
     "load_trace",
     "normalize_context",
+    "parse_arrivals",
     "record_to_request",
+    "request_to_wire",
     "save_trace",
+    "wire_to_request",
 ]

@@ -1,0 +1,206 @@
+"""Open-loop arrival processes for the serving load generator.
+
+A **closed-loop** load test submits a request, waits for the response,
+and only then submits the next one — so the measured latency throttles
+the offered load, and percentiles look flattering exactly when the
+system is slowest (coordinated omission).  An **open-loop** generator
+instead schedules arrival times *in advance* from a traffic model and
+submits on schedule no matter how the system is doing; latency is
+measured from the *scheduled arrival* to completion, which is what a
+user behind a saturated service actually experiences.
+
+:class:`ArrivalProcess` names the traffic model:
+
+- ``uniform`` — deterministic arrivals at exactly ``rate_rps``.
+- ``poisson`` — memoryless arrivals (exponential inter-arrival gaps),
+  the canonical open-loop model.
+- ``bursty`` — a two-state modulated Poisson process: geometric runs of
+  requests arrive in a *burst* state (``burstiness`` times the mean
+  rate) separated by runs in a slow state, with the slow rate chosen so
+  the long-run mean stays ``rate_rps``.  This is the "bursty" arrival
+  shape of flash-crowd traffic.
+
+:func:`parse_arrivals` reads the CLI form (``poisson:5000``,
+``bursty:5000:8``, ``uniform:200``), and :func:`latency_quantiles`
+computes the p50/p95/p99 block every open-loop report carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: The supported arrival-process kinds.
+ARRIVAL_KINDS = ("uniform", "poisson", "bursty")
+
+#: Mean requests per state run of the bursty process.
+BURST_RUN_LENGTH = 32
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """One open-loop traffic model: a kind plus its mean offered rate.
+
+    Attributes:
+        kind: one of :data:`ARRIVAL_KINDS`.
+        rate_rps: long-run mean offered load, requests per second.
+        burstiness: burst-state rate multiplier (``bursty`` only);
+            the slow-state rate is derived so the mean stays
+            ``rate_rps``.
+
+    Example:
+        >>> times = ArrivalProcess("poisson", 1000.0).times(8, seed=0)
+        >>> len(times), bool((np.diff(times) >= 0).all())
+        (8, True)
+        >>> ArrivalProcess("warp", 10.0)
+        Traceback (most recent call last):
+            ...
+        repro.errors.ConfigurationError: unknown arrival kind 'warp'; pick one of ('uniform', 'poisson', 'bursty')
+    """
+
+    kind: str
+    rate_rps: float
+    burstiness: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ConfigurationError(
+                f"unknown arrival kind {self.kind!r}; "
+                f"pick one of {ARRIVAL_KINDS}"
+            )
+        if not self.rate_rps > 0.0:
+            raise ConfigurationError(
+                f"arrival rate must be > 0 req/s, got {self.rate_rps}"
+            )
+        if not self.burstiness > 1.0:
+            raise ConfigurationError(
+                f"burstiness must be > 1, got {self.burstiness}"
+            )
+
+    def times(self, num_requests: int, seed: int = 0) -> np.ndarray:
+        """``num_requests`` scheduled arrival offsets (seconds, sorted).
+
+        The schedule is deterministic in ``(kind, rate, burstiness,
+        num_requests, seed)`` so benchmark runs are replayable.
+
+        Example:
+            >>> uniform = ArrivalProcess("uniform", 10.0).times(3)
+            >>> [round(float(t), 3) for t in uniform]
+            [0.0, 0.1, 0.2]
+        """
+        if num_requests < 1:
+            raise ConfigurationError(
+                f"need >= 1 arrival, got {num_requests}"
+            )
+        if self.kind == "uniform":
+            return np.arange(num_requests, dtype=float) / self.rate_rps
+        rng = np.random.default_rng(seed)
+        if self.kind == "poisson":
+            gaps = rng.exponential(1.0 / self.rate_rps, size=num_requests)
+        else:  # bursty: two-state modulated Poisson, mean rate preserved
+            # With half the requests in each state, the mean gap is
+            # (1/b_on + 1/b_off) / (2 * rate); solving for mean rate
+            # == rate_rps gives 1/b_off = 2 - 1/b_on.
+            b_on = self.burstiness
+            b_off = 1.0 / (2.0 - 1.0 / b_on)
+            state_rate = {True: self.rate_rps * b_on,
+                          False: self.rate_rps * b_off}
+            gaps = np.empty(num_requests)
+            filled = 0
+            burst = bool(rng.integers(2))
+            while filled < num_requests:
+                run = 1 + int(rng.geometric(1.0 / BURST_RUN_LENGTH))
+                run = min(run, num_requests - filled)
+                gaps[filled:filled + run] = rng.exponential(
+                    1.0 / state_rate[burst], size=run
+                )
+                filled += run
+                burst = not burst
+        times = np.cumsum(gaps)
+        # Arrivals are offsets from the load generator's start; the
+        # first request arrives after its own gap, not at t=0, which
+        # keeps the offered rate honest for tiny request counts.
+        return times
+
+    def describe(self) -> str:
+        """The CLI spelling of this process (``parse_arrivals`` inverse).
+
+        Example:
+            >>> parse_arrivals("bursty:500:4").describe()
+            'bursty:500:4'
+        """
+        rate = f"{self.rate_rps:g}"
+        if self.kind == "bursty":
+            return f"bursty:{rate}:{self.burstiness:g}"
+        return f"{self.kind}:{rate}"
+
+
+def parse_arrivals(text: str) -> ArrivalProcess:
+    """Parse the CLI arrival spec ``KIND:RATE[:BURSTINESS]``.
+
+    Example:
+        >>> process = parse_arrivals("poisson:5000")
+        >>> process.kind, process.rate_rps
+        ('poisson', 5000.0)
+        >>> parse_arrivals("bursty:2000:16").burstiness
+        16.0
+        >>> parse_arrivals("5000")
+        Traceback (most recent call last):
+            ...
+        repro.errors.ConfigurationError: arrival spec must look like 'poisson:RATE', 'bursty:RATE[:BURSTINESS]' or 'uniform:RATE', got '5000'
+    """
+    parts = str(text).split(":")
+    if len(parts) < 2 or len(parts) > 3 or parts[0] not in ARRIVAL_KINDS:
+        raise ConfigurationError(
+            "arrival spec must look like 'poisson:RATE', "
+            "'bursty:RATE[:BURSTINESS]' or 'uniform:RATE', "
+            f"got {text!r}"
+        )
+    if len(parts) == 3 and parts[0] != "bursty":
+        raise ConfigurationError(
+            f"only 'bursty' takes a burstiness parameter, got {text!r}"
+        )
+    try:
+        rate = float(parts[1])
+    except ValueError:
+        raise ConfigurationError(
+            f"arrival rate must be a number, got {parts[1]!r}"
+        ) from None
+    kwargs = {}
+    if len(parts) == 3:
+        try:
+            kwargs["burstiness"] = float(parts[2])
+        except ValueError:
+            raise ConfigurationError(
+                f"burstiness must be a number, got {parts[2]!r}"
+            ) from None
+    return ArrivalProcess(parts[0], rate, **kwargs)
+
+
+def latency_quantiles(latencies_s: Sequence[float]) -> Dict[str, float]:
+    """The open-loop latency block: mean and p50/p95/p99 (seconds).
+
+    Example:
+        >>> block = latency_quantiles([0.001] * 98 + [0.101] * 2)
+        >>> round(block["p50_latency_s"], 3), round(block["p99_latency_s"], 3)
+        (0.001, 0.101)
+    """
+    if len(latencies_s) == 0:
+        return {
+            "mean_latency_s": 0.0,
+            "p50_latency_s": 0.0,
+            "p95_latency_s": 0.0,
+            "p99_latency_s": 0.0,
+        }
+    values = np.asarray(latencies_s, dtype=float)
+    p50, p95, p99 = np.percentile(values, (50, 95, 99))
+    return {
+        "mean_latency_s": float(values.mean()),
+        "p50_latency_s": float(p50),
+        "p95_latency_s": float(p95),
+        "p99_latency_s": float(p99),
+    }

@@ -89,12 +89,26 @@ class ServingStats:
         """Mean service latency over all requests (exact)."""
         return self.latency_sum_s / self.requests if self.requests else 0.0
 
+    def _percentile(self, q: float) -> float:
+        """``q``-th percentile service latency over the recent window."""
+        if not self.recent_latencies_s:
+            return 0.0
+        return float(np.percentile(self.recent_latencies_s, q))
+
+    @property
+    def p50_latency_s(self) -> float:
+        """Median service latency over the recent window."""
+        return self._percentile(50)
+
     @property
     def p95_latency_s(self) -> float:
         """95th-percentile service latency over the recent window."""
-        if not self.recent_latencies_s:
-            return 0.0
-        return float(np.percentile(self.recent_latencies_s, 95))
+        return self._percentile(95)
+
+    @property
+    def p99_latency_s(self) -> float:
+        """99th-percentile service latency over the recent window."""
+        return self._percentile(99)
 
     def to_dict(self) -> Dict:
         """JSON-serializable form (no per-request arrays)."""
@@ -108,7 +122,9 @@ class ServingStats:
             "hit_rate": self.hit_rate,
             "throughput_rps": self.throughput_rps,
             "mean_latency_s": self.mean_latency_s,
+            "p50_latency_s": self.p50_latency_s,
             "p95_latency_s": self.p95_latency_s,
+            "p99_latency_s": self.p99_latency_s,
         }
 
 

@@ -1,0 +1,97 @@
+"""Tests for the open-loop arrival processes (repro.serving.arrivals)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving import ArrivalProcess, latency_quantiles, parse_arrivals
+
+
+class TestArrivalProcess:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown arrival kind"):
+            ArrivalProcess("warp", 10.0)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ConfigurationError, match="rate must be > 0"):
+            ArrivalProcess("poisson", 0.0)
+
+    def test_burstiness_must_exceed_one(self):
+        with pytest.raises(ConfigurationError, match="burstiness"):
+            ArrivalProcess("bursty", 10.0, burstiness=1.0)
+
+    def test_zero_arrivals_rejected(self):
+        with pytest.raises(ConfigurationError, match="need >= 1 arrival"):
+            ArrivalProcess("poisson", 10.0).times(0)
+
+    def test_uniform_is_exactly_periodic(self):
+        times = ArrivalProcess("uniform", 10.0).times(4)
+        assert np.allclose(times, [0.0, 0.1, 0.2, 0.3])
+
+    @pytest.mark.parametrize("kind", ["uniform", "poisson", "bursty"])
+    def test_times_sorted_and_deterministic(self, kind):
+        process = ArrivalProcess(kind, 1000.0)
+        a = process.times(256, seed=7)
+        b = process.times(256, seed=7)
+        assert np.array_equal(a, b)
+        assert (np.diff(a) >= 0.0).all()
+        # A different seed reshuffles the stochastic kinds.
+        if kind != "uniform":
+            assert not np.array_equal(a, process.times(256, seed=8))
+
+    @pytest.mark.parametrize("kind", ["poisson", "bursty"])
+    def test_long_run_mean_rate_preserved(self, kind):
+        rate = 2000.0
+        n = 20000
+        span = float(ArrivalProcess(kind, rate).times(n, seed=0)[-1])
+        assert n / span == pytest.approx(rate, rel=0.1)
+
+    def test_bursty_gaps_are_bimodal(self):
+        # The burst state runs `burstiness` times faster than the mean,
+        # so the fastest gaps must be far shorter than the slowest ones
+        # compared with a plain Poisson stream at the same rate.
+        bursty = ArrivalProcess("bursty", 1000.0, burstiness=16.0)
+        gaps = np.diff(bursty.times(4096, seed=3))
+        fast = np.median(gaps[gaps < np.median(gaps)])
+        slow = np.median(gaps[gaps > np.median(gaps)])
+        assert slow / fast > 8.0
+
+
+class TestParseArrivals:
+    def test_round_trip_through_describe(self):
+        for text in ("poisson:5000", "uniform:200", "bursty:2000:16"):
+            assert parse_arrivals(text).describe() == text
+
+    def test_defaults_and_fields(self):
+        process = parse_arrivals("bursty:2500")
+        assert process.kind == "bursty"
+        assert process.rate_rps == 2500.0
+        assert process.burstiness == 8.0
+
+    @pytest.mark.parametrize(
+        "text",
+        ["5000", "poisson", "poisson:fast", "uniform:100:2",
+         "bursty:100:soft", "warp:10"],
+    )
+    def test_malformed_specs_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_arrivals(text)
+
+
+class TestLatencyQuantiles:
+    def test_empty_is_all_zero(self):
+        block = latency_quantiles([])
+        assert set(block) == {
+            "mean_latency_s", "p50_latency_s", "p95_latency_s",
+            "p99_latency_s",
+        }
+        assert all(value == 0.0 for value in block.values())
+
+    def test_quantile_ordering(self):
+        block = latency_quantiles(list(range(1, 101)))
+        assert (
+            block["p50_latency_s"]
+            <= block["p95_latency_s"]
+            <= block["p99_latency_s"]
+        )
+        assert block["mean_latency_s"] == pytest.approx(50.5)

@@ -357,3 +357,103 @@ class TestTrace:
             generate_trace(num_requests=0)
         with pytest.raises(ConfigurationError):
             generate_trace(llm_fraction=1.5)
+
+
+class TestConcurrentSubmission:
+    """Many threads racing ``submit()`` on one engine (fleet satellite):
+    no lost or duplicated responses, consistent cache accounting, and
+    dedup that hands every duplicate the same report."""
+
+    THREADS = 8
+    PER_THREAD = 25
+
+    def _requests(self):
+        # Four distinct request types, cycled so every thread submits
+        # duplicates of each.
+        types = [
+            ServeRequest(workload="MLP-mnist",
+                         ctx=resolve_corner("typical", seed))
+            for seed in range(4)
+        ]
+        return [types[i % len(types)] for i in range(self.PER_THREAD)]
+
+    def test_no_lost_or_duplicate_responses(self):
+        import threading
+
+        requests = self._requests()
+        futures_by_slot = [None] * self.THREADS
+        with ServingEngine(max_pending=16) as engine:
+
+            def submit_all(slot):
+                futures_by_slot[slot] = [
+                    engine.submit(request) for request in requests
+                ]
+
+            pool = [
+                threading.Thread(target=submit_all, args=(slot,))
+                for slot in range(self.THREADS)
+            ]
+            for thread in pool:
+                thread.start()
+            for thread in pool:
+                thread.join(timeout=60)
+            engine.drain()
+            results = [
+                [future.result(timeout=60) for future in futures]
+                for futures in futures_by_slot
+            ]
+
+            total = self.THREADS * self.PER_THREAD
+            assert all(result is not None for result in results)
+            assert all(len(result) == self.PER_THREAD for result in results)
+            assert all(
+                response.ok for result in results for response in result
+            )
+            # Exactly one response per submission, fleet-wide.
+            assert engine.stats.requests == total
+            # Cache accounting stays consistent under the race: every
+            # request did exactly one keyed lookup...
+            cache = engine.cache.stats
+            assert cache.hits + cache.misses == total
+            # ...and each of the four types was evaluated exactly once
+            # (dedup + cache, no double evaluation, no lost insert).
+            assert engine.scheduler.stats.evaluated == 4
+            assert cache.insertions == 4
+
+    def test_duplicates_share_bit_identical_reports(self):
+        import threading
+
+        requests = self._requests()
+        futures_by_slot = [None] * self.THREADS
+        with ServingEngine(max_pending=8) as engine:
+
+            def submit_all(slot):
+                futures_by_slot[slot] = [
+                    engine.submit(request) for request in requests
+                ]
+
+            pool = [
+                threading.Thread(target=submit_all, args=(slot,))
+                for slot in range(self.THREADS)
+            ]
+            for thread in pool:
+                thread.start()
+            for thread in pool:
+                thread.join(timeout=60)
+            engine.drain()
+            collected = [
+                [future.result(timeout=60) for future in futures]
+                for futures in futures_by_slot
+            ]
+
+        # Group every response by its request; reports within a group
+        # must be bit-identical no matter which thread asked.
+        by_type = {}
+        for responses in collected:
+            for request, response in zip(requests, responses):
+                by_type.setdefault(request, []).append(
+                    response.report.to_dict()
+                )
+        assert len(by_type) == 4
+        for reports in by_type.values():
+            assert all(report == reports[0] for report in reports)

@@ -100,6 +100,11 @@ def main_check() -> int:
             "serve --json",
             ["serve", "--trace", str(trace_path), "--repeat", "2", "--json"],
         ),
+        (
+            "serve --workers --arrivals --json",
+            ["serve", "--trace", str(trace_path), "--workers", "2",
+             "--arrivals", "poisson:500", "--json"],
+        ),
     ]
 
     failures = 0

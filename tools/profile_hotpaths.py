@@ -1,16 +1,27 @@
-"""Profile the sweep hot paths: cProfile top-20 over a small grid.
+"""Profile the library hot paths: cProfile top-20 over a small run.
 
 Usage::
 
     PYTHONPATH=src python tools/profile_hotpaths.py [--naive] [--top N]
+    PYTHONPATH=src python tools/profile_hotpaths.py --target serving-dispatch
 
-Runs a small combined TRON + GHOST sweep through the batched engine
-(or the naive sequential baseline with ``--naive``) under cProfile and
-prints the top functions by cumulative time.  This is the first tool to
-reach for when a sweep regression lands: the historical GHOST
-per-vertex aggregation loop, for example, showed up here as ~50k
-``node_cycles`` calls before it was vectorized (see
-docs/performance.md).
+Targets:
+
+- ``sweep`` (default) — a small combined TRON + GHOST sweep through the
+  batched engine (or the naive sequential baseline with ``--naive``).
+  This is the first tool to reach for when a sweep regression lands:
+  the historical GHOST per-vertex aggregation loop, for example, showed
+  up here as ~50k ``node_cycles`` calls before it was vectorized (see
+  docs/performance.md).
+- ``serving-dispatch`` — the fleet front-end's per-request parent cost:
+  warm closed-loop replay through a 2-worker ``ServingFleet``, so the
+  profile shows routing, admission, wire encoding and response
+  collection (the parent-side path that bounds aggregate throughput on
+  a saturated box; worker processes are outside the profile).  The
+  ``wire_to_request``/``ExecutionContext.from_dict`` decode cost that
+  motivated the fleet's type-id decode memo was found exactly here.
+
+Prints the top functions by cumulative time.
 """
 
 from __future__ import annotations
@@ -24,6 +35,8 @@ import sys
 sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
+
+TARGETS = ("sweep", "serving-dispatch")
 
 
 def profile_sweep(naive: bool = False, top: int = 20) -> pstats.Stats:
@@ -56,18 +69,50 @@ def profile_sweep(naive: bool = False, top: int = 20) -> pstats.Stats:
     return stats
 
 
+def profile_serving_dispatch(top: int = 20, replays: int = 5) -> pstats.Stats:
+    """Profile warm fleet replay: the parent dispatch path only."""
+    from repro.core.base import get_workload
+    from repro.serving import ServingFleet, generate_trace, record_to_request
+
+    records = generate_trace(num_requests=300, seed=0, catalog_size=24)
+    requests = [record_to_request(record) for record in records]
+    for request in requests:
+        get_workload(request.workload).materialize()
+
+    profiler = cProfile.Profile()
+    with ServingFleet(workers=2) as fleet:
+        fleet.serve(requests)  # warm every shard cache and route memo
+        profiler.enable()
+        for _ in range(replays):
+            fleet.serve(requests)
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    stats.print_stats(top)
+    return stats
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
+        "--target",
+        choices=TARGETS,
+        default="sweep",
+        help="which hot path to profile",
+    )
+    parser.add_argument(
         "--naive",
         action="store_true",
-        help="profile the naive sequential baseline instead",
+        help="profile the naive sequential baseline instead (sweep only)",
     )
     parser.add_argument(
         "--top", type=int, default=20, help="how many rows to print"
     )
     args = parser.parse_args()
-    profile_sweep(naive=args.naive, top=args.top)
+    if args.target == "serving-dispatch":
+        profile_serving_dispatch(top=args.top)
+    else:
+        profile_sweep(naive=args.naive, top=args.top)
     return 0
 
 

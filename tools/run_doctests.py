@@ -42,6 +42,10 @@ AUDITED_MODULES = (
     "repro.serving.request",
     "repro.serving.engine",
     "repro.serving.trace",
+    "repro.serving.arrivals",
+    "repro.serving.admission",
+    "repro.serving.shard",
+    "repro.serving.fleet",
     "repro.api.registry",
     "repro.api.spec",
     "repro.api.session",
