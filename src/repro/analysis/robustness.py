@@ -52,6 +52,7 @@ from repro.core.engine import (
     batch_context_physics,
     clear_physics_cache,
     context_physics,
+    soa_config_supported,
     soa_evaluator,
 )
 from repro.core.reports import RunReport
@@ -406,7 +407,7 @@ def _run_vectorized(
 
     evaluator = None
     config = getattr(probe, "config", None)
-    if use_soa and config is not None:
+    if use_soa and config is not None and soa_config_supported(config):
         evaluator = soa_evaluator(probe.name, workload.kind)
 
     if evaluator is not None:

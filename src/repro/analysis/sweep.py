@@ -46,6 +46,7 @@ from repro.core.engine import (
     clear_physics_cache,
     pareto_mask,
     prime_breakdown_cache,
+    soa_config_supported,
     soa_evaluator,
 )
 from repro.core.ghost import GHOST, GHOSTConfig
@@ -300,6 +301,11 @@ def _soa_stack(
     if evaluator is None:
         return None
     configs = [space.build_config(knobs) for knobs, _, _ in evaluations]
+    if not all(soa_config_supported(cfg) for cfg in configs):
+        # PIM offload reshapes the run path (dropped pipeline stages),
+        # which the column evaluators do not transcribe — those points
+        # go through the batched scalar path instead.
+        return None
     contexts = [_normalized_context(ctx) for _, _, ctx in evaluations]
     stacked = evaluator(configs, contexts, workload)
     stats = SoAStats(

@@ -72,13 +72,20 @@ class RunResult:
     report: RunReport
     corner: str = "nominal"
     seed: int = 0
+    #: Non-default memory-backend block (backend name, trace digest);
+    #: ``None`` on the analytic default so its envelope stays
+    #: byte-identical to pre-backend builds.
+    memory: Optional[Dict[str, Any]] = None
 
     def envelope(self) -> Dict[str, Any]:
         """The ``repro.run/1`` JSON envelope."""
+        payload = self.report.to_dict()
+        if self.memory is not None:
+            payload["memory"] = self.memory
         return json_envelope(
             "run",
             {"corner": self.corner, "seed": self.seed},
-            self.report.to_dict(),
+            payload,
         )
 
     def format(self) -> str:
@@ -87,6 +94,18 @@ class RunResult:
         for key, pj in self.report.energy.as_dict().items():
             if pj > 0.0:
                 lines.append(f"  {key:<14s} {pj / 1e6:10.2f}")
+        if self.memory is not None:
+            line = f"memory backend: {self.memory['backend']}"
+            trace = self.memory.get("trace")
+            if trace:
+                line += (
+                    f" ({trace['commands']} DRAM commands, "
+                    f"{trace['data_bytes']} data bytes)"
+                )
+            path = self.memory.get("trace_path")
+            if path:
+                line += f" -> {path}"
+            lines.append(line)
         return "\n".join(lines)
 
 

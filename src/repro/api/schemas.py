@@ -98,6 +98,32 @@ _RUN_REPORT = {
 }
 
 
+#: The optional memory block of a run envelope: present only when the
+#: run used a non-default memory backend (the analytic default keeps
+#: the envelope byte-identical to pre-backend builds).
+_MEMORY_BLOCK = {
+    "type": "object",
+    "properties": {
+        "backend": _STRING,
+        "trace": {
+            "type": "object",
+            "properties": {
+                "commands": _NON_NEGATIVE_INT,
+                "ops": {
+                    "type": "object",
+                    "additionalProperties": _NON_NEGATIVE_INT,
+                },
+                "data_bytes": _NON_NEGATIVE_INT,
+                "energy_pj": _NUMBER,
+            },
+            "required": ["commands", "ops", "data_bytes", "energy_pj"],
+        },
+        "trace_path": _STRING,
+    },
+    "required": ["backend"],
+}
+
+
 #: The serving-engine accounting block (``ServingStats.to_dict``) —
 #: fleet runs emit the same shape with fleet-wide counters and
 #: open-loop (arrival-to-completion) latency percentiles.
@@ -254,7 +280,7 @@ SCHEMAS: Dict[str, Dict[str, Any]] = {
     "repro.run/1": _envelope(
         "run",
         {"corner": _STRING, "seed": _NON_NEGATIVE_INT},
-        dict(_RUN_REPORT["properties"]),
+        {**_RUN_REPORT["properties"], "memory": _MEMORY_BLOCK},
         list(_RUN_REPORT["required"]),
     ),
     "repro.mc/1": _envelope(

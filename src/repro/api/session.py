@@ -109,6 +109,8 @@ class Session:
         seed: int = 0,
         overrides: Optional[Mapping[str, Any]] = None,
         tuner_range_nm: Optional[float] = None,
+        memory_backend: Optional[str] = None,
+        trace_dump: Optional[str] = None,
     ) -> RunResult:
         """Cost one workload on one platform at a named corner.
 
@@ -125,6 +127,11 @@ class Session:
             seed: die-selection seed where variation exists.
             overrides: sparse platform-config overrides (validated).
             tuner_range_nm: TO tuner correction range override.
+            memory_backend: registered memory backend name
+                (``"analytic"``/``"hbm"``/``"hbm-pim"``); shorthand for
+                an ``overrides["memory_backend"]`` entry.
+            trace_dump: write the DRAM command trace here — forces
+                ``hbm.op_trace`` on; needs a tracing backend.
         """
         from repro.api.registry import get_platform, resolve_platform
         from repro.api.spec import ContextSpec
@@ -141,12 +148,52 @@ class Session:
                     "inferences); rerun without it or with --platform tron"
                 )
             merged["batch"] = batch
+        if memory_backend is not None:
+            merged["memory_backend"] = memory_backend
+        backend = merged.get("memory_backend", "analytic")
+        if trace_dump is not None:
+            if backend == "analytic":
+                raise ConfigurationError(
+                    "the analytic backend issues no DRAM commands; pass "
+                    "memory_backend='hbm' (or 'hbm-pim') to dump a trace"
+                )
+            hbm = merged.get("hbm")
+            if hbm is None:
+                hbm = {}
+            elif isinstance(hbm, Mapping):
+                hbm = dict(hbm)
+            else:  # an HBMGeometry instance from a programmatic caller
+                from dataclasses import asdict
+
+                hbm = asdict(hbm)
+            hbm["op_trace"] = True
+            merged["hbm"] = hbm
         accelerator = get_platform(resolved, overrides=merged or None)
         ctx = ContextSpec(
             corner=corner, seed=seed, tuner_range_nm=tuner_range_nm
         ).resolve()
         report = accelerator.run(workload, ctx=ctx)
-        return RunResult(report=report, corner=corner, seed=seed)
+        memory: Optional[Dict[str, Any]] = None
+        if backend != "analytic":
+            # The context-bound clone ran the workload; its model holds
+            # any recorded trace.
+            bound = (
+                accelerator.bind(ctx)
+                if hasattr(accelerator, "bind")
+                else accelerator
+            )
+            memory = {"backend": backend}
+            trace = getattr(
+                getattr(bound, "memory_model", None), "trace", None
+            )
+            if trace is not None:
+                memory["trace"] = trace.summary()
+                if trace_dump is not None:
+                    trace.save(str(trace_dump))
+                    memory["trace_path"] = str(trace_dump)
+        return RunResult(
+            report=report, corner=corner, seed=seed, memory=memory
+        )
 
     # ------------------------------------------------------------------
     # Design-space sweeps

@@ -173,6 +173,8 @@ def _cmd_run(args) -> int:
                 batch=1,
                 corner="nominal",
                 seed=0,
+                memory_backend=None,
+                trace_dump=None,
             )
         )
     else:
@@ -184,6 +186,8 @@ def _cmd_run(args) -> int:
             batch=args.batch,
             corner=args.corner,
             seed=args.seed,
+            memory_backend=args.memory_backend,
+            trace_dump=args.trace_dump,
         )
     _emit(result, args)
     return 0
@@ -398,6 +402,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=CORNER_NAMES,
         default="nominal",
         help="evaluate at a standard execution corner",
+    )
+    run.add_argument(
+        "--memory-backend",
+        default=None,
+        help="memory backend override (analytic|hbm|hbm-pim); default "
+        "keeps the platform's configured backend",
+    )
+    run.add_argument(
+        "--trace-dump",
+        default=None,
+        metavar="PATH",
+        help="write the DRAM command trace here (needs --memory-backend "
+        "hbm or hbm-pim)",
     )
     run.add_argument("--json", action="store_true")
     _add_seed(run)

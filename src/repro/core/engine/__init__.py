@@ -52,7 +52,14 @@ from repro.core.engine.soa import (
     SoAStats,
     pareto_mask,
     register_soa_evaluator,
+    soa_config_supported,
     soa_evaluator,
+)
+from repro.core.engine.hbm import CommandTrace, HBMGeometry, HBMMemoryModel
+from repro.core.engine.membackend import (
+    build_memory_backend,
+    list_memory_backends,
+    register_memory_backend,
 )
 from repro.core.engine.memo import LRUMemo, MemoStats
 from repro.core.engine.memory import MemoryModel, Traffic
@@ -83,6 +90,9 @@ __all__ = [
     "BatchContextPhysics",
     "ColumnEnergy",
     "ColumnLatency",
+    "CommandTrace",
+    "HBMGeometry",
+    "HBMMemoryModel",
     "LRUMemo",
     "MemoStats",
     "MemoryModel",
@@ -94,6 +104,7 @@ __all__ = [
     "batch_context_physics",
     "batch_context_physics_for",
     "breakdown_cache_stats",
+    "build_memory_backend",
     "clear_physics_cache",
     "configure_disk_cache",
     "context_physics",
@@ -101,6 +112,7 @@ __all__ = [
     "default_cache_dir",
     "disk_cache_stats",
     "fingerprint",
+    "list_memory_backends",
     "nominal_breakdown_pj",
     "overlapped_stage_latency_ns",
     "pareto_mask",
@@ -108,7 +120,9 @@ __all__ = [
     "physics_cache_stats",
     "pipeline_latency_ns",
     "prime_breakdown_cache",
+    "register_memory_backend",
     "register_soa_evaluator",
     "serial_waves",
+    "soa_config_supported",
     "soa_evaluator",
 ]

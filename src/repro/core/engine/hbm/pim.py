@@ -1,0 +1,199 @@
+"""PIM offload scenarios: near-bank reduction vs. the photonic path.
+
+The two offload targets named by the roadmap are reductions whose
+arithmetic intensity is too low to feed the photonic arrays profitably:
+
+- **GHOST's gather phase** — per-edge feature accumulation.  The
+  photonic path sweeps every feature across the HBM interface (once per
+  panel when blocked, per edge otherwise); the PIM path sums features
+  near the banks and ships only the ``nodes × d_out`` accumulators.
+- **TRON's attention score reduction** — the ``S·V`` context matmul.
+  On long sequences the score matrix spills off-chip; the photonic path
+  pays a round trip (store + reload), the PIM path reduces in place and
+  returns only the ``seq × d_model`` context.
+
+Each scenario builder prices both sides with the *same*
+:class:`~repro.core.engine.hbm.model.HBMMemoryModel` and returns an
+:class:`OffloadScenario` whose ratios make the crossover visible;
+:func:`crossover_point` scans a parameter axis for the first value where
+the offload wins.
+
+Example:
+    >>> from repro.electronics.memory import MemorySystem
+    >>> from repro.core.engine.hbm.geometry import HBMGeometry
+    >>> from repro.core.engine.hbm.model import HBMMemoryModel
+    >>> model = HBMMemoryModel(MemorySystem(), geometry=HBMGeometry(), pim=True)
+    >>> big = gather_offload(model, num_nodes=10_000, num_edges=200_000,
+    ...                      feature_dim=512, out_dim=512, bits=8, blocked=False)
+    >>> big.offload_wins_energy and big.offload_wins_latency
+    True
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, NamedTuple, Optional, Sequence
+
+from repro.core.engine.hbm.model import HBMMemoryModel
+from repro.core.engine.memory import Traffic
+from repro.errors import ConfigurationError
+
+
+class OffloadScenario(NamedTuple):
+    """One offload comparison: the photonic path vs. near-bank compute."""
+
+    scenario: str
+    photonic: Traffic
+    pim: Traffic
+
+    @property
+    def energy_ratio(self) -> float:
+        """photonic / pim energy (> 1 means the offload saves energy)."""
+        return self.photonic.energy_pj / self.pim.energy_pj
+
+    @property
+    def latency_ratio(self) -> float:
+        """photonic / pim latency (> 1 means the offload is faster)."""
+        return self.photonic.latency_ns / self.pim.latency_ns
+
+    @property
+    def offload_wins_energy(self) -> bool:
+        return self.pim.energy_pj < self.photonic.energy_pj
+
+    @property
+    def offload_wins_latency(self) -> bool:
+        return self.pim.latency_ns < self.photonic.latency_ns
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (ships in memory blocks and doc tables)."""
+        return {
+            "scenario": self.scenario,
+            "photonic": {
+                "energy_pj": self.photonic.energy_pj,
+                "latency_ns": self.photonic.latency_ns,
+            },
+            "pim": {
+                "energy_pj": self.pim.energy_pj,
+                "latency_ns": self.pim.latency_ns,
+            },
+            "energy_ratio": self.energy_ratio,
+            "latency_ratio": self.latency_ratio,
+        }
+
+
+def _require_pim(model: HBMMemoryModel) -> None:
+    if not model.pim_active:
+        raise ConfigurationError(
+            "offload scenarios require a PIM-enabled model "
+            "(memory_backend='hbm-pim')"
+        )
+
+
+def gather_offload(
+    model: HBMMemoryModel,
+    *,
+    num_nodes: int,
+    num_edges: int,
+    feature_dim: int,
+    out_dim: int,
+    bits: int,
+    blocked: bool = True,
+    random_access_penalty: float = 4.0,
+    panels: int = 1,
+) -> OffloadScenario:
+    """GHOST gather: feature sweep + on-chip reduce vs. near-bank sum.
+
+    Photonic side: the layer's feature traffic exactly as
+    ``GHOST._memory_cost`` prices it (panel sweeps when blocked,
+    penalized per-edge fetches otherwise).  PIM side: features and edge
+    indices are read in-bank, one MAC per edge-feature element, and only
+    the accumulators cross the interface.
+    """
+    _require_pim(model)
+    bpv = bits // 8 or 1
+    if blocked:
+        sweep_bytes = panels * num_nodes * feature_dim * bpv
+    else:
+        sweep_bytes = num_edges * feature_dim * bpv
+    index_bytes = 4 * num_edges
+    out_bytes = num_nodes * out_dim * bpv
+    energy, latency = model.feature_sweep_cost(
+        sweep_bytes=sweep_bytes,
+        index_bytes=index_bytes,
+        writeback_bytes=out_bytes,
+        blocked=blocked,
+        random_access_penalty=random_access_penalty,
+    )
+    photonic = Traffic(energy.total_pj, latency.total_ns)
+    pim = model.pim_reduce_cost(
+        in_bank_bytes=sweep_bytes + index_bytes,
+        out_bytes=out_bytes,
+        macs=num_edges * feature_dim,
+    )
+    return OffloadScenario("ghost-gather", photonic, pim)
+
+
+def attention_offload(
+    model: HBMMemoryModel,
+    *,
+    seq_len: int,
+    d_model: int,
+    num_heads: int,
+    bits: int,
+) -> OffloadScenario:
+    """TRON attention: spilled S·V round trip vs. in-place reduction.
+
+    Photonic side: the score matrix (``seq² `` values across heads) and
+    V spill to HBM and stream back for the context matmul.  PIM side:
+    the same operands are reduced near the banks and only the context
+    (``seq × d_model``) returns.
+    """
+    _require_pim(model)
+    bpv = bits // 8 or 1
+    score_bytes = num_heads * seq_len * seq_len * bpv
+    v_bytes = seq_len * d_model * bpv
+    out_bytes = seq_len * d_model * bpv
+    spill = model.store_offchip(score_bytes + v_bytes)
+    reload = model.stream_offchip(score_bytes + v_bytes)
+    photonic = Traffic(
+        spill.energy_pj + reload.energy_pj,
+        spill.latency_ns + reload.latency_ns,
+    )
+    pim = model.pim_reduce_cost(
+        in_bank_bytes=score_bytes + v_bytes,
+        out_bytes=out_bytes,
+        macs=seq_len * seq_len * d_model,
+    )
+    return OffloadScenario("tron-attention", photonic, pim)
+
+
+def crossover_point(
+    values: Sequence,
+    build: Callable[[object], OffloadScenario],
+    *,
+    metric: str = "energy",
+) -> Optional[object]:
+    """First value along an axis where the PIM offload wins.
+
+    Args:
+        values: the parameter axis, scanned in order.
+        build: maps one value to an :class:`OffloadScenario`.
+        metric: ``"energy"`` or ``"latency"``.
+
+    Returns:
+        The first winning value, or ``None`` if the photonic path wins
+        everywhere.
+    """
+    if metric not in ("energy", "latency"):
+        raise ConfigurationError(
+            f"metric must be 'energy' or 'latency', got {metric!r}"
+        )
+    for value in values:
+        scenario = build(value)
+        wins = (
+            scenario.offload_wins_energy
+            if metric == "energy"
+            else scenario.offload_wins_latency
+        )
+        if wins:
+            return value
+    return None

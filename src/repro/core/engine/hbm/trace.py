@@ -1,0 +1,129 @@
+"""DRAM command traces: the op stream behind an HBM traffic estimate.
+
+When tracing is enabled (``HBMGeometry.op_trace``), the HBM backend
+records every DRAM command it charges for — ``ACT`` (row activate),
+``RD``/``WR`` (data bursts), ``PRE`` (precharge) — with the channel →
+bankgroup → bank → row coordinates it hit and the energy attributed to
+it.  Two conservation laws tie the trace to the scalar estimate and are
+pinned by the property suite:
+
+- bytes summed over RD/WR commands == bytes requested, and
+- energy summed over all commands == the ``Traffic.energy_pj`` returned.
+
+The text format is line-oriented and bit-stable (fixed float precision,
+no timestamps), so a golden trace diffs cleanly.
+
+Example:
+    >>> trace = CommandTrace(limit=10)
+    >>> trace.append(DRAMCommand("ACT", 0, 1, 2, 17, 0, 3276.8))
+    >>> trace.append(DRAMCommand("RD", 0, 1, 2, 17, 32, 921.6))
+    >>> len(trace), trace.total_bytes
+    (2, 32)
+    >>> print(trace.format(), end="")
+    # repro hbm trace v1 commands=2
+    ACT ch=0 bg=1 bank=2 row=17 bytes=0 energy_pj=3276.800000
+    RD ch=0 bg=1 bank=2 row=17 bytes=32 energy_pj=921.600000
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, NamedTuple
+
+from repro.errors import ConfigurationError
+
+#: The DRAM command vocabulary (order fixed — used by summaries).
+OPS = ("ACT", "RD", "WR", "PRE")
+
+
+class DRAMCommand(NamedTuple):
+    """One DRAM command with its address coordinates and energy."""
+
+    op: str
+    channel: int
+    bankgroup: int
+    bank: int
+    row: int
+    num_bytes: int
+    energy_pj: float
+
+
+@dataclass
+class CommandTrace:
+    """An append-only DRAM command log with a hard size limit.
+
+    The limit exists because tracing is per-command: a BERT-scale weight
+    stream is hundreds of thousands of bursts, and hitting the cap is a
+    configuration error (pick a smaller workload or raise
+    ``hbm.trace_limit``), not a silent truncation.
+    """
+
+    limit: int = 1_000_000
+    commands: List[DRAMCommand] = field(default_factory=list)
+
+    def append(self, command: DRAMCommand) -> None:
+        if command.op not in OPS:
+            raise ConfigurationError(
+                f"unknown DRAM op {command.op!r}; expected one of {OPS}"
+            )
+        if len(self.commands) >= self.limit:
+            raise ConfigurationError(
+                f"DRAM trace exceeded its limit of {self.limit} commands; "
+                "trace a smaller workload or raise hbm.trace_limit"
+            )
+        self.commands.append(command)
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def __iter__(self) -> Iterator[DRAMCommand]:
+        return iter(self.commands)
+
+    @property
+    def total_bytes(self) -> int:
+        """Data bytes moved by RD/WR commands (ACT/PRE move none)."""
+        return sum(c.num_bytes for c in self.commands)
+
+    @property
+    def total_energy_pj(self) -> float:
+        """Energy summed over every command."""
+        return sum(c.energy_pj for c in self.commands)
+
+    def op_counts(self) -> Dict[str, int]:
+        """Command count per op, every op present.
+
+        Example:
+            >>> t = CommandTrace()
+            >>> t.append(DRAMCommand("ACT", 0, 0, 0, 0, 0, 1.0))
+            >>> t.op_counts()
+            {'ACT': 1, 'RD': 0, 'WR': 0, 'PRE': 0}
+        """
+        counts = {op: 0 for op in OPS}
+        for command in self.commands:
+            counts[command.op] += 1
+        return counts
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-ready digest (ships in the run envelope's memory block)."""
+        return {
+            "commands": len(self.commands),
+            "ops": self.op_counts(),
+            "data_bytes": self.total_bytes,
+            "energy_pj": self.total_energy_pj,
+        }
+
+    def format(self) -> str:
+        """Render the bit-stable text form (header + one line per command)."""
+        lines = [f"# repro hbm trace v1 commands={len(self.commands)}"]
+        for c in self.commands:
+            lines.append(
+                f"{c.op} ch={c.channel} bg={c.bankgroup} bank={c.bank} "
+                f"row={c.row} bytes={c.num_bytes} "
+                f"energy_pj={c.energy_pj:.6f}"
+            )
+        return "".join(line + "\n" for line in lines)
+
+    def save(self, path: str) -> None:
+        """Write the text form to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.format())

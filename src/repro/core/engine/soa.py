@@ -23,6 +23,7 @@ look them up (returning ``None`` triggers the scalar fallback).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import replace as dataclass_replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,12 +31,12 @@ import numpy as np
 from repro.core.base import WorkloadKind
 from repro.core.context import ExecutionContext
 from repro.core.engine.corners import context_physics
+from repro.core.engine.hbm.geometry import HBMGeometry
 from repro.core.engine.matmul import (
     ArraySpec,
     nominal_breakdown_pj,
     prime_breakdown_cache,
 )
-from repro.core.engine.memory import MemoryModel
 from repro.core.reports import (
     ENERGY_FIELDS,
     LATENCY_FIELDS,
@@ -261,6 +262,40 @@ def memory_context_key(
     return None
 
 
+def soa_config_supported(config: object) -> bool:
+    """Whether the array-resident evaluators cover this config.
+
+    The ``hbm-pim`` backend reshapes the scalar run path itself (stages
+    move off the photonic pipeline onto near-bank compute), which the
+    column transcriptions do not replicate — those points take the
+    scalar fallback.  ``analytic`` and plain ``hbm`` only change the
+    memory primitives, which the columns evaluate through the real
+    backend models.
+    """
+    return getattr(config, "memory_backend", "analytic") != "hbm-pim"
+
+
+def build_soa_memory_model(
+    backend: str,
+    system: object,
+    mem_ctx: Optional[ExecutionContext],
+    geometry: Optional[HBMGeometry],
+):
+    """The memory model one SoA group prices its traffic through.
+
+    Tracing is forced off: a sweep group's model is transient, so a
+    recorded command log would be both unobservable and a trace-limit
+    hazard on large workloads.
+    """
+    from repro.core.engine.membackend import build_memory_backend
+
+    if geometry is not None and geometry.op_trace:
+        geometry = dataclass_replace(geometry, op_trace=False)
+    return build_memory_backend(
+        backend, system, context=mem_ctx, geometry=geometry
+    )
+
+
 def weight_stream_columns(
     memory_systems: Sequence[object],
     contexts: Sequence[Optional[ExecutionContext]],
@@ -268,25 +303,37 @@ def weight_stream_columns(
     bits: Sequence[int],
     compute_ns: np.ndarray,
     batch: np.ndarray,
+    backends: Optional[Sequence[str]] = None,
+    geometries: Optional[Sequence[Optional[HBMGeometry]]] = None,
 ) -> Tuple[ColumnEnergy, ColumnLatency]:
     """Column counterpart of ``MemoryModel.weight_stream_cost``.
 
     Traffic primitives run once per distinct (memory system, operand
-    precision, memory-relevant context) group through the real
-    :class:`MemoryModel`; the batch amortization and compute overlap are
-    per-point column arithmetic in the scalar path's exact order.
+    precision, memory-relevant context, backend, geometry) group through
+    the real registry-built backend model; the batch amortization and
+    compute overlap are per-point column arithmetic in the scalar
+    path's exact order.  ``backends``/``geometries`` default to the
+    pre-registry analytic model for every point.
     """
     n = len(ops_list)
+    if backends is None:
+        backends = ["analytic"] * n
+    if geometries is None:
+        geometries = [None] * n
     weight_e = np.empty(n)
     weight_l = np.empty(n)
     bounce_e = np.empty(n)
     bounce_l = np.empty(n)
     keys = [
-        (system, int(b), memory_context_key(ctx))
-        for system, b, ctx in zip(memory_systems, bits, contexts)
+        (system, int(b), memory_context_key(ctx), backend, geometry)
+        for system, b, ctx, backend, geometry in zip(
+            memory_systems, bits, contexts, backends, geometries
+        )
     ]
-    for (system, _, mem_ctx), indices in group_indices(keys).items():
-        model = MemoryModel(system, context=mem_ctx)
+    for (system, _, mem_ctx, backend, geometry), indices in group_indices(
+        keys
+    ).items():
+        model = build_soa_memory_model(backend, system, mem_ctx, geometry)
         ops = ops_list[indices[0]]
         weights = model.stream_offchip(ops.weight_bytes)
         bounce = model.bounce_onchip(2 * ops.activation_bytes)

@@ -21,6 +21,7 @@ from repro.core.context import ExecutionContext
 from repro.core.engine import (
     ArraySpec,
     MemoryModel,
+    build_memory_backend,
     overlapped_stage_latency_ns,
     serial_waves,
 )
@@ -72,7 +73,12 @@ class GHOST(Accelerator):
         self.aggregate = AggregateBlock(config=self.config)
         self.combine = CombineBlock(config=self.config, ctx=self.ctx)
         self.update = UpdateBlock(config=self.config)
-        self.memory_model = MemoryModel(self.config.memory, context=self.ctx)
+        self.memory_model = build_memory_backend(
+            self.config.memory_backend,
+            self.config.memory,
+            context=self.ctx,
+            geometry=self.config.hbm,
+        )
         self._context_clones: Dict[ExecutionContext, "GHOST"] = {}
 
     @property
@@ -101,6 +107,12 @@ class GHOST(Accelerator):
                 self._context_clones.pop(next(iter(self._context_clones)))
             self._context_clones[ctx] = replace(self, ctx=ctx)
         return self._context_clones[ctx]
+
+    def bind(self, ctx: Optional[ExecutionContext] = None) -> "GHOST":
+        """The context-bound clone ``run(workload, ctx=...)`` dispatches
+        to — public so callers can reach its memory model (e.g. a
+        recorded DRAM command trace) after a run."""
+        return self._bound(ctx)
 
     def describe(self) -> str:
         cfg = self.config
@@ -173,15 +185,46 @@ class GHOST(Accelerator):
             random_access_penalty=cfg.random_access_penalty,
         )
 
+    def _pim_memory_cost(
+        self, graph: CSRGraph, feature_dim: int, out_dim: int
+    ) -> tuple:
+        """(EnergyReport, LatencyReport) when the gather runs near-bank.
+
+        Features and edge indices never cross the HBM interface: the PIM
+        units sum neighbour features in place (one MAC per edge-feature
+        element) and only the per-vertex aggregates (``nodes x d_in``)
+        stream on chip.  The layer's final results still bounce through
+        the global buffer as in the photonic path.
+        """
+        cfg = self.config
+        bytes_per_value = cfg.bits // 8 or 1
+        feature_bytes = graph.num_nodes * feature_dim * bytes_per_value
+        index_bytes = 4 * graph.num_edges
+        reduce = self.memory_model.pim_reduce_cost(
+            in_bank_bytes=feature_bytes + index_bytes,
+            out_bytes=feature_bytes,
+            macs=graph.num_edges * feature_dim,
+        )
+        writeback = self.memory_model.bounce_onchip(
+            graph.num_nodes * out_dim * bytes_per_value
+        )
+        energy = EnergyReport(
+            memory_pj=reduce.energy_pj + writeback.energy_pj
+        )
+        latency = LatencyReport(
+            memory_ns=reduce.latency_ns + writeback.latency_ns
+        )
+        return energy, latency
+
     def run_gnn(self, model: GNNConfig, graph: CSRGraph) -> RunReport:
         """Estimate one full-graph inference (Figs. 10 and 11 path)."""
         if graph.num_nodes < 1:
             raise ConfigurationError("graph must have at least one node")
         cfg = self.config
+        pim_offload = getattr(self.memory_model, "pim_active", False)
         total_latency = LatencyReport()
         total_energy = EnergyReport()
         for layer_idx, (d_in, d_out) in enumerate(model.layer_dims()):
-            agg = self.aggregate.layer_cost(graph, d_in, model.reduction)
             ops = gnn_layer_op_count(
                 model.kind, graph, d_in, d_out, heads=model.heads
             )
@@ -197,17 +240,32 @@ class GHOST(Accelerator):
                 d_out,
                 final_softmax=(layer_idx == model.num_layers - 1),
             )
-            mem_energy, mem_latency = self._memory_cost(graph, d_in, d_out)
-            # Pipelining: aggregate / combine / update overlap across
-            # vertices, so the layer runs at the slowest stage plus the
-            # others' fill time (approximated by the max + 10% fill).
-            pipelined_ns = overlapped_stage_latency_ns(
-                [
+            if pim_offload:
+                # Gather runs near the banks: no aggregate stage on the
+                # photonic side, features never cross the interface.
+                agg_energy = EnergyReport()
+                stage_latencies = [
+                    comb.latency.total_ns,
+                    upd.latency.total_ns,
+                ]
+                mem_energy, mem_latency = self._pim_memory_cost(
+                    graph, d_in, d_out
+                )
+            else:
+                agg = self.aggregate.layer_cost(graph, d_in, model.reduction)
+                agg_energy = agg.energy
+                stage_latencies = [
                     agg.latency.total_ns,
                     comb.latency.total_ns,
                     upd.latency.total_ns,
                 ]
-            )
+                mem_energy, mem_latency = self._memory_cost(
+                    graph, d_in, d_out
+                )
+            # Pipelining: aggregate / combine / update overlap across
+            # vertices, so the layer runs at the slowest stage plus the
+            # others' fill time (approximated by the max + 10% fill).
+            pipelined_ns = overlapped_stage_latency_ns(stage_latencies)
             # Memory streaming overlaps compute; only the excess stalls.
             stall_ns = self.memory_model.overlap_stall_ns(
                 mem_latency.total_ns, pipelined_ns
@@ -219,7 +277,7 @@ class GHOST(Accelerator):
             )
             total_energy = (
                 total_energy
-                + agg.energy
+                + agg_energy
                 + comb.energy
                 + upd.energy
                 + mem_energy

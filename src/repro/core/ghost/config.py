@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
+from repro.core.engine.hbm.geometry import HBMGeometry
+from repro.core.engine.membackend import list_memory_backends
 from repro.core.serialization import config_from_dict, config_to_dict
 from repro.electronics.digital import ControlUnit, SoftmaxLUT
 from repro.electronics.memory import HBMChannel, MemorySystem, SRAMBuffer
@@ -49,6 +51,11 @@ class GHOSTConfig:
         bits: operand precision.
         dac / adc / design / softmax / memory / control / activation /
         noise: shared device models, as in :class:`TRONConfig`.
+        memory_backend: memory-model registry name (``"analytic"``,
+            ``"hbm"``, ``"hbm-pim"``); the default is bit-identical to
+            the pre-registry behaviour.
+        hbm: device geometry of the trace-driven backends (ignored by
+            ``"analytic"``).
     """
 
     lanes: int = 16
@@ -84,6 +91,8 @@ class GHOSTConfig:
     )
     noise: Optional[AnalogNoiseModel] = None
     pcm: Optional[PCMCell] = None
+    memory_backend: str = "analytic"
+    hbm: HBMGeometry = field(default_factory=HBMGeometry)
 
     def __post_init__(self) -> None:
         if self.lanes < 1:
@@ -117,6 +126,12 @@ class GHOSTConfig:
         if self.weight_dac_sharing < 1:
             raise ConfigurationError(
                 f"weight DAC sharing must be >= 1, got {self.weight_dac_sharing}"
+            )
+        if self.memory_backend not in list_memory_backends():
+            raise ConfigurationError(
+                f"unknown memory backend {self.memory_backend!r}; "
+                "registered backends: "
+                + ", ".join(list_memory_backends())
             )
 
     def to_dict(self) -> Dict[str, Any]:

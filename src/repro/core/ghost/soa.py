@@ -30,11 +30,11 @@ import numpy as np
 from repro.core.base import WorkloadKind
 from repro.core.context import ExecutionContext
 from repro.core.engine.matmul import ArraySpec
-from repro.core.engine.memory import MemoryModel
 from repro.core.engine.soa import (
     ColumnEnergy,
     ColumnLatency,
     breakdown_columns,
+    build_soa_memory_model,
     ceil_div,
     energy_for_cycles_columns,
     group_indices,
@@ -262,11 +262,13 @@ def _memory_cost_columns(
             cfg.use_partitioning,
             cfg.random_access_penalty,
             memory_context_key(ctx),
+            cfg.memory_backend,
+            cfg.hbm,
         )
         for cfg, ctx in zip(cols.configs, cols.contexts)
     ]
     for (
-        (memory, bits, partitioned, penalty, mem_ctx),
+        (memory, bits, partitioned, penalty, mem_ctx, backend, geometry),
         indices,
     ) in group_indices(keys).items():
         bytes_per_value = bits // 8 or 1
@@ -281,8 +283,8 @@ def _memory_cost_columns(
             )
         else:
             sweep_bytes = graph.num_edges * feature_dim * bytes_per_value
-        energy, latency = MemoryModel(
-            memory, context=mem_ctx
+        energy, latency = build_soa_memory_model(
+            backend, memory, mem_ctx, geometry
         ).feature_sweep_cost(
             sweep_bytes=sweep_bytes,
             index_bytes=4 * graph.num_edges,
@@ -426,6 +428,8 @@ def evaluate_mlp(
         cols.bits,
         compute_latency.total,
         np.ones(cols.n, dtype=np.int64),
+        backends=[cfg.memory_backend for cfg in configs],
+        geometries=[cfg.hbm for cfg in configs],
     )
     latency = compute_latency + memory_latency
     static_pj = cols.static_mw * latency.total

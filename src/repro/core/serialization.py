@@ -33,7 +33,7 @@ Example:
     >>> TRONConfig.from_dict({"batsh": 8})
     Traceback (most recent call last):
         ...
-    repro.errors.ConfigurationError: TRONConfig: unknown field(s) ['batsh']; valid fields: ['activation', 'adc', 'array_cols', 'array_rows', 'batch', 'bits', 'clock_ghz', 'control', 'dac', 'design', 'memory', 'noise', 'num_ff_arrays', 'num_head_units', 'num_linear_arrays', 'pcm', 'softmax', 'weight_refresh_cycles']
+    repro.errors.ConfigurationError: TRONConfig: unknown field(s) ['batsh']; valid fields: ['activation', 'adc', 'array_cols', 'array_rows', 'batch', 'bits', 'clock_ghz', 'control', 'dac', 'design', 'hbm', 'memory', 'memory_backend', 'noise', 'num_ff_arrays', 'num_head_units', 'num_linear_arrays', 'pcm', 'softmax', 'weight_refresh_cycles']
 """
 
 from __future__ import annotations
@@ -105,7 +105,12 @@ def config_from_dict(cls: type, data: Mapping, path: str = "") -> Any:
         for name in valid
         if name in data
     }
-    return cls(**kwargs)
+    try:
+        return cls(**kwargs)
+    except ConfigurationError as exc:
+        # Re-raise range checks fired by __post_init__ with the document
+        # path, so spec-file errors name where the bad value sits.
+        raise ConfigurationError(f"{path}: {exc}") from None
 
 
 def merge_overrides(

@@ -20,7 +20,12 @@ import numpy as np
 
 from repro.core.base import Accelerator, Workload, WorkloadKind
 from repro.core.context import ExecutionContext
-from repro.core.engine import ArraySpec, MemoryModel, serial_waves
+from repro.core.engine import (
+    ArraySpec,
+    MemoryModel,
+    build_memory_backend,
+    serial_waves,
+)
 from repro.core.reports import EnergyReport, LatencyReport, RunReport
 from repro.core.tron.config import TRONConfig
 from repro.core.tron.feedforward import FeedForwardUnit
@@ -58,7 +63,12 @@ class TRON(Accelerator):
     def __post_init__(self) -> None:
         self.mha_unit = MHAUnit(config=self.config, ctx=self.ctx)
         self.ff_unit = FeedForwardUnit(config=self.config, ctx=self.ctx)
-        self.memory_model = MemoryModel(self.config.memory, context=self.ctx)
+        self.memory_model = build_memory_backend(
+            self.config.memory_backend,
+            self.config.memory,
+            context=self.ctx,
+            geometry=self.config.hbm,
+        )
         self._context_clones: Dict[ExecutionContext, "TRON"] = {}
 
     @property
@@ -83,6 +93,12 @@ class TRON(Accelerator):
                 self._context_clones.pop(next(iter(self._context_clones)))
             self._context_clones[ctx] = replace(self, ctx=ctx)
         return self._context_clones[ctx]
+
+    def bind(self, ctx: Optional[ExecutionContext] = None) -> "TRON":
+        """The context-bound clone ``run(workload, ctx=...)`` dispatches
+        to — public so callers can reach its memory model (e.g. a
+        recorded DRAM command trace) after a run."""
+        return self._bound(ctx)
 
     def describe(self) -> str:
         cfg = self.config
@@ -121,8 +137,12 @@ class TRON(Accelerator):
         if model.seq_len < 1:
             raise ConfigurationError("model sequence length must be >= 1")
         cfg = self.config
+        pim_offload = getattr(self.memory_model, "pim_active", False)
         mha_cost = self.mha_unit.block_cost(
-            model.seq_len, model.d_model, model.num_heads
+            model.seq_len,
+            model.d_model,
+            model.num_heads,
+            offload_context=pim_offload,
         )
         ff_cost = self.ff_unit.block_cost(model.seq_len, model.d_model, model.d_ff)
         layer_latency = mha_cost.latency + ff_cost.latency
@@ -140,6 +160,30 @@ class TRON(Accelerator):
             compute_ns=compute_latency.total_ns,
             batch=cfg.batch,
         )
+
+        if pim_offload:
+            # The S.V context reduction runs near the banks: scores and
+            # V spill to the device, are reduced in place, and only the
+            # (seq x d_model) context returns — charged per layer.
+            bpv = max(cfg.bits // 8, 1)
+            score_bytes = (
+                model.num_heads * model.seq_len * model.seq_len * bpv
+            )
+            v_bytes = model.seq_len * model.d_model * bpv
+            spill = self.memory_model.store_offchip(score_bytes + v_bytes)
+            reduce = self.memory_model.pim_reduce_cost(
+                in_bank_bytes=score_bytes + v_bytes,
+                out_bytes=model.seq_len * model.d_model * bpv,
+                macs=model.seq_len * model.seq_len * model.d_model,
+            )
+            memory_energy = memory_energy + EnergyReport(
+                memory_pj=(spill.energy_pj + reduce.energy_pj)
+                * model.num_layers
+            )
+            memory_latency = memory_latency + LatencyReport(
+                memory_ns=(spill.latency_ns + reduce.latency_ns)
+                * model.num_layers
+            )
 
         latency = compute_latency + memory_latency
         static_pj = (

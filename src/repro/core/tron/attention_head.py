@@ -129,12 +129,21 @@ class AttentionHeadUnit:
         """Cycles to produce one output column of a stage."""
         return self._executor.cycles_for(out_rows, inner, batch=1)
 
-    def head_cost(self, seq_len: int, d_model: int, d_k: int) -> HeadCost:
+    def head_cost(
+        self,
+        seq_len: int,
+        d_model: int,
+        d_k: int,
+        offload_context: bool = False,
+    ) -> HeadCost:
         """Cost of one head over a (seq_len, d_model) input.
 
         The five matmul stages each own dedicated arrays (seven arrays
         per unit), so columns stream through them as a pipeline; softmax
-        sits between stages 3 and 5 as a digital pipeline stage.
+        sits between stages 3 and 5 as a digital pipeline stage.  With
+        ``offload_context`` the final S·V reduction leaves the photonic
+        pipeline (a PIM-capable memory backend reduces it near the
+        banks; the accelerator charges that cost on the memory side).
         """
         if seq_len < 1 or d_model < 1 or d_k < 1:
             raise ConfigurationError("seq_len, d_model and d_k must be >= 1")
@@ -146,6 +155,8 @@ class AttentionHeadUnit:
             ("v_proj", d_k, d_model),
             ("context", d_k, seq_len),
         ]
+        if offload_context:
+            stage_dims = stage_dims[:-1]
         stages: List[PipelineStage] = []
         total_cycles = 0
         for name, out_rows, inner in stage_dims:

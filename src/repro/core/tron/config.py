@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
+from repro.core.engine.hbm.geometry import HBMGeometry
+from repro.core.engine.membackend import list_memory_backends
 from repro.core.serialization import config_from_dict, config_to_dict
 from repro.electronics.digital import ControlUnit, SoftmaxLUT
 from repro.electronics.memory import MemorySystem
@@ -53,6 +55,11 @@ class TRONConfig:
             DAC+tuning weight path.
         batch: inferences sharing one weight-streaming pass; throughput
             benches use > 1 to model steady-state serving.
+        memory_backend: memory-model registry name (``"analytic"``,
+            ``"hbm"``, ``"hbm-pim"``); the default is bit-identical to
+            the pre-registry behaviour.
+        hbm: device geometry of the trace-driven backends (ignored by
+            ``"analytic"``).
     """
 
     num_head_units: int = 16
@@ -75,6 +82,8 @@ class TRONConfig:
     noise: Optional[AnalogNoiseModel] = None
     pcm: Optional[PCMCell] = None
     batch: int = 1
+    memory_backend: str = "analytic"
+    hbm: HBMGeometry = field(default_factory=HBMGeometry)
 
     def __post_init__(self) -> None:
         if self.num_head_units < 1:
@@ -99,6 +108,12 @@ class TRONConfig:
             raise ConfigurationError(f"need >= 2 bits, got {self.bits}")
         if self.batch < 1:
             raise ConfigurationError(f"batch must be >= 1, got {self.batch}")
+        if self.memory_backend not in list_memory_backends():
+            raise ConfigurationError(
+                f"unknown memory backend {self.memory_backend!r}; "
+                "registered backends: "
+                + ", ".join(list_memory_backends())
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         """Every knob (nested device models included) as plain dicts.

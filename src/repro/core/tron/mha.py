@@ -94,17 +94,27 @@ class MHAUnit:
     # Cost model
     # ------------------------------------------------------------------
 
-    def block_cost(self, seq_len: int, d_model: int, num_heads: int) -> BlockCost:
+    def block_cost(
+        self,
+        seq_len: int,
+        d_model: int,
+        num_heads: int,
+        offload_context: bool = False,
+    ) -> BlockCost:
         """Cost of one MHA block invocation over a (S, d_model) input.
 
         Heads run ``num_head_units`` at a time; additional waves serialize.
         The linear layer is spread over ``num_linear_arrays`` arrays; the
         residual add and LN are charged at one column per photonic cycle.
+        ``offload_context`` drops the S·V stage from every head (near-bank
+        offload; see :meth:`AttentionHeadUnit.head_cost`).
         """
         if num_heads < 1:
             raise ConfigurationError(f"need >= 1 head, got {num_heads}")
         d_k = d_model // num_heads
-        head_cost = self.head_unit.head_cost(seq_len, d_model, d_k)
+        head_cost = self.head_unit.head_cost(
+            seq_len, d_model, d_k, offload_context=offload_context
+        )
         waves = serial_waves(num_heads, self.config.num_head_units)
         heads_latency = head_cost.latency.scaled(waves)
         heads_energy = head_cost.energy.scaled(num_heads)

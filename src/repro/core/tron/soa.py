@@ -234,6 +234,8 @@ def _finish(
         cols.bits,
         compute_latency.total,
         cols.batch,
+        backends=[cfg.memory_backend for cfg in cols.configs],
+        geometries=[cfg.hbm for cfg in cols.configs],
     )
     latency = compute_latency + memory_latency
     static_pj = cols.static_mw * latency.total

@@ -1,0 +1,234 @@
+"""Property-based invariants of the memory backends.
+
+The laws pinned here hold for *every* transfer size and geometry, not
+just the differential grid's corner points:
+
+- **trace conservation** — data bytes summed over RD/WR commands equal
+  the bytes requested, and energy summed over all commands equals the
+  ``Traffic.energy_pj`` the closed form returned (the trace *is* the
+  estimate, itemized);
+- **monotonicity** — more bytes never cost less, in energy or latency;
+- **zero traffic costs zero** — every primitive, both backends;
+- **bank conflicts only hurt** — scattered access timing/energy bounds
+  sequential from above, and the analytic penalty scales the same way.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import ExecutionContext
+from repro.core.engine import (
+    HBMGeometry,
+    HBMMemoryModel,
+    MemoryModel,
+    build_memory_backend,
+)
+from repro.core.ghost.config import GHOSTConfig
+from repro.core.tron.config import TRONConfig
+
+SYSTEMS = [TRONConfig().memory, GHOSTConfig().memory]
+
+#: Transfer sizes small enough to trace exhaustively but spanning
+#: partial bursts, partial rows and multi-row sequential runs.
+sizes = st.integers(min_value=1, max_value=1 << 16)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+systems = st.sampled_from(SYSTEMS)
+
+
+def _traced_model(system, seed=0):
+    return HBMMemoryModel(
+        system,
+        context=ExecutionContext(seed=seed),
+        geometry=HBMGeometry(op_trace=True),
+    )
+
+
+class TestTraceConservation:
+    @given(system=systems, num_bytes=sizes, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_scattered_bytes_and_energy_conserved(
+        self, system, num_bytes, seed
+    ):
+        model = _traced_model(system, seed)
+        traffic = model.random_offchip(num_bytes, 4.0)
+        assert model.trace.total_bytes == num_bytes
+        assert math.isclose(
+            model.trace.total_energy_pj, traffic.energy_pj, rel_tol=1e-9
+        )
+
+    @given(system=systems, num_bytes=sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_sequential_bytes_and_energy_conserved(self, system, num_bytes):
+        model = _traced_model(system)
+        traffic = model.burst_offchip(num_bytes)
+        assert model.trace.total_bytes == num_bytes
+        assert math.isclose(
+            model.trace.total_energy_pj, traffic.energy_pj, rel_tol=1e-9
+        )
+
+    @given(system=systems, num_bytes=sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_store_bytes_conserved_as_writes(self, system, num_bytes):
+        model = _traced_model(system)
+        model.store_offchip(num_bytes)
+        counts = model.trace.op_counts()
+        assert counts["RD"] == 0 and counts["WR"] >= 1
+        assert model.trace.total_bytes == num_bytes
+
+    @given(system=systems, num_bytes=sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_every_activate_gets_precharged(self, system, num_bytes):
+        model = _traced_model(system)
+        model.burst_offchip(num_bytes)
+        model.random_offchip(num_bytes, 4.0)
+        counts = model.trace.op_counts()
+        assert counts["ACT"] == counts["PRE"]
+
+
+class TestMonotonicity:
+    @given(
+        system=systems,
+        smaller=sizes,
+        extra=st.integers(min_value=0, max_value=1 << 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hbm_costs_monotone_in_bytes(self, system, smaller, extra):
+        model = HBMMemoryModel(system)
+        larger = smaller + extra
+        for method in (model.stream_offchip, model.burst_offchip):
+            small, big = method(smaller), method(larger)
+            assert big.energy_pj >= small.energy_pj
+            assert big.latency_ns >= small.latency_ns
+        small = model.random_offchip(smaller, 4.0)
+        big = model.random_offchip(larger, 4.0)
+        assert big.energy_pj >= small.energy_pj
+        assert big.latency_ns >= small.latency_ns
+
+    @given(
+        system=systems,
+        smaller=sizes,
+        extra=st.integers(min_value=0, max_value=1 << 16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_analytic_costs_monotone_in_bytes(self, system, smaller, extra):
+        model = MemoryModel(system)
+        larger = smaller + extra
+        for method in (model.stream_offchip, model.burst_offchip):
+            small, big = method(smaller), method(larger)
+            assert big.energy_pj >= small.energy_pj
+            assert big.latency_ns >= small.latency_ns
+
+
+class TestZeroTraffic:
+    @pytest.mark.parametrize("backend", ["analytic", "hbm", "hbm-pim"])
+    @pytest.mark.parametrize("system", SYSTEMS, ids=["tron", "ghost"])
+    def test_zero_bytes_cost_zero(self, backend, system):
+        model = build_memory_backend(backend, system)
+        assert model.stream_offchip(0) == (0.0, 0.0)
+        assert model.burst_offchip(0) == (0.0, 0.0)
+        assert model.random_offchip(0, 4.0) == (0.0, 0.0)
+        assert model.bounce_onchip(0) == (0.0, 0.0)
+
+    def test_zero_pim_reduce_costs_zero(self):
+        model = build_memory_backend("hbm-pim", TRONConfig().memory)
+        assert model.pim_reduce_cost(0, 0, 0) == (0.0, 0.0)
+
+
+class TestBankConflicts:
+    @given(system=systems, num_bytes=sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_conflicted_bounds_conflict_free_from_above(
+        self, system, num_bytes
+    ):
+        """Scattered (one ACT per burst, tFAW-paced) never beats a
+        sequential bank-interleaved stream of the same bytes."""
+        model = HBMMemoryModel(system)
+        scattered = model.random_offchip(num_bytes, 4.0)
+        sequential = model.burst_offchip(num_bytes)
+        assert scattered.energy_pj >= sequential.energy_pj
+        assert scattered.latency_ns >= sequential.latency_ns
+
+    @given(
+        system=systems,
+        rows=st.integers(min_value=1, max_value=64),
+        row_bytes=st.sampled_from([256, 1024, 2048]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_row_aligned_streams_land_on_interface_energy(
+        self, system, rows, row_bytes
+    ):
+        """The calibration law: a sequential stream that fills whole
+        rows on every channel costs exactly the interface pJ/bit (the
+        io + activate energy fractions sum to one per full row) —
+        regardless of the row size chosen."""
+        model = HBMMemoryModel(
+            system, geometry=HBMGeometry(row_bytes=row_bytes)
+        )
+        num_bytes = rows * system.hbm.channels * row_bytes
+        expected = num_bytes * 8 * system.hbm.energy_per_bit_pj
+        assert math.isclose(
+            model.burst_offchip(num_bytes).energy_pj, expected, rel_tol=1e-12
+        )
+
+    @given(system=systems, num_bytes=sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_partial_rows_cost_at_least_the_interface_energy(
+        self, system, num_bytes
+    ):
+        """Unaligned transfers still activate whole rows — energy can
+        only exceed the interface figure, never undercut it."""
+        model = HBMMemoryModel(system)
+        floor = num_bytes * 8 * system.hbm.energy_per_bit_pj
+        assert model.burst_offchip(num_bytes).energy_pj >= floor * (1 - 1e-12)
+
+    @given(system=systems, num_bytes=sizes, penalty=st.floats(1.0, 16.0))
+    @settings(max_examples=40, deadline=None)
+    def test_analytic_penalty_scales_linearly(
+        self, system, num_bytes, penalty
+    ):
+        model = MemoryModel(system)
+        base = model.burst_offchip(num_bytes)
+        penalized = model.random_offchip(num_bytes, penalty)
+        assert math.isclose(
+            penalized.energy_pj, base.energy_pj * penalty, rel_tol=1e-9
+        )
+
+
+class TestBackendEquivalence:
+    @given(system=systems, num_bytes=sizes, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_registry_analytic_is_bit_identical(
+        self, system, num_bytes, seed
+    ):
+        """The registry's 'analytic' arm returns the seed model —
+        every primitive agrees exactly, any context, any size."""
+        ctx = ExecutionContext(seed=seed)
+        registered = build_memory_backend("analytic", system, context=ctx)
+        direct = MemoryModel(system, context=ctx)
+        assert registered.stream_offchip(num_bytes) == direct.stream_offchip(
+            num_bytes
+        )
+        assert registered.burst_offchip(num_bytes) == direct.burst_offchip(
+            num_bytes
+        )
+        assert registered.random_offchip(
+            num_bytes, 4.0
+        ) == direct.random_offchip(num_bytes, 4.0)
+
+    @given(num_bytes=sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_tracing_never_changes_the_numbers(self, num_bytes):
+        """Observation must be free: a tracing model returns the same
+        Traffic as an untraced twin."""
+        system = GHOSTConfig().memory
+        quiet = HBMMemoryModel(system)
+        traced = _traced_model(system)
+        assert traced.burst_offchip(num_bytes) == quiet.burst_offchip(
+            num_bytes
+        )
+        assert traced.random_offchip(num_bytes, 4.0) == quiet.random_offchip(
+            num_bytes, 4.0
+        )

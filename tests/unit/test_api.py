@@ -383,6 +383,112 @@ class TestSessionCliEquivalence:
 
 
 # ----------------------------------------------------------------------
+# Memory-backend selection through the spec layer
+# ----------------------------------------------------------------------
+
+
+def _hbm_spec():
+    return ExperimentSpec(
+        platform=PlatformSpec(
+            name="tron",
+            overrides={"memory_backend": "hbm", "hbm": {"row_bytes": 2048}},
+        ),
+        workload="BERT-base",
+    )
+
+
+class TestMemoryBackendSpecs:
+    def test_backend_override_round_trips_json(self):
+        spec = _hbm_spec()
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_backend_override_round_trips_toml(self):
+        pytest.importorskip("tomllib")
+        spec = _hbm_spec()
+        assert ExperimentSpec.from_toml(spec.to_toml()) == spec
+
+    def test_backend_override_changes_fingerprint(self):
+        base = ExperimentSpec(
+            platform=PlatformSpec(name="tron"), workload="BERT-base"
+        )
+        assert _hbm_spec().fingerprint() != base.fingerprint()
+
+    def test_backend_config_round_trips(self):
+        from repro.core.engine import HBMGeometry
+
+        config = TRONConfig(
+            memory_backend="hbm", hbm=HBMGeometry(row_bytes=2048)
+        )
+        assert TRONConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_backend_error_names_override_path(self):
+        with pytest.raises(ConfigurationError, match="tron.overrides"):
+            get_platform("tron", overrides={"memory_backend": "sram"})
+
+    def test_bad_geometry_error_names_override_path(self):
+        with pytest.raises(ConfigurationError, match="hbm.row_bytes"):
+            get_platform(
+                "ghost", overrides={"hbm": {"row_bytes": 100}}
+            )
+
+    def test_backend_override_builds_hbm_model(self):
+        from repro.core.engine import HBMMemoryModel
+
+        accelerator = get_platform(
+            "tron", overrides={"memory_backend": "hbm"}
+        )
+        assert isinstance(accelerator.memory_model, HBMMemoryModel)
+
+    def test_spec_execute_surfaces_memory_block(self):
+        spec = ExperimentSpec(
+            platform=PlatformSpec(
+                name="tron", overrides={"memory_backend": "hbm"}
+            ),
+            workload="MLP-mnist",
+        )
+        envelope = Session().execute(spec).envelope()
+        assert envelope["memory"] == {"backend": "hbm"}
+
+    def test_run_memory_envelope_validates(self, capsys):
+        pytest.importorskip("jsonschema")
+        from repro.api.schemas import validate_payload
+
+        payload = _cli_json(
+            capsys,
+            ["run", "MLP-mnist", "--memory-backend", "hbm", "--json"],
+        )
+        assert payload["memory"]["backend"] == "hbm"
+        assert validate_payload(payload) == "repro.run/1"
+
+    def test_trace_dump_writes_and_reports(self, capsys, tmp_path):
+        pytest.importorskip("jsonschema")
+        from repro.api.schemas import validate_payload
+
+        path = tmp_path / "mlp.dramtrace"
+        payload = _cli_json(
+            capsys,
+            ["run", "MLP-mnist", "--memory-backend", "hbm",
+             "--trace-dump", str(path), "--json"],
+        )
+        assert validate_payload(payload) == "repro.run/1"
+        trace = payload["memory"]["trace"]
+        assert trace["commands"] >= 1
+        text = path.read_text()
+        assert text.startswith("# repro hbm trace v1")
+        assert len(text.splitlines()) == trace["commands"] + 1
+
+    def test_trace_dump_rejects_analytic_backend(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="analytic"):
+            Session().run(
+                "MLP-mnist", trace_dump=str(tmp_path / "x.dramtrace")
+            )
+
+    def test_default_run_envelope_has_no_memory_key(self, capsys):
+        payload = _cli_json(capsys, ["run", "MLP-mnist", "--json"])
+        assert "memory" not in payload
+
+
+# ----------------------------------------------------------------------
 # Serving accepts specs directly
 # ----------------------------------------------------------------------
 

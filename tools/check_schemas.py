@@ -83,6 +83,15 @@ def main_check() -> int:
             ["run", "MLP-mnist", "--corner", "typical", "--seed", "1",
              "--json"],
         ),
+        (
+            "run --memory-backend hbm --json",
+            ["run", "MLP-mnist", "--memory-backend", "hbm", "--json"],
+        ),
+        (
+            "run --memory-backend hbm-pim --trace-dump --json",
+            ["run", "MLP-mnist", "--memory-backend", "hbm-pim",
+             "--trace-dump", str(tmp / "mlp.dramtrace"), "--json"],
+        ),
         ("mc --json", ["mc", "MLP-mnist", "--samples", "4", "--json"]),
         (
             "mc --strategy grouped --json",

@@ -1,0 +1,76 @@
+"""Regenerate the golden memory fixtures under ``tests/golden/``.
+
+Usage::
+
+    PYTHONPATH=src python tools/regen_golden_traces.py
+
+Rewrites, in one command:
+
+- ``hbm_small.dramtrace`` — the pinned DRAM command trace
+  (``tests/unit/test_memory_backends.py::TestGoldenTrace`` mirrors the
+  recipe below; keep the two in sync),
+- ``run_bert_base_analytic.json`` / ``run_gcn_cora_analytic.json`` —
+  the default-path run envelopes the bit-identity tests diff against.
+
+Run it only when a deliberate model change moves the numbers, and commit
+the diff with the change that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+# Stay hermetic: never touch (or create) the user's persistent cache.
+os.environ.setdefault("REPRO_CACHE_DIR", tempfile.mkdtemp(prefix="repro-ci-"))
+os.environ.setdefault("REPRO_DISK_CACHE", "0")
+
+from repro.api import Session  # noqa: E402
+from repro.core.context import ExecutionContext  # noqa: E402
+from repro.core.engine import HBMGeometry, HBMMemoryModel  # noqa: E402
+from repro.core.tron.config import TRONConfig  # noqa: E402
+
+GOLDEN = REPO / "tests" / "golden"
+
+#: The pinned trace workload: stream + store + scattered read on the
+#: stock TRON memory system at seed 7 (mirrored by the golden-trace
+#: test — change both together).
+def pinned_trace_text() -> str:
+    model = HBMMemoryModel(
+        TRONConfig().memory,
+        context=ExecutionContext(seed=7),
+        geometry=HBMGeometry(op_trace=True),
+    )
+    model.stream_offchip(4096)
+    model.store_offchip(1024)
+    model.random_offchip(512, 4.0)
+    return model.trace.format()
+
+
+def main() -> int:
+    GOLDEN.mkdir(parents=True, exist_ok=True)
+
+    trace_path = GOLDEN / "hbm_small.dramtrace"
+    trace_path.write_text(pinned_trace_text())
+    print(f"wrote {trace_path}")
+
+    session = Session()
+    for workload, fixture in (
+        ("BERT-base", "run_bert_base_analytic.json"),
+        ("GCN-cora", "run_gcn_cora_analytic.json"),
+    ):
+        envelope = session.run(workload).envelope()
+        path = GOLDEN / fixture
+        path.write_text(json.dumps(envelope, indent=2) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

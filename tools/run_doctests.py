@@ -36,6 +36,11 @@ AUDITED_MODULES = (
     "repro.core.serialization",
     "repro.core.engine.diskcache",
     "repro.core.engine.memo",
+    "repro.core.engine.membackend",
+    "repro.core.engine.hbm.geometry",
+    "repro.core.engine.hbm.trace",
+    "repro.core.engine.hbm.model",
+    "repro.core.engine.hbm.pim",
     "repro.analysis.robustness",
     "repro.workloads",
     "repro.serving.cache",
