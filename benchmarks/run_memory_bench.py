@@ -1,0 +1,66 @@
+"""Emit BENCH_memory.json: HBM(-PIM) costing speedups and SoA residency.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_memory_bench.py \
+        [output.json] [--quick]
+
+Records (1) the closed-form HBM costing path against the retained
+per-burst loop oracle, per primitive x transfer size, and (2) the
+array-resident TRON sweep throughput (points/sec) for all three memory
+backends now that ``hbm-pim`` rides the SoA path.  Both arms carry
+exactness checks: every primitive pair is pinned (latency bit-identical,
+energy to 1e-12 relative) and sampled sweep points are compared
+bit-exactly against fresh scalar runs.
+
+``--quick`` runs the CI ``memory-smoke`` gate: smaller sizes, an 8-point
+grid, no JSON written; exits nonzero unless every closed-form primitive
+is at least as fast as its loop reference and parity holds.
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from bench_memory_costing import (  # noqa: E402
+    measure_primitive_speedups,
+    measure_soa_backends,
+)
+
+
+def main() -> int:
+    argv = [a for a in sys.argv[1:]]
+    quick = "--quick" in argv
+    argv = [a for a in argv if a != "--quick"]
+    out_path = pathlib.Path(
+        argv[0]
+        if argv
+        else pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_memory.json"
+    )
+    primitives = measure_primitive_speedups(quick=quick)
+    backends = measure_soa_backends(quick=quick)
+    record = {
+        "bench": "HBM(-PIM) closed-form costing + SoA backend sweeps"
+        + (" (quick smoke)" if quick else ""),
+        "primitive_speedups": primitives,
+        "soa_backend_sweeps": backends,
+    }
+    print(json.dumps(record, indent=2))
+    # The deterministic gates: the closed form must never lose to the
+    # per-burst walk, and the SoA path must stay bit-identical to the
+    # scalar oracle for every backend.
+    ok = all(row["speedup"] >= 1.0 for row in primitives) and all(
+        row["parity_mismatches"] == 0 for row in backends
+    )
+    if not quick:
+        out_path.write_text(json.dumps(record, indent=2) + "\n")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -302,9 +302,8 @@ def _soa_stack(
         return None
     configs = [space.build_config(knobs) for knobs, _, _ in evaluations]
     if not all(soa_config_supported(cfg) for cfg in configs):
-        # PIM offload reshapes the run path (dropped pipeline stages),
-        # which the column evaluators do not transcribe — those points
-        # go through the batched scalar path instead.
+        # All registry backends (analytic, hbm, hbm-pim) are covered
+        # today; the guard stays for third-party configs that opt out.
         return None
     contexts = [_normalized_context(ctx) for _, _, ctx in evaluations]
     stacked = evaluator(configs, contexts, workload)

@@ -63,6 +63,10 @@ from repro.core.engine.membackend import (
 )
 from repro.core.engine.memo import LRUMemo, MemoStats
 from repro.core.engine.memory import MemoryModel, Traffic
+from repro.core.engine.movement import (
+    clear_movement_cache,
+    movement_cache_stats,
+)
 from repro.core.engine.pipeline import (
     PipelineStage,
     overlapped_stage_latency_ns,
@@ -80,6 +84,7 @@ def physics_cache_stats() -> dict:
     """
     stats = {"breakdown": breakdown_cache_stats()}
     stats.update(context_physics_cache_stats())
+    stats["movement"] = movement_cache_stats()
     stats["disk"] = disk_cache_stats()
     return stats
 
@@ -105,6 +110,7 @@ __all__ = [
     "batch_context_physics_for",
     "breakdown_cache_stats",
     "build_memory_backend",
+    "clear_movement_cache",
     "clear_physics_cache",
     "configure_disk_cache",
     "context_physics",
@@ -113,6 +119,7 @@ __all__ = [
     "disk_cache_stats",
     "fingerprint",
     "list_memory_backends",
+    "movement_cache_stats",
     "nominal_breakdown_pj",
     "overlapped_stage_latency_ns",
     "pareto_mask",

@@ -37,6 +37,7 @@ Example:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
@@ -153,6 +154,50 @@ class HBMGeometry:
     def refresh_overhead(self) -> float:
         """Fraction of device time lost to refresh (tRFC / tREFI)."""
         return self.refresh_cycle_ns / self.refresh_interval_ns
+
+    # ------------------------------------------------------------------
+    # Closed-form segment arithmetic (shared by the costing path, the
+    # eager trace-limit check, and the vectorized batch evaluators)
+    # ------------------------------------------------------------------
+
+    def sequential_acts(self, total_bursts: int, channels: int) -> int:
+        """ACT count of a round-robin sequential transfer.
+
+        ``rem`` channels carry ``base + 1`` bursts, the rest ``base``;
+        each channel opens one row per started ``bursts_per_row`` run.
+
+        Example:
+            >>> HBMGeometry().sequential_acts(total_bursts=33, channels=8)
+            8
+        """
+        base, rem = divmod(total_bursts, channels)
+        bpr = self.bursts_per_row
+        return rem * math.ceil((base + 1) / bpr) + (channels - rem) * (
+            math.ceil(base / bpr)
+        )
+
+    def sequential_command_count(
+        self, total_bursts: int, channels: int
+    ) -> int:
+        """Commands a traced sequential transfer synthesizes.
+
+        One RD/WR per burst plus an ACT *and* a PRE per opened row
+        (every activate is eventually precharged) — known in closed form
+        before any command exists, which is what keeps the trace limit
+        eager under lazy synthesis.
+
+        Example:
+            >>> HBMGeometry().sequential_command_count(33, channels=8)
+            49
+        """
+        return total_bursts + 2 * self.sequential_acts(
+            total_bursts, channels
+        )
+
+    def scattered_command_count(self, total_bursts: int) -> int:
+        """Commands a traced scattered transfer synthesizes (ACT + RD +
+        PRE per burst)."""
+        return 3 * total_bursts
 
     # ------------------------------------------------------------------
     # Derived timing/energy (anchored to the interface model)

@@ -10,6 +10,15 @@ pinned by the property suite:
 - bytes summed over RD/WR commands == bytes requested, and
 - energy summed over all commands == the ``Traffic.energy_pj`` returned.
 
+Command synthesis is **lazy**: the backend registers each transfer as a
+deferred segment (:meth:`CommandTrace.defer`) carrying only its exact
+command count and a synthesizer; per-command addresses and energies
+materialize the first time the commands are actually read (``format``,
+``summary``, iteration, …), never on the costing path.  The trace limit
+stays **eager** — the count is known in closed form at record time, so a
+transfer that would overflow the limit raises immediately instead of
+after a million-element walk.
+
 The text format is line-oriented and bit-stable (fixed float precision,
 no timestamps), so a golden trace diffs cleanly.
 
@@ -23,12 +32,19 @@ Example:
     # repro hbm trace v1 commands=2
     ACT ch=0 bg=1 bank=2 row=17 bytes=0 energy_pj=3276.800000
     RD ch=0 bg=1 bank=2 row=17 bytes=32 energy_pj=921.600000
+    >>> trace.defer(1, lambda: [DRAMCommand("PRE", 0, 1, 2, 17, 0, 0.0)])
+    >>> len(trace), trace.pending      # counted, not yet synthesized
+    (3, 1)
+    >>> trace.op_counts()["PRE"]       # reading materializes
+    1
+    >>> trace.pending
+    0
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, NamedTuple
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Union
 
 from repro.errors import ConfigurationError
 
@@ -48,6 +64,12 @@ class DRAMCommand(NamedTuple):
     energy_pj: float
 
 
+#: A segment is either materialized commands or (count, synthesizer).
+_Segment = Union[
+    List[DRAMCommand], "tuple[int, Callable[[], List[DRAMCommand]]]"
+]
+
+
 @dataclass
 class CommandTrace:
     """An append-only DRAM command log with a hard size limit.
@@ -55,26 +77,88 @@ class CommandTrace:
     The limit exists because tracing is per-command: a BERT-scale weight
     stream is hundreds of thousands of bursts, and hitting the cap is a
     configuration error (pick a smaller workload or raise
-    ``hbm.trace_limit``), not a silent truncation.
+    ``hbm.trace_limit``), not a silent truncation.  Deferred segments
+    count against the limit at record time — an oversized transfer
+    raises before any command is synthesized.
     """
 
     limit: int = 1_000_000
-    commands: List[DRAMCommand] = field(default_factory=list)
+    _segments: List[_Segment] = field(
+        default_factory=list, init=False, repr=False
+    )
+    _count: int = field(default=0, init=False, repr=False)
+    _flat: Optional[List[DRAMCommand]] = field(
+        default=None, init=False, repr=False
+    )
 
-    def append(self, command: DRAMCommand) -> None:
-        if command.op not in OPS:
-            raise ConfigurationError(
-                f"unknown DRAM op {command.op!r}; expected one of {OPS}"
-            )
-        if len(self.commands) >= self.limit:
+    def _reserve(self, count: int) -> None:
+        if self._count + count > self.limit:
             raise ConfigurationError(
                 f"DRAM trace exceeded its limit of {self.limit} commands; "
                 "trace a smaller workload or raise hbm.trace_limit"
             )
-        self.commands.append(command)
+        self._count += count
+
+    def append(self, command: DRAMCommand) -> None:
+        """Record one materialized command (eager path)."""
+        if command.op not in OPS:
+            raise ConfigurationError(
+                f"unknown DRAM op {command.op!r}; expected one of {OPS}"
+            )
+        self._reserve(1)
+        if self._segments and isinstance(self._segments[-1], list):
+            self._segments[-1].append(command)
+        else:
+            self._segments.append([command])
+        self._flat = None
+
+    def defer(
+        self, count: int, synthesize: Callable[[], List[DRAMCommand]]
+    ) -> None:
+        """Record ``count`` commands lazily.
+
+        ``synthesize`` must return exactly ``count`` commands when first
+        read — the closed-form count *is* the contract the differential
+        suite pins, so a mismatch is an internal error, not a tolerance.
+        """
+        if count < 0:
+            raise ConfigurationError(
+                f"deferred command count must be >= 0, got {count}"
+            )
+        if count == 0:
+            return
+        self._reserve(count)
+        self._segments.append((count, synthesize))
+        self._flat = None
+
+    @property
+    def pending(self) -> int:
+        """Commands recorded but not yet synthesized."""
+        return sum(
+            seg[0] for seg in self._segments if isinstance(seg, tuple)
+        )
+
+    @property
+    def commands(self) -> List[DRAMCommand]:
+        """Every command, synthesizing deferred segments in order."""
+        if self._flat is None:
+            flat: List[DRAMCommand] = []
+            for i, segment in enumerate(self._segments):
+                if isinstance(segment, tuple):
+                    count, synthesize = segment
+                    segment = synthesize()
+                    if len(segment) != count:
+                        raise ConfigurationError(
+                            "deferred trace segment synthesized "
+                            f"{len(segment)} commands, expected {count}"
+                        )
+                    self._segments[i] = segment
+                flat.extend(segment)
+            self._flat = flat
+        return self._flat
 
     def __len__(self) -> int:
-        return len(self.commands)
+        return self._count
 
     def __iter__(self) -> Iterator[DRAMCommand]:
         return iter(self.commands)
@@ -106,7 +190,7 @@ class CommandTrace:
     def summary(self) -> Dict[str, object]:
         """JSON-ready digest (ships in the run envelope's memory block)."""
         return {
-            "commands": len(self.commands),
+            "commands": len(self),
             "ops": self.op_counts(),
             "data_bytes": self.total_bytes,
             "energy_pj": self.total_energy_pj,
@@ -114,7 +198,7 @@ class CommandTrace:
 
     def format(self) -> str:
         """Render the bit-stable text form (header + one line per command)."""
-        lines = [f"# repro hbm trace v1 commands={len(self.commands)}"]
+        lines = [f"# repro hbm trace v1 commands={len(self)}"]
         for c in self.commands:
             lines.append(
                 f"{c.op} ch={c.channel} bg={c.bankgroup} bank={c.bank} "

@@ -28,6 +28,7 @@ from repro.core.engine.corners import (
 )
 from repro.core.engine.diskcache import active_disk_cache
 from repro.core.engine.memo import LRUMemo
+from repro.core.engine.movement import clear_movement_cache
 from repro.core.reports import EnergyReport
 from repro.errors import ConfigurationError, YieldError
 from repro.photonics.converters import ADC, DAC
@@ -139,6 +140,7 @@ def clear_physics_cache() -> None:
     deliberately untouched — ``repro cache --clear`` owns that."""
     _BREAKDOWN_CACHE.clear()
     clear_context_physics_cache()
+    clear_movement_cache()
 
 
 def breakdown_cache_stats() -> Dict[str, float]:

@@ -17,7 +17,9 @@ and any future backend byte-for-byte comparable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import NamedTuple, Optional
+from typing import NamedTuple, Optional, Tuple
+
+import numpy as np
 
 from repro.core.context import ExecutionContext
 from repro.core.reports import EnergyReport, LatencyReport
@@ -93,6 +95,80 @@ class MemoryModel:
     def overlap_stall_ns(transfer_ns: float, compute_ns: float) -> float:
         """Stall left after overlapping a transfer with compute."""
         return max(transfer_ns - compute_ns, 0.0)
+
+    # ------------------------------------------------------------------
+    # Vectorized batch evaluators (whole columns of byte counts)
+    # ------------------------------------------------------------------
+    #
+    # Each ``*_batch`` mirrors its scalar primitive's float expressions
+    # elementwise (float division before ceil, derate applied only off
+    # the nominal corner) so per-element results are bit-identical — the
+    # SoA parity suite pins this.  The HBM backend overrides them with
+    # geometry-derived forms.
+
+    def _derated_batch(
+        self, energy: np.ndarray, latency: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        scale = self._offchip_latency_scale
+        if scale == 1.0:
+            return energy, latency
+        return energy, latency * scale
+
+    def _buffer_batch(
+        self, num_bytes: np.ndarray, write: bool
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(energy, latency) columns of global-buffer transfers."""
+        buffer = self.system.global_buffer
+        accesses = np.ceil(num_bytes * 8 / buffer.word_bits)
+        per_access = buffer.write_energy_pj if write else buffer.read_energy_pj
+        serial = np.ceil(accesses / (buffer.banks * buffer.ports))
+        return accesses * per_access, serial * buffer.access_latency_ns
+
+    def stream_offchip_batch(
+        self, num_bytes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``stream_offchip`` over a whole column of byte counts."""
+        nb = np.asarray(num_bytes, dtype=np.int64)
+        hbm = self.system.hbm
+        hbm_e = nb * 8 * hbm.energy_per_bit_pj
+        hbm_l = nb * 8 / hbm.total_bandwidth_gbps
+        buf_e, buf_l = self._buffer_batch(nb, write=True)
+        return self._derated_batch(hbm_e + buf_e, np.maximum(hbm_l, buf_l))
+
+    def burst_offchip_batch(
+        self, num_bytes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``burst_offchip`` over a whole column of byte counts."""
+        nb = np.asarray(num_bytes, dtype=np.int64)
+        hbm = self.system.hbm
+        return self._derated_batch(
+            nb * 8 * hbm.energy_per_bit_pj,
+            nb * 8 / hbm.total_bandwidth_gbps,
+        )
+
+    def random_offchip_batch(
+        self, num_bytes: np.ndarray, penalty: object = 1.0
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``random_offchip`` over a whole column of byte counts.
+
+        ``penalty`` may be a scalar or a column aligned with
+        ``num_bytes``.
+        """
+        pen = np.asarray(penalty, dtype=float)
+        if np.any(pen < 1.0):
+            bad = float(np.min(pen))
+            raise ConfigurationError(
+                f"random access penalty must be >= 1, got {bad}"
+            )
+        energy, latency = self.burst_offchip_batch(num_bytes)
+        return energy * pen, latency * pen
+
+    def bounce_onchip_batch(
+        self, num_bytes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``bounce_onchip`` over a whole column of byte counts."""
+        nb = np.asarray(num_bytes, dtype=np.int64)
+        return self._buffer_batch(nb, write=False)
 
     # ------------------------------------------------------------------
     # Composed patterns

@@ -1,0 +1,60 @@
+"""The movement-cost memo: LRU-cached off-chip traffic primitives.
+
+Serving replays and Monte-Carlo signature groups price the *same*
+transfers over and over — the same weight stream for every request of a
+workload, the same feature sweep for every sample of a corner.  Each
+HBM(-PIM) primitive is pure arithmetic over a frozen key, so the engine
+memo layer caches the resulting :class:`~repro.core.engine.memory.Traffic`
+keyed on ``(memory system, geometry fingerprint, derate, pattern,
+bytes)`` with the same bounded-LRU discipline (and the same hit / miss /
+eviction accounting) as the device-physics memos.
+
+The memo is consulted only on the costing path: a tracing model bypasses
+it entirely, because recording the DRAM command stream is a side effect
+a cache hit would silently skip.
+
+Stats surface under the ``movement`` key of
+:func:`repro.core.engine.physics_cache_stats` — visible in
+``repro sweep --json`` and ``repro serve --stats`` next to the
+breakdown / context / disk cache counters.
+
+Example:
+    >>> from repro.core.engine.hbm.model import HBMMemoryModel
+    >>> from repro.electronics.memory import MemorySystem
+    >>> clear_movement_cache()
+    >>> model = HBMMemoryModel(MemorySystem())
+    >>> before = movement_cache_stats()["hits"]
+    >>> model.burst_offchip(1 << 20) == model.burst_offchip(1 << 20)
+    True
+    >>> movement_cache_stats()["hits"] - before
+    1
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.core.engine.memo import LRUMemo
+
+#: Bound chosen like the breakdown memo's: a corner grid x a handful of
+#: distinct transfer sizes is tiny; die sweeps churn instead of growing.
+_MOVEMENT_MEMO = LRUMemo(max_entries=4096)
+
+
+def cached_movement(key: Any, compute: Callable[[], Any]) -> Any:
+    """The memoized traffic for ``key``, computing (and inserting) on miss."""
+    value = _MOVEMENT_MEMO.get(key)
+    if value is None:
+        value = compute()
+        _MOVEMENT_MEMO.put(key, value)
+    return value
+
+
+def movement_cache_stats() -> Dict[str, float]:
+    """Hit/miss/eviction counters of the movement-cost memo."""
+    return _MOVEMENT_MEMO.stats.to_dict()
+
+
+def clear_movement_cache() -> None:
+    """Drop every memoized traffic entry (accounting is kept)."""
+    _MOVEMENT_MEMO.clear()

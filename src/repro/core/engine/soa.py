@@ -265,14 +265,15 @@ def memory_context_key(
 def soa_config_supported(config: object) -> bool:
     """Whether the array-resident evaluators cover this config.
 
-    The ``hbm-pim`` backend reshapes the scalar run path itself (stages
-    move off the photonic pipeline onto near-bank compute), which the
-    column transcriptions do not replicate — those points take the
-    scalar fallback.  ``analytic`` and plain ``hbm`` only change the
-    memory primitives, which the columns evaluate through the real
-    backend models.
+    All three memory backends are covered.  ``analytic`` and plain
+    ``hbm`` only change the memory primitives, which the columns price
+    through the real registry-built models; ``hbm-pim`` additionally
+    reshapes the run path (stages move off the photonic pipeline onto
+    near-bank compute), which the platform evaluators express as column
+    ops — ``np.where`` selection between the offloaded and full stage
+    pipelines plus per-group PIM spill/reduce traffic.
     """
-    return getattr(config, "memory_backend", "analytic") != "hbm-pim"
+    return True
 
 
 def build_soa_memory_model(
@@ -296,6 +297,24 @@ def build_soa_memory_model(
     )
 
 
+def unique_traffic_columns(
+    fn: Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]],
+    counts: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A batch traffic primitive over the *distinct* byte counts only.
+
+    Sweeps repeat a handful of transfer sizes across thousands of
+    points, so the primitive prices each size once and the results
+    scatter back through the inverse index (selection of identical
+    floats — exact).
+    """
+    unique, inverse = np.unique(
+        np.asarray(counts, dtype=np.int64), return_inverse=True
+    )
+    energy, latency = fn(unique)
+    return energy[inverse], latency[inverse]
+
+
 def weight_stream_columns(
     memory_systems: Sequence[object],
     contexts: Sequence[Optional[ExecutionContext]],
@@ -308,39 +327,55 @@ def weight_stream_columns(
 ) -> Tuple[ColumnEnergy, ColumnLatency]:
     """Column counterpart of ``MemoryModel.weight_stream_cost``.
 
-    Traffic primitives run once per distinct (memory system, operand
-    precision, memory-relevant context, backend, geometry) group through
-    the real registry-built backend model; the batch amortization and
+    Points group by the model key — (memory system, memory-relevant
+    context, backend, geometry) — and each group prices its whole
+    column of weight/bounce byte counts through one vectorized
+    primitive call (the ``*_batch`` methods are elementwise
+    bit-identical to their scalar forms); batch amortization and
     compute overlap are per-point column arithmetic in the scalar
-    path's exact order.  ``backends``/``geometries`` default to the
-    pre-registry analytic model for every point.
+    path's exact order.  ``bits`` rides along for signature stability
+    only — operand precision is already folded into the per-point byte
+    counts.  ``backends``/``geometries`` default to the pre-registry
+    analytic model for every point.
     """
     n = len(ops_list)
     if backends is None:
         backends = ["analytic"] * n
     if geometries is None:
         geometries = [None] * n
+    weight_bytes = np.fromiter(
+        (ops.weight_bytes for ops in ops_list), dtype=np.int64, count=n
+    )
+    bounce_bytes = np.fromiter(
+        (2 * ops.activation_bytes for ops in ops_list),
+        dtype=np.int64,
+        count=n,
+    )
     weight_e = np.empty(n)
     weight_l = np.empty(n)
     bounce_e = np.empty(n)
     bounce_l = np.empty(n)
     keys = [
-        (system, int(b), memory_context_key(ctx), backend, geometry)
-        for system, b, ctx, backend, geometry in zip(
-            memory_systems, bits, contexts, backends, geometries
+        (system, memory_context_key(ctx), backend, geometry)
+        for system, ctx, backend, geometry in zip(
+            memory_systems, contexts, backends, geometries
         )
     ]
-    for (system, _, mem_ctx, backend, geometry), indices in group_indices(
+    for (system, mem_ctx, backend, geometry), indices in group_indices(
         keys
     ).items():
         model = build_soa_memory_model(backend, system, mem_ctx, geometry)
-        ops = ops_list[indices[0]]
-        weights = model.stream_offchip(ops.weight_bytes)
-        bounce = model.bounce_onchip(2 * ops.activation_bytes)
-        weight_e[indices] = weights.energy_pj
-        weight_l[indices] = weights.latency_ns
-        bounce_e[indices] = bounce.energy_pj
-        bounce_l[indices] = bounce.latency_ns
+        idx = np.asarray(indices)
+        we, wl = unique_traffic_columns(
+            model.stream_offchip_batch, weight_bytes[idx]
+        )
+        be, bl = unique_traffic_columns(
+            model.bounce_onchip_batch, bounce_bytes[idx]
+        )
+        weight_e[idx] = we
+        weight_l[idx] = wl
+        bounce_e[idx] = be
+        bounce_l[idx] = bl
     energy = ColumnEnergy(memory_pj=weight_e / batch + bounce_e)
     stall_ns = np.maximum(weight_l / batch - compute_ns, 0.0)
     latency = ColumnLatency(memory_ns=stall_ns + bounce_l)

@@ -251,8 +251,13 @@ def _softmax_columns(
 def _memory_cost_columns(
     cols: _GhostColumns, graph, feature_dim: int, out_dim: int
 ) -> Tuple[ColumnEnergy, ColumnLatency]:
-    """``GHOST._memory_cost`` per point (traffic once per distinct
-    memory group)."""
+    """``GHOST._memory_cost`` / ``GHOST._pim_memory_cost`` per point
+    (traffic once per distinct memory group).
+
+    PIM-backed groups transcribe the scalar ``_pim_memory_cost``:
+    features and edge indices are reduced near the banks and only the
+    layer's results bounce through the global buffer.
+    """
     memory_pj = np.empty(cols.n)
     memory_ns = np.empty(cols.n)
     keys = [
@@ -272,6 +277,20 @@ def _memory_cost_columns(
         indices,
     ) in group_indices(keys).items():
         bytes_per_value = bits // 8 or 1
+        model = build_soa_memory_model(backend, memory, mem_ctx, geometry)
+        if getattr(model, "pim_active", False):
+            feature_bytes = graph.num_nodes * feature_dim * bytes_per_value
+            reduce = model.pim_reduce_cost(
+                in_bank_bytes=feature_bytes + 4 * graph.num_edges,
+                out_bytes=feature_bytes,
+                macs=graph.num_edges * feature_dim,
+            )
+            writeback = model.bounce_onchip(
+                graph.num_nodes * out_dim * bytes_per_value
+            )
+            memory_pj[indices] = reduce.energy_pj + writeback.energy_pj
+            memory_ns[indices] = reduce.latency_ns + writeback.latency_ns
+            continue
         if partitioned:
             accumulator_bytes = graph.num_nodes * out_dim * bytes_per_value
             panels = max(
@@ -283,9 +302,7 @@ def _memory_cost_columns(
             )
         else:
             sweep_bytes = graph.num_edges * feature_dim * bytes_per_value
-        energy, latency = build_soa_memory_model(
-            backend, memory, mem_ctx, geometry
-        ).feature_sweep_cost(
+        energy, latency = model.feature_sweep_cost(
             sweep_bytes=sweep_bytes,
             index_bytes=4 * graph.num_edges,
             writeback_bytes=graph.num_nodes * out_dim * bytes_per_value,
@@ -312,12 +329,26 @@ def evaluate_gnn(
         raise ConfigurationError("graph must have at least one node")
     cols = _GhostColumns(configs, contexts)
     aggregate = _AggregateColumns(cols, graph.degrees().astype(int))
+    # PIM-backed points run the gather near the banks: no aggregate
+    # stage on the photonic side (its energy is zero and its latency
+    # leaves the stage pipeline) — both pipeline variants are evaluated
+    # as columns and selected per point, matching the scalar branch.
+    pim_mask = np.fromiter(
+        (cfg.memory_backend == "hbm-pim" for cfg in configs),
+        dtype=bool,
+        count=cols.n,
+    )
 
     total_latency = ColumnLatency()
     total_energy = ColumnEnergy()
     for layer_idx, (d_in, d_out) in enumerate(model.layer_dims()):
         agg_ns = aggregate.latency_cycles(d_in) * cols.cycle_ns
         agg_energy = aggregate.energy_columns(d_in, model.reduction)
+        if pim_mask.any():
+            agg_energy = ColumnEnergy(
+                laser_pj=np.where(pim_mask, 0.0, agg_energy.laser_pj),
+                dac_pj=np.where(pim_mask, 0.0, agg_energy.dac_pj),
+            )
 
         ops = gnn_layer_op_count(
             model.kind, graph, d_in, d_out, heads=model.heads
@@ -359,6 +390,14 @@ def evaluate_gnn(
         stage_sum = (agg_ns + comb_ns) + update_total_ns
         bottleneck = np.maximum(np.maximum(agg_ns, comb_ns), update_total_ns)
         pipelined_ns = bottleneck + 0.1 * (stage_sum - bottleneck)
+        if pim_mask.any():
+            stage_sum_pim = comb_ns + update_total_ns
+            bottleneck_pim = np.maximum(comb_ns, update_total_ns)
+            pipelined_ns = np.where(
+                pim_mask,
+                bottleneck_pim + 0.1 * (stage_sum_pim - bottleneck_pim),
+                pipelined_ns,
+            )
         stall_ns = np.maximum(memory_latency.memory_ns - pipelined_ns, 0.0)
         total_latency = total_latency + ColumnLatency(
             compute_ns=pipelined_ns,

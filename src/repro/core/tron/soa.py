@@ -28,9 +28,11 @@ from repro.core.engine.soa import (
     ColumnEnergy,
     ColumnLatency,
     breakdown_columns,
+    build_soa_memory_model,
     ceil_div,
     energy_for_cycles_columns,
     group_indices,
+    memory_context_key,
     register_soa_evaluator,
     resolve_array_physics,
     weight_stream_columns,
@@ -123,9 +125,21 @@ def _softmax_columns(
 
 
 def _head_cost_columns(
-    cols: _TronColumns, seq_len: int, d_model: int, d_k: int
+    cols: _TronColumns,
+    seq_len: int,
+    d_model: int,
+    d_k: int,
+    offload: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, ColumnEnergy]:
-    """``AttentionHeadUnit.head_cost`` as columns."""
+    """``AttentionHeadUnit.head_cost`` as columns.
+
+    ``offload`` marks the points whose S·V context reduction leaves the
+    photonic pipeline (PIM-capable memory backend): both the offloaded
+    and the full stage pipeline are evaluated as whole columns and the
+    per-point variant selected with ``np.where`` — selection of
+    identical floats, so each point stays bit-identical to its scalar
+    ``head_cost(..., offload_context=...)``.
+    """
     stage_dims = [
         (d_k, d_model),       # q_proj
         (d_model, d_k),       # k_mix
@@ -134,22 +148,41 @@ def _head_cost_columns(
         (d_k, seq_len),       # context
     ]
     stage_latencies = []
-    total_cycles = np.zeros(cols.n, dtype=np.int64)
+    stage_cycles = []
     for out_rows, inner in stage_dims:
         cycles = cols.tile_cycles(out_rows, inner)
-        total_cycles = total_cycles + cycles * seq_len
+        stage_cycles.append(cycles)
         stage_latencies.append(cycles * cols.cycle_ns)
     softmax_latency, softmax_pj = _softmax_columns(
         cols, seq_len, seq_len * seq_len
     )
     stage_latencies.insert(3, softmax_latency)
-    fill: object = 0
-    for latency in stage_latencies:
-        fill = fill + latency
-    bottleneck = stage_latencies[0]
-    for latency in stage_latencies[1:]:
-        bottleneck = np.maximum(bottleneck, latency)
-    compute_ns = fill + (seq_len - 1) * bottleneck
+    # The offloaded pipeline is the full one minus its last stage, so
+    # the full fill/bottleneck/cycle columns chain off the offloaded
+    # ones in the scalar path's exact left-associative order.
+    context_latency = stage_latencies[-1]
+    fill_off: object = 0
+    for latency in stage_latencies[:-1]:
+        fill_off = fill_off + latency
+    fill_full = fill_off + context_latency
+    bottleneck_off = stage_latencies[0]
+    for latency in stage_latencies[1:-1]:
+        bottleneck_off = np.maximum(bottleneck_off, latency)
+    bottleneck_full = np.maximum(bottleneck_off, context_latency)
+    cycles_off = np.zeros(cols.n, dtype=np.int64)
+    for cycles in stage_cycles[:-1]:
+        cycles_off = cycles_off + cycles * seq_len
+    cycles_full = cycles_off + stage_cycles[-1] * seq_len
+    if offload is None:
+        total_cycles = cycles_full
+        compute_ns = fill_full + (seq_len - 1) * bottleneck_full
+    else:
+        total_cycles = np.where(offload, cycles_off, cycles_full)
+        compute_ns = np.where(
+            offload,
+            fill_off + (seq_len - 1) * bottleneck_off,
+            fill_full + (seq_len - 1) * bottleneck_full,
+        )
     energy = energy_for_cycles_columns(
         total_cycles, cols.breakdown
     ) + ColumnEnergy(digital_pj=softmax_pj)
@@ -168,13 +201,19 @@ def _residual_adder_columns(cols: _TronColumns) -> np.ndarray:
 
 
 def _mha_block_columns(
-    cols: _TronColumns, seq_len: int, d_model: int, num_heads: int
+    cols: _TronColumns,
+    seq_len: int,
+    d_model: int,
+    num_heads: int,
+    offload: Optional[np.ndarray] = None,
 ) -> Tuple[ColumnLatency, ColumnEnergy]:
     """``MHAUnit.block_cost`` as columns."""
     if num_heads < 1:
         raise ConfigurationError(f"need >= 1 head, got {num_heads}")
     d_k = d_model // num_heads
-    head_compute, head_energy = _head_cost_columns(cols, seq_len, d_model, d_k)
+    head_compute, head_energy = _head_cost_columns(
+        cols, seq_len, d_model, d_k, offload=offload
+    )
     waves = ceil_div(num_heads, cols.head_units)
     heads_latency = ColumnLatency(compute_ns=head_compute).scaled(waves)
     heads_energy = head_energy.scaled(num_heads)
@@ -219,14 +258,72 @@ def _ff_block_columns(
     return latency, energy
 
 
+def _pim_extra_columns(
+    cols: _TronColumns,
+    contexts: Sequence[Optional[ExecutionContext]],
+    model,
+    offload: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-point PIM spill + near-bank reduce extras (zero elsewhere).
+
+    Transcribes the scalar ``run_transformer`` offload branch: scores
+    and V spill to the device (``store_offchip``), are reduced in place
+    (``pim_reduce_cost``), and the extras are charged once per layer —
+    one scalar traffic evaluation per distinct (memory system,
+    precision, memory-relevant context, geometry) group.
+    """
+    extra_e = np.zeros(cols.n)
+    extra_l = np.zeros(cols.n)
+    keys = [
+        (
+            cols.configs[i].memory,
+            cols.configs[i].bits,
+            memory_context_key(contexts[i]),
+            cols.configs[i].hbm,
+        )
+        if offload[i]
+        else None
+        for i in range(cols.n)
+    ]
+    for key, indices in group_indices(keys).items():
+        if key is None:
+            continue
+        system, bits, mem_ctx, geometry = key
+        mem_model = build_soa_memory_model(
+            "hbm-pim", system, mem_ctx, geometry
+        )
+        bpv = max(bits // 8, 1)
+        score_bytes = model.num_heads * model.seq_len * model.seq_len * bpv
+        v_bytes = model.seq_len * model.d_model * bpv
+        spill = mem_model.store_offchip(score_bytes + v_bytes)
+        reduce = mem_model.pim_reduce_cost(
+            in_bank_bytes=score_bytes + v_bytes,
+            out_bytes=model.seq_len * model.d_model * bpv,
+            macs=model.seq_len * model.seq_len * model.d_model,
+        )
+        extra_e[indices] = (
+            spill.energy_pj + reduce.energy_pj
+        ) * model.num_layers
+        extra_l[indices] = (
+            spill.latency_ns + reduce.latency_ns
+        ) * model.num_layers
+    return extra_e, extra_l
+
+
 def _finish(
     cols: _TronColumns,
     contexts: Sequence[Optional[ExecutionContext]],
     ops_list: Sequence[OpCount],
     compute_latency: ColumnLatency,
     compute_energy: ColumnEnergy,
+    extra_memory: Optional[Tuple[np.ndarray, np.ndarray]] = None,
 ) -> Tuple[ColumnLatency, ColumnEnergy]:
-    """The shared memory + static tail of both TRON run paths."""
+    """The shared memory + static tail of both TRON run paths.
+
+    ``extra_memory`` carries per-point (energy, latency) additions to
+    the memory side — the PIM offload spill/reduce — applied before the
+    static tail exactly as the scalar path does.
+    """
     memory_energy, memory_latency = weight_stream_columns(
         [cfg.memory for cfg in cols.configs],
         contexts,
@@ -237,6 +334,10 @@ def _finish(
         backends=[cfg.memory_backend for cfg in cols.configs],
         geometries=[cfg.hbm for cfg in cols.configs],
     )
+    if extra_memory is not None:
+        extra_e, extra_l = extra_memory
+        memory_energy = memory_energy + ColumnEnergy(memory_pj=extra_e)
+        memory_latency = memory_latency + ColumnLatency(memory_ns=extra_l)
     latency = compute_latency + memory_latency
     static_pj = cols.static_mw * latency.total
     energy = compute_energy + memory_energy + ColumnEnergy(static_pj=static_pj)
@@ -253,9 +354,14 @@ def evaluate_transformer(
     if model.seq_len < 1:
         raise ConfigurationError("model sequence length must be >= 1")
     cols = _TronColumns(configs, contexts)
+    offload = np.fromiter(
+        (cfg.memory_backend == "hbm-pim" for cfg in configs),
+        dtype=bool,
+        count=cols.n,
+    )
 
     mha_latency, mha_energy = _mha_block_columns(
-        cols, model.seq_len, model.d_model, model.num_heads
+        cols, model.seq_len, model.d_model, model.num_heads, offload=offload
     )
     ff_latency, ff_energy = _ff_block_columns(
         cols, model.seq_len, model.d_model, model.d_ff
@@ -270,8 +376,18 @@ def evaluate_transformer(
             model, bytes_per_value=max(bits // 8, 1)
         )
     )
+    extra_memory = (
+        _pim_extra_columns(cols, contexts, model, offload)
+        if offload.any()
+        else None
+    )
     latency, energy = _finish(
-        cols, contexts, ops_list, compute_latency, compute_energy
+        cols,
+        contexts,
+        ops_list,
+        compute_latency,
+        compute_energy,
+        extra_memory=extra_memory,
     )
 
     if model.kind is TransformerKind.VISION:

@@ -10,16 +10,23 @@ just the differential grid's corner points:
 - **monotonicity** — more bytes never cost less, in energy or latency;
 - **zero traffic costs zero** — every primitive, both backends;
 - **bank conflicts only hurt** — scattered access timing/energy bounds
-  sequential from above, and the analytic penalty scales the same way.
+  sequential from above, and the analytic penalty scales the same way;
+- **closed form == loop oracle** — the segment arithmetic every call
+  runs agrees with the retained per-burst walker (``_walk_*``) on any
+  geometry, any alignment, any corner: latencies bit-identical, energies
+  to 1e-12 relative;
+- **batch == scalar** — the vectorized ``*_batch`` evaluators reproduce
+  the scalar primitives element by element, exactly.
 """
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.context import ExecutionContext
+from repro.core.context import ExecutionContext, resolve_corner
 from repro.core.engine import (
     HBMGeometry,
     HBMMemoryModel,
@@ -36,6 +43,50 @@ SYSTEMS = [TRONConfig().memory, GHOSTConfig().memory]
 sizes = st.integers(min_value=1, max_value=1 << 16)
 seeds = st.integers(min_value=0, max_value=2**31 - 1)
 systems = st.sampled_from(SYSTEMS)
+
+#: Corner axis shared by the differential properties (None = no context).
+corners = st.sampled_from(
+    [None, "nominal", "typical", "slow-hot", "fast-cold"]
+)
+
+
+@st.composite
+def geometries(draw):
+    """Randomized :class:`HBMGeometry` inside its validation envelope."""
+    burst_bytes = draw(st.sampled_from([16, 32, 64]))
+    bursts_per_row = draw(st.integers(min_value=1, max_value=64))
+    refresh_interval = draw(st.floats(min_value=1000.0, max_value=8000.0))
+    return HBMGeometry(
+        bankgroups=draw(st.integers(min_value=1, max_value=8)),
+        banks_per_group=draw(st.integers(min_value=1, max_value=8)),
+        burst_bytes=burst_bytes,
+        row_bytes=burst_bytes * bursts_per_row,
+        trcd_ns=draw(st.floats(min_value=1.0, max_value=40.0)),
+        trp_ns=draw(st.floats(min_value=1.0, max_value=40.0)),
+        tfaw_ns=draw(st.floats(min_value=4.0, max_value=120.0)),
+        refresh_interval_ns=refresh_interval,
+        refresh_cycle_ns=draw(
+            st.floats(min_value=1.0, max_value=refresh_interval * 0.5)
+        ),
+        activate_energy_fraction=draw(
+            st.floats(min_value=0.01, max_value=0.99)
+        ),
+    )
+
+
+def _edge_sizes(geometry, channels):
+    """Alignment-critical byte counts for one geometry: empty, a single
+    byte, sub-burst, exactly one full row per channel, and one byte
+    either side of that row boundary."""
+    full_rows = geometry.row_bytes * channels
+    return [
+        0,
+        1,
+        geometry.burst_bytes - 1,
+        full_rows,
+        full_rows - 1,
+        full_rows + 1,
+    ]
 
 
 def _traced_model(system, seed=0):
@@ -195,6 +246,145 @@ class TestBankConflicts:
         assert math.isclose(
             penalized.energy_pj, base.energy_pj * penalty, rel_tol=1e-9
         )
+
+
+class TestClosedFormVsLoopOracle:
+    """The segment arithmetic every call runs (``_stream_compute`` /
+    ``_sequential_dram`` / ``_random_compute``) against the retained
+    per-burst walker (``_walk_*``): latencies bit-identical (same final
+    float expression over the same maxima), energies within 1e-12
+    relative (closed form vs correctly rounded ``math.fsum``)."""
+
+    @staticmethod
+    def _assert_pair(got, want):
+        assert got.latency_ns == want.latency_ns
+        assert math.isclose(got.energy_pj, want.energy_pj, rel_tol=1e-12)
+
+    @given(
+        system=systems,
+        geometry=geometries(),
+        num_bytes=sizes,
+        corner=corners,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_random_geometry_random_size(
+        self, system, geometry, num_bytes, corner
+    ):
+        ctx = None if corner is None else resolve_corner(corner, 0)
+        model = HBMMemoryModel(system, context=ctx, geometry=geometry)
+        self._assert_pair(
+            model._stream_compute(num_bytes), model._walk_stream(num_bytes)
+        )
+        self._assert_pair(
+            model._sequential_dram(num_bytes, "RD"),
+            model._walk_sequential(num_bytes),
+        )
+        self._assert_pair(
+            model._random_compute(num_bytes), model._walk_scattered(num_bytes)
+        )
+
+    @given(system=systems, geometry=geometries(), corner=corners)
+    @settings(max_examples=60, deadline=None)
+    def test_alignment_edges(self, system, geometry, corner):
+        """Empty, single-byte, sub-burst, exact full-rows-per-channel
+        and one byte either side of that boundary — where the ceil
+        arithmetic flips."""
+        ctx = None if corner is None else resolve_corner(corner, 0)
+        model = HBMMemoryModel(system, context=ctx, geometry=geometry)
+        for num_bytes in _edge_sizes(geometry, system.hbm.channels):
+            self._assert_pair(
+                model._stream_compute(num_bytes),
+                model._walk_stream(num_bytes),
+            )
+            self._assert_pair(
+                model._sequential_dram(num_bytes, "RD"),
+                model._walk_sequential(num_bytes),
+            )
+            self._assert_pair(
+                model._random_compute(num_bytes),
+                model._walk_scattered(num_bytes),
+            )
+
+    @given(system=systems, num_bytes=sizes, corner=corners)
+    @settings(max_examples=40, deadline=None)
+    def test_public_primitives_return_the_closed_form(
+        self, system, num_bytes, corner
+    ):
+        """What the memo caches *is* the closed form: the public
+        primitives agree with the walker too, memo on the path."""
+        ctx = None if corner is None else resolve_corner(corner, 0)
+        model = HBMMemoryModel(system, context=ctx)
+        self._assert_pair(
+            model.burst_offchip(num_bytes), model._walk_sequential(num_bytes)
+        )
+        self._assert_pair(
+            model.random_offchip(num_bytes, 4.0),
+            model._walk_scattered(num_bytes),
+        )
+
+
+class TestBatchMatchesScalar:
+    """The vectorized ``*_batch`` evaluators mirror the scalar float
+    expressions term by term — equality here is exact (``==``), not
+    approximate."""
+
+    #: Alignment-spanning sizes shared by both backends' batch checks.
+    BATCH_SIZES = [0, 1, 17, 31, 32, 33, 1023, 1024, 1025, 65536, 1 << 20]
+
+    @given(system=systems, geometry=geometries(), corner=corners)
+    @settings(max_examples=40, deadline=None)
+    def test_hbm_batch_elementwise_exact(self, system, geometry, corner):
+        ctx = None if corner is None else resolve_corner(corner, 0)
+        model = HBMMemoryModel(system, context=ctx, geometry=geometry)
+        nb = np.asarray(self.BATCH_SIZES, dtype=np.int64)
+        for batch, scalar in (
+            (model.stream_offchip_batch, model.stream_offchip),
+            (model.burst_offchip_batch, model.burst_offchip),
+            (model.store_offchip_batch, model.store_offchip),
+            (model.bounce_onchip_batch, model.bounce_onchip),
+        ):
+            energy, latency = batch(nb)
+            for i, n in enumerate(self.BATCH_SIZES):
+                want = scalar(int(n))
+                assert energy[i] == want.energy_pj, (scalar.__name__, n)
+                assert latency[i] == want.latency_ns, (scalar.__name__, n)
+        energy, latency = model.random_offchip_batch(nb, penalty=4.0)
+        for i, n in enumerate(self.BATCH_SIZES):
+            want = model.random_offchip(int(n), 4.0)
+            assert energy[i] == want.energy_pj
+            assert latency[i] == want.latency_ns
+
+    @given(system=systems, corner=corners, penalty=st.floats(1.0, 16.0))
+    @settings(max_examples=40, deadline=None)
+    def test_analytic_batch_elementwise_exact(self, system, corner, penalty):
+        ctx = None if corner is None else resolve_corner(corner, 0)
+        model = MemoryModel(system, context=ctx)
+        nb = np.asarray(self.BATCH_SIZES, dtype=np.int64)
+        for batch, scalar in (
+            (model.stream_offchip_batch, model.stream_offchip),
+            (model.burst_offchip_batch, model.burst_offchip),
+            (model.bounce_onchip_batch, model.bounce_onchip),
+        ):
+            energy, latency = batch(nb)
+            for i, n in enumerate(self.BATCH_SIZES):
+                want = scalar(int(n))
+                assert energy[i] == want.energy_pj, (scalar.__name__, n)
+                assert latency[i] == want.latency_ns, (scalar.__name__, n)
+        energy, latency = model.random_offchip_batch(nb, penalty=penalty)
+        for i, n in enumerate(self.BATCH_SIZES):
+            want = model.random_offchip(int(n), penalty)
+            assert energy[i] == want.energy_pj
+            assert latency[i] == want.latency_ns
+
+    def test_batch_penalty_below_one_rejected(self):
+        from repro.errors import ConfigurationError
+
+        for model in (
+            MemoryModel(SYSTEMS[0]),
+            HBMMemoryModel(SYSTEMS[0]),
+        ):
+            with pytest.raises(ConfigurationError, match="penalty"):
+                model.random_offchip_batch(np.asarray([64]), penalty=0.5)
 
 
 class TestBackendEquivalence:

@@ -35,6 +35,9 @@ from repro.core.reports import StackedRunReports
 from repro.photonics.variation import ProcessVariationModel
 
 
+MEMORY_BACKENDS = ("analytic", "hbm", "hbm-pim")
+
+
 def _random_tron_configs(rng, n):
     return [
         TRONConfig(
@@ -43,6 +46,7 @@ def _random_tron_configs(rng, n):
             array_cols=rng.choice((16, 32, 64, 128)),
             clock_ghz=rng.choice((1.25, 2.5, 5.0)),
             batch=rng.choice((1, 2, 8)),
+            memory_backend=rng.choice(MEMORY_BACKENDS),
         )
         for _ in range(n)
     ]
@@ -55,6 +59,7 @@ def _random_ghost_configs(rng, n):
             edge_units=rng.choice((4, 8, 32, 128)),
             use_balancing=rng.choice((True, False)),
             use_partitioning=rng.choice((True, False)),
+            memory_backend=rng.choice(MEMORY_BACKENDS),
         )
         for _ in range(n)
     ]
@@ -227,6 +232,42 @@ def test_mc_all_yield_gated_population():
     assert np.array_equal(soa.operational, naive.operational)
     assert np.array_equal(soa.latency_ns, naive.latency_ns, equal_nan=True)
     assert np.array_equal(soa.energy_pj, naive.energy_pj, equal_nan=True)
+
+
+@pytest.mark.parametrize("workload_name", ["BERT-base", "MLP-mnist"])
+def test_tron_pim_offload_columns_bit_identical(workload_name):
+    """A stack mixing hbm-pim with non-offload points must reproduce the
+    scalar offload restructuring (softmax-stage drop, spill + reduce
+    extras) exactly — the np.where dual-pipeline selection is invisible
+    in the numbers."""
+    rng = random.Random(17)
+    configs = [
+        replace(config, memory_backend=backend)
+        for config in _random_tron_configs(rng, 4)
+        for backend in ("hbm-pim", "analytic", "hbm")
+    ]
+    contexts = _random_contexts(rng, len(configs))
+    workload = get_workload(workload_name)
+    evaluator = soa_evaluator("TRON", workload.kind)
+    stacked = evaluator(configs, contexts, workload)
+    _assert_stack_matches_scalar(stacked, configs, contexts, TRON, workload)
+
+
+@pytest.mark.parametrize("workload_name", ["GCN-cora", "GAT-pubmed"])
+def test_ghost_pim_offload_columns_bit_identical(workload_name):
+    """GHOST's pim arm (aggregation offloaded to near-bank reduce, agg
+    stage zeroed, two-stage pipeline) through the column path."""
+    rng = random.Random(23)
+    configs = [
+        replace(config, memory_backend=backend)
+        for config in _random_ghost_configs(rng, 3)
+        for backend in ("hbm-pim", "hbm", "analytic")
+    ]
+    contexts = _random_contexts(rng, len(configs))
+    workload = get_workload(workload_name)
+    evaluator = soa_evaluator("GHOST", workload.kind)
+    stacked = evaluator(configs, contexts, workload)
+    _assert_stack_matches_scalar(stacked, configs, contexts, GHOST, workload)
 
 
 def test_pinned_context_parity_with_scalar():

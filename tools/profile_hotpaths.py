@@ -20,6 +20,11 @@ Targets:
   a saturated box; worker processes are outside the profile).  The
   ``wire_to_request``/``ExecutionContext.from_dict`` decode cost that
   motivated the fleet's type-id decode memo was found exactly here.
+- ``hbm-costing`` — the HBM(-PIM) memory primitives over a mixed
+  stream / burst / store / random workload at varied transfer sizes,
+  with the movement memo cleared between rounds so the closed-form
+  arithmetic (not cache hits) dominates the profile.  This is where the
+  per-burst Python walk showed up before it became segment arithmetic.
 
 Prints the top functions by cumulative time.
 """
@@ -36,7 +41,7 @@ sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
-TARGETS = ("sweep", "serving-dispatch")
+TARGETS = ("sweep", "serving-dispatch", "hbm-costing")
 
 
 def profile_sweep(naive: bool = False, top: int = 20) -> pstats.Stats:
@@ -92,6 +97,34 @@ def profile_serving_dispatch(top: int = 20, replays: int = 5) -> pstats.Stats:
     return stats
 
 
+def profile_hbm_costing(top: int = 20, rounds: int = 50) -> pstats.Stats:
+    """Profile the HBM(-PIM) primitives over a mixed cold workload."""
+    from repro.core.engine.hbm.geometry import HBMGeometry
+    from repro.core.engine.hbm.model import HBMMemoryModel
+    from repro.core.engine.movement import clear_movement_cache
+    from repro.electronics.memory import MemorySystem
+
+    model = HBMMemoryModel(MemorySystem(), geometry=HBMGeometry())
+    sizes = (4 * 1024, 64 * 1024, 1024 * 1024, 16 * 1024 * 1024)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(rounds):
+        # Cold rounds: clear the movement memo so the profile shows the
+        # closed-form arithmetic, not LRU hits.
+        clear_movement_cache()
+        for num_bytes in sizes:
+            model.stream_offchip(num_bytes)
+            model.burst_offchip(num_bytes)
+            model.store_offchip(num_bytes)
+            model.random_offchip(num_bytes, penalty=4.0)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    stats.print_stats(top)
+    return stats
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -111,6 +144,8 @@ def main() -> int:
     args = parser.parse_args()
     if args.target == "serving-dispatch":
         profile_serving_dispatch(top=args.top)
+    elif args.target == "hbm-costing":
+        profile_hbm_costing(top=args.top)
     else:
         profile_sweep(naive=args.naive, top=args.top)
     return 0

@@ -37,6 +37,7 @@ AUDITED_MODULES = (
     "repro.core.engine.diskcache",
     "repro.core.engine.memo",
     "repro.core.engine.membackend",
+    "repro.core.engine.movement",
     "repro.core.engine.hbm.geometry",
     "repro.core.engine.hbm.trace",
     "repro.core.engine.hbm.model",
