@@ -17,6 +17,10 @@ from typing import Dict, List
 
 from repro.analysis.figures import (
     FigureData,
+    ext_decode_epb,
+    ext_decode_gops,
+    ext_temporal_epb,
+    ext_temporal_gops,
     fig8_llm_epb,
     fig9_llm_gops,
     fig10_gnn_epb,
@@ -29,6 +33,19 @@ PAPER_CLAIMS = {
     "Fig. 9": 14.0,  # TRON throughput
     "Fig. 10": 3.8,  # GHOST energy efficiency
     "Fig. 11": 10.2,  # GHOST throughput
+}
+
+#: Streaming-extension floors.  Not paper claims — the paper's figures
+#: cover batch inference only.  These gate the repo's own finding: the
+#: headline wins *narrow* in the streaming regimes (low-intensity KV
+#: decode steps, repeated sparse aggregation over snapshots) but never
+#: invert, and the floors sit just under the measured minima so a cost-
+#: model regression that erodes them further fails ``repro claims``.
+STREAMING_CLAIMS = {
+    "Ext. decode EPB": 3.8,  # measured >= 4.0x
+    "Ext. decode GOPS": 1.5,  # measured >= 1.7x
+    "Ext. temporal EPB": 1.5,  # measured >= 1.6x
+    "Ext. temporal GOPS": 3.0,  # measured >= 3.4x
 }
 
 
@@ -70,6 +87,27 @@ def check_headline_claims() -> List[ClaimCheck]:
                 figure=name,
                 metric=data.metric,
                 claimed_min_ratio=PAPER_CLAIMS[name],
+                measured_min_ratio=data.min_win_ratio(),
+            )
+        )
+    return checks
+
+
+def check_streaming_claims() -> List[ClaimCheck]:
+    """Regenerate the streaming-extension figures and gate their floors."""
+    figures: Dict[str, FigureData] = {
+        "Ext. decode EPB": ext_decode_epb(),
+        "Ext. decode GOPS": ext_decode_gops(),
+        "Ext. temporal EPB": ext_temporal_epb(),
+        "Ext. temporal GOPS": ext_temporal_gops(),
+    }
+    checks = []
+    for name, data in figures.items():
+        checks.append(
+            ClaimCheck(
+                figure=name,
+                metric=data.metric,
+                claimed_min_ratio=STREAMING_CLAIMS[name],
                 measured_min_ratio=data.min_win_ratio(),
             )
         )

@@ -10,6 +10,13 @@ Each ``figN_*`` function returns a :class:`FigureData` holding the
 
 Workloads follow Section VI: multiple transformer models (BERT / GPT /
 ViT families) and multiple GNN models x datasets at 8-bit precision.
+
+The ``ext_*`` functions extend the same comparisons to the streaming
+regimes the paper's batch figures do not cover (autoregressive decode
+episodes on TRON, evolving-graph snapshot streams on GHOST): the wins
+narrow — decode is dominated by low-arithmetic-intensity KV steps and
+temporal snapshots repeat sparse aggregation — but both platforms keep
+beating every baseline on every streaming workload.
 """
 
 from __future__ import annotations
@@ -31,6 +38,16 @@ LLM_WORKLOADS = ("BERT-base", "BERT-large", "GPT-2", "ViT-base")
 
 #: The (model kind, hidden width, dataset) workloads of Figs. 10 and 11.
 GNN_WORKLOADS: Tuple[Tuple[GNNKind, int, str], ...] = GNN_WORKLOAD_SPECS
+
+#: The autoregressive decode episodes of the streaming extension.
+DECODE_WORKLOADS = ("decode-gpt2-small", "decode-gpt2-small-long")
+
+#: The evolving-graph streams of the streaming extension.
+TEMPORAL_WORKLOADS = (
+    "GCN-ba-temporal",
+    "GIN-rmat-temporal",
+    "GAT-sbm-temporal",
+)
 
 
 @dataclass(frozen=True)
@@ -132,5 +149,71 @@ def fig11_gnn_gops(ghost: Optional[GHOST] = None) -> FigureData:
         figure="Fig. 11",
         metric="gops",
         table=_gnn_table("gops", ghost),
+        our_platform="GHOST",
+    )
+
+
+def _decode_table(metric: str, tron: Optional[TRON] = None) -> ComparisonTable:
+    table = ComparisonTable(metric=metric)
+    tron = tron or TRON(TRONConfig(batch=8))
+    baselines = llm_baseline_platforms()
+    for name in DECODE_WORKLOADS:
+        workload = get_workload(name)
+        table.add(tron.run(workload))
+        for platform in baselines:
+            table.add(platform.run(workload))
+    return table
+
+
+def _temporal_table(
+    metric: str, ghost: Optional[GHOST] = None
+) -> ComparisonTable:
+    table = ComparisonTable(metric=metric)
+    ghost = ghost or GHOST()
+    baselines = gnn_baseline_platforms()
+    for name in TEMPORAL_WORKLOADS:
+        workload = get_workload(name)
+        table.add(ghost.run(workload))
+        for platform in baselines:
+            table.add(platform.run(workload))
+    return table
+
+
+def ext_decode_epb(tron: Optional[TRON] = None) -> FigureData:
+    """Extension: EPB on autoregressive decode episodes (Fig. 8 regime)."""
+    return FigureData(
+        figure="Ext. decode EPB",
+        metric="epb",
+        table=_decode_table("epb", tron),
+        our_platform="TRON",
+    )
+
+
+def ext_decode_gops(tron: Optional[TRON] = None) -> FigureData:
+    """Extension: throughput on decode episodes (Fig. 9 regime)."""
+    return FigureData(
+        figure="Ext. decode GOPS",
+        metric="gops",
+        table=_decode_table("gops", tron),
+        our_platform="TRON",
+    )
+
+
+def ext_temporal_epb(ghost: Optional[GHOST] = None) -> FigureData:
+    """Extension: EPB on evolving-graph streams (Fig. 10 regime)."""
+    return FigureData(
+        figure="Ext. temporal EPB",
+        metric="epb",
+        table=_temporal_table("epb", ghost),
+        our_platform="GHOST",
+    )
+
+
+def ext_temporal_gops(ghost: Optional[GHOST] = None) -> FigureData:
+    """Extension: throughput on evolving-graph streams (Fig. 11 regime)."""
+    return FigureData(
+        figure="Ext. temporal GOPS",
+        metric="gops",
+        table=_temporal_table("gops", ghost),
         our_platform="GHOST",
     )

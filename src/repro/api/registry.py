@@ -170,20 +170,25 @@ def list_platforms() -> List[str]:
 def resolve_platform(name: str, kind: WorkloadKind) -> str:
     """The concrete platform ``name`` denotes for a workload kind.
 
-    ``"auto"`` routes GNN workloads to GHOST and everything else to
-    TRON — the single routing rule the CLI, the serving layer and the
-    Session facade share.
+    ``"auto"`` routes graph workloads (static and temporal) to GHOST
+    and everything else to TRON — the single routing rule the CLI, the
+    serving layer and the Session facade share.
 
     Example:
         >>> resolve_platform("auto", WorkloadKind.GNN)
         'ghost'
+        >>> resolve_platform("auto", WorkloadKind.TEMPORAL_GNN)
+        'ghost'
         >>> resolve_platform("auto", WorkloadKind.TRANSFORMER)
+        'tron'
+        >>> resolve_platform("auto", WorkloadKind.DECODE)
         'tron'
         >>> resolve_platform("tron", WorkloadKind.MLP)
         'tron'
     """
     if name == "auto":
-        return "ghost" if kind is WorkloadKind.GNN else "tron"
+        graph_kinds = (WorkloadKind.GNN, WorkloadKind.TEMPORAL_GNN)
+        return "ghost" if kind in graph_kinds else "tron"
     get_platform_info(name)  # validate eagerly, with the helpful error
     return name
 

@@ -25,6 +25,7 @@ Example:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -76,12 +77,17 @@ class RunResult:
     #: ``None`` on the analytic default so its envelope stays
     #: byte-identical to pre-backend builds.
     memory: Optional[Dict[str, Any]] = None
+    #: Per-token decode-series block (decode workloads only); ``None``
+    #: everywhere else so existing envelopes stay byte-identical.
+    decode: Optional[Dict[str, Any]] = None
 
     def envelope(self) -> Dict[str, Any]:
         """The ``repro.run/1`` JSON envelope."""
         payload = self.report.to_dict()
         if self.memory is not None:
             payload["memory"] = self.memory
+        if self.decode is not None:
+            payload["decode"] = self.decode
         return json_envelope(
             "run",
             {"corner": self.corner, "seed": self.seed},
@@ -106,6 +112,13 @@ class RunResult:
             if path:
                 line += f" -> {path}"
             lines.append(line)
+        if self.decode is not None:
+            lines.append(
+                f"decode: {self.decode['tokens_per_second']:,.0f} tok/s, "
+                f"token latency {self.decode['first_token_ns'] / 1e3:.2f} -> "
+                f"{self.decode['last_token_ns'] / 1e3:.2f} us over "
+                f"{self.decode['generated_tokens']} tokens"
+            )
         return "\n".join(lines)
 
 
@@ -369,16 +382,28 @@ class TraceResult:
 
     records: List[Dict[str, Any]]
     output: Optional[str] = None
+    #: Arrival-spec hint stored in the trace (shaped traffic only).
+    arrivals: Optional[str] = None
 
     @property
     def distinct(self) -> int:
         """Distinct request types in the trace."""
-        return len({tuple(sorted(r.items())) for r in self.records})
+        # Canonical-JSON fingerprints: tenant-wrapped records nest the
+        # embedded spec, which sorted-items tuples cannot hash.
+        return len({json.dumps(r, sort_keys=True) for r in self.records})
+
+    @property
+    def tenants(self) -> List[str]:
+        """Tenant names appearing in the trace (sorted; empty when flat)."""
+        return sorted({r["tenant"] for r in self.records if "tenant" in r})
 
     def format(self) -> str:
         """The confirmation line the CLI prints."""
         where = f" to {self.output}" if self.output else ""
+        tenants = self.tenants
+        mix = f", {len(tenants)} tenants" if tenants else ""
+        shaped = f", arrivals {self.arrivals}" if self.arrivals else ""
         return (
             f"wrote {len(self.records)} requests "
-            f"({self.distinct} distinct types){where}"
+            f"({self.distinct} distinct types{mix}{shaped}){where}"
         )

@@ -124,6 +124,34 @@ _MEMORY_BLOCK = {
 }
 
 
+#: The optional decode block of a run envelope: the per-token series
+#: of a decode workload (absent everywhere else, so non-decode
+#: envelopes stay byte-identical).
+_DECODE_BLOCK = {
+    "type": "object",
+    "properties": {
+        "prompt_tokens": _POSITIVE_INT,
+        "generated_tokens": _POSITIVE_INT,
+        "tokens_per_second": _NUMBER,
+        "first_token_ns": _NUMBER,
+        "last_token_ns": _NUMBER,
+        "context": {"type": "array", "items": _POSITIVE_INT},
+        "per_token_ns": {"type": "array", "items": _NUMBER},
+        "per_token_pj": {"type": "array", "items": _NUMBER},
+    },
+    "required": [
+        "prompt_tokens",
+        "generated_tokens",
+        "tokens_per_second",
+        "first_token_ns",
+        "last_token_ns",
+        "context",
+        "per_token_ns",
+        "per_token_pj",
+    ],
+}
+
+
 #: The serving-engine accounting block (``ServingStats.to_dict``) —
 #: fleet runs emit the same shape with fleet-wide counters and
 #: open-loop (arrival-to-completion) latency percentiles.
@@ -276,11 +304,95 @@ def _envelope(
     }
 
 
+#: The declarative spec format (also embedded inside trace records).
+_SPEC_SCHEMA = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "properties": {
+        "schema": {"const": "repro.spec/1"},
+        "platform": {
+            "type": "object",
+            "properties": {
+                "name": _STRING,
+                "overrides": {"type": "object"},
+            },
+            "additionalProperties": False,
+        },
+        "workload": {"type": ["string", "null"]},
+        "context": {
+            "type": "object",
+            "properties": {
+                "corner": _STRING,
+                "seed": _NON_NEGATIVE_INT,
+                "tuner_range_nm": {
+                    "type": ["number", "null"],
+                    "exclusiveMinimum": 0,
+                },
+            },
+            "additionalProperties": False,
+        },
+        "analysis": {
+            "type": "object",
+            "properties": {
+                "kind": {
+                    "enum": ["run", "sweep", "mc", "corners", "serve"]
+                },
+                "samples": _POSITIVE_INT,
+                "vectorized": _BOOL,
+                "corners_axis": _BOOL,
+                "trace": {"type": ["string", "null"]},
+                "repeat": _POSITIVE_INT,
+                "window": _POSITIVE_INT,
+                "cache_entries": _POSITIVE_INT,
+                "batched_physics": _BOOL,
+                "workers": _NON_NEGATIVE_INT,
+                "arrivals": {"type": ["string", "null"]},
+            },
+            "additionalProperties": False,
+        },
+    },
+    "required": ["schema"],
+    "additionalProperties": False,
+}
+
+#: One trace record: the flat form, an embedded spec document, or the
+#: tenant-wrapped form the multi-tenant traffic model emits.
+_TRACE_RECORD = {
+    "oneOf": [
+        {
+            "type": "object",
+            "properties": {
+                "workload": _STRING,
+                "platform": _STRING,
+                "corner": _STRING,
+                "seed": _NON_NEGATIVE_INT,
+                "batch": _POSITIVE_INT,
+            },
+            "required": ["workload"],
+            "additionalProperties": False,
+        },
+        _SPEC_SCHEMA,
+        {
+            "type": "object",
+            "properties": {
+                "tenant": _STRING,
+                "spec": _SPEC_SCHEMA,
+            },
+            "required": ["tenant", "spec"],
+            "additionalProperties": False,
+        },
+    ]
+}
+
 SCHEMAS: Dict[str, Dict[str, Any]] = {
     "repro.run/1": _envelope(
         "run",
         {"corner": _STRING, "seed": _NON_NEGATIVE_INT},
-        {**_RUN_REPORT["properties"], "memory": _MEMORY_BLOCK},
+        {
+            **_RUN_REPORT["properties"],
+            "memory": _MEMORY_BLOCK,
+            "decode": _DECODE_BLOCK,
+        },
         list(_RUN_REPORT["required"]),
     ),
     "repro.mc/1": _envelope(
@@ -407,61 +519,14 @@ SCHEMAS: Dict[str, Dict[str, Any]] = {
         },
         ["path", "entries"],
     ),
-    "repro.spec/1": {
-        "$schema": "http://json-schema.org/draft-07/schema#",
-        "type": "object",
-        "properties": {
-            "schema": {"const": "repro.spec/1"},
-            "platform": {
-                "type": "object",
-                "properties": {
-                    "name": _STRING,
-                    "overrides": {"type": "object"},
-                },
-                "additionalProperties": False,
-            },
-            "workload": {"type": ["string", "null"]},
-            "context": {
-                "type": "object",
-                "properties": {
-                    "corner": _STRING,
-                    "seed": _NON_NEGATIVE_INT,
-                    "tuner_range_nm": {
-                        "type": ["number", "null"],
-                        "exclusiveMinimum": 0,
-                    },
-                },
-                "additionalProperties": False,
-            },
-            "analysis": {
-                "type": "object",
-                "properties": {
-                    "kind": {
-                        "enum": ["run", "sweep", "mc", "corners", "serve"]
-                    },
-                    "samples": _POSITIVE_INT,
-                    "vectorized": _BOOL,
-                    "corners_axis": _BOOL,
-                    "trace": {"type": ["string", "null"]},
-                    "repeat": _POSITIVE_INT,
-                    "window": _POSITIVE_INT,
-                    "cache_entries": _POSITIVE_INT,
-                    "batched_physics": _BOOL,
-                    "workers": _NON_NEGATIVE_INT,
-                    "arrivals": {"type": ["string", "null"]},
-                },
-                "additionalProperties": False,
-            },
-        },
-        "required": ["schema"],
-        "additionalProperties": False,
-    },
+    "repro.spec/1": _SPEC_SCHEMA,
     "repro.trace/1": {
         "$schema": "http://json-schema.org/draft-07/schema#",
         "type": "object",
         "properties": {
             "schema": {"const": "repro.trace/1"},
-            "requests": {"type": "array", "items": {"type": "object"}},
+            "requests": {"type": "array", "items": _TRACE_RECORD},
+            "arrivals": _STRING,
         },
         "required": ["schema", "requests"],
     },

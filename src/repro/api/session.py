@@ -135,7 +135,7 @@ class Session:
         """
         from repro.api.registry import get_platform, resolve_platform
         from repro.api.spec import ContextSpec
-        from repro.core.base import Workload, get_workload
+        from repro.core.base import Workload, WorkloadKind, get_workload
 
         if not isinstance(workload, Workload):
             workload = get_workload(workload)
@@ -191,8 +191,25 @@ class Session:
                 if trace_dump is not None:
                     trace.save(str(trace_dump))
                     memory["trace_path"] = str(trace_dump)
+        decode: Optional[Dict[str, Any]] = None
+        if workload.kind is WorkloadKind.DECODE:
+            # Surface the per-token series next to the episode totals
+            # (the stacked pass; bit-identical to the scalar loop).
+            series = accelerator.decode_series(workload, ctx=ctx)
+            generation = series.to_generation_report()
+            decode = {
+                "prompt_tokens": series.prompt_tokens,
+                "generated_tokens": series.generated_tokens,
+                "tokens_per_second": generation.tokens_per_second,
+                "first_token_ns": float(series.per_token_ns[0]),
+                "last_token_ns": float(series.per_token_ns[-1]),
+                "context": series.context.tolist(),
+                "per_token_ns": series.per_token_ns.tolist(),
+                "per_token_pj": series.per_token_pj.tolist(),
+            }
         return RunResult(
-            report=report, corner=corner, seed=seed, memory=memory
+            report=report, corner=corner, seed=seed, memory=memory,
+            decode=decode,
         )
 
     # ------------------------------------------------------------------
@@ -393,8 +410,11 @@ class Session:
                 stream over that many worker processes
                 (:class:`~repro.serving.fleet.ServingFleet`).
             arrivals: open-loop arrival spec (``poisson:RATE``,
-                ``bursty:RATE[:BURSTINESS]``, ``uniform:RATE``) — fleet
-                mode only; ``None`` replays closed-loop.
+                ``bursty:RATE[:BURSTINESS]``, ``uniform:RATE``, any of
+                them behind a ``diurnal:`` envelope prefix, or the
+                literal ``"trace"`` to adopt the replayed trace's
+                recorded arrival hint) — fleet mode only; ``None``
+                replays closed-loop.
             max_queue: fleet per-shard in-flight bound (admission
                 control sheds beyond it).
             tenant_rate: fleet per-tenant token-bucket rate (req/s).
@@ -403,9 +423,13 @@ class Session:
             seed: arrival-schedule seed (fleet open loop).
         """
         from repro.core.engine import physics_cache_stats
-        from repro.serving import ServingEngine, load_trace
+        from repro.serving import ServingEngine
         from repro.serving.request import ServeRequest
-        from repro.serving.trace import record_to_request
+        from repro.serving.trace import (
+            load_trace_payload,
+            record_tenant,
+            record_to_request,
+        )
 
         if (trace is None) == (requests is None):
             raise ConfigurationError(
@@ -416,18 +440,36 @@ class Session:
             raise ConfigurationError(
                 "open-loop arrivals need a worker fleet; pass workers >= 1"
             )
+        tenants: List[Optional[str]] = []
         if trace is not None:
-            stream = load_trace(trace)
+            payload = load_trace_payload(trace)
+            stream = [record_to_request(r) for r in payload["requests"]]
+            tenants = [record_tenant(r) for r in payload["requests"]]
+            if arrivals == "trace":
+                arrivals = payload.get("arrivals")
+                if arrivals is None:
+                    raise ConfigurationError(
+                        f"{trace} records no arrival hint; pass an "
+                        "explicit --arrivals spec"
+                    )
             label = str(trace)
         else:
+            if arrivals == "trace":
+                raise ConfigurationError(
+                    "arrivals='trace' needs a trace file to read the "
+                    "hint from"
+                )
             stream = []
             for item in requests:
                 if isinstance(item, ServeRequest):
                     stream.append(item)
+                    tenants.append(None)
                 elif isinstance(item, ExperimentSpec):
                     stream.append(ServeRequest.from_spec(item))
+                    tenants.append(None)
                 elif isinstance(item, Mapping):
                     stream.append(record_to_request(dict(item)))
+                    tenants.append(record_tenant(dict(item)))
                 else:
                     raise ConfigurationError(
                         f"cannot serve {item!r}; pass ServeRequests, "
@@ -438,6 +480,9 @@ class Session:
             return self._serve_fleet(
                 stream,
                 label,
+                tenants=(
+                    tenants if any(t is not None for t in tenants) else None
+                ),
                 repeat=repeat,
                 window=window,
                 cache_entries=cache_entries,
@@ -486,13 +531,14 @@ class Session:
         tenant_rate: Optional[float],
         granularity: str,
         seed: int,
+        tenants: Optional[Sequence[Optional[str]]] = None,
     ) -> ServeResult:
         """The fleet arm of :meth:`serve`: shard ``stream`` over worker
         processes, open-loop when an arrival spec is given."""
-        from repro.serving import ServingFleet, parse_arrivals
-        from repro.serving.fleet import merge_counters
+        from repro.serving.fleet import ServingFleet, merge_counters
+        from repro.streaming.traffic import parse_shaped_arrivals
 
-        process = parse_arrivals(arrivals) if arrivals else None
+        process = parse_shaped_arrivals(arrivals) if arrivals else None
         fleet = ServingFleet(
             workers=workers,
             window=window,
@@ -506,10 +552,13 @@ class Session:
         with fleet:
             for round_index in range(repeat):
                 if process is None:
-                    fleet.serve(stream)
+                    fleet.serve(stream, tenants=tenants)
                 else:
                     result = fleet.run_open_loop(
-                        stream, process, seed=seed + round_index
+                        stream,
+                        process,
+                        tenants=tenants,
+                        seed=seed + round_index,
                     )
                     open_loop.append(result.to_dict())
         worker_stats = [
@@ -548,20 +597,54 @@ class Session:
         catalog: int = 48,
         llm_fraction: float = 0.7,
         skew: float = 1.1,
+        tenants: int = 0,
+        shape: str = "flat",
+        rate: float = 500.0,
     ) -> TraceResult:
-        """Synthesize a mixed LLM+GNN request trace (optionally saved)."""
-        from repro.serving import generate_trace, save_trace
+        """Synthesize a request trace (optionally saved).
 
-        records = generate_trace(
-            num_requests=requests,
-            seed=seed,
-            catalog_size=catalog,
-            llm_fraction=llm_fraction,
-            skew=skew,
-        )
+        ``tenants == 0`` (the default) draws the classic single-catalog
+        flat-record mix; ``tenants >= 1`` routes through the
+        multi-tenant :class:`repro.streaming.traffic.TrafficModel`
+        (tenant-wrapped records over embedded specs, ``catalog`` split
+        as the per-tenant catalog size).  ``shape != "flat"`` stores an
+        arrival hint (``"<shape>:poisson:<rate>"``) in the trace so
+        replay can reproduce the intended open-loop schedule.
+        """
+        from repro.serving import save_trace
+
+        if tenants < 0:
+            raise ConfigurationError(f"tenants must be >= 0, got {tenants}")
+        if tenants:
+            from repro.streaming.traffic import generate_tenant_trace
+
+            records = generate_tenant_trace(
+                num_requests=requests,
+                num_tenants=tenants,
+                seed=seed,
+                catalog_size=catalog,
+                llm_fraction=llm_fraction,
+                skew=skew,
+            )
+        else:
+            from repro.serving import generate_trace
+
+            records = generate_trace(
+                num_requests=requests,
+                seed=seed,
+                catalog_size=catalog,
+                llm_fraction=llm_fraction,
+                skew=skew,
+            )
+        arrivals: Optional[str] = None
+        if shape != "flat":
+            from repro.streaming.traffic import parse_shaped_arrivals
+
+            arrivals = f"{shape}:poisson:{rate:g}"
+            parse_shaped_arrivals(arrivals)  # validate the hint eagerly
         if output is not None:
-            save_trace(records, output)
-        return TraceResult(records=records, output=output)
+            save_trace(records, output, arrivals=arrivals)
+        return TraceResult(records=records, output=output, arrivals=arrivals)
 
     # ------------------------------------------------------------------
     # Spec dispatch
@@ -678,14 +761,22 @@ class Session:
         )
 
     def claims(self) -> List:
-        """The paper's headline-claim checks (regenerated)."""
-        from repro.analysis.claims import check_headline_claims
+        """The paper's headline-claim checks plus the streaming-extension
+        floors (all regenerated)."""
+        from repro.analysis.claims import (
+            check_headline_claims,
+            check_streaming_claims,
+        )
 
-        return check_headline_claims()
+        return check_headline_claims() + check_streaming_claims()
 
     def figures(self) -> List:
-        """The regenerated Figs. 8-11 tables."""
+        """The regenerated Figs. 8-11 and streaming-extension tables."""
         from repro.analysis.figures import (
+            ext_decode_epb,
+            ext_decode_gops,
+            ext_temporal_epb,
+            ext_temporal_gops,
             fig8_llm_epb,
             fig9_llm_gops,
             fig10_gnn_epb,
@@ -694,7 +785,16 @@ class Session:
 
         return [
             fn()
-            for fn in (fig8_llm_epb, fig9_llm_gops, fig10_gnn_epb, fig11_gnn_gops)
+            for fn in (
+                fig8_llm_epb,
+                fig9_llm_gops,
+                fig10_gnn_epb,
+                fig11_gnn_gops,
+                ext_decode_epb,
+                ext_decode_gops,
+                ext_temporal_epb,
+                ext_temporal_gops,
+            )
         ]
 
     def cache_info(self) -> CacheResult:

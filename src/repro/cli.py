@@ -288,6 +288,9 @@ def _cmd_gen_trace(args) -> int:
         catalog=args.catalog,
         llm_fraction=args.llm_fraction,
         skew=args.skew,
+        tenants=args.tenants,
+        shape=args.shape,
+        rate=args.rate,
     )
     print(result.format())
     return 0
@@ -528,8 +531,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--arrivals",
         default=None,
         metavar="KIND:RATE[:BURST]",
-        help="open-loop offered load, e.g. poisson:5000 or "
-        "bursty:2000:16 (needs --workers)",
+        help="open-loop offered load, e.g. poisson:5000, "
+        "bursty:2000:16, diurnal:poisson:500, or 'trace' to adopt the "
+        "trace's recorded hint (needs --workers)",
     )
     serve.add_argument(
         "--max-queue",
@@ -572,6 +576,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.1,
         help="Zipf popularity exponent of the request types",
+    )
+    gen_trace.add_argument(
+        "--tenants",
+        type=int,
+        default=0,
+        help="multi-tenant traffic model: N tenants with per-tenant "
+        "catalogs of embedded specs (0 = classic flat records)",
+    )
+    gen_trace.add_argument(
+        "--shape",
+        choices=("flat", "diurnal"),
+        default="flat",
+        help="arrival-shape hint stored in the trace for open-loop "
+        "replay (serve --arrivals trace)",
+    )
+    gen_trace.add_argument(
+        "--rate",
+        type=float,
+        default=500.0,
+        help="mean offered rate (req/s) of the stored arrival hint",
     )
     _add_seed(gen_trace)
 

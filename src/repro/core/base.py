@@ -32,13 +32,15 @@ class WorkloadKind(Enum):
         >>> WorkloadKind("gnn").name
         'GNN'
         >>> [k.value for k in WorkloadKind]
-        ['transformer', 'gnn', 'mlp', 'suite']
+        ['transformer', 'gnn', 'mlp', 'suite', 'decode', 'temporal_gnn']
     """
 
     TRANSFORMER = "transformer"
     GNN = "gnn"
     MLP = "mlp"
     SUITE = "suite"
+    DECODE = "decode"
+    TEMPORAL_GNN = "temporal_gnn"
 
 
 class Workload(abc.ABC):
@@ -150,6 +152,8 @@ WORKLOAD_KIND_CONTRACTS: Dict[WorkloadKind, Sequence[str]] = {
     WorkloadKind.GNN: ("model_config", "graph"),
     WorkloadKind.MLP: ("layer_dims", "samples"),
     WorkloadKind.SUITE: ("parts",),
+    WorkloadKind.DECODE: ("model", "prompt_tokens", "generated_tokens"),
+    WorkloadKind.TEMPORAL_GNN: ("model_config", "snapshots"),
 }
 
 

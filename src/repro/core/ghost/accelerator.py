@@ -11,6 +11,7 @@ penalty.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
@@ -25,6 +26,7 @@ from repro.core.engine import (
     overlapped_stage_latency_ns,
     serial_waves,
 )
+from repro.core.engine.memo import LRUMemo
 from repro.core.ghost.aggregate import AggregateBlock
 from repro.core.ghost.combine import CombineBlock
 from repro.core.ghost.config import GHOSTConfig
@@ -80,6 +82,12 @@ class GHOST(Accelerator):
             geometry=self.config.hbm,
         )
         self._context_clones: Dict[ExecutionContext, "GHOST"] = {}
+        # Stage-cost memo: aggregate/combine/update/memory layer costs
+        # keyed on exactly the inputs they depend on, so re-running on
+        # evolving graph snapshots (temporal streams) reuses every stage
+        # the delta left untouched — bit-identically, since the cached
+        # value IS the value the stage would recompute.
+        self._stage_memo = LRUMemo(max_entries=512)
 
     @property
     def name(self) -> str:
@@ -137,6 +145,15 @@ class GHOST(Accelerator):
             # Figure tables key rows on the registry name, not the
             # graph-annotated label run_gnn produces for ad-hoc calls.
             return replace(report, workload=workload.name)
+        if workload.kind is WorkloadKind.TEMPORAL_GNN:
+            # Local import: the streaming package layers on top of the
+            # core accelerators.
+            from repro.streaming.temporal import run_temporal
+
+            temporal = run_temporal(
+                engine, workload.model_config, workload.snapshots
+            )
+            return replace(temporal.total, workload=workload.name)
         if workload.kind is WorkloadKind.MLP:
             return engine.run_mlp(workload)
         raise MappingError(
@@ -216,12 +233,42 @@ class GHOST(Accelerator):
         )
         return energy, latency
 
+    def _memoized(self, key: tuple, compute):
+        """Stage-cost lookup: cached value or ``compute()``, recorded."""
+        sentinel = object()
+        value = self._stage_memo.get(key, sentinel)
+        if value is sentinel:
+            value = compute()
+            self._stage_memo.put(key, value)
+        return value
+
+    def stage_memo_stats(self) -> Dict[str, float]:
+        """Hit/miss accounting of the stage-cost memo (JSON-friendly).
+
+        Temporal streams read this to surface how much of each
+        snapshot's evaluation was reused from the previous deltas."""
+        return self._stage_memo.stats.to_dict()
+
+    def reset_stage_memo(self) -> None:
+        """Drop cached stage costs and zero the accounting (cold start)."""
+        self._stage_memo.clear()
+        self._stage_memo.reset_stats()
+
+    @staticmethod
+    def _degree_digest(graph: CSRGraph) -> bytes:
+        """Digest of the degree array — everything the aggregate stage's
+        cost depends on besides the block configuration."""
+        return hashlib.blake2b(
+            np.ascontiguousarray(graph.degrees()).tobytes(), digest_size=16
+        ).digest()
+
     def run_gnn(self, model: GNNConfig, graph: CSRGraph) -> RunReport:
         """Estimate one full-graph inference (Figs. 10 and 11 path)."""
         if graph.num_nodes < 1:
             raise ConfigurationError("graph must have at least one node")
         cfg = self.config
         pim_offload = getattr(self.memory_model, "pim_active", False)
+        degree_digest = self._degree_digest(graph)
         total_latency = LatencyReport()
         total_energy = EnergyReport()
         for layer_idx, (d_in, d_out) in enumerate(model.layer_dims()):
@@ -232,13 +279,18 @@ class GHOST(Accelerator):
             # is routed through the transform arrays (see CombineBlock).
             base_macs = graph.num_nodes * d_in * d_out
             extra_macs = max(ops.macs - base_macs, 0)
-            comb = self.combine.layer_cost(
-                graph.num_nodes, d_in, d_out, extra_macs=extra_macs
+            comb = self._memoized(
+                ("combine", graph.num_nodes, d_in, d_out, extra_macs),
+                lambda: self.combine.layer_cost(
+                    graph.num_nodes, d_in, d_out, extra_macs=extra_macs
+                ),
             )
-            upd = self.update.layer_cost(
-                graph.num_nodes,
-                d_out,
-                final_softmax=(layer_idx == model.num_layers - 1),
+            final_softmax = layer_idx == model.num_layers - 1
+            upd = self._memoized(
+                ("update", graph.num_nodes, d_out, final_softmax),
+                lambda: self.update.layer_cost(
+                    graph.num_nodes, d_out, final_softmax=final_softmax
+                ),
             )
             if pim_offload:
                 # Gather runs near the banks: no aggregate stage on the
@@ -248,19 +300,32 @@ class GHOST(Accelerator):
                     comb.latency.total_ns,
                     upd.latency.total_ns,
                 ]
-                mem_energy, mem_latency = self._pim_memory_cost(
-                    graph, d_in, d_out
+                mem_energy, mem_latency = self._memoized(
+                    (
+                        "pim-memory",
+                        graph.num_nodes,
+                        graph.num_edges,
+                        d_in,
+                        d_out,
+                    ),
+                    lambda: self._pim_memory_cost(graph, d_in, d_out),
                 )
             else:
-                agg = self.aggregate.layer_cost(graph, d_in, model.reduction)
+                agg = self._memoized(
+                    ("aggregate", degree_digest, d_in, model.reduction),
+                    lambda: self.aggregate.layer_cost(
+                        graph, d_in, model.reduction
+                    ),
+                )
                 agg_energy = agg.energy
                 stage_latencies = [
                     agg.latency.total_ns,
                     comb.latency.total_ns,
                     upd.latency.total_ns,
                 ]
-                mem_energy, mem_latency = self._memory_cost(
-                    graph, d_in, d_out
+                mem_energy, mem_latency = self._memoized(
+                    ("memory", graph.num_nodes, graph.num_edges, d_in, d_out),
+                    lambda: self._memory_cost(graph, d_in, d_out),
                 )
             # Pipelining: aggregate / combine / update overlap across
             # vertices, so the layer runs at the slowest stage plus the

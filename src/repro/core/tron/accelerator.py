@@ -123,9 +123,50 @@ class TRON(Accelerator):
             return engine.run_transformer(workload.model)
         if workload.kind is WorkloadKind.MLP:
             return engine.run_mlp(workload)
+        if workload.kind is WorkloadKind.DECODE:
+            return engine.run_decode(workload)
         raise MappingError(
             f"TRON cannot execute {workload.kind.value!r} workload "
             f"{workload.name!r}"
+        )
+
+    def decode_series(
+        self,
+        workload: Workload,
+        ctx: Optional[ExecutionContext] = None,
+    ):
+        """Per-token decode series of a DECODE workload (stacked path).
+
+        Returns a :class:`repro.streaming.decode.DecodeSeries`; the
+        streaming CLI/session layers read token-level columns from it.
+        """
+        # Local import: the streaming package layers on top of the core.
+        from repro.streaming.decode import decode_series
+
+        engine = self._bound(ctx)
+        return decode_series(
+            engine,
+            workload.model,
+            prompt_tokens=workload.prompt_tokens,
+            generated_tokens=workload.generated_tokens,
+        )
+
+    def run_decode(self, workload: Workload) -> RunReport:
+        """Whole prompt + generate episode as one RunReport.
+
+        Latency/energy/ops are the prefill pass plus the decode totals
+        of the stacked per-token series (bit-identical to the scalar
+        :func:`repro.core.tron.generation.run_generation` loop).
+        """
+        series = self.decode_series(workload)
+        report = series.to_generation_report()
+        return RunReport(
+            platform=self.name,
+            workload=workload.name,
+            ops=report.prefill.ops + report.decode_ops,
+            latency=report.prefill.latency + report.decode_latency,
+            energy=report.prefill.energy + report.decode_energy,
+            bits_per_value=report.prefill.bits_per_value,
         )
 
     # ------------------------------------------------------------------

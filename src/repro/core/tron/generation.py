@@ -26,6 +26,7 @@ clock matter most.  The model accounts:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import List
 
 from repro.core.reports import EnergyReport, LatencyReport, RunReport
 from repro.errors import ConfigurationError
@@ -111,41 +112,49 @@ def decode_step_ops(config: TransformerConfig, context_len: int) -> OpCount:
     return per_layer.scaled(config.num_layers)
 
 
-def run_generation(
-    tron,
-    model: TransformerConfig,
-    prompt_tokens: int = 128,
-    generated_tokens: int = 128,
-) -> GenerationReport:
-    """Cost a prompt + generate episode on a TRON instance.
+@dataclass(frozen=True)
+class DecodeStepCost:
+    """Cost of generating ONE token at a given KV-cache context length.
 
-    Args:
-        tron: a :class:`repro.core.tron.TRON` accelerator.
-        model: a decoder-style transformer config (its ``seq_len`` is
-            overridden by the episode shape).
-        prompt_tokens: prompt length for the prefill pass.
-        generated_tokens: tokens generated autoregressively.
+    The scalar unit of the decode-phase model: :func:`run_generation`
+    folds a list of these into episode totals, and the streaming
+    subsystem (:mod:`repro.streaming.decode`) exposes the same list as
+    per-token series columns.
     """
+
+    context: int
+    latency: LatencyReport
+    energy: EnergyReport
+    ops: OpCount
+
+
+def _validate_episode(
+    model: TransformerConfig, prompt_tokens: int, generated_tokens: int
+) -> None:
     if model.kind is not TransformerKind.DECODER_ONLY:
         raise ConfigurationError(
             f"generation requires a decoder-only model, got {model.kind}"
         )
     if prompt_tokens < 1 or generated_tokens < 1:
         raise ConfigurationError("prompt and generation lengths must be >= 1")
+
+
+def decode_step_reports(
+    tron,
+    model: TransformerConfig,
+    prompt_tokens: int,
+    generated_tokens: int,
+) -> List[DecodeStepCost]:
+    """Per-token decode costs for one episode — the scalar step loop.
+
+    One :class:`DecodeStepCost` per generated token, in generation
+    order; the KV context grows by one each step, shifting the op/byte
+    mix from weight-dominated toward KV-cache-dominated.  The stacked
+    SoA evaluator (:func:`repro.streaming.decode.decode_series`) is
+    validated bit-identical against this loop.
+    """
+    _validate_episode(model, prompt_tokens, generated_tokens)
     cfg = tron.config
-
-    prefill_config = TransformerConfig(
-        name=model.name,
-        kind=model.kind,
-        num_layers=model.num_layers,
-        d_model=model.d_model,
-        num_heads=model.num_heads,
-        d_ff=model.d_ff,
-        seq_len=prompt_tokens,
-        vocab_size=model.vocab_size,
-    )
-    prefill = tron.run_transformer(prefill_config)
-
     head_unit = tron.mha_unit.head_unit
     array = head_unit.executor
     cycle_ns = cfg.cycle_ns
@@ -155,11 +164,8 @@ def run_generation(
     breakdown = array.energy_breakdown_pj(
         weight_refresh_cycles=cfg.weight_refresh_cycles
     )
-    cycle_pj = sum(breakdown.values())
 
-    total_latency = LatencyReport()
-    total_energy = EnergyReport()
-    total_ops = OpCount()
+    steps: List[DecodeStepCost] = []
     for step in range(generated_tokens):
         context = prompt_tokens + step + 1
         # Optical cycles per layer for one token (batch = 1 everywhere):
@@ -192,10 +198,8 @@ def run_generation(
         stall_ns = max(weight_ns - compute_ns, 0.0) + mem_ns
 
         active_cycles = layer_cycles * model.num_layers
-        total_latency = total_latency + LatencyReport(
-            compute_ns=compute_ns, memory_ns=stall_ns
-        )
-        total_energy = total_energy + EnergyReport(
+        latency = LatencyReport(compute_ns=compute_ns, memory_ns=stall_ns)
+        energy = EnergyReport(
             laser_pj=active_cycles * breakdown["laser_pj"],
             tuning_pj=active_cycles * breakdown["tuning_pj"],
             dac_pj=active_cycles * breakdown["dac_pj"],
@@ -204,11 +208,67 @@ def run_generation(
             * model.num_layers,
             memory_pj=mem_pj + weight_pj,
         )
-        total_ops = total_ops + ops
+        steps.append(
+            DecodeStepCost(
+                context=context, latency=latency, energy=energy, ops=ops
+            )
+        )
+    return steps
 
-    static_pj = (
-        cfg.control.power_mw + cfg.memory.global_buffer.leakage_mw
-    ) * total_latency.total_ns
+
+def static_power_mw(tron) -> float:
+    """Static power charged over the whole decode phase (control +
+    buffer leakage), in mW — multiplied by total ns it yields pJ."""
+    cfg = tron.config
+    return cfg.control.power_mw + cfg.memory.global_buffer.leakage_mw
+
+
+def prefill_report(
+    tron, model: TransformerConfig, prompt_tokens: int
+) -> RunReport:
+    """The prompt pass: one full forward at ``seq_len = prompt_tokens``."""
+    prefill_config = TransformerConfig(
+        name=model.name,
+        kind=model.kind,
+        num_layers=model.num_layers,
+        d_model=model.d_model,
+        num_heads=model.num_heads,
+        d_ff=model.d_ff,
+        seq_len=prompt_tokens,
+        vocab_size=model.vocab_size,
+    )
+    return tron.run_transformer(prefill_config)
+
+
+def run_generation(
+    tron,
+    model: TransformerConfig,
+    prompt_tokens: int = 128,
+    generated_tokens: int = 128,
+) -> GenerationReport:
+    """Cost a prompt + generate episode on a TRON instance.
+
+    Args:
+        tron: a :class:`repro.core.tron.TRON` accelerator.
+        model: a decoder-style transformer config (its ``seq_len`` is
+            overridden by the episode shape).
+        prompt_tokens: prompt length for the prefill pass.
+        generated_tokens: tokens generated autoregressively.
+    """
+    _validate_episode(model, prompt_tokens, generated_tokens)
+    prefill = prefill_report(tron, model, prompt_tokens)
+
+    total_latency = LatencyReport()
+    total_energy = EnergyReport()
+    total_ops = OpCount()
+    for step in decode_step_reports(
+        tron, model, prompt_tokens, generated_tokens
+    ):
+        total_latency = total_latency + step.latency
+        total_energy = total_energy + step.energy
+        total_ops = total_ops + step.ops
+
+    static_pj = static_power_mw(tron) * total_latency.total_ns
     total_energy = total_energy + EnergyReport(static_pj=static_pj)
     return GenerationReport(
         prefill=prefill,

@@ -17,11 +17,28 @@ from repro.errors import ConfigurationError
 from repro.graphs.graph import CSRGraph
 
 
+def _resolve_rng(
+    rng: Optional[np.random.Generator], seed: Optional[int]
+) -> np.random.Generator:
+    """Resolve the ``rng``/``seed`` pair every generator accepts.
+
+    ``seed`` derives a fresh :class:`numpy.random.Generator`, so callers
+    (temporal delta streams, tests) control determinism without sharing
+    a generator object.  Passing both is ambiguous and rejected.
+    """
+    if rng is not None and seed is not None:
+        raise ConfigurationError("pass rng or seed, not both")
+    if seed is not None:
+        return np.random.default_rng(seed)
+    return rng or np.random.default_rng(0)
+
+
 def erdos_renyi(
     num_nodes: int,
     edge_probability: float,
     rng: Optional[np.random.Generator] = None,
     num_node_features: int = 0,
+    seed: Optional[int] = None,
 ) -> CSRGraph:
     """Erdős–Rényi G(n, p) undirected graph."""
     if num_nodes < 1:
@@ -30,7 +47,7 @@ def erdos_renyi(
         raise ConfigurationError(
             f"edge probability must be in [0, 1], got {edge_probability}"
         )
-    rng = rng or np.random.default_rng(0)
+    rng = _resolve_rng(rng, seed)
     upper = rng.random((num_nodes, num_nodes)) < edge_probability
     upper = np.triu(upper, k=1)
     sources, targets = np.nonzero(upper)
@@ -47,6 +64,7 @@ def barabasi_albert(
     attachment: int,
     rng: Optional[np.random.Generator] = None,
     num_node_features: int = 0,
+    seed: Optional[int] = None,
 ) -> CSRGraph:
     """Barabási–Albert preferential-attachment graph (power-law degrees)."""
     if num_nodes < 2:
@@ -55,7 +73,7 @@ def barabasi_albert(
         raise ConfigurationError(
             f"attachment must be in [1, num_nodes), got {attachment}"
         )
-    rng = rng or np.random.default_rng(0)
+    rng = _resolve_rng(rng, seed)
     edges = []
     # Seed clique of `attachment + 1` nodes.
     seed_size = attachment + 1
@@ -85,6 +103,7 @@ def rmat(
     c: float = 0.19,
     rng: Optional[np.random.Generator] = None,
     num_node_features: int = 0,
+    seed: Optional[int] = None,
 ) -> CSRGraph:
     """R-MAT (recursive matrix) generator — Graph500-style skewed graphs.
 
@@ -98,7 +117,7 @@ def rmat(
     d = 1.0 - a - b - c
     if min(a, b, c, d) < 0.0:
         raise ConfigurationError("quadrant probabilities must be >= 0 and sum <= 1")
-    rng = rng or np.random.default_rng(0)
+    rng = _resolve_rng(rng, seed)
     num_nodes = 1 << scale
     num_edges = num_nodes * edge_factor
     sources = np.zeros(num_edges, dtype=np.int64)
@@ -125,6 +144,7 @@ def stochastic_block_model(
     p_between: float,
     rng: Optional[np.random.Generator] = None,
     num_node_features: int = 0,
+    seed: Optional[int] = None,
 ) -> CSRGraph:
     """Stochastic block model with uniform within/between probabilities."""
     block_sizes = list(block_sizes)
@@ -133,7 +153,7 @@ def stochastic_block_model(
     for name, p in (("p_within", p_within), ("p_between", p_between)):
         if not 0.0 <= p <= 1.0:
             raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
-    rng = rng or np.random.default_rng(0)
+    rng = _resolve_rng(rng, seed)
     num_nodes = sum(block_sizes)
     labels = np.repeat(np.arange(len(block_sizes)), block_sizes)
     same_block = labels[:, None] == labels[None, :]

@@ -16,6 +16,17 @@ resolves to an :class:`~repro.core.context.ExecutionContext` through
 :func:`repro.core.context.resolve_corner` — the same rule the CLI's
 ``--corner``/``--seed`` flags use.
 
+Besides the flat form, a record may be an embedded run-kind
+``repro.spec/1`` document (recognized by its ``schema`` field), or the
+*tenant-wrapped* form the multi-tenant traffic model
+(:mod:`repro.streaming.traffic`) emits::
+
+    {"tenant": "tenant-0", "spec": {"schema": "repro.spec/1", ...}}
+
+The optional top-level ``"arrivals"`` field records the arrival spec
+the trace was shaped for (e.g. ``"diurnal:poisson:500"``) so replay
+tooling can reproduce the intended open-loop schedule.
+
 :func:`generate_trace` synthesizes realistic mixed LLM+GNN traffic: a
 bounded catalog of distinct request types (workload x corner x die x
 batch) sampled under a Zipf popularity law, which is what gives real
@@ -27,7 +38,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -76,9 +87,12 @@ BATCH_WEIGHTS = {1: 0.5, 8: 0.3, 32: 0.2}
 def record_to_request(record: Dict) -> ServeRequest:
     """A trace record (plain dict) as a :class:`ServeRequest`.
 
-    A record is either the flat trace form below, or an embedded
-    run-kind ``repro.spec/1`` document (recognized by its ``schema``
-    field) — declarative specs serve directly.
+    A record is the flat trace form below, an embedded run-kind
+    ``repro.spec/1`` document (recognized by its ``schema`` field), or
+    the tenant-wrapped form ``{"tenant": ..., "spec": <spec doc>}``
+    (recognized by its ``spec`` field) — declarative specs serve
+    directly either way; the wrapper only adds the tenant identity
+    (read it with :func:`record_tenant`).
 
     Example:
         >>> record_to_request({"workload": "BERT-base"}).batch
@@ -89,7 +103,25 @@ def record_to_request(record: Dict) -> ServeRequest:
         >>> record_to_request({"schema": "repro.spec/1",
         ...                    "workload": "BERT-base"}).workload
         'BERT-base'
+        >>> record_to_request({"tenant": "acme",
+        ...     "spec": {"schema": "repro.spec/1",
+        ...              "workload": "GPT-2"}}).workload
+        'GPT-2'
     """
+    if "spec" in record:
+        extra = set(record) - {"tenant", "spec"}
+        if extra:
+            raise ConfigurationError(
+                f"tenant-wrapped trace record has unknown field(s) "
+                f"{sorted(extra)}; known fields: ['spec', 'tenant']"
+            )
+        spec = record["spec"]
+        if not isinstance(spec, dict) or "schema" not in spec:
+            raise ConfigurationError(
+                "a trace record's 'spec' must be an embedded repro.spec/1 "
+                f"document, got {spec!r}"
+            )
+        return ServeRequest.from_spec(spec)
     if "schema" in record:
         return ServeRequest.from_spec(record)
     if "workload" not in record:
@@ -111,8 +143,21 @@ def record_to_request(record: Dict) -> ServeRequest:
     )
 
 
-def load_trace(path: Union[str, pathlib.Path]) -> List[ServeRequest]:
-    """Parse a trace file into requests (validating the schema tag)."""
+def record_tenant(record: Dict) -> Optional[str]:
+    """The tenant a trace record belongs to, if it names one.
+
+    Example:
+        >>> record_tenant({"workload": "BERT-base"}) is None
+        True
+        >>> record_tenant({"tenant": "acme", "spec": {"schema": "x"}})
+        'acme'
+    """
+    tenant = record.get("tenant")
+    return str(tenant) if tenant is not None else None
+
+
+def load_trace_payload(path: Union[str, pathlib.Path]) -> Dict:
+    """The raw validated payload of a trace file (schema-checked)."""
     payload = json.loads(pathlib.Path(path).read_text())
     if not isinstance(payload, dict) or "requests" not in payload:
         raise ConfigurationError(
@@ -125,14 +170,28 @@ def load_trace(path: Union[str, pathlib.Path]) -> List[ServeRequest]:
             f"{path}: unsupported trace schema {schema!r} "
             f"(this build reads {TRACE_SCHEMA!r})"
         )
+    return payload
+
+
+def load_trace(path: Union[str, pathlib.Path]) -> List[ServeRequest]:
+    """Parse a trace file into requests (validating the schema tag)."""
+    payload = load_trace_payload(path)
     return [record_to_request(record) for record in payload["requests"]]
 
 
 def save_trace(
-    records: Sequence[Dict], path: Union[str, pathlib.Path]
+    records: Sequence[Dict],
+    path: Union[str, pathlib.Path],
+    arrivals: Optional[str] = None,
 ) -> None:
-    """Write trace records to ``path`` in the interchange format."""
-    payload = {"schema": TRACE_SCHEMA, "requests": list(records)}
+    """Write trace records to ``path`` in the interchange format.
+
+    ``arrivals``, when given, is stored as the trace's arrival-spec
+    hint (the open-loop schedule the trace was generated for).
+    """
+    payload: Dict = {"schema": TRACE_SCHEMA, "requests": list(records)}
+    if arrivals is not None:
+        payload["arrivals"] = str(arrivals)
     pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
 
 

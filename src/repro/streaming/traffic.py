@@ -1,0 +1,378 @@
+"""Multi-tenant traffic model: per-tenant catalogs + shaped arrivals.
+
+The stock :func:`repro.serving.trace.generate_trace` draws one global
+Zipf catalog — fine for cache studies, but production serving load is
+*multi-tenant*: each tenant has its own (skewed) request catalog and its
+own share of the offered rate, and the aggregate rate follows diurnal
+cycles with bursts riding on top.  This module composes all three:
+
+- :class:`TenantProfile` / :class:`TrafficModel` — per-tenant Zipf
+  catalogs of embedded run-kind ``repro.spec/1`` documents, emitted as
+  ``repro.trace/1`` records that replay deterministically through
+  :class:`~repro.serving.engine.ServingEngine` and
+  :class:`~repro.serving.fleet.ServingFleet`;
+- :class:`ShapedArrivalProcess` — a diurnal rate envelope composed with
+  the existing open-loop kinds (uniform/poisson/bursty) by
+  time-rescaling, so bursts ride on the daily cycle.
+
+Example:
+    >>> model = TrafficModel.uniform_tenants(3, seed=11)
+    >>> records = model.generate(num_requests=8)
+    >>> sorted(records[0]) == ['spec', 'tenant']
+    True
+    >>> records == model.generate(num_requests=8)   # deterministic
+    True
+    >>> parse_shaped_arrivals("diurnal:poisson:500").describe()
+    'diurnal:poisson:500'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.serving.arrivals import ArrivalProcess, parse_arrivals
+from repro.serving.trace import (
+    BATCH_WEIGHTS,
+    CORNER_WEIGHTS,
+    GNN_WORKLOADS,
+    LLM_WORKLOADS,
+)
+
+#: Arrival-shape envelopes ShapedArrivalProcess supports.
+ARRIVAL_SHAPES = ("flat", "diurnal")
+
+
+def diurnal_rate_curve(
+    times_s: np.ndarray, period_s: float, amplitude: float
+) -> np.ndarray:
+    """Rate multiplier of the diurnal envelope at ``times_s``.
+
+    A sinusoid around 1.0: troughs at ``1 - amplitude``, peaks at
+    ``1 + amplitude`` — the long-run mean rate is preserved.
+
+    Example:
+        >>> curve = diurnal_rate_curve(np.array([0.0, 15.0]), 60.0, 0.8)
+        >>> [round(float(m), 3) for m in curve]
+        [1.0, 1.8]
+    """
+    if period_s <= 0.0:
+        raise ConfigurationError(f"period must be > 0 s, got {period_s}")
+    if not 0.0 < amplitude < 1.0:
+        raise ConfigurationError(
+            f"amplitude must be in (0, 1), got {amplitude}"
+        )
+    return 1.0 + amplitude * np.sin(2.0 * np.pi * np.asarray(times_s) / period_s)
+
+
+@dataclass(frozen=True)
+class ShapedArrivalProcess(ArrivalProcess):
+    """An arrival process with a rate-envelope shape on top.
+
+    ``flat`` is the base process unchanged; ``diurnal`` warps the base
+    schedule by time-rescaling through the cumulative intensity of
+    :func:`diurnal_rate_curve`, so arrivals bunch at the peak and
+    stretch through the trough while the long-run mean rate (and the
+    base process's burst structure) is preserved.
+
+    Example:
+        >>> shaped = ShapedArrivalProcess("poisson", 100.0, shape="diurnal")
+        >>> flat = ArrivalProcess("poisson", 100.0)
+        >>> times, base = shaped.times(64, seed=3), flat.times(64, seed=3)
+        >>> len(times) == 64 and bool((np.diff(times) >= 0.0).all())
+        True
+        >>> bool((times != base).any())     # the warp moved arrivals
+        True
+    """
+
+    shape: str = "diurnal"
+    period_s: float = 60.0
+    amplitude: float = 0.8
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.shape not in ARRIVAL_SHAPES:
+            raise ConfigurationError(
+                f"unknown arrival shape {self.shape!r}; "
+                f"pick one of {ARRIVAL_SHAPES}"
+            )
+        if self.period_s <= 0.0:
+            raise ConfigurationError(
+                f"period must be > 0 s, got {self.period_s}"
+            )
+        if not 0.0 < self.amplitude < 1.0:
+            raise ConfigurationError(
+                f"amplitude must be in (0, 1), got {self.amplitude}"
+            )
+
+    def times(self, num_requests: int, seed: int = 0) -> np.ndarray:
+        base = super().times(num_requests, seed=seed)
+        if self.shape == "flat":
+            return base
+        # Time-rescaling: the base schedule realizes the cumulative
+        # intensity targets rate * t; invert the diurnal cumulative
+        # intensity at those targets on a fine monotone grid.
+        targets = self.rate_rps * base
+        horizon = (
+            float(base[-1]) / (1.0 - self.amplitude) + self.period_s
+        )
+        grid = np.linspace(0.0, horizon, 8192)
+        cumulative = self.rate_rps * (
+            grid
+            + (self.amplitude * self.period_s / (2.0 * np.pi))
+            * (1.0 - np.cos(2.0 * np.pi * grid / self.period_s))
+        )
+        return np.interp(targets, cumulative, grid)
+
+    def describe(self) -> str:
+        base = super().describe()
+        if self.shape == "flat":
+            return base
+        if (self.period_s, self.amplitude) != (60.0, 0.8):
+            return (
+                f"{self.shape}[{self.period_s:g}s,{self.amplitude:g}]:{base}"
+            )
+        return f"{self.shape}:{base}"
+
+
+def parse_shaped_arrivals(text: str):
+    """Parse an arrival spec, accepting an optional shape prefix.
+
+    ``diurnal:KIND:RATE[:BURSTINESS]`` wraps the base spec in the
+    default diurnal envelope; anything else parses as the plain
+    open-loop spec (:func:`repro.serving.arrivals.parse_arrivals`).
+
+    Example:
+        >>> parse_shaped_arrivals("diurnal:bursty:2000:16").shape
+        'diurnal'
+        >>> parse_shaped_arrivals("poisson:500").describe()
+        'poisson:500'
+    """
+    text = str(text)
+    if text.startswith("diurnal:"):
+        inner = parse_arrivals(text[len("diurnal:"):])
+        return ShapedArrivalProcess(
+            inner.kind, inner.rate_rps, inner.burstiness, shape="diurnal"
+        )
+    return parse_arrivals(text)
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """One tenant's traffic character.
+
+    Attributes:
+        name: tenant identity (the admission-control key in the fleet).
+        weight: share of the aggregate request stream.
+        catalog_size: distinct request types in this tenant's catalog.
+        skew: Zipf popularity exponent within the catalog.
+        llm_fraction: probability a catalog entry is an LLM-side
+            workload (GNN-side otherwise).
+    """
+
+    name: str
+    weight: float = 1.0
+    catalog_size: int = 12
+    skew: float = 1.1
+    llm_fraction: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a tenant profile needs a name")
+        if not self.weight > 0.0:
+            raise ConfigurationError(
+                f"tenant weight must be > 0, got {self.weight}"
+            )
+        if self.catalog_size < 1:
+            raise ConfigurationError(
+                f"need >= 1 catalog entry, got {self.catalog_size}"
+            )
+        if self.skew < 0.0:
+            raise ConfigurationError(f"skew must be >= 0, got {self.skew}")
+        if not 0.0 <= self.llm_fraction <= 1.0:
+            raise ConfigurationError(
+                f"llm fraction must be in [0, 1], got {self.llm_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """A multi-tenant trace generator over embedded spec documents.
+
+    Each tenant gets its own deterministic catalog of run-kind
+    ``repro.spec/1`` documents (drawn from the stock workload mix), and
+    the aggregate stream interleaves tenants by weight with per-tenant
+    Zipf popularity.  Records carry the tenant identity next to the
+    embedded spec, so fleet replay enforces per-tenant admission
+    control and the round-trip stays fully declarative.
+    """
+
+    tenants: Tuple[TenantProfile, ...]
+    seed: int = 0
+    die_seeds: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ConfigurationError("need >= 1 tenant profile")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"tenant names must be unique: {names}")
+        if self.die_seeds < 1:
+            raise ConfigurationError(
+                f"need >= 1 die seed, got {self.die_seeds}"
+            )
+
+    @classmethod
+    def uniform_tenants(
+        cls,
+        num_tenants: int,
+        seed: int = 0,
+        catalog_size: int = 12,
+        skew: float = 1.1,
+        llm_fraction: float = 0.7,
+    ) -> "TrafficModel":
+        """N tenants with Zipf-decaying traffic shares (tenant-0 hottest)."""
+        if num_tenants < 1:
+            raise ConfigurationError(
+                f"need >= 1 tenant, got {num_tenants}"
+            )
+        profiles = tuple(
+            TenantProfile(
+                name=f"tenant-{i}",
+                weight=1.0 / (i + 1),
+                catalog_size=catalog_size,
+                skew=skew,
+                llm_fraction=llm_fraction,
+            )
+            for i in range(num_tenants)
+        )
+        return cls(tenants=profiles, seed=seed)
+
+    def _catalog(self, index: int, profile: TenantProfile) -> List[Dict]:
+        """One tenant's embedded-spec catalog (deterministic in
+        ``(model seed, tenant index)``)."""
+        from repro.api.spec import ContextSpec, ExperimentSpec, PlatformSpec
+
+        rng = np.random.default_rng([self.seed, 1, index])
+        corner_names = list(CORNER_WEIGHTS)
+        corner_p = np.array([CORNER_WEIGHTS[c] for c in corner_names])
+        corner_p = corner_p / corner_p.sum()
+        batch_sizes = list(BATCH_WEIGHTS)
+        batch_p = np.array([BATCH_WEIGHTS[b] for b in batch_sizes])
+        batch_p = batch_p / batch_p.sum()
+
+        catalog: List[Dict] = []
+        seen = set()
+        attempts = 0
+        while len(catalog) < profile.catalog_size:
+            attempts += 1
+            if attempts > 100 * profile.catalog_size:
+                raise ConfigurationError(
+                    f"cannot draw {profile.catalog_size} distinct request "
+                    f"types for {profile.name}; lower catalog_size"
+                )
+            if rng.random() < profile.llm_fraction:
+                workload = str(rng.choice(LLM_WORKLOADS))
+                batch = int(rng.choice(batch_sizes, p=batch_p))
+            else:
+                workload = str(rng.choice(GNN_WORKLOADS))
+                batch = 1  # GHOST costs full-graph inferences
+            corner = str(rng.choice(corner_names, p=corner_p))
+            die = int(rng.integers(self.die_seeds)) if corner != "nominal" else 0
+            spec = ExperimentSpec(
+                platform=PlatformSpec(
+                    name="auto",
+                    overrides={"batch": batch} if batch != 1 else {},
+                ),
+                workload=workload,
+                context=ContextSpec(corner=corner, seed=die),
+            )
+            doc = spec.to_dict()
+            fingerprint = spec.fingerprint()
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            catalog.append(doc)
+        return catalog
+
+    def catalogs(self) -> Dict[str, List[Dict]]:
+        """Every tenant's catalog of embedded ``repro.spec/1`` docs."""
+        return {
+            profile.name: self._catalog(index, profile)
+            for index, profile in enumerate(self.tenants)
+        }
+
+    def weights(self) -> np.ndarray:
+        """Normalized tenant traffic shares, in tenant order."""
+        raw = np.array([t.weight for t in self.tenants], dtype=float)
+        return raw / raw.sum()
+
+    def generate(self, num_requests: int = 1000) -> List[Dict]:
+        """``num_requests`` tenant-tagged trace records.
+
+        Each record is ``{"tenant": name, "spec": <repro.spec/1 doc>}``
+        — the extended ``repro.trace/1`` record form.  Deterministic in
+        the model: same profiles + seed, byte-identical trace.
+        """
+        if num_requests < 1:
+            raise ConfigurationError(
+                f"need >= 1 request, got {num_requests}"
+            )
+        catalogs = self.catalogs()
+        rng = np.random.default_rng([self.seed, 2])
+        tenant_draw = rng.choice(
+            len(self.tenants), size=num_requests, p=self.weights()
+        )
+        popularity = {}
+        for profile in self.tenants:
+            ranks = np.arange(1, profile.catalog_size + 1, dtype=float)
+            p = ranks**-profile.skew
+            popularity[profile.name] = p / p.sum()
+        records: List[Dict] = []
+        for tenant_index in tenant_draw.tolist():
+            profile = self.tenants[tenant_index]
+            rank = int(
+                rng.choice(profile.catalog_size, p=popularity[profile.name])
+            )
+            doc = catalogs[profile.name][rank]
+            records.append(
+                {"tenant": profile.name, "spec": _copy_doc(doc)}
+            )
+        return records
+
+
+def _copy_doc(doc):
+    """Deep-copy a JSON-shaped document (records must not alias)."""
+    if isinstance(doc, dict):
+        return {key: _copy_doc(value) for key, value in doc.items()}
+    if isinstance(doc, list):
+        return [_copy_doc(item) for item in doc]
+    return doc
+
+
+def generate_tenant_trace(
+    num_requests: int = 1000,
+    num_tenants: int = 4,
+    seed: int = 0,
+    catalog_size: int = 12,
+    llm_fraction: float = 0.7,
+    skew: float = 1.1,
+) -> List[Dict]:
+    """Convenience entry the CLI's ``gen-trace --tenants`` uses.
+
+    Example:
+        >>> records = generate_tenant_trace(num_requests=6, num_tenants=2)
+        >>> {r["tenant"] for r in records} <= {"tenant-0", "tenant-1"}
+        True
+    """
+    model = TrafficModel.uniform_tenants(
+        num_tenants,
+        seed=seed,
+        catalog_size=catalog_size,
+        skew=skew,
+        llm_fraction=llm_fraction,
+    )
+    return model.generate(num_requests=num_requests)

@@ -289,6 +289,95 @@ def make_gnn_workload(
     return GNNWorkload(model_config=config, dataset=dataset, rng_seed=rng_seed)
 
 
+def make_decode_workload(
+    model_name: str = "GPT-2",
+    prompt_tokens: int = 128,
+    generated_tokens: int = 64,
+    label: Optional[str] = None,
+):
+    """An autoregressive prompt + generate episode over a zoo decoder.
+
+    Example:
+        >>> make_decode_workload(label="decode-gpt2-small").name
+        'decode-gpt2-small'
+    """
+    # Local import: the streaming package layers on top of the registry.
+    from repro.streaming.decode import DecodeWorkload
+
+    return DecodeWorkload(
+        model=MODEL_ZOO[model_name],
+        prompt_tokens=prompt_tokens,
+        generated_tokens=generated_tokens,
+        label=label,
+    )
+
+
+#: The evolving-graph scenarios: (name, model kind, delta stream kind,
+#: stream parameters).  One per evolution regime the delta generator
+#: supports — growth by preferential attachment, R-MAT densification,
+#: and community churn.
+TEMPORAL_WORKLOAD_SPECS: Tuple[Tuple[str, GNNKind, str, Tuple], ...] = (
+    (
+        "GCN-ba-temporal",
+        GNNKind.GCN,
+        "ba-growth",
+        (("num_nodes", 64), ("attachment", 2), ("nodes_per_delta", 8)),
+    ),
+    (
+        "GIN-rmat-temporal",
+        GNNKind.GIN,
+        "rmat-growth",
+        (("scale", 7), ("edge_factor", 4), ("edges_per_delta", 64)),
+    ),
+    (
+        "GAT-sbm-temporal",
+        GNNKind.GAT,
+        "sbm-churn",
+        (("block_sizes", (32, 32, 32)), ("rewire_fraction", 0.05)),
+    ),
+)
+
+
+def make_temporal_workload(
+    name: str,
+    kind: GNNKind,
+    delta_kind: str,
+    params: Tuple = (),
+    hidden_dim: int = 64,
+    in_dim: int = 32,
+    out_dim: int = 8,
+    num_layers: int = 2,
+    seed: int = 7,
+    num_deltas: int = 4,
+):
+    """An evolving-graph GNN workload over a deterministic delta stream.
+
+    Example:
+        >>> make_temporal_workload(
+        ...     "GCN-ba-temporal", GNNKind.GCN, "ba-growth").name
+        'GCN-ba-temporal'
+    """
+    from repro.streaming.temporal import DeltaKind, TemporalGraphWorkload
+
+    config = GNNConfig(
+        name=name,
+        kind=kind,
+        num_layers=num_layers,
+        hidden_dim=hidden_dim,
+        in_dim=in_dim,
+        out_dim=out_dim,
+        heads=2 if kind is GNNKind.GAT else 1,
+    )
+    return TemporalGraphWorkload(
+        model_config=config,
+        delta_kind=DeltaKind(delta_kind),
+        label=name,
+        seed=seed,
+        num_deltas=num_deltas,
+        params=tuple(params),
+    )
+
+
 def _register_defaults() -> None:
     for model_name, model in MODEL_ZOO.items():
         register_workload(
@@ -318,6 +407,27 @@ def _register_defaults() -> None:
             samples=256,
         ),
     )
+    # Streaming scenarios: autoregressive decode episodes (TRON) and
+    # evolving-graph delta streams (GHOST).
+    register_workload(
+        "decode-gpt2-small",
+        lambda: make_decode_workload(label="decode-gpt2-small"),
+    )
+    register_workload(
+        "decode-gpt2-small-long",
+        lambda: make_decode_workload(
+            prompt_tokens=512,
+            generated_tokens=256,
+            label="decode-gpt2-small-long",
+        ),
+    )
+    for wl_name, kind, delta_kind, params in TEMPORAL_WORKLOAD_SPECS:
+        register_workload(
+            wl_name,
+            lambda wl_name=wl_name, kind=kind, delta_kind=delta_kind, params=params: (
+                make_temporal_workload(wl_name, kind, delta_kind, params)
+            ),
+        )
     register_workload(
         "LLM-serving-mix",
         lambda: WorkloadSuite(

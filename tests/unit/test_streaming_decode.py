@@ -1,0 +1,160 @@
+"""The stacked decode series: bit-identity, batching, workload dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.core.base import get_workload
+from repro.core.context import resolve_corner
+from repro.core.tron import TRON, TRONConfig, run_generation
+from repro.errors import ConfigurationError, MappingError
+from repro.nn.models import MODEL_ZOO, bert_base, gpt2_small
+from repro.streaming import (
+    DecodeWorkload,
+    decode_series,
+    decode_series_batch,
+    episode_decode_ops,
+)
+from repro.streaming.decode import _context_column
+
+
+@pytest.fixture(scope="module")
+def tron():
+    return TRON()
+
+
+def test_stacked_series_bit_identical_to_scalar_loop(tron):
+    stacked = decode_series(
+        tron, gpt2_small(), prompt_tokens=96, generated_tokens=32
+    )
+    scalar = decode_series(
+        tron, gpt2_small(), prompt_tokens=96, generated_tokens=32,
+        stacked=False,
+    )
+    assert np.array_equal(stacked.context, scalar.context)
+    assert np.array_equal(stacked.compute_ns, scalar.compute_ns)
+    assert np.array_equal(stacked.memory_ns, scalar.memory_ns)
+    for name, column in stacked.energy_pj.items():
+        assert np.array_equal(column, scalar.energy_pj[name]), name
+
+
+def test_series_totals_match_run_generation_exactly(tron):
+    series = decode_series(
+        tron, gpt2_small(), prompt_tokens=64, generated_tokens=16
+    )
+    reference = run_generation(
+        tron, gpt2_small(), prompt_tokens=64, generated_tokens=16
+    )
+    collapsed = series.to_generation_report()
+    assert collapsed.decode_latency == reference.decode_latency
+    assert collapsed.decode_energy == reference.decode_energy
+    assert collapsed.decode_ops == reference.decode_ops
+    assert collapsed.prefill.latency == reference.prefill.latency
+    assert collapsed.prefill.energy == reference.prefill.energy
+    assert collapsed.tokens_per_second == reference.tokens_per_second
+
+
+def test_bit_identity_holds_under_batch_and_corner():
+    tron = TRON(TRONConfig(batch=8))
+    ctx = resolve_corner("slow-hot", 3)
+    bound = tron.bind(ctx)
+    stacked = decode_series(
+        bound, gpt2_small(), prompt_tokens=32, generated_tokens=8
+    )
+    scalar = decode_series(
+        bound, gpt2_small(), prompt_tokens=32, generated_tokens=8,
+        stacked=False,
+    )
+    assert np.array_equal(stacked.per_token_ns, scalar.per_token_ns)
+    assert np.array_equal(stacked.per_token_pj, scalar.per_token_pj)
+
+
+def test_batch_pass_matches_per_episode_series(tron):
+    episodes = [(16, 4), (64, 8), (16, 12)]
+    batch = decode_series_batch(tron, gpt2_small(), episodes)
+    for series, (prompt, generated) in zip(batch, episodes):
+        solo = decode_series(
+            tron, gpt2_small(), prompt_tokens=prompt,
+            generated_tokens=generated,
+        )
+        assert np.array_equal(series.per_token_ns, solo.per_token_ns)
+        assert np.array_equal(series.context, solo.context)
+        assert series.to_generation_report() == solo.to_generation_report()
+
+
+def test_series_columns_are_sane(tron):
+    series = decode_series(
+        tron, gpt2_small(), prompt_tokens=32, generated_tokens=16
+    )
+    assert series.context.tolist() == list(range(33, 49))
+    assert (series.per_token_ns > 0).all()
+    assert (series.tokens_per_second > 0).all()
+    # Longer context can never be cheaper within an episode.
+    assert (np.diff(series.cumulative_ns) > 0).all()
+    assert series.per_token_ns[-1] >= series.per_token_ns[0]
+    assert "decode" in series.summary()
+
+
+def test_episode_decode_ops_matches_stepwise_sum():
+    from repro.core.tron.generation import decode_step_ops
+
+    model = gpt2_small()
+    context = _context_column(24, 7)
+    total = None
+    for ctx_len in context.tolist():
+        step = decode_step_ops(model, ctx_len)
+        total = step if total is None else total + step
+    closed = episode_decode_ops(model, int(context.sum()), 7)
+    assert closed == total
+
+
+def test_decode_workload_registry_and_dispatch(tron):
+    workload = get_workload("decode-gpt2-small")
+    assert workload.kind.value == "decode"
+    report = tron.run(workload)
+    assert report.workload == "decode-gpt2-small"
+    series = tron.decode_series(workload)
+    collapsed = series.to_generation_report()
+    assert report.latency.total_ns == (
+        collapsed.prefill.latency + collapsed.decode_latency
+    ).total_ns
+    # The registered op_count covers prefill + decode phases.
+    assert workload.op_count().macs == (
+        collapsed.prefill.ops + collapsed.decode_ops
+    ).macs
+
+
+def test_decode_workload_rejects_encoders_and_bad_shapes():
+    with pytest.raises(ConfigurationError):
+        DecodeWorkload(model=bert_base())
+    with pytest.raises(ConfigurationError):
+        DecodeWorkload(model=gpt2_small(), generated_tokens=0)
+    with pytest.raises(ConfigurationError):
+        decode_series_batch(TRON(), gpt2_small(), [])
+
+
+def test_ghost_rejects_decode_workloads():
+    from repro.core.ghost import GHOST
+
+    with pytest.raises(MappingError):
+        GHOST().run(get_workload("decode-gpt2-small"))
+
+
+def test_session_run_emits_decode_block():
+    result = Session().run("decode-gpt2-small")
+    assert result.decode is not None
+    block = result.decode
+    assert block["generated_tokens"] == 64
+    assert len(block["per_token_ns"]) == 64
+    assert block["first_token_ns"] <= block["last_token_ns"]
+    envelope = result.envelope()
+    assert envelope["decode"]["tokens_per_second"] > 0
+    # Non-decode envelopes stay free of the block.
+    assert "decode" not in Session().run("MLP-mnist").envelope()
+
+
+def test_decode_workload_model_zoo_consistency():
+    workload = get_workload("decode-gpt2-small-long")
+    assert workload.prompt_tokens == 512
+    assert workload.generated_tokens == 256
+    assert workload.model == MODEL_ZOO["GPT-2"]

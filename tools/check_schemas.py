@@ -64,6 +64,7 @@ def main_check() -> int:
 
     tmp = pathlib.Path(tempfile.mkdtemp(prefix="repro-schemas-"))
     trace_path = tmp / "trace.json"
+    tenant_trace_path = tmp / "tenants.json"
 
     def gen_trace():
         buffer = io.StringIO()
@@ -74,6 +75,24 @@ def main_check() -> int:
             )
         assert code == 0
         payload = json.loads(trace_path.read_text())
+        return validate_payload(payload)
+
+    def gen_tenant_trace():
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = main(
+                ["gen-trace", str(tenant_trace_path), "--requests", "24",
+                 "--catalog", "5", "--tenants", "3", "--shape", "diurnal"]
+            )
+        assert code == 0
+        payload = json.loads(tenant_trace_path.read_text())
+        assert payload["arrivals"] == "diurnal:poisson:500"
+        assert all("tenant" in record for record in payload["requests"])
+        return validate_payload(payload)
+
+    def run_decode():
+        payload = run_cli_json(["run", "decode-gpt2-small", "--json"])
+        assert "decode" in payload  # the optional per-token block
         return validate_payload(payload)
 
     commands = [
@@ -114,10 +133,20 @@ def main_check() -> int:
             ["serve", "--trace", str(trace_path), "--workers", "2",
              "--arrivals", "poisson:500", "--json"],
         ),
+        (
+            "serve tenant trace --arrivals trace --json",
+            ["serve", "--trace", str(tenant_trace_path), "--workers", "1",
+             "--arrivals", "trace", "--json"],
+        ),
     ]
 
     failures = 0
     if not check("gen-trace (repro.trace/1)", gen_trace):
+        failures += 1
+    if not check("gen-trace --tenants --shape (repro.trace/1)",
+                 gen_tenant_trace):
+        failures += 1
+    if not check("run decode-gpt2-small --json (decode block)", run_decode):
         failures += 1
     for label, argv in commands:
         if not check(label, lambda argv=argv: validate_payload(run_cli_json(argv))):

@@ -44,6 +44,9 @@ AUDITED_MODULES = (
     "repro.core.engine.hbm.pim",
     "repro.analysis.robustness",
     "repro.workloads",
+    "repro.streaming.decode",
+    "repro.streaming.temporal",
+    "repro.streaming.traffic",
     "repro.serving.cache",
     "repro.serving.request",
     "repro.serving.engine",
